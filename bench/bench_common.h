@@ -1,0 +1,59 @@
+// Shared scaffolding for the experiment benches. Each bench binary:
+//   1. registers google-benchmark microbenchmarks that exercise the
+//      experiment machinery at a reduced virtual budget (so `--benchmark_*`
+//      flags work as usual), and
+//   2. after RunSpecifiedBenchmarks(), executes the full experiment and
+//      prints the paper-style table / series.
+//
+// Environment knobs (full experiment only):
+//   THEMIS_BENCH_HOURS  virtual hours per campaign (default 24)
+//   THEMIS_BENCH_SEEDS  repeated campaigns per (tool, flavor) (default 3)
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/strings.h"
+#include "src/harness/experiments.h"
+#include "src/harness/report.h"
+
+namespace themis {
+
+inline ExperimentBudget BenchBudget() {
+  ExperimentBudget budget;
+  if (const char* hours = std::getenv("THEMIS_BENCH_HOURS")) {
+    budget.campaign = Hours(std::max(1, std::atoi(hours)));
+  }
+  if (const char* seeds = std::getenv("THEMIS_BENCH_SEEDS")) {
+    budget.seeds = std::max(1, std::atoi(seeds));
+  }
+  return budget;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace themis
+
+// Standard main: benchmarks first, then the full experiment table.
+#define THEMIS_BENCH_MAIN(RunExperimentFn)                       \
+  int main(int argc, char** argv) {                              \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    RunExperimentFn();                                           \
+    return 0;                                                    \
+  }
+
+#endif  // BENCH_BENCH_COMMON_H_

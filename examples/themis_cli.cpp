@@ -1,0 +1,215 @@
+// Command-line front end for the framework: run fuzzing campaigns and replay
+// reproduction logs without writing any C++.
+//
+//   themis_cli fuzz   <hdfs|ceph|gluster|leo> [options]
+//   themis_cli replay <hdfs|ceph|gluster|leo> <logfile> [--repeat N] [--bugs]
+//
+// Options for `fuzz`:
+//   --hours H       virtual campaign budget (default 24)
+//   --seed S        campaign seed (default 1234)
+//   --strategy X    themis | themis- | fixreq | fixconf | alternate | concurrent
+//   --threshold T   detector threshold t, e.g. 0.25
+//   --historical    inject the 53-bug historical corpus instead of the 10 new bugs
+//   --healthy       inject nothing (false-positive soak test)
+//   --logs          write each confirmed failure's reproduction log to stdout
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/log.h"
+#include "src/core/replay.h"
+#include "src/faults/fault_registry.h"
+#include "src/faults/injector.h"
+#include "src/harness/campaign.h"
+#include "src/harness/report.h"
+
+namespace {
+
+using namespace themis;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  themis_cli fuzz <hdfs|ceph|gluster|leo> [--hours H] [--seed S]\n"
+               "             [--strategy themis|themis-|fixreq|fixconf|alternate|\n"
+               "              concurrent] [--threshold T] [--historical] [--healthy]\n"
+               "             [--logs]\n"
+               "  themis_cli replay <hdfs|ceph|gluster|leo> <logfile> [--repeat N] [--bugs]\n"
+               "          (--bugs re-injects the Table 2 faults: reproduction against\n"
+               "           the buggy system, as in the paper's replay step)\n");
+  return 2;
+}
+
+bool ParseFlavor(const char* text, Flavor* out) {
+  if (std::strcmp(text, "hdfs") == 0) {
+    *out = Flavor::kHdfs;
+  } else if (std::strcmp(text, "ceph") == 0) {
+    *out = Flavor::kCeph;
+  } else if (std::strcmp(text, "gluster") == 0) {
+    *out = Flavor::kGluster;
+  } else if (std::strcmp(text, "leo") == 0) {
+    *out = Flavor::kLeo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseStrategy(const char* text, StrategyKind* out) {
+  if (std::strcmp(text, "themis") == 0) {
+    *out = StrategyKind::kThemis;
+  } else if (std::strcmp(text, "themis-") == 0) {
+    *out = StrategyKind::kThemisMinus;
+  } else if (std::strcmp(text, "fixreq") == 0) {
+    *out = StrategyKind::kFixReq;
+  } else if (std::strcmp(text, "fixconf") == 0) {
+    *out = StrategyKind::kFixConf;
+  } else if (std::strcmp(text, "alternate") == 0) {
+    *out = StrategyKind::kAlternate;
+  } else if (std::strcmp(text, "concurrent") == 0) {
+    *out = StrategyKind::kConcurrent;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int RunFuzz(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  Flavor flavor;
+  if (!ParseFlavor(argv[0], &flavor)) {
+    return Usage();
+  }
+  CampaignConfig config;
+  config.flavor = flavor;
+  StrategyKind strategy = StrategyKind::kThemis;
+  bool print_logs = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
+      config.budget = Hours(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      config.threshold_t = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
+      if (!ParseStrategy(argv[++i], &strategy)) {
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--historical") == 0) {
+      config.fault_set = FaultSet::kHistorical;
+    } else if (std::strcmp(argv[i], "--healthy") == 0) {
+      config.fault_set = FaultSet::kNone;
+    } else if (std::strcmp(argv[i], "--logs") == 0) {
+      print_logs = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  SetLogLevel(LogLevel::kInfo);
+  CampaignResult result = Campaign(config).Run(strategy);
+  std::printf("\n=== %s on %s (%lld virtual hours, t=%.0f%%) ===\n",
+              result.strategy_name.c_str(),
+              std::string(FlavorName(config.flavor)).c_str(),
+              static_cast<long long>(config.budget / Hours(1)),
+              config.threshold_t * 100.0);
+  std::printf("test cases %d | operations %llu | candidates %d | coverage %zu\n",
+              result.testcases, static_cast<unsigned long long>(result.total_ops),
+              result.candidates, result.final_coverage);
+  std::printf("distinct failures %d | false positives %d\n",
+              result.DistinctTruePositives(), result.false_positives);
+  if (!result.distinct_failures.empty()) {
+    TextTable table({"Failure", "First confirmed (virtual min)"});
+    for (const auto& [id, at] : result.distinct_failures) {
+      table.AddRow({id, Sprintf("%.1f", ToMinutes(at))});
+    }
+    table.Print();
+  }
+  if (print_logs) {
+    for (const FailureReport& report : result.reports) {
+      if (report.IsTruePositive()) {
+        std::printf("\n# reproduction log for %s (%s imbalance, ratio %.2f)\n%s",
+                    report.DedupKey().c_str(),
+                    ImbalanceDimensionName(report.dimension), report.ratio,
+                    FormatReproductionLog(report.testcase).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int RunReplay(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  Flavor flavor;
+  if (!ParseFlavor(argv[0], &flavor)) {
+    return Usage();
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  int repetitions = 1;
+  bool with_bugs = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repetitions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--bugs") == 0) {
+      with_bugs = true;
+    } else {
+      return Usage();
+    }
+  }
+  Result<OpSeq> seq = ParseReproductionLog(buffer.str());
+  if (!seq.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", seq.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(flavor, /*seed=*/1);
+  std::unique_ptr<FaultInjector> injector;
+  if (with_bugs) {
+    injector = std::make_unique<FaultInjector>(NewBugsFor(flavor), /*seed=*/1);
+    dfs->set_fault_hooks(injector.get());
+  }
+  ReplayOutcome outcome = ReplayLog(*dfs, *seq, repetitions);
+  if (injector != nullptr && !injector->ActiveFaultIds().empty()) {
+    std::printf("faults triggered during replay:");
+    for (const std::string& id : injector->ActiveFaultIds()) {
+      std::printf(" %s", id.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("replayed %d operations (%d ok, %d repetitions)\n", outcome.ops_executed,
+              outcome.ops_ok, repetitions);
+  std::printf("residual imbalance after rebalance: %.1f%%%s\n",
+              100.0 * outcome.residual_imbalance,
+              outcome.any_node_crashed ? " (a node crashed)" : "");
+  std::printf(outcome.residual_imbalance > 0.25 || outcome.any_node_crashed
+                  ? "=> imbalance failure REPRODUCED\n"
+                  : "=> system returned to a balanced state\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "fuzz") == 0) {
+    return RunFuzz(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "replay") == 0) {
+    return RunReplay(argc - 2, argv + 2);
+  }
+  return Usage();
+}

@@ -1,0 +1,47 @@
+// Detector threshold tuning (the §6.4 experiment, interactively sized):
+// sweeps the variance threshold t and reports false/true positives so an
+// operator can pick the optimum for their deployment.
+//
+//   ./build/examples/threshold_tuning [virtual_hours] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+#include "src/harness/experiments.h"
+#include "src/harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace themis;
+  int hours = argc > 1 ? std::atoi(argv[1]) : 8;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1234;
+
+  std::printf("Sweeping the imbalance detector threshold t "
+              "(%d virtual hours per campaign)...\n\n", hours);
+
+  ExperimentBudget budget;
+  budget.campaign = Hours(hours);
+  budget.seeds = 1;
+  budget.base_seed = seed;
+  std::vector<double> thresholds = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35};
+  std::vector<ThresholdSweepRow> rows = RunThresholdSweep(thresholds, budget);
+
+  TextTable table({"Threshold t", "False positives", "True positives (of 10 bugs)"});
+  double best = 0.25;
+  int best_score = -1000;
+  for (const ThresholdSweepRow& row : rows) {
+    table.AddRow({Sprintf("%.0f%%", row.threshold * 100.0),
+                  std::to_string(row.false_positives),
+                  std::to_string(row.true_positives)});
+    int score = row.true_positives * 10 - row.false_positives;
+    if (score > best_score) {
+      best_score = score;
+      best = row.threshold;
+    }
+  }
+  table.Print();
+  std::printf("\nRecommended threshold for this workload: t = %.0f%%\n", best * 100.0);
+  std::printf("(The paper's optimum across the four DFSes is 25%%: all false "
+              "positives gone, no true positives lost.)\n");
+  return 0;
+}

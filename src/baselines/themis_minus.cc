@@ -1,0 +1,15 @@
+#include "src/baselines/themis_minus.h"
+
+namespace themis {
+
+ThemisMinusStrategy::ThemisMinusStrategy(InputModel& model, Rng& rng, int max_len)
+    : rng_(rng), generator_(model, max_len) {}
+
+OpSeq ThemisMinusStrategy::Next() { return generator_.Generate(rng_); }
+
+void ThemisMinusStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
+  (void)seq;
+  (void)outcome;  // no feedback: that is the ablation
+}
+
+}  // namespace themis

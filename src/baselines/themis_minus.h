@@ -1,0 +1,27 @@
+// Themis⁻ (§6.3): Themis with the load variance model disabled — operation
+// sequences are generated randomly with no feedback-driven seed retention.
+
+#ifndef SRC_BASELINES_THEMIS_MINUS_H_
+#define SRC_BASELINES_THEMIS_MINUS_H_
+
+#include "src/core/generator.h"
+#include "src/core/strategy.h"
+
+namespace themis {
+
+class ThemisMinusStrategy : public Strategy {
+ public:
+  ThemisMinusStrategy(InputModel& model, Rng& rng, int max_len = 8);
+
+  std::string_view name() const override { return "Themis-"; }
+  OpSeq Next() override;
+  void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) override;
+
+ private:
+  Rng& rng_;
+  OpSeqGenerator generator_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_BASELINES_THEMIS_MINUS_H_

@@ -1,0 +1,25 @@
+#include "src/common/bytes.h"
+
+#include "src/common/strings.h"
+
+namespace themis {
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kTiB) {
+    return Sprintf("%.2f TiB", static_cast<double>(bytes) / static_cast<double>(kTiB));
+  }
+  if (bytes >= kGiB) {
+    return Sprintf("%.2f GiB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+  }
+  if (bytes >= kMiB) {
+    return Sprintf("%.2f MiB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+  }
+  if (bytes >= kKiB) {
+    return Sprintf("%.2f KiB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+  }
+  return Sprintf("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+double SafeRatio(double a, double b) { return b == 0.0 ? 0.0 : a / b; }
+
+}  // namespace themis

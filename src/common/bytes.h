@@ -1,0 +1,24 @@
+// Byte-size constants and formatting.
+
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace themis {
+
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+constexpr uint64_t kTiB = 1024ULL * kGiB;
+
+// "1.50 GiB", "512 B", ...
+std::string FormatBytes(uint64_t bytes);
+
+// Fraction a/b with b==0 treated as 0.
+double SafeRatio(double a, double b);
+
+}  // namespace themis
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,8 @@
+#include "src/common/clock.h"
+
+// VirtualClock is header-only; this translation unit exists so the build
+// fails loudly if the header stops being self-contained.
+namespace themis {
+static_assert(Seconds(1) == 1000000, "SimTime is in microseconds");
+static_assert(Hours(24) == 86400LL * 1000000, "24h budget sanity");
+}  // namespace themis

@@ -1,0 +1,37 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace themis {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "OFF";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(g_level) >= static_cast<int>(level)) {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay clean;
+// examples raise the level to narrate what the framework is doing.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace themis {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes "[LEVEL] message\n" to stderr if `level` is enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+#define THEMIS_LOG(level, ...)                                     \
+  do {                                                             \
+    if (static_cast<int>(::themis::GetLogLevel()) >=               \
+        static_cast<int>(::themis::LogLevel::level)) {             \
+      ::themis::LogMessage(::themis::LogLevel::level,              \
+                           ::themis::Sprintf(__VA_ARGS__));        \
+    }                                                              \
+  } while (0)
+
+}  // namespace themis
+
+#endif  // SRC_COMMON_LOG_H_

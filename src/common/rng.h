@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// Every campaign owns exactly one Rng seeded from the campaign configuration,
+// so that all experiments reproduce bit-for-bit. The generator is
+// xoshiro256**, seeded through splitmix64 (the construction recommended by
+// the xoshiro authors).
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace themis {
+
+// splitmix64 step; also useful as a cheap mixing/hash function.
+uint64_t SplitMix64(uint64_t& state);
+
+// Mixes a single value through the splitmix64 finalizer (stateless hash).
+uint64_t Mix64(uint64_t value);
+
+// Combines a hash with a new value (boost::hash_combine style, 64-bit).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Chance(double p);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Picks an index according to `weights` (non-negative; at least one > 0).
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  // Picks a uniformly random element index from a container size.
+  size_t PickIndex(size_t size) { return static_cast<size_t>(NextBelow(size)); }
+
+  // Forks a child generator whose stream is decorrelated from this one.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,49 @@
+// Streaming and one-shot statistics helpers used by the load models and by
+// the imbalance detector.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace themis {
+
+// Welford streaming mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// max(values) / mean(values); 0 if the series is empty or the mean is 0.
+// This is the "MAX / (1/n)*SUM" quantity of the paper's LBS definition.
+double MaxOverMean(const std::vector<double>& values);
+
+// Largest pairwise absolute difference, i.e. max - min.
+double MaxSpread(const std::vector<double>& values);
+
+// Arithmetic mean; 0 for an empty series.
+double Mean(const std::vector<double>& values);
+
+// p in [0, 1]; linear-interpolated percentile of a copy of `values`.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace themis
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,102 @@
+// Lightweight status / result types used across the Themis code base.
+//
+// We deliberately avoid exceptions on the hot fuzzing path: every fallible
+// operation returns a Status (or a Result<T>) that the caller must inspect.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace themis {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,        // file / node / volume does not exist
+  kAlreadyExists,   // namespace or membership collision
+  kInvalidArgument, // malformed operation
+  kOutOfSpace,      // cluster capacity exhausted
+  kUnavailable,     // target node offline / crashed
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,        // a bug inside the system under test surfaced as an error
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap, copyable status value. The OK status carries no message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfSpace(std::string msg) {
+    return Status(StatusCode::kOutOfSpace, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. Minimal expected<>-style type
+// (GCC 12 lacks std::expected).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const { return *value_; }
+  T& value() { return *value_; }
+  T&& take() { return std::move(*value_); }
+
+  const T& operator*() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_COMMON_STATUS_H_

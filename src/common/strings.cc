@@ -1,0 +1,93 @@
+#include "src/common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace themis {
+
+std::string Sprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::string out = "/";
+  for (std::string_view part : Split(path, '/')) {
+    if (part.empty()) {
+      continue;
+    }
+    if (out.back() != '/') {
+      out += '/';
+    }
+    out += part;
+  }
+  return out;
+}
+
+std::string ParentPath(std::string_view path) {
+  if (path.empty() || path == "/") {
+    return "/";
+  }
+  size_t pos = path.rfind('/');
+  if (pos == 0) {
+    return "/";
+  }
+  if (pos == std::string_view::npos) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string_view Basename(std::string_view path) {
+  if (path.empty() || path == "/") {
+    return {};
+  }
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) {
+    return path;
+  }
+  return path.substr(pos + 1);
+}
+
+}  // namespace themis

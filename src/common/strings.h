@@ -1,0 +1,37 @@
+// Small string helpers (GCC 12 has no std::format, so we wrap vsnprintf).
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace themis {
+
+// printf-style formatting into a std::string.
+std::string Sprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits `text` on `sep`, keeping empty tokens.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Normalizes a slash-separated path: collapses duplicate slashes, ensures a
+// single leading slash, strips a trailing slash (except for the root "/").
+std::string NormalizePath(std::string_view path);
+
+// Returns the parent directory of a normalized path ("/a/b" -> "/a",
+// "/a" -> "/", "/" -> "/").
+std::string ParentPath(std::string_view path);
+
+// Returns the final component of a normalized path ("/a/b" -> "b", "/" -> "").
+std::string_view Basename(std::string_view path);
+
+}  // namespace themis
+
+#endif  // SRC_COMMON_STRINGS_H_

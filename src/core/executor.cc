@@ -1,0 +1,209 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace themis {
+
+std::string FailureReport::DedupKey() const {
+  if (active_faults.empty()) {
+    return "";
+  }
+  // Failures sharing the same root cause are duplicates; key on the root
+  // cause (the first active fault).
+  return active_faults.front();
+}
+
+TestCaseExecutor::TestCaseExecutor(DfsInterface& dfs, InputModel& model,
+                                   StatesMonitor& monitor, ImbalanceDetector& detector,
+                                   FaultInjector* ground_truth,
+                                   CoverageRecorder* coverage, Rng& rng)
+    : dfs_(dfs), model_(model), monitor_(monitor), detector_(detector),
+      ground_truth_(ground_truth), coverage_(coverage), rng_(rng) {
+  model_.SyncFromDfs(dfs_);
+}
+
+void TestCaseExecutor::SeedInitialData(OpSeqGenerator& generator, int files) {
+  for (int i = 0; i < files; ++i) {
+    Operation op = generator.GenerateOpOfKind(OpKind::kCreate, rng_);
+    OpResult result = dfs_.Execute(op);
+    model_.Observe(op, result);
+    ++total_ops_;
+  }
+  model_.SyncFromDfs(dfs_);
+  // Settle: establish the sampling baseline so the first test case sees
+  // windowed deltas, not lifetime counters.
+  (void)monitor_.Sample(dfs_);
+  detector_.ResetStreak();
+}
+
+void TestCaseExecutor::ExecuteOps(const OpSeq& seq, ExecOutcome* outcome) {
+  for (const Operation& op : seq.ops) {
+    OpResult result = dfs_.Execute(op);
+    model_.Observe(op, result);
+    ++total_ops_;
+    if (outcome != nullptr) {
+      ++outcome->ops_executed;
+      if (result.status.ok()) {
+        ++outcome->ops_ok;
+      }
+    }
+  }
+  model_.SyncFromDfs(dfs_);
+}
+
+ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
+  ExecOutcome outcome;
+  size_t coverage_before = coverage_ != nullptr ? coverage_->TotalHits() : 0;
+
+  ExecuteOps(seq, &outcome);
+
+  LoadVarianceSnapshot snapshot = monitor_.Sample(dfs_);
+  outcome.variance_score = snapshot.Score(monitor_.weights());
+  outcome.variance_gain = outcome.variance_score - last_score_;
+  last_score_ = outcome.variance_score;
+  if (coverage_ != nullptr) {
+    outcome.new_coverage = coverage_->TotalHits() - coverage_before;
+  }
+
+  std::optional<ImbalanceCandidate> candidate = detector_.Check(snapshot);
+  if (candidate.has_value() && !dfs_.RebalanceDone()) {
+    // The balancer is mid-flight: the system is *converging*, not failed.
+    // Give it its chance, then re-check on a settled window; a timeout keeps
+    // the candidate (that is what a hang looks like).
+    if (WaitForRebalanceDone()) {
+      (void)monitor_.Sample(dfs_);
+      RunProbeWorkload();
+      LoadVarianceSnapshot settled = monitor_.Sample(dfs_);
+      candidate = detector_.CheckOnce(settled);
+    }
+  }
+  if (candidate.has_value()) {
+    ++candidates_raised_;
+    FailureReport report;
+    report.dimension = candidate->dimension;
+    report.ratio = candidate->ratio;
+    report.testcase = seq;
+    if (DoubleCheck(seq, *candidate, report)) {
+      HandleConfirmed(report, outcome);
+    }
+  }
+  return outcome;
+}
+
+bool TestCaseExecutor::WaitForRebalanceDone() {
+  const DetectorConfig& config = detector_.config();
+  SimTime deadline = dfs_.Now() + config.rebalance_timeout;
+  while (!dfs_.RebalanceDone() && dfs_.Now() < deadline) {
+    dfs_.AdvanceTime(config.poll_interval);
+  }
+  return dfs_.RebalanceDone();
+}
+
+void TestCaseExecutor::RunProbeWorkload() {
+  // A metadata-only probe burst: negligible storage/CPU cost on a healthy
+  // system, so the sampled window isolates *persistent* skew (a CPU or
+  // network fault keeps loading its victim on every request) from the
+  // transient skew the candidate's own heavy writes produced.
+  for (int i = 0; i < kProbeOps; ++i) {
+    Operation op;
+    op.kind = OpKind::kMkdir;
+    op.path = model_.NewDirName(rng_);
+    OpResult result = dfs_.Execute(op);
+    model_.Observe(op, result);
+    ++total_ops_;
+  }
+}
+
+bool TestCaseExecutor::RebalanceAndWait() {
+  // A rebalance triggered while one is already running is a no-op, so drain
+  // any in-flight round first and only then issue the explicit command —
+  // otherwise the fresh plan would be built from a stale mid-round state.
+  if (!WaitForRebalanceDone()) {
+    return false;
+  }
+  (void)dfs_.TriggerRebalance();
+  return WaitForRebalanceDone();
+}
+
+bool TestCaseExecutor::DoubleCheck(const OpSeq& seq, const ImbalanceCandidate& candidate,
+                                   FailureReport& report) {
+  // Step 1: explicitly call the rebalance API, then poll the 'rebalance
+  // state' API until 'rebalance done'.
+  if (!RebalanceAndWait()) {
+    // The rebalance mechanism itself is stuck: that is a failure in its own
+    // right (hang-type imbalance failures).
+    report.rebalance_hung = true;
+    report.ratio = candidate.ratio;
+    report.confirmed_at = dfs_.Now();
+    return true;
+  }
+
+  // Step 2: re-execute the test case, then let the balancer respond to it
+  // once more — a healthy system must be able to return to LBS (§2.2).
+  ExecuteOps(seq, nullptr);
+  if (!RebalanceAndWait()) {
+    report.rebalance_hung = true;
+    report.ratio = candidate.ratio;
+    report.confirmed_at = dfs_.Now();
+    return true;
+  }
+
+  // Step 3: re-baseline the sampling window (absorbs the re-execution's own
+  // transient load), probe, and re-check the load state. If background
+  // migration restarted underneath the probe, its transfer load would be
+  // mistaken for request skew — wait it out and probe again.
+  (void)monitor_.Sample(dfs_);
+  RunProbeWorkload();
+  if (!dfs_.RebalanceDone()) {
+    if (!WaitForRebalanceDone()) {
+      report.rebalance_hung = true;
+      report.ratio = candidate.ratio;
+      report.confirmed_at = dfs_.Now();
+      return true;
+    }
+    (void)monitor_.Sample(dfs_);
+    RunProbeWorkload();
+  }
+  LoadVarianceSnapshot snapshot = monitor_.Sample(dfs_);
+  std::optional<ImbalanceCandidate> recheck = detector_.CheckOnce(snapshot);
+  if (!recheck.has_value()) {
+    return false;  // the balancer recovered the system: transient imbalance
+  }
+  report.dimension = recheck->dimension;
+  report.ratio = recheck->ratio;
+  report.confirmed_at = dfs_.Now();
+  for (const LoadSample& sample : dfs_.SampleLoad()) {
+    if (sample.is_storage && sample.online && sample.capacity_bytes > 0) {
+      report.detail += Sprintf("n%u:%.0f%% ", sample.node,
+                               100.0 * static_cast<double>(sample.used_bytes) /
+                                   static_cast<double>(sample.capacity_bytes));
+    }
+  }
+  report.detail += "| " + dfs_.DescribeState();
+  return true;
+}
+
+void TestCaseExecutor::HandleConfirmed(FailureReport& report, ExecOutcome& outcome) {
+  ++confirmed_failures_;
+  if (ground_truth_ != nullptr) {
+    report.active_faults = ground_truth_->ActiveFaultIds();
+  }
+  THEMIS_LOG(kInfo, "confirmed %s imbalance (ratio %.2f) at t=%.1fmin [%s] %s",
+             ImbalanceDimensionName(report.dimension), report.ratio,
+             ToMinutes(report.confirmed_at),
+             report.active_faults.empty() ? "no fault active"
+                                          : report.active_faults.front().c_str(),
+             report.detail.c_str());
+  outcome.failures.push_back(report);
+  // Reset the DFS to its initial state and restart testing (Fig. 6).
+  dfs_.ResetToInitial();
+  model_.Reset();
+  model_.SyncFromDfs(dfs_);
+  monitor_.ResetWindow();
+  detector_.ResetStreak();
+  last_score_ = 0.0;
+}
+
+}  // namespace themis

@@ -1,0 +1,105 @@
+// Test-case execution + the double-check protocol (§4.3).
+//
+// The executor drives one operation sequence through the DFS, samples the
+// load state, and — when the anomaly detectors raise a candidate — performs
+// the false-positive filter: call the rebalance API, wait for 'rebalance
+// done' (or time out), re-execute the test case, and re-check the load
+// state. Confirmed failures reset the DFS to its initial state, exactly as
+// the paper's workflow (Fig. 6, step 9) prescribes.
+
+#ifndef SRC_CORE_EXECUTOR_H_
+#define SRC_CORE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/generator.h"
+#include "src/core/input_model.h"
+#include "src/core/opseq.h"
+#include "src/coverage/coverage.h"
+#include "src/dfs/cluster.h"
+#include "src/faults/injector.h"
+#include "src/monitor/detector.h"
+#include "src/monitor/states_monitor.h"
+
+namespace themis {
+
+// A confirmed imbalance failure report (reproduction log + labels).
+struct FailureReport {
+  ImbalanceDimension dimension = ImbalanceDimension::kStorage;
+  double ratio = 1.0;
+  SimTime confirmed_at = 0;
+  OpSeq testcase;  // reproduction log: the sequence that exposed it
+  // Ground-truth labels filled from the injector (the harness's analogue of
+  // the paper's manual root-cause confirmation with maintainers).
+  std::vector<std::string> active_faults;
+  bool rebalance_hung = false;
+  // Human-readable load state at confirmation (diagnosis aid).
+  std::string detail;
+
+  bool IsTruePositive() const { return !active_faults.empty(); }
+  // Dedup key: failures sharing a root cause are duplicates (§5).
+  std::string DedupKey() const;
+};
+
+struct ExecOutcome {
+  double variance_score = 0.0;  // LVM score after execution
+  double variance_gain = 0.0;   // vs. the previous test case
+  size_t new_coverage = 0;      // branches newly hit by this test case
+  int ops_executed = 0;
+  int ops_ok = 0;
+  std::vector<FailureReport> failures;  // confirmed (post double-check)
+};
+
+class TestCaseExecutor {
+ public:
+  TestCaseExecutor(DfsInterface& dfs, InputModel& model, StatesMonitor& monitor,
+                   ImbalanceDetector& detector, FaultInjector* ground_truth,
+                   CoverageRecorder* coverage, Rng& rng);
+
+  // Executes `seq`, checks for imbalance, double-checks candidates, and
+  // resets the DFS after a confirmed failure.
+  ExecOutcome Run(const OpSeq& seq);
+
+  // Seeds the cluster with an initial population of files ("during the
+  // initialization process, Themis randomly generates a large number of
+  // files", §7).
+  void SeedInitialData(OpSeqGenerator& generator, int files);
+
+  uint64_t total_ops() const { return total_ops_; }
+  int confirmed_failures() const { return confirmed_failures_; }
+  int candidates_raised() const { return candidates_raised_; }
+
+ private:
+  // Metadata-only probe burst used by the post-rebalance re-check.
+  static constexpr int kProbeOps = 64;
+
+  // Runs the rebalance-and-recheck protocol. Returns the confirmed report if
+  // the candidate survives.
+  bool DoubleCheck(const OpSeq& seq, const ImbalanceCandidate& candidate,
+                   FailureReport& report);
+  bool WaitForRebalanceDone();
+  // Drains in-flight migration, issues a fresh rebalance, waits again.
+  bool RebalanceAndWait();
+  void RunProbeWorkload();
+  void ExecuteOps(const OpSeq& seq, ExecOutcome* outcome);
+  void HandleConfirmed(FailureReport& report, ExecOutcome& outcome);
+
+  DfsInterface& dfs_;
+  InputModel& model_;
+  StatesMonitor& monitor_;
+  ImbalanceDetector& detector_;
+  FaultInjector* ground_truth_;  // may be null (healthy system)
+  CoverageRecorder* coverage_;   // may be null
+  Rng& rng_;
+
+  double last_score_ = 0.0;
+  uint64_t total_ops_ = 0;
+  int confirmed_failures_ = 0;
+  int candidates_raised_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_CORE_EXECUTOR_H_

@@ -1,0 +1,59 @@
+// Load variance-guided fuzzing (§4.2): the Themis strategy.
+//
+// Each iteration dequeues a seed, mutates it, and executes it; test cases
+// that enlarge the load variance across nodes, reach new coverage, or expose
+// failures are fed back into the seeds pool. The guidance exploits Finding 6
+// — the ultimate imbalanced state accumulates through many small variances —
+// by always steering generation toward sequences that make nodes "loaded as
+// differently as possible".
+
+#ifndef SRC_CORE_FUZZER_H_
+#define SRC_CORE_FUZZER_H_
+
+#include "src/common/rng.h"
+#include "src/core/generator.h"
+#include "src/core/mutator.h"
+#include "src/core/seed_pool.h"
+#include "src/core/strategy.h"
+
+namespace themis {
+
+struct FuzzerConfig {
+  int max_len = 8;           // max_n, from Finding 5
+  int initial_seeds = 16;    // initial opSeq population
+  size_t pool_capacity = 256;
+  // Whether variance feedback guides seed retention. Disabled for the
+  // Themis⁻ ablation (§6.3).
+  bool variance_guidance = true;
+};
+
+class ThemisFuzzer : public Strategy {
+ public:
+  ThemisFuzzer(InputModel& model, Rng& rng, FuzzerConfig config = {});
+
+  std::string_view name() const override { return "Themis"; }
+  OpSeq Next() override;
+  void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) override;
+
+  const SeedPool& pool() const { return pool_; }
+  OpSeqGenerator& generator() { return generator_; }
+
+ private:
+  FuzzerConfig config_;
+  Rng& rng_;
+  OpSeqGenerator generator_;
+  OpSeqMutator mutator_;
+  SeedPool pool_;
+  int initial_remaining_;
+  // Hill-climbing state: while variance keeps growing, keep applying light
+  // mutations to the productive sequence ("repeatedly executing short
+  // sequences of operations, with gradual variation" — Finding 5).
+  OpSeq climb_seq_;
+  bool climbing_ = false;
+  int climb_failures_ = 0;
+  int climb_length_ = 0;  // iterations in the current climb episode
+};
+
+}  // namespace themis
+
+#endif  // SRC_CORE_FUZZER_H_

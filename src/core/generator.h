@@ -1,0 +1,40 @@
+// Initial OpSeq generation (§4.2): operators drawn uniformly from the 17
+// load-related operations, operands instantiated by category through the
+// input model.
+
+#ifndef SRC_CORE_GENERATOR_H_
+#define SRC_CORE_GENERATOR_H_
+
+#include "src/common/rng.h"
+#include "src/core/input_model.h"
+#include "src/core/opseq.h"
+
+namespace themis {
+
+class OpSeqGenerator {
+ public:
+  // `max_len` = max_n of the paper, set to 8 by Finding 5.
+  explicit OpSeqGenerator(InputModel& model, int max_len = 8);
+
+  int max_len() const { return max_len_; }
+
+  // A sequence of `len` operations (len <= 0: random in [1, max_len]).
+  OpSeq Generate(Rng& rng, int len = 0);
+
+  // One operation with a uniformly random operator.
+  Operation GenerateOp(Rng& rng);
+
+  // One operation whose operator comes from the given class.
+  Operation GenerateOpOfClass(OpClass op_class, Rng& rng);
+
+  // One operation with a fixed operator and fresh operands.
+  Operation GenerateOpOfKind(OpKind kind, Rng& rng);
+
+ private:
+  InputModel& model_;
+  int max_len_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_CORE_GENERATOR_H_

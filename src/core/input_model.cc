@@ -1,0 +1,174 @@
+#include "src/core/input_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/bytes.h"
+#include "src/common/strings.h"
+
+namespace themis {
+
+void InputModel::SyncFromDfs(const DfsInterface& dfs) {
+  list_mn_ = dfs.ListMetaNodes();
+  list_s_ = dfs.ListStorageNodes();
+  bricks_ = dfs.ListBricks();
+  free_space_ = dfs.FreeSpaceBytes();
+}
+
+void InputModel::Reset() {
+  files_.clear();
+  file_set_.clear();
+  dirs_ = {"/"};
+  list_mn_.clear();
+  list_s_.clear();
+  bricks_.clear();
+  free_space_ = 0;
+  // name_counter_ keeps growing so names stay unique across resets.
+}
+
+void InputModel::Observe(const Operation& op, const OpResult& result) {
+  switch (op.kind) {
+    case OpKind::kCreate:
+      if (result.status.ok()) {
+        if (file_set_.insert(op.path).second) {
+          files_.push_back(op.path);
+        }
+      }
+      break;
+    case OpKind::kDelete:
+      if (result.status.ok() || result.status.code() == StatusCode::kNotFound) {
+        if (file_set_.erase(op.path) > 0) {
+          files_.erase(std::remove(files_.begin(), files_.end(), op.path), files_.end());
+        }
+      }
+      break;
+    case OpKind::kRename:
+      if (result.status.ok() && file_set_.erase(op.path) > 0) {
+        files_.erase(std::remove(files_.begin(), files_.end(), op.path), files_.end());
+        if (file_set_.insert(op.path2).second) {
+          files_.push_back(op.path2);
+        }
+      }
+      break;
+    case OpKind::kMkdir:
+      if (result.status.ok()) {
+        dirs_.push_back(op.path);
+      }
+      break;
+    case OpKind::kRmdir:
+      if (result.status.ok()) {
+        dirs_.erase(std::remove(dirs_.begin(), dirs_.end(), op.path), dirs_.end());
+        if (dirs_.empty()) {
+          dirs_.push_back("/");
+        }
+      }
+      break;
+    case OpKind::kAppend:
+    case OpKind::kOverwrite:
+    case OpKind::kTruncateOverwrite:
+      if (result.status.code() == StatusCode::kNotFound && file_set_.erase(op.path) > 0) {
+        files_.erase(std::remove(files_.begin(), files_.end(), op.path), files_.end());
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool InputModel::HasDir(const std::string& path) const {
+  return std::find(dirs_.begin(), dirs_.end(), path) != dirs_.end();
+}
+
+bool InputModel::HasMetaNode(NodeId node) const {
+  return std::find(list_mn_.begin(), list_mn_.end(), node) != list_mn_.end();
+}
+
+bool InputModel::HasStorageNode(NodeId node) const {
+  return std::find(list_s_.begin(), list_s_.end(), node) != list_s_.end();
+}
+
+bool InputModel::HasBrick(BrickId brick) const {
+  return std::find(bricks_.begin(), bricks_.end(), brick) != bricks_.end();
+}
+
+std::string InputModel::ExistingFile(Rng& rng) const {
+  if (files_.empty()) {
+    return Sprintf("/f_missing_%llu", static_cast<unsigned long long>(rng.NextBelow(1000)));
+  }
+  return files_[rng.PickIndex(files_.size())];
+}
+
+std::string InputModel::NewFileName(Rng& rng) {
+  const std::string& dir = dirs_[rng.PickIndex(dirs_.size())];
+  std::string name = Sprintf("f%llu", static_cast<unsigned long long>(name_counter_++));
+  if (dir == "/") {
+    return "/" + name;
+  }
+  return dir + "/" + name;
+}
+
+std::string InputModel::ExistingDir(Rng& rng) const {
+  return dirs_[rng.PickIndex(dirs_.size())];
+}
+
+std::string InputModel::NewDirName(Rng& rng) {
+  const std::string& dir = dirs_[rng.PickIndex(dirs_.size())];
+  std::string name = Sprintf("d%llu", static_cast<unsigned long long>(name_counter_++));
+  if (dir == "/") {
+    return "/" + name;
+  }
+  return dir + "/" + name;
+}
+
+NodeId InputModel::RandomMetaNode(Rng& rng) const {
+  if (list_mn_.empty()) {
+    return kInvalidNode;
+  }
+  return list_mn_[rng.PickIndex(list_mn_.size())];
+}
+
+NodeId InputModel::RandomStorageNode(Rng& rng) const {
+  if (list_s_.empty()) {
+    return kInvalidNode;
+  }
+  return list_s_[rng.PickIndex(list_s_.size())];
+}
+
+BrickId InputModel::RandomBrick(Rng& rng) const {
+  if (bricks_.empty()) {
+    return kInvalidBrick;
+  }
+  return bricks_[rng.PickIndex(bricks_.size())];
+}
+
+uint64_t InputModel::GenerateSize(Rng& rng) const {
+  // 8% boundary scenarios, per "Themis creates boundary scenarios of the
+  // data size": empty files, single bytes, and free-space-sized writes that
+  // exercise out-of-space handling.
+  if (rng.Chance(0.08)) {
+    switch (rng.NextBelow(4)) {
+      case 0:
+        return 0;
+      case 1:
+        return 1;
+      case 2:
+        return free_space_ / 2;
+      default:
+        return free_space_;
+    }
+  }
+  // Log-uniform between 1 MiB and 16 GiB: the mix of many small files with
+  // occasional multi-GiB ones that makes storage load lumpy.
+  double lo = std::log(static_cast<double>(kMiB));
+  double hi = std::log(static_cast<double>(16 * kGiB));
+  return static_cast<uint64_t>(std::exp(lo + rng.NextDouble() * (hi - lo)));
+}
+
+uint64_t InputModel::GenerateCapacityDelta(Rng& rng) const {
+  // Volume expansion/reduction sizes: 10 GiB .. 240 GiB, log-uniform.
+  double lo = std::log(static_cast<double>(10 * kGiB));
+  double hi = std::log(static_cast<double>(240 * kGiB));
+  return static_cast<uint64_t>(std::exp(lo + rng.NextDouble() * (hi - lo)));
+}
+
+}  // namespace themis

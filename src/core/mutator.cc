@@ -1,0 +1,96 @@
+#include "src/core/mutator.h"
+
+#include <algorithm>
+
+namespace themis {
+
+OpSeqMutator::OpSeqMutator(InputModel& model, OpSeqGenerator& generator, int max_len)
+    : model_(model), generator_(generator), max_len_(max_len > 0 ? max_len : 1) {}
+
+OpSeq OpSeqMutator::Mutate(const OpSeq& seed, Rng& rng) {
+  // Pick k <= length(opSeq) mutation positions.
+  int k = seed.ops.empty()
+              ? 1
+              : static_cast<int>(rng.NextRange(1, static_cast<int64_t>(seed.ops.size())));
+  return MutateK(seed, k, rng);
+}
+
+OpSeq OpSeqMutator::MutateLight(const OpSeq& seed, Rng& rng) {
+  return MutateK(seed, 1, rng);
+}
+
+OpSeq OpSeqMutator::MutateK(const OpSeq& seed, int k, Rng& rng) {
+  OpSeq out = seed;
+  if (out.ops.empty()) {
+    out = generator_.Generate(rng);
+    return out;
+  }
+  for (int i = 0; i < k && !out.ops.empty(); ++i) {
+    size_t pos = rng.PickIndex(out.ops.size());
+    MutationKind kind = static_cast<MutationKind>(rng.NextBelow(3));
+    switch (kind) {
+      case MutationKind::kReplace:
+        out.ops[pos] = generator_.GenerateOp(rng);
+        break;
+      case MutationKind::kDelete:
+        if (out.ops.size() > 1) {
+          out.ops.erase(out.ops.begin() + static_cast<ptrdiff_t>(pos));
+        } else {
+          out.ops[pos] = generator_.GenerateOp(rng);
+        }
+        break;
+      case MutationKind::kInsert:
+        if (static_cast<int>(out.ops.size()) < max_len_) {
+          out.ops.insert(out.ops.begin() + static_cast<ptrdiff_t>(pos),
+                         generator_.GenerateOp(rng));
+        } else {
+          out.ops[pos] = generator_.GenerateOp(rng);
+        }
+        break;
+    }
+  }
+  Repair(out, rng);
+  return out;
+}
+
+void OpSeqMutator::Repair(OpSeq& seq, Rng& rng) {
+  // "Scan all its opts and check whether an opt references a file or node
+  // that no longer exists; if such a reference is found, replace with a
+  // random one." Live references are kept — a retained seed must keep its
+  // targeted operands, or the feedback loop has nothing to exploit.
+  for (Operation& op : seq.ops) {
+    switch (op.kind) {
+      case OpKind::kDelete:
+      case OpKind::kOpen:
+      case OpKind::kAppend:
+      case OpKind::kOverwrite:
+      case OpKind::kTruncateOverwrite:
+      case OpKind::kRename:
+        if (!model_.HasFile(op.path) && rng.Chance(0.9)) {
+          op.path = model_.ExistingFile(rng);
+        }
+        break;
+      case OpKind::kRemoveMetaNode:
+        if (!model_.HasMetaNode(op.node)) {
+          op.node = model_.RandomMetaNode(rng);
+        }
+        break;
+      case OpKind::kRemoveStorageNode:
+        if (!model_.HasStorageNode(op.node)) {
+          op.node = model_.RandomStorageNode(rng);
+        }
+        break;
+      case OpKind::kRemoveVolume:
+      case OpKind::kExpandVolume:
+      case OpKind::kReduceVolume:
+        if (!model_.HasBrick(op.brick)) {
+          op.brick = model_.RandomBrick(rng);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,32 @@
+#include "src/core/opseq.h"
+
+namespace themis {
+
+bool OpSeq::HasRequestOps() const {
+  for (const Operation& op : ops) {
+    if (ClassOf(op.kind) == OpClass::kFile) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OpSeq::HasConfigOps() const {
+  for (const Operation& op : ops) {
+    if (IsConfigOp(op.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string OpSeq::ToString() const {
+  std::string out;
+  for (const Operation& op : ops) {
+    out += op.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace themis

@@ -1,0 +1,30 @@
+// Operation sequences — the single test-case representation into which
+// Themis folds both client requests and system configuration changes
+// (paper Fig. 7 / §4.2).
+
+#ifndef SRC_CORE_OPSEQ_H_
+#define SRC_CORE_OPSEQ_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dfs/operation.h"
+
+namespace themis {
+
+struct OpSeq {
+  std::vector<Operation> ops;
+
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+
+  bool HasRequestOps() const;
+  bool HasConfigOps() const;
+
+  // One operation per line, timestamp-free (the reproduction-log format).
+  std::string ToString() const;
+};
+
+}  // namespace themis
+
+#endif  // SRC_CORE_OPSEQ_H_

@@ -1,0 +1,280 @@
+#include "src/core/replay.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "src/common/strings.h"
+
+namespace themis {
+
+namespace {
+
+// Machine-readable operator tokens (OpKindName uses 'truncate-overwrite'
+// etc., which are already token-safe).
+Result<OpKind> KindFromToken(std::string_view token) {
+  for (int i = 0; i < kOpKindCount; ++i) {
+    OpKind kind = OpKindFromIndex(i);
+    if (OpKindName(kind) == token) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown operator '" + std::string(token) + "'");
+}
+
+Result<uint64_t> ParseU64(std::string_view text) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("bad number '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+// key=value operand, e.g. "size=123", "node=7", "brick=9".
+Result<uint64_t> ParseKeyedU64(std::string_view token, std::string_view key) {
+  std::string prefix = std::string(key) + "=";
+  if (!StartsWith(token, prefix)) {
+    return Status::InvalidArgument("expected '" + prefix + "...', got '" +
+                                   std::string(token) + "'");
+  }
+  return ParseU64(token.substr(prefix.size()));
+}
+
+}  // namespace
+
+std::string FormatOperation(const Operation& op) {
+  std::string out(OpKindName(op.kind));
+  switch (op.kind) {
+    case OpKind::kCreate:
+    case OpKind::kAppend:
+    case OpKind::kOverwrite:
+    case OpKind::kTruncateOverwrite:
+      out += " " + op.path + Sprintf(" size=%llu",
+                                     static_cast<unsigned long long>(op.size));
+      break;
+    case OpKind::kDelete:
+    case OpKind::kOpen:
+    case OpKind::kMkdir:
+    case OpKind::kRmdir:
+      out += " " + op.path;
+      break;
+    case OpKind::kRename:
+      out += " " + op.path + " " + op.path2;
+      break;
+    case OpKind::kAddMetaNode:
+    case OpKind::kAddStorageNode:
+      break;  // no operands
+    case OpKind::kRemoveMetaNode:
+    case OpKind::kRemoveStorageNode:
+      out += Sprintf(" node=%u", op.node);
+      break;
+    case OpKind::kAddVolume:
+      out += Sprintf(" node=%u size=%llu", op.node,
+                     static_cast<unsigned long long>(op.size));
+      break;
+    case OpKind::kRemoveVolume:
+      out += Sprintf(" brick=%u", op.brick);
+      break;
+    case OpKind::kExpandVolume:
+    case OpKind::kReduceVolume:
+      out += Sprintf(" brick=%u size=%llu", op.brick,
+                     static_cast<unsigned long long>(op.size));
+      break;
+  }
+  return out;
+}
+
+std::string FormatReproductionLog(const OpSeq& seq) {
+  std::string out;
+  for (const Operation& op : seq.ops) {
+    out += FormatOperation(op);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Operation> ParseOperation(const std::string& line) {
+  std::vector<std::string_view> raw = Split(line, ' ');
+  std::vector<std::string_view> tokens;
+  for (std::string_view token : raw) {
+    if (!token.empty()) {
+      tokens.push_back(token);
+    }
+  }
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty line");
+  }
+  Result<OpKind> kind = KindFromToken(tokens[0]);
+  if (!kind.ok()) {
+    return kind.status();
+  }
+  Operation op;
+  op.kind = *kind;
+  auto need = [&](size_t count) {
+    return tokens.size() == count + 1
+               ? Status::Ok()
+               : Status::InvalidArgument(Sprintf("'%s' takes %zu operand(s)",
+                                                 std::string(tokens[0]).c_str(), count));
+  };
+  switch (op.kind) {
+    case OpKind::kCreate:
+    case OpKind::kAppend:
+    case OpKind::kOverwrite:
+    case OpKind::kTruncateOverwrite: {
+      if (Status status = need(2); !status.ok()) {
+        return status;
+      }
+      op.path = std::string(tokens[1]);
+      Result<uint64_t> size = ParseKeyedU64(tokens[2], "size");
+      if (!size.ok()) {
+        return size.status();
+      }
+      op.size = *size;
+      break;
+    }
+    case OpKind::kDelete:
+    case OpKind::kOpen:
+    case OpKind::kMkdir:
+    case OpKind::kRmdir: {
+      if (Status status = need(1); !status.ok()) {
+        return status;
+      }
+      op.path = std::string(tokens[1]);
+      break;
+    }
+    case OpKind::kRename: {
+      if (Status status = need(2); !status.ok()) {
+        return status;
+      }
+      op.path = std::string(tokens[1]);
+      op.path2 = std::string(tokens[2]);
+      break;
+    }
+    case OpKind::kAddMetaNode:
+    case OpKind::kAddStorageNode: {
+      if (Status status = need(0); !status.ok()) {
+        return status;
+      }
+      break;
+    }
+    case OpKind::kRemoveMetaNode:
+    case OpKind::kRemoveStorageNode: {
+      if (Status status = need(1); !status.ok()) {
+        return status;
+      }
+      Result<uint64_t> node = ParseKeyedU64(tokens[1], "node");
+      if (!node.ok()) {
+        return node.status();
+      }
+      op.node = static_cast<NodeId>(*node);
+      break;
+    }
+    case OpKind::kAddVolume: {
+      if (Status status = need(2); !status.ok()) {
+        return status;
+      }
+      Result<uint64_t> node = ParseKeyedU64(tokens[1], "node");
+      Result<uint64_t> size = ParseKeyedU64(tokens[2], "size");
+      if (!node.ok()) {
+        return node.status();
+      }
+      if (!size.ok()) {
+        return size.status();
+      }
+      op.node = static_cast<NodeId>(*node);
+      op.size = *size;
+      break;
+    }
+    case OpKind::kRemoveVolume: {
+      if (Status status = need(1); !status.ok()) {
+        return status;
+      }
+      Result<uint64_t> brick = ParseKeyedU64(tokens[1], "brick");
+      if (!brick.ok()) {
+        return brick.status();
+      }
+      op.brick = static_cast<BrickId>(*brick);
+      break;
+    }
+    case OpKind::kExpandVolume:
+    case OpKind::kReduceVolume: {
+      if (Status status = need(2); !status.ok()) {
+        return status;
+      }
+      Result<uint64_t> brick = ParseKeyedU64(tokens[1], "brick");
+      Result<uint64_t> size = ParseKeyedU64(tokens[2], "size");
+      if (!brick.ok()) {
+        return brick.status();
+      }
+      if (!size.ok()) {
+        return size.status();
+      }
+      op.brick = static_cast<BrickId>(*brick);
+      op.size = *size;
+      break;
+    }
+  }
+  return op;
+}
+
+Result<OpSeq> ParseReproductionLog(const std::string& text) {
+  OpSeq seq;
+  int line_number = 0;
+  for (std::string_view line : Split(text, '\n')) {
+    ++line_number;
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    Result<Operation> op = ParseOperation(std::string(line));
+    if (!op.ok()) {
+      return Status::InvalidArgument(Sprintf("line %d: %s", line_number,
+                                             op.status().message().c_str()));
+    }
+    seq.ops.push_back(op.take());
+  }
+  if (seq.ops.empty()) {
+    return Status::InvalidArgument("log contains no operations");
+  }
+  return seq;
+}
+
+ReplayOutcome ReplayLog(DfsInterface& dfs, const OpSeq& seq, int repetitions) {
+  ReplayOutcome outcome;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (const Operation& op : seq.ops) {
+      OpResult result = dfs.Execute(op);
+      ++outcome.ops_executed;
+      if (result.status.ok()) {
+        ++outcome.ops_ok;
+      }
+    }
+  }
+  // Let the balancer do its best, then measure what persists.
+  (void)dfs.TriggerRebalance();
+  for (int i = 0; i < 5000 && !dfs.RebalanceDone(); ++i) {
+    dfs.AdvanceTime(Seconds(10));
+  }
+  for (const LoadSample& sample : dfs.SampleLoad()) {
+    outcome.any_node_crashed |= sample.crashed;
+  }
+  // Storage spread from the samples (hottest node vs weighted fleet).
+  uint64_t used = 0;
+  uint64_t capacity = 0;
+  double max_fraction = 0.0;
+  for (const LoadSample& sample : dfs.SampleLoad()) {
+    if (sample.is_storage && sample.online && !sample.crashed &&
+        sample.capacity_bytes > 0) {
+      used += sample.used_bytes;
+      capacity += sample.capacity_bytes;
+      max_fraction = std::max(max_fraction, static_cast<double>(sample.used_bytes) /
+                                                static_cast<double>(sample.capacity_bytes));
+    }
+  }
+  if (capacity > 0) {
+    double fleet = static_cast<double>(used) / static_cast<double>(capacity);
+    outcome.residual_imbalance = std::max(0.0, max_fraction - fleet);
+  }
+  return outcome;
+}
+
+}  // namespace themis

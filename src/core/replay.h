@@ -1,0 +1,53 @@
+// Reproduction logs (§5 "Imbalance Reproduce, Diagnose and De-duplicate").
+//
+// When Themis confirms an imbalance, it records the triggering operation
+// sequence as a textual reproduction log; developers replay it in
+// chronological order to reproduce the failure. This module implements the
+// log format (one operation per line, `operator operand...`), the parser,
+// and a replayer that drives a fresh cluster through the log and reports
+// whether the imbalance reappears — reproduction is reliable because the
+// whole testbed is deterministic.
+
+#ifndef SRC_CORE_REPLAY_H_
+#define SRC_CORE_REPLAY_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/opseq.h"
+#include "src/dfs/cluster.h"
+
+namespace themis {
+
+// Serializes one operation as a reproduction-log line, e.g.
+//   create /a/f3 size=1073741824
+//   rename /a/f3 /b/f9
+//   remove_storage node=7
+// The format is unambiguous and round-trips through ParseOperation.
+std::string FormatOperation(const Operation& op);
+
+// Full log: one line per operation.
+std::string FormatReproductionLog(const OpSeq& seq);
+
+// Parses one log line. Unknown operators or malformed operands fail.
+Result<Operation> ParseOperation(const std::string& line);
+
+// Parses a full log (blank lines and '#' comments are skipped).
+Result<OpSeq> ParseReproductionLog(const std::string& text);
+
+struct ReplayOutcome {
+  int ops_executed = 0;
+  int ops_ok = 0;
+  // Storage spread after the replay and one full rebalance round — a
+  // persistent value above the detector threshold reproduces the failure.
+  double residual_imbalance = 0.0;
+  bool any_node_crashed = false;
+};
+
+// Replays `seq` against `dfs` (repeating it `repetitions` times, as the
+// triggering workloads of Finding 5 are), then rebalances and measures.
+ReplayOutcome ReplayLog(DfsInterface& dfs, const OpSeq& seq, int repetitions = 1);
+
+}  // namespace themis
+
+#endif  // SRC_CORE_REPLAY_H_

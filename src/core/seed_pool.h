@@ -1,0 +1,45 @@
+// The seeds pool (§4.1 step 3 / step 9): test cases that enlarged the load
+// variance, hit new coverage, or exposed failures are retained and
+// prioritized for mutation.
+
+#ifndef SRC_CORE_SEED_POOL_H_
+#define SRC_CORE_SEED_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/opseq.h"
+
+namespace themis {
+
+struct Seed {
+  OpSeq seq;
+  double score = 0.0;  // priority (variance gain + bonuses)
+  uint64_t id = 0;
+  int selections = 0;
+};
+
+class SeedPool {
+ public:
+  explicit SeedPool(size_t capacity = 256);
+
+  void Add(OpSeq seq, double score);
+
+  // Score-weighted selection with a mild freshness bonus (rarely selected
+  // seeds get a boost), AFL-style.
+  const OpSeq& Select(Rng& rng);
+
+  bool empty() const { return seeds_.empty(); }
+  size_t size() const { return seeds_.size(); }
+  double best_score() const;
+
+ private:
+  std::vector<Seed> seeds_;
+  size_t capacity_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace themis
+
+#endif  // SRC_CORE_SEED_POOL_H_

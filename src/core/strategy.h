@@ -1,0 +1,33 @@
+// The test-case generation strategy interface. Themis and the four baselines
+// of §6 (Fix_req, Fix_conf, Alternate, Concurrent) plus the Themis⁻ ablation
+// all implement it; the campaign harness drives them through the identical
+// executor + detector so comparisons isolate the generation strategy,
+// exactly as the paper's evaluation does ("we enhanced them with our
+// imbalance detectors").
+
+#ifndef SRC_CORE_STRATEGY_H_
+#define SRC_CORE_STRATEGY_H_
+
+#include <string_view>
+
+#include "src/core/executor.h"
+#include "src/core/opseq.h"
+
+namespace themis {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // The next test case to execute.
+  virtual OpSeq Next() = 0;
+
+  // Feedback from executing the test case returned by Next().
+  virtual void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_CORE_STRATEGY_H_

@@ -1,0 +1,56 @@
+#include "src/coverage/coverage.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace themis {
+
+namespace {
+// Upper bound on distinct static instrumentation sites per module.
+constexpr size_t kStaticSitesPerModule = 256;
+constexpr size_t kModuleCount = 10;
+}  // namespace
+
+CoverageRecorder::CoverageRecorder(size_t virtual_space, uint64_t seed)
+    : bits_(virtual_space > 0 ? virtual_space : 1, false),
+      static_bits_(kStaticSitesPerModule * kModuleCount, false),
+      seed_(seed) {}
+
+bool CoverageRecorder::HitStatic(CovModule module, uint32_t site) {
+  size_t index = static_cast<size_t>(module) * kStaticSitesPerModule +
+                 (site % kStaticSitesPerModule);
+  if (static_bits_[index]) {
+    return false;
+  }
+  static_bits_[index] = true;
+  ++static_hits_;
+  return true;
+}
+
+size_t CoverageRecorder::HitState(CovModule module, uint64_t feature_hash,
+                                  int multiplicity) {
+  uint64_t h = HashCombine(seed_, static_cast<uint64_t>(module));
+  h = HashCombine(h, feature_hash);
+  multiplicity = std::clamp(multiplicity, 1, 16);
+  size_t fresh = 0;
+  for (int i = 0; i < multiplicity; ++i) {
+    size_t index = static_cast<size_t>(h % bits_.size());
+    if (!bits_[index]) {
+      bits_[index] = true;
+      ++virtual_hits_;
+      ++fresh;
+    }
+    h = Mix64(h + 0x9e3779b97f4a7c15ULL);
+  }
+  return fresh;
+}
+
+void CoverageRecorder::Reset() {
+  bits_.assign(bits_.size(), false);
+  static_bits_.assign(static_bits_.size(), false);
+  static_hits_ = 0;
+  virtual_hits_ = 0;
+}
+
+}  // namespace themis

@@ -1,0 +1,5 @@
+#include "src/dfs/brick.h"
+
+namespace themis {
+static_assert(sizeof(Brick) > 0);
+}  // namespace themis

@@ -1,0 +1,1614 @@
+#include "src/dfs/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+
+namespace themis {
+
+namespace {
+
+// CPU cost model (virtual seconds of CPU work).
+constexpr double kMetaCpuPerOp = 0.004;
+constexpr double kStorageCpuPerGiB = 0.35;
+constexpr double kBalancerCpuPerPlan = 0.05;
+// One network IO is accounted per 64 MiB transferred (plus one per request).
+constexpr uint64_t kBytesPerIo = 64 * kMiB;
+// Minimum capacity a brick may be reduced to. Kept within one order of
+// magnitude of the default brick so fraction-point balance targets remain
+// achievable at chunk granularity (a 10 GiB brick next to 480 GiB peers can
+// sit at 50% utilization holding a single chunk — no balancer can fix that).
+constexpr uint64_t kMinBrickCapacity = 128 * kGiB;
+// With replication 2, a donor brick's chunk is blocked from the one receiver
+// that already holds its pair — leveling needs enough bricks that a second
+// receiver always exists.
+constexpr size_t kMinServingBricks = 5;
+
+uint64_t IoCount(uint64_t bytes) { return 1 + bytes / kBytesPerIo; }
+
+}  // namespace
+
+DfsCluster::DfsCluster(ClusterConfig config, Flavor flavor, std::string cluster_name)
+    : config_(config), flavor_(flavor), name_(std::move(cluster_name)),
+      rng_(config.rng_seed) {}
+
+DfsCluster::~DfsCluster() = default;
+
+void DfsCluster::BuildInitialTopology() {
+  tree_.Clear();
+  storage_nodes_.clear();
+  meta_nodes_.clear();
+  bricks_.clear();
+  layouts_.clear();
+  brick_chunks_.clear();
+  move_queue_.clear();
+  current_move_done_bytes_ = 0;
+  rebalance_active_ = false;
+  last_balancer_check_ = clock_.now();
+  recent_classes_.clear();
+
+  for (int i = 0; i < config_.initial_meta_nodes; ++i) {
+    NodeId id = next_node_id_++;
+    MetaNode node;
+    node.id = id;
+    meta_nodes_[id] = node;
+  }
+  for (int i = 0; i < config_.initial_storage_nodes; ++i) {
+    AddStorageNodeInternal(config_.brick_capacity);
+  }
+  OnTopologyChangedInternal();
+}
+
+void DfsCluster::ResetToInitial() {
+  BuildInitialTopology();
+  namespace_epoch_ = 0;
+  completed_rebalance_rounds_ = 0;
+  rebalance_triggers_ = 0;
+  lost_bytes_ = 0;
+  if (hooks_ != nullptr) {
+    hooks_->OnClusterReset(*this);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup helpers
+
+Brick* DfsCluster::FindBrick(BrickId id) {
+  auto it = bricks_.find(id);
+  return it == bricks_.end() ? nullptr : &it->second;
+}
+
+const Brick* DfsCluster::FindBrick(BrickId id) const {
+  auto it = bricks_.find(id);
+  return it == bricks_.end() ? nullptr : &it->second;
+}
+
+StorageNode* DfsCluster::FindStorageNode(NodeId id) {
+  auto it = storage_nodes_.find(id);
+  return it == storage_nodes_.end() ? nullptr : &it->second;
+}
+
+const StorageNode* DfsCluster::FindStorageNode(NodeId id) const {
+  auto it = storage_nodes_.find(id);
+  return it == storage_nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<BrickId> DfsCluster::ServingBricks() const {
+  std::vector<BrickId> out;
+  for (const auto& [id, brick] : bricks_) {
+    if (!brick.online) {
+      continue;
+    }
+    const StorageNode* node = FindStorageNode(brick.node);
+    if (node != nullptr && node->Serving()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> DfsCluster::ServingStorageNodeIds() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, node] : storage_nodes_) {
+    if (node.Serving()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+uint64_t DfsCluster::TotalCapacityBytes() const {
+  uint64_t total = 0;
+  for (BrickId id : ServingBricks()) {
+    total += FindBrick(id)->capacity_bytes;
+  }
+  return total;
+}
+
+uint64_t DfsCluster::TotalUsedBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, brick] : bricks_) {
+    (void)id;
+    total += brick.used_bytes;
+  }
+  return total;
+}
+
+uint64_t DfsCluster::FreeSpaceBytes() const {
+  uint64_t capacity = 0;
+  uint64_t used = 0;
+  for (BrickId id : ServingBricks()) {
+    const Brick* brick = FindBrick(id);
+    capacity += brick->capacity_bytes;
+    used += std::min(brick->used_bytes, brick->capacity_bytes);
+  }
+  return capacity - used;
+}
+
+std::vector<double> DfsCluster::PerNodeUsedBytes() const {
+  std::vector<double> out;
+  for (const auto& [id, node] : storage_nodes_) {
+    (void)id;
+    if (!node.Serving()) {
+      continue;
+    }
+    uint64_t used = 0;
+    for (BrickId b : node.bricks) {
+      const Brick* brick = FindBrick(b);
+      if (brick != nullptr) {
+        used += brick->used_bytes;
+      }
+    }
+    out.push_back(static_cast<double>(used));
+  }
+  return out;
+}
+
+std::vector<double> DfsCluster::PerNodeUsedFraction() const {
+  std::vector<double> out;
+  for (const auto& [id, node] : storage_nodes_) {
+    (void)id;
+    if (!node.Serving()) {
+      continue;
+    }
+    uint64_t used = 0;
+    uint64_t capacity = 0;
+    for (BrickId b : node.bricks) {
+      const Brick* brick = FindBrick(b);
+      if (brick != nullptr && brick->online) {
+        used += brick->used_bytes;
+        capacity += brick->capacity_bytes;
+      }
+    }
+    if (capacity > 0) {
+      out.push_back(static_cast<double>(used) / static_cast<double>(capacity));
+    }
+  }
+  return out;
+}
+
+double DfsCluster::StorageImbalance() const {
+  // Utilization *spread* in fraction points: hottest node vs the
+  // capacity-weighted fleet utilization — the exact quantity real balancers
+  // threshold on (the HDFS Balancer's "utilization differs from the cluster
+  // average utilization by more than N%"). An unweighted node mean would
+  // diverge from what the balancer can actually guarantee on
+  // heterogeneous-capacity clusters.
+  std::vector<double> fractions = PerNodeUsedFraction();
+  if (fractions.size() < 2) {
+    return 0.0;
+  }
+  uint64_t used = 0;
+  uint64_t capacity = 0;
+  for (BrickId id : ServingBricks()) {
+    const Brick* brick = FindBrick(id);
+    used += brick->used_bytes;
+    capacity += brick->capacity_bytes;
+  }
+  if (capacity == 0) {
+    return 0.0;
+  }
+  double fleet = static_cast<double>(used) / static_cast<double>(capacity);
+  double max = *std::max_element(fractions.begin(), fractions.end());
+  return std::max(0.0, max - fleet);
+}
+
+MigrationPlan DfsCluster::PlanLevelingByUsage(
+    double tolerance, const std::map<BrickId, uint64_t>* extra_inflow) const {
+  MigrationPlan plan;
+  std::vector<BrickId> serving = ServingBricks();
+  if (serving.size() < 2) {
+    return plan;
+  }
+  uint64_t total_used = 0;
+  uint64_t total_capacity = 0;
+  for (BrickId id : serving) {
+    const Brick* brick = FindBrick(id);
+    total_used += brick->used_bytes;
+    total_capacity += brick->capacity_bytes;
+  }
+  if (total_capacity == 0 || total_used == 0) {
+    return plan;
+  }
+  double fleet = static_cast<double>(total_used) / static_cast<double>(total_capacity);
+  // Donors: above fleet*(1+tolerance); receivers: below fleet.
+  struct Receiver {
+    BrickId brick;
+    uint64_t headroom;  // bytes it may absorb before reaching fleet level
+  };
+  std::vector<Receiver> receivers;
+  for (BrickId id : serving) {
+    const Brick* brick = FindBrick(id);
+    // Receivers sit below fleet + tolerance/2 and may absorb data up to
+    // fleet + tolerance. The band (rather than "strictly below fleet")
+    // matters: with replication, the only brick below the mean can be the
+    // donor's replica partner, and draining then needs a slightly-above-mean
+    // third brick.
+    double limit = (fleet + tolerance) * static_cast<double>(brick->capacity_bytes);
+    if (brick->UsedFraction() < fleet + tolerance * 0.5) {
+      uint64_t committed = brick->used_bytes;
+      if (extra_inflow != nullptr) {
+        auto inflow_it = extra_inflow->find(id);
+        if (inflow_it != extra_inflow->end()) {
+          committed += inflow_it->second;
+        }
+      }
+      if (static_cast<double>(committed) >= limit) {
+        continue;
+      }
+      uint64_t headroom = static_cast<uint64_t>(limit) - committed;
+      headroom = std::min(headroom, brick->FreeBytes());
+      if (headroom > 0) {
+        receivers.push_back(Receiver{id, headroom});
+      }
+    }
+  }
+  THEMIS_LOG(kDebug, "leveling: fleet=%.3f tolerance=%.3f receivers=%zu", fleet,
+             tolerance, receivers.size());
+  // Replica sets planned so far: both replicas of a chunk can be donated (by
+  // different donors), and they must not land on the same receiver — the
+  // second move would find its destination already holding the chunk and
+  // silently skip, leaving its donor hot.
+  std::map<std::pair<FileId, uint32_t>, std::vector<BrickId>> planned_targets;
+  size_t receiver_cursor = 0;
+  for (BrickId donor : serving) {
+    const Brick* brick = FindBrick(donor);
+    // Donor when its utilization exceeds the fleet level by `tolerance`
+    // fraction points.
+    double limit = (fleet + tolerance) * static_cast<double>(brick->capacity_bytes);
+    if (static_cast<double>(brick->used_bytes) <= limit) {
+      continue;
+    }
+    uint64_t excess =
+        brick->used_bytes - static_cast<uint64_t>(fleet * static_cast<double>(
+                                                              brick->capacity_bytes));
+    THEMIS_LOG(kDebug, "leveling: donor brick%u (node %u) used=%.2f excess=%lluM chunks=%zu",
+               donor, brick->node, brick->UsedFraction(),
+               static_cast<unsigned long long>(excess >> 20), ChunksOnBrick(donor).size());
+    for (const auto& [file, chunk_index] : ChunksOnBrick(donor)) {
+      if (excess == 0 || receiver_cursor >= receivers.size()) {
+        break;
+      }
+      auto layout_it = layouts_.find(file);
+      if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+        continue;
+      }
+      const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
+      if (ChunkPinnedToBrick(file, chunk_index, donor)) {
+        THEMIS_LOG(kDebug, "leveling: file%llu#%u pinned to brick%u",
+                   static_cast<unsigned long long>(file), chunk_index, donor);
+        continue;  // hash-placed: the flavor plan owns this replica
+      }
+      // Find a receiver that can take this chunk (no duplicate replica).
+      size_t probe = receiver_cursor;
+      bool placed = false;
+      std::vector<BrickId>& targets = planned_targets[{file, chunk_index}];
+      while (probe < receivers.size()) {
+        Receiver& recv = receivers[probe];
+        bool collides = chunk.HasReplicaOn(recv.brick) ||
+                        std::find(targets.begin(), targets.end(), recv.brick) !=
+                            targets.end();
+        if (recv.headroom >= chunk.bytes && !collides) {
+          THEMIS_LOG(kDebug, "leveling: plan move file%llu#%u brick%u->brick%u %lluM",
+                     static_cast<unsigned long long>(file), chunk_index, donor,
+                     recv.brick, static_cast<unsigned long long>(chunk.bytes >> 20));
+          targets.push_back(recv.brick);
+          plan.push_back(ChunkMove{.file = file,
+                                   .chunk_index = chunk_index,
+                                   .from = donor,
+                                   .to = recv.brick,
+                                   .bytes = chunk.bytes,
+                                   .reason = MoveReason::kRebalance});
+          recv.headroom -= chunk.bytes;
+          excess -= std::min(excess, chunk.bytes);
+          placed = true;
+          break;
+        }
+        ++probe;
+      }
+      while (receiver_cursor < receivers.size() &&
+             receivers[receiver_cursor].headroom == 0) {
+        ++receiver_cursor;
+      }
+      if (!placed && probe >= receivers.size() && receiver_cursor >= receivers.size()) {
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<NodeId> DfsCluster::ListMetaNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, node] : meta_nodes_) {
+    if (node.Serving()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> DfsCluster::ListStorageNodes() const { return ServingStorageNodeIds(); }
+
+std::vector<BrickId> DfsCluster::ListBricks() const { return ServingBricks(); }
+
+// ---------------------------------------------------------------------------
+// Load accounting
+
+void DfsCluster::ChargeStorage(NodeId node, uint64_t reads, uint64_t writes,
+                               double cpu_seconds) {
+  StorageNode* sn = FindStorageNode(node);
+  if (sn == nullptr) {
+    return;
+  }
+  sn->load.read_ios += reads;
+  sn->load.write_ios += writes;
+  sn->load.cpu_seconds += cpu_seconds;
+}
+
+void DfsCluster::ChargeMeta(NodeId node, uint64_t requests, double cpu_seconds) {
+  auto it = meta_nodes_.find(node);
+  if (it == meta_nodes_.end()) {
+    return;
+  }
+  it->second.load.requests += requests;
+  it->second.load.cpu_seconds += cpu_seconds;
+}
+
+void DfsCluster::InjectCpuLoad(NodeId node, double cpu_seconds) {
+  if (StorageNode* sn = FindStorageNode(node)) {
+    sn->load.cpu_seconds += cpu_seconds;
+    return;
+  }
+  auto it = meta_nodes_.find(node);
+  if (it != meta_nodes_.end()) {
+    it->second.load.cpu_seconds += cpu_seconds;
+  }
+}
+
+void DfsCluster::InjectNetLoad(NodeId node, uint64_t reads, uint64_t writes,
+                               uint64_t requests) {
+  if (StorageNode* sn = FindStorageNode(node)) {
+    sn->load.read_ios += reads;
+    sn->load.write_ios += writes;
+    sn->load.requests += requests;
+    return;
+  }
+  auto it = meta_nodes_.find(node);
+  if (it != meta_nodes_.end()) {
+    it->second.load.read_ios += reads;
+    it->second.load.write_ios += writes;
+    it->second.load.requests += requests;
+  }
+}
+
+void DfsCluster::CrashNode(NodeId node) {
+  if (StorageNode* sn = FindStorageNode(node)) {
+    sn->crashed = true;
+    return;
+  }
+  auto it = meta_nodes_.find(node);
+  if (it != meta_nodes_.end()) {
+    it->second.crashed = true;
+  }
+}
+
+uint64_t DfsCluster::SkewBytes(BrickId from, BrickId to, uint64_t bytes) {
+  Brick* src = FindBrick(from);
+  Brick* dst = FindBrick(to);
+  if (src == nullptr || dst == nullptr || from == to) {
+    return 0;
+  }
+  uint64_t moved = 0;
+  auto idx_it = brick_chunks_.find(from);
+  if (idx_it == brick_chunks_.end()) {
+    return 0;
+  }
+  // Copy keys up front: ExecuteMove-style mutation invalidates iterators.
+  std::vector<std::pair<FileId, uint32_t>> candidates(idx_it->second.begin(),
+                                                      idx_it->second.end());
+  for (const auto& [file, chunk_index] : candidates) {
+    if (moved >= bytes || dst->FreeBytes() == 0) {
+      break;
+    }
+    auto layout_it = layouts_.find(file);
+    if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+      continue;
+    }
+    ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
+    if (chunk.HasReplicaOn(to) || chunk.bytes > dst->FreeBytes()) {
+      continue;
+    }
+    for (BrickId& replica : chunk.replicas) {
+      if (replica == from) {
+        replica = to;
+        src->used_bytes -= std::min(src->used_bytes, chunk.bytes);
+        dst->used_bytes += chunk.bytes;
+        RemoveReplicaIndex(from, file, chunk_index);
+        AddReplicaIndex(to, file, chunk_index);
+        moved += chunk.bytes;
+        break;
+      }
+    }
+  }
+  return moved;
+}
+
+uint64_t DfsCluster::DestroyBytes(BrickId brick, uint64_t bytes) {
+  Brick* target = FindBrick(brick);
+  if (target == nullptr) {
+    return 0;
+  }
+  uint64_t destroyed = 0;
+  auto idx_it = brick_chunks_.find(brick);
+  if (idx_it == brick_chunks_.end()) {
+    return 0;
+  }
+  std::vector<std::pair<FileId, uint32_t>> candidates(idx_it->second.begin(),
+                                                      idx_it->second.end());
+  for (const auto& [file, chunk_index] : candidates) {
+    if (destroyed >= bytes) {
+      break;
+    }
+    auto layout_it = layouts_.find(file);
+    if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+      continue;
+    }
+    ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
+    auto replica_it = std::find(chunk.replicas.begin(), chunk.replicas.end(), brick);
+    if (replica_it == chunk.replicas.end()) {
+      continue;
+    }
+    chunk.replicas.erase(replica_it);
+    target->used_bytes -= std::min(target->used_bytes, chunk.bytes);
+    RemoveReplicaIndex(brick, file, chunk_index);
+    destroyed += chunk.bytes;
+    if (chunk.replicas.empty()) {
+      lost_bytes_ += chunk.bytes;  // last replica gone: user data lost
+    }
+  }
+  return destroyed;
+}
+
+// ---------------------------------------------------------------------------
+// Replica index
+
+void DfsCluster::AddReplicaIndex(BrickId brick, FileId file, uint32_t chunk) {
+  brick_chunks_[brick].insert({file, chunk});
+}
+
+void DfsCluster::RemoveReplicaIndex(BrickId brick, FileId file, uint32_t chunk) {
+  auto it = brick_chunks_.find(brick);
+  if (it == brick_chunks_.end()) {
+    return;
+  }
+  it->second.erase({file, chunk});
+  if (it->second.empty()) {
+    brick_chunks_.erase(it);
+  }
+}
+
+std::vector<std::pair<FileId, uint32_t>> DfsCluster::ChunksOnBrick(BrickId brick) const {
+  auto it = brick_chunks_.find(brick);
+  if (it == brick_chunks_.end()) {
+    return {};
+  }
+  return {it->second.begin(), it->second.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Topology services
+
+BrickId DfsCluster::NewBrickOnNode(NodeId node, uint64_t capacity) {
+  StorageNode* sn = FindStorageNode(node);
+  if (sn == nullptr) {
+    return kInvalidBrick;
+  }
+  BrickId id = next_brick_id_++;
+  bricks_[id] = Brick{.id = id, .node = node, .capacity_bytes = capacity};
+  sn->bricks.push_back(id);
+  return id;
+}
+
+NodeId DfsCluster::AddStorageNodeInternal(uint64_t brick_capacity) {
+  NodeId id = next_node_id_++;
+  StorageNode node;
+  node.id = id;
+  storage_nodes_[id] = node;
+  NewBrickOnNode(id, brick_capacity);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Operation execution
+
+SimDuration DfsCluster::TransferCost(uint64_t bytes) const {
+  if (config_.client_bandwidth_per_s == 0) {
+    return 0;
+  }
+  return static_cast<SimDuration>(
+      static_cast<double>(bytes) / static_cast<double>(config_.client_bandwidth_per_s) * 1e6);
+}
+
+SimDuration DfsCluster::ParallelTransferCost(const FileLayout& layout) const {
+  // Chunks stream to their bricks in parallel; the client's wall time is the
+  // largest stripe times the replication factor.
+  uint64_t max_chunk = 0;
+  for (const ChunkPlacement& chunk : layout.chunks) {
+    max_chunk = std::max(max_chunk, chunk.bytes);
+  }
+  return TransferCost(max_chunk * static_cast<uint64_t>(config_.replication));
+}
+
+NodeId DfsCluster::RouteToMetaNode(const Operation& op) {
+  (void)op;
+  std::vector<NodeId> serving;
+  for (const auto& [id, node] : meta_nodes_) {
+    if (node.Serving()) {
+      serving.push_back(id);
+    }
+  }
+  if (serving.empty()) {
+    return kInvalidNode;
+  }
+  // Round-robin request routing (front-end load balancing): a healthy
+  // cluster spreads requests evenly, so network imbalance is a *signal*,
+  // not sampling noise.
+  NodeId chosen = serving[total_ops_executed_ % serving.size()];
+  ChargeMeta(chosen, 1, kMetaCpuPerOp);
+  return chosen;
+}
+
+OpResult DfsCluster::Execute(const Operation& op) {
+  OpResult result;
+  NodeId mn = RouteToMetaNode(op);
+  if (mn == kInvalidNode) {
+    result.status = Status::Unavailable("no metadata node is serving");
+    result.cost = config_.base_op_latency;
+  } else {
+    switch (op.kind) {
+      case OpKind::kCreate:
+        result = DoCreate(op);
+        break;
+      case OpKind::kDelete:
+        result = DoDelete(op);
+        break;
+      case OpKind::kAppend:
+        result = DoAppend(op);
+        break;
+      case OpKind::kOverwrite:
+        result = DoOverwrite(op, /*truncate_first=*/false);
+        break;
+      case OpKind::kTruncateOverwrite:
+        result = DoOverwrite(op, /*truncate_first=*/true);
+        break;
+      case OpKind::kOpen:
+        result = DoOpen(op);
+        break;
+      case OpKind::kMkdir:
+        result = DoMkdir(op);
+        break;
+      case OpKind::kRmdir:
+        result = DoRmdir(op);
+        break;
+      case OpKind::kRename:
+        result = DoRename(op);
+        break;
+      case OpKind::kAddMetaNode:
+        result = DoAddMetaNode(op);
+        break;
+      case OpKind::kRemoveMetaNode:
+        result = DoRemoveMetaNode(op);
+        break;
+      case OpKind::kAddStorageNode:
+        result = DoAddStorageNode(op);
+        break;
+      case OpKind::kRemoveStorageNode:
+        result = DoRemoveStorageNode(op);
+        break;
+      case OpKind::kAddVolume:
+        result = DoAddVolume(op);
+        break;
+      case OpKind::kRemoveVolume:
+        result = DoRemoveVolume(op);
+        break;
+      case OpKind::kExpandVolume:
+        result = DoExpandVolume(op);
+        break;
+      case OpKind::kReduceVolume:
+        result = DoReduceVolume(op);
+        break;
+    }
+    result.cost += config_.base_op_latency;
+  }
+
+  ++total_ops_executed_;
+  if (ClassOf(op.kind) == OpClass::kFile && op.kind != OpKind::kOpen &&
+      result.status.ok()) {
+    ++namespace_epoch_;
+  }
+  SyncMetadataReplicas();
+  recent_classes_.push_back(static_cast<uint8_t>(ClassOf(op.kind)));
+  if (recent_classes_.size() > 8) {
+    recent_classes_.pop_front();
+  }
+
+  clock_.Advance(result.cost);
+  AdvanceBackground(result.cost);
+  MaybeTriggerBalancer();
+  RecordOpCoverage(op, result);
+  if (hooks_ != nullptr) {
+    hooks_->OnOperationExecuted(*this, op, result);
+  }
+  return result;
+}
+
+void DfsCluster::SyncMetadataReplicas() {
+  for (auto& [id, node] : meta_nodes_) {
+    if (!node.Serving()) {
+      continue;
+    }
+    if (hooks_ != nullptr && hooks_->SuppressMetadataSync(*this, id)) {
+      continue;
+    }
+    node.synced_epoch = namespace_epoch_;
+  }
+}
+
+void DfsCluster::AdvanceTime(SimDuration delta) {
+  // Idle time still runs the periodic balancer and its migrations: advance
+  // in period-sized steps so a trigger fired early in the window gets its
+  // background work done within the same call.
+  while (delta > 0) {
+    SimDuration step = std::min(delta, config_.balancer_period);
+    clock_.Advance(step);
+    AdvanceBackground(step);
+    MaybeTriggerBalancer();
+    delta -= step;
+  }
+}
+
+// ---- file operations ----
+
+Result<FileLayout> DfsCluster::PlaceFile(const std::string& path, uint64_t size) {
+  FileLayout layout;
+  layout.size = size;
+  uint64_t remaining = size;
+  // Every chunk stays within the stripe unit so the balancer can migrate at
+  // chunk granularity.
+  uint32_t chunk_count =
+      size == 0 ? 1
+                : static_cast<uint32_t>((size + config_.chunk_size - 1) / config_.chunk_size);
+  uint64_t per_chunk = size / chunk_count;
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    uint64_t bytes = (i + 1 == chunk_count) ? remaining : per_chunk;
+    remaining -= bytes;
+    std::vector<BrickId> replicas = PlaceChunk(path, i, bytes);
+    if (replicas.empty()) {
+      // Roll back bricks already charged.
+      for (ChunkPlacement& chunk : layout.chunks) {
+        for (BrickId b : chunk.replicas) {
+          Brick* brick = FindBrick(b);
+          if (brick != nullptr) {
+            brick->used_bytes -= std::min(brick->used_bytes, chunk.bytes);
+          }
+        }
+      }
+      return Status::OutOfSpace(Sprintf("no placement for chunk %u of %s", i, path.c_str()));
+    }
+    ChunkPlacement chunk;
+    chunk.bytes = bytes;
+    chunk.replicas = replicas;
+    for (BrickId b : replicas) {
+      Brick* brick = FindBrick(b);
+      if (brick != nullptr) {
+        brick->used_bytes += bytes;
+      }
+    }
+    layout.chunks.push_back(std::move(chunk));
+  }
+  return layout;
+}
+
+void DfsCluster::ReleaseLayout(FileId file, const FileLayout& layout) {
+  for (uint32_t i = 0; i < layout.chunks.size(); ++i) {
+    const ChunkPlacement& chunk = layout.chunks[i];
+    for (BrickId b : chunk.replicas) {
+      Brick* brick = FindBrick(b);
+      if (brick != nullptr) {
+        brick->used_bytes -= std::min(brick->used_bytes, chunk.bytes);
+      }
+      RemoveReplicaIndex(b, file, i);
+    }
+  }
+}
+
+void DfsCluster::IndexLayout(FileId file, const FileLayout& layout) {
+  for (uint32_t i = 0; i < layout.chunks.size(); ++i) {
+    for (BrickId b : layout.chunks[i].replicas) {
+      AddReplicaIndex(b, file, i);
+    }
+  }
+}
+
+void DfsCluster::ChargeLayoutIo(const FileLayout& layout, bool is_write) {
+  for (const ChunkPlacement& chunk : layout.chunks) {
+    for (BrickId b : chunk.replicas) {
+      const Brick* brick = FindBrick(b);
+      if (brick == nullptr) {
+        continue;
+      }
+      double cpu = kStorageCpuPerGiB * static_cast<double>(chunk.bytes) /
+                   static_cast<double>(kGiB);
+      if (is_write) {
+        ChargeStorage(brick->node, 0, IoCount(chunk.bytes), cpu);
+      } else {
+        ChargeStorage(brick->node, IoCount(chunk.bytes), 0, cpu * 0.5);
+      }
+    }
+  }
+}
+
+OpResult DfsCluster::DoCreate(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kRequest, 0);
+  if (tree_.Find(op.path) != nullptr) {
+    result.status = Status::AlreadyExists(op.path);
+    return result;
+  }
+  Result<FileLayout> placed = PlaceFile(NormalizePath(op.path), op.size);
+  if (!placed.ok()) {
+    COV_BRANCH(cov_, CovModule::kPlacement, 1);
+    result.status = placed.status();
+    return result;
+  }
+  Result<FileId> created = tree_.CreateFile(op.path, op.size);
+  if (!created.ok()) {
+    ReleaseLayout(0, *placed);  // not yet indexed; brick bytes roll back only
+    result.status = created.status();
+    return result;
+  }
+  layouts_[*created] = placed.take();
+  IndexLayout(*created, layouts_[*created]);
+  ChargeLayoutIo(layouts_[*created], /*is_write=*/true);
+  result.bytes_moved = op.size * static_cast<uint64_t>(config_.replication);
+  result.cost = ParallelTransferCost(layouts_[*created]);
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoDelete(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kRequest, 2);
+  Result<FileId> id = tree_.FileIdOf(op.path);
+  if (!id.ok()) {
+    result.status = id.status();
+    return result;
+  }
+  auto layout_it = layouts_.find(*id);
+  if (layout_it != layouts_.end()) {
+    ReleaseLayout(*id, layout_it->second);
+    layouts_.erase(layout_it);
+  }
+  result.status = tree_.RemoveFile(op.path);
+  return result;
+}
+
+OpResult DfsCluster::DoAppend(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kRequest, 3);
+  Result<FileId> id = tree_.FileIdOf(op.path);
+  if (!id.ok()) {
+    result.status = id.status();
+    return result;
+  }
+  FileLayout& layout = layouts_[*id];
+  uint64_t bytes = op.size;
+  // Extend the last chunk while it stays within the stripe unit (chunks must
+  // remain individually migratable); otherwise place a new chunk.
+  if (!layout.chunks.empty() && layout.chunks.back().bytes + bytes <= config_.chunk_size) {
+    ChunkPlacement& last = layout.chunks.back();
+    bool fits = true;
+    for (BrickId b : last.replicas) {
+      const Brick* brick = FindBrick(b);
+      if (brick == nullptr || brick->FreeBytes() < bytes) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      last.bytes += bytes;
+      for (BrickId b : last.replicas) {
+        FindBrick(b)->used_bytes += bytes;
+        ChargeStorage(FindBrick(b)->node, 0, IoCount(bytes),
+                      kStorageCpuPerGiB * static_cast<double>(bytes) / kGiB);
+      }
+      layout.size += bytes;
+      result.status = tree_.SetFileSize(op.path, layout.size);
+      result.bytes_moved = bytes * config_.replication;
+      result.cost = TransferCost(result.bytes_moved);
+      return result;
+    }
+  }
+  // Append as a run of stripe-sized chunks.
+  uint64_t remaining = bytes;
+  uint64_t appended = 0;
+  while (remaining > 0) {
+    uint64_t piece = std::min(remaining, config_.chunk_size);
+    std::vector<BrickId> replicas = PlaceChunk(
+        NormalizePath(op.path), static_cast<uint32_t>(layout.chunks.size()), piece);
+    if (replicas.empty()) {
+      COV_BRANCH(cov_, CovModule::kPlacement, 4);
+      break;  // partial append: the write hit ENOSPC mid-stream
+    }
+    ChunkPlacement chunk;
+    chunk.bytes = piece;
+    chunk.replicas = replicas;
+    uint32_t index = static_cast<uint32_t>(layout.chunks.size());
+    for (BrickId b : replicas) {
+      Brick* brick = FindBrick(b);
+      brick->used_bytes += piece;
+      AddReplicaIndex(b, *id, index);
+      ChargeStorage(brick->node, 0, IoCount(piece),
+                    kStorageCpuPerGiB * static_cast<double>(piece) / kGiB);
+    }
+    layout.chunks.push_back(std::move(chunk));
+    layout.size += piece;
+    appended += piece;
+    remaining -= piece;
+  }
+  result.status = appended == bytes
+                      ? tree_.SetFileSize(op.path, layout.size)
+                      : Status::OutOfSpace("append: no placement");
+  if (appended > 0 && !result.status.ok()) {
+    (void)tree_.SetFileSize(op.path, layout.size);
+  }
+  result.bytes_moved = appended * config_.replication;
+  result.cost = TransferCost(std::min<uint64_t>(appended, config_.chunk_size) *
+                             config_.replication);
+  return result;
+}
+
+OpResult DfsCluster::DoOverwrite(const Operation& op, bool truncate_first) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kRequest, truncate_first ? 6 : 5);
+  Result<FileId> id = tree_.FileIdOf(op.path);
+  if (!id.ok()) {
+    result.status = id.status();
+    return result;
+  }
+  auto layout_it = layouts_.find(*id);
+  if (layout_it != layouts_.end()) {
+    ReleaseLayout(*id, layout_it->second);
+    layouts_.erase(layout_it);
+  }
+  uint64_t new_size = op.size;
+  Result<FileLayout> placed = PlaceFile(NormalizePath(op.path), new_size);
+  if (!placed.ok()) {
+    // The file now exists with no data (the truncate landed, the write
+    // failed) — exactly what happens on a full real system.
+    (void)tree_.SetFileSize(op.path, 0);
+    layouts_[*id] = FileLayout{};
+    result.status = placed.status();
+    return result;
+  }
+  layouts_[*id] = placed.take();
+  IndexLayout(*id, layouts_[*id]);
+  ChargeLayoutIo(layouts_[*id], /*is_write=*/true);
+  result.status = tree_.SetFileSize(op.path, new_size);
+  result.bytes_moved = new_size * config_.replication;
+  result.cost = ParallelTransferCost(layouts_[*id]);
+  return result;
+}
+
+OpResult DfsCluster::DoOpen(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kRequest, 7);
+  Result<FileId> id = tree_.FileIdOf(op.path);
+  if (!id.ok()) {
+    result.status = id.status();
+    return result;
+  }
+  auto layout_it = layouts_.find(*id);
+  if (layout_it != layouts_.end()) {
+    ChargeLayoutIo(layout_it->second, /*is_write=*/false);
+    result.bytes_moved = layout_it->second.size;
+    result.cost = TransferCost(layout_it->second.size) / 2;  // read path is lighter
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoMkdir(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kNamespace, 8);
+  result.status = tree_.MakeDir(op.path);
+  return result;
+}
+
+OpResult DfsCluster::DoRmdir(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kNamespace, 9);
+  result.status = tree_.RemoveDir(op.path);
+  return result;
+}
+
+OpResult DfsCluster::DoRename(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kNamespace, 10);
+  Result<FileId> id = tree_.FileIdOf(op.path);
+  result.status = tree_.Rename(op.path, op.path2);
+  if (result.status.ok() && id.ok()) {
+    OnFileRenamed(*id, NormalizePath(op.path), NormalizePath(op.path2));
+  }
+  return result;
+}
+
+// ---- node operations ----
+
+OpResult DfsCluster::DoAddMetaNode(const Operation& op) {
+  (void)op;
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kMembership, 11);
+  int serving = static_cast<int>(ListMetaNodes().size());
+  if (serving >= config_.max_meta_nodes) {
+    result.status = Status::FailedPrecondition("metadata node limit reached");
+    return result;
+  }
+  NodeId id = next_node_id_++;
+  MetaNode node;
+    node.id = id;
+    meta_nodes_[id] = node;
+  result.cost = Seconds(5);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoRemoveMetaNode(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kMembership, 12);
+  std::vector<NodeId> serving = ListMetaNodes();
+  if (static_cast<int>(serving.size()) <= config_.min_meta_nodes) {
+    result.status = Status::FailedPrecondition("metadata node minimum reached");
+    return result;
+  }
+  NodeId target = op.node;
+  auto it = meta_nodes_.find(target);
+  if (it == meta_nodes_.end() || !it->second.Serving()) {
+    result.status = Status::NotFound(Sprintf("meta node %u", target));
+    return result;
+  }
+  it->second.online = false;
+  result.cost = Seconds(3);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoAddStorageNode(const Operation& op) {
+  (void)op;
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kMembership, 13);
+  int serving = static_cast<int>(ServingStorageNodeIds().size());
+  if (serving >= config_.max_storage_nodes) {
+    result.status = Status::FailedPrecondition("storage node limit reached");
+    return result;
+  }
+  AddStorageNodeInternal(config_.brick_capacity);
+  result.cost = Seconds(20);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoRemoveStorageNode(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kMembership, 14);
+  std::vector<NodeId> serving = ServingStorageNodeIds();
+  if (static_cast<int>(serving.size()) <= config_.min_storage_nodes) {
+    result.status = Status::FailedPrecondition("storage node minimum reached");
+    return result;
+  }
+  StorageNode* node = FindStorageNode(op.node);
+  if (node == nullptr || !node->Serving()) {
+    result.status = Status::NotFound(Sprintf("storage node %u", op.node));
+    return result;
+  }
+  size_t bricks_elsewhere = 0;
+  for (BrickId b : ServingBricks()) {
+    if (FindBrick(b)->node != op.node) {
+      ++bricks_elsewhere;
+    }
+  }
+  if (bricks_elsewhere < kMinServingBricks) {
+    result.status = Status::FailedPrecondition("too few bricks would remain");
+    return result;
+  }
+  node->online = false;
+  for (BrickId b : node->bricks) {
+    Brick* brick = FindBrick(b);
+    if (brick != nullptr) {
+      brick->online = false;
+    }
+  }
+  ScheduleRecovery(op.node);
+  result.cost = Seconds(10);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+// ---- volume operations ----
+
+OpResult DfsCluster::DoAddVolume(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kVolume, 15);
+  NodeId target = op.node;
+  if (FindStorageNode(target) == nullptr || !FindStorageNode(target)->Serving()) {
+    // Attach to the node with the least total capacity.
+    uint64_t best_capacity = UINT64_MAX;
+    target = kInvalidNode;
+    for (const auto& [id, node] : storage_nodes_) {
+      if (!node.Serving()) {
+        continue;
+      }
+      uint64_t cap = 0;
+      for (BrickId b : node.bricks) {
+        const Brick* brick = FindBrick(b);
+        if (brick != nullptr) {
+          cap += brick->capacity_bytes;
+        }
+      }
+      if (cap < best_capacity) {
+        best_capacity = cap;
+        target = id;
+      }
+    }
+  }
+  if (target == kInvalidNode) {
+    result.status = Status::Unavailable("no serving storage node for new volume");
+    return result;
+  }
+  uint64_t capacity = op.size == 0 ? config_.brick_capacity
+                                   : std::clamp(op.size, kMinBrickCapacity,
+                                                2 * config_.brick_capacity);
+  NewBrickOnNode(target, capacity);
+  result.cost = Seconds(15);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoRemoveVolume(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kVolume, 16);
+  Brick* brick = FindBrick(op.brick);
+  if (brick == nullptr || !brick->online) {
+    result.status = Status::NotFound(Sprintf("brick %u", op.brick));
+    return result;
+  }
+  // Refuse if the remaining bricks cannot absorb the data.
+  uint64_t remaining_free = 0;
+  for (BrickId id : ServingBricks()) {
+    if (id != op.brick) {
+      remaining_free += FindBrick(id)->FreeBytes();
+    }
+  }
+  if (ServingBricks().size() <= kMinServingBricks || remaining_free < brick->used_bytes) {
+    result.status = Status::FailedPrecondition("insufficient space to evacuate brick");
+    return result;
+  }
+  brick->online = false;  // draining: no new placements
+  ScheduleEvacuation(op.brick);
+  result.cost = Seconds(10);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoExpandVolume(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kVolume, 17);
+  Brick* brick = FindBrick(op.brick);
+  if (brick == nullptr || !brick->online) {
+    result.status = Status::NotFound(Sprintf("brick %u", op.brick));
+    return result;
+  }
+  uint64_t delta = op.size == 0 ? config_.brick_capacity / 4 : op.size;
+  // A device grows to at most 2x the standard brick: balance targets must
+  // stay reachable at chunk granularity across the capacity spread.
+  uint64_t cap_limit = 2 * config_.brick_capacity;
+  if (brick->capacity_bytes >= cap_limit) {
+    result.status = Status::FailedPrecondition("volume already at maximum size");
+    return result;
+  }
+  brick->capacity_bytes = std::min(brick->capacity_bytes + delta, cap_limit);
+  result.cost = Seconds(8);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult DfsCluster::DoReduceVolume(const Operation& op) {
+  OpResult result;
+  COV_BRANCH(cov_, CovModule::kVolume, 18);
+  Brick* brick = FindBrick(op.brick);
+  if (brick == nullptr || !brick->online) {
+    result.status = Status::NotFound(Sprintf("brick %u", op.brick));
+    return result;
+  }
+  uint64_t delta = op.size == 0 ? brick->capacity_bytes / 4 : op.size;
+  // A single resize shrinks a device by at most 40%: one random operation
+  // cannot crater a brick; sustained shrinking takes deliberate repetition.
+  delta = std::min(delta, brick->capacity_bytes * 2 / 5);
+  uint64_t new_capacity =
+      std::max(brick->capacity_bytes - delta, kMinBrickCapacity);
+  if (brick->used_bytes > new_capacity) {
+    // Shrinking below the stored data strands it; refuse unless the rest of
+    // the cluster can absorb the overflow (what lvreduce/remove-brick
+    // preflights enforce).
+    uint64_t overflow = brick->used_bytes - new_capacity;
+    uint64_t remaining_free = 0;
+    for (BrickId id : ServingBricks()) {
+      if (id != op.brick) {
+        remaining_free += FindBrick(id)->FreeBytes();
+      }
+    }
+    if (remaining_free < overflow) {
+      COV_BRANCH(cov_, CovModule::kVolume, 19);
+      result.status = Status::FailedPrecondition("reduction would strand data");
+      return result;
+    }
+    brick->capacity_bytes = new_capacity;
+    ScheduleOverflowEvacuation(op.brick, overflow);
+  } else {
+    brick->capacity_bytes = new_capacity;
+  }
+  result.cost = Seconds(8);
+  NotifyTopologyChanged();
+  result.status = Status::Ok();
+  return result;
+}
+
+void DfsCluster::NotifyTopologyChanged() {
+  OnTopologyChangedInternal();
+  if (cov_ != nullptr) {
+    uint64_t features = HashCombine(ServingBricks().size(), ServingStorageNodeIds().size());
+    features = HashCombine(features, meta_nodes_.size());
+    cov_->HitState(CovModule::kMembership, features);
+  }
+  if (hooks_ != nullptr) {
+    hooks_->OnTopologyChanged(*this);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery / evacuation / migration
+
+BrickId DfsCluster::PickRecoveryTarget(const ChunkPlacement& chunk, uint64_t bytes) {
+  BrickId best = kInvalidBrick;
+  double best_used = 2.0;
+  for (BrickId id : ServingBricks()) {
+    const Brick* brick = FindBrick(id);
+    if (brick->FreeBytes() < bytes || chunk.HasReplicaOn(id)) {
+      continue;
+    }
+    // Keep replicas on distinct nodes when possible.
+    bool same_node = false;
+    for (BrickId other : chunk.replicas) {
+      const Brick* other_brick = FindBrick(other);
+      if (other_brick != nullptr && other_brick->node == brick->node) {
+        same_node = true;
+        break;
+      }
+    }
+    double used = brick->UsedFraction() + (same_node ? 0.5 : 0.0);
+    if (used < best_used) {
+      best_used = used;
+      best = id;
+    }
+  }
+  return best;
+}
+
+void DfsCluster::ScheduleRecovery(NodeId node) {
+  COV_BRANCH(cov_, CovModule::kRecovery, 20);
+  const StorageNode* sn = FindStorageNode(node);
+  if (sn == nullptr) {
+    return;
+  }
+  for (BrickId b : sn->bricks) {
+    for (const auto& [file, chunk_index] : ChunksOnBrick(b)) {
+      auto layout_it = layouts_.find(file);
+      if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+        continue;
+      }
+      const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
+      BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
+      if (target == kInvalidBrick) {
+        COV_BRANCH(cov_, CovModule::kRecovery, 21);
+        continue;  // under-replicated until space appears
+      }
+      move_queue_.push_back(ChunkMove{.file = file,
+                                      .chunk_index = chunk_index,
+                                      .from = b,
+                                      .to = target,
+                                      .bytes = chunk.bytes,
+                                      .reason = MoveReason::kRecovery});
+    }
+  }
+}
+
+void DfsCluster::ScheduleEvacuation(BrickId brick) {
+  COV_BRANCH(cov_, CovModule::kMigration, 22);
+  for (const auto& [file, chunk_index] : ChunksOnBrick(brick)) {
+    auto layout_it = layouts_.find(file);
+    if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+      continue;
+    }
+    const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
+    BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
+    if (target == kInvalidBrick) {
+      continue;
+    }
+    move_queue_.push_back(ChunkMove{.file = file,
+                                    .chunk_index = chunk_index,
+                                    .from = brick,
+                                    .to = target,
+                                    .bytes = chunk.bytes,
+                                    .reason = MoveReason::kEvacuation});
+  }
+}
+
+void DfsCluster::ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes) {
+  uint64_t scheduled = 0;
+  for (const auto& [file, chunk_index] : ChunksOnBrick(brick)) {
+    if (scheduled >= bytes) {
+      break;
+    }
+    auto layout_it = layouts_.find(file);
+    if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+      continue;
+    }
+    const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
+    BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
+    if (target == kInvalidBrick) {
+      continue;
+    }
+    move_queue_.push_back(ChunkMove{.file = file,
+                                    .chunk_index = chunk_index,
+                                    .from = brick,
+                                    .to = target,
+                                    .bytes = chunk.bytes,
+                                    .reason = MoveReason::kEvacuation});
+    scheduled += chunk.bytes;
+  }
+}
+
+Status DfsCluster::TriggerRebalance() {
+  COV_BRANCH(cov_, CovModule::kAdmin, 23);
+  ++rebalance_triggers_;
+  if (hooks_ != nullptr && hooks_->SuppressRebalance(*this)) {
+    COV_BRANCH(cov_, CovModule::kAdmin, 24);
+    return Status::Ok();  // the hang fault swallows the command silently
+  }
+  if (rebalance_active_) {
+    return Status::Ok();  // already running
+  }
+  MigrationPlan plan = BuildRebalancePlan();
+  if (hooks_ != nullptr) {
+    hooks_->OnRebalancePlanned(*this, plan);
+  }
+  // Charge the balancer's own computation to a metadata node.
+  std::vector<NodeId> mns = ListMetaNodes();
+  if (!mns.empty()) {
+    ChargeMeta(mns[rng_.PickIndex(mns.size())], 0, kBalancerCpuPerPlan);
+  }
+  if (cov_ != nullptr) {
+    uint64_t features = HashCombine(plan.size() / 4, static_cast<uint64_t>(
+                                                        StorageImbalance() * 20.0));
+    features = HashCombine(features, ServingBricks().size());
+    features = HashCombine(features, PlanBytes(plan) / (16 * kGiB));
+    cov_->HitState(CovModule::kBalancer, features, 2 * ImbalanceMultiplicity());
+  }
+  if (plan.empty()) {
+    ++completed_rebalance_rounds_;
+    OnRebalanceRoundDone();
+    if (hooks_ != nullptr) {
+      hooks_->OnRebalanceDone(*this);
+    }
+    return Status::Ok();
+  }
+  for (ChunkMove& move : plan) {
+    move_queue_.push_back(move);
+  }
+  rebalance_active_ = true;
+  return Status::Ok();
+}
+
+bool DfsCluster::RebalanceDone() const { return !rebalance_active_ && move_queue_.empty(); }
+
+void DfsCluster::MaybeTriggerBalancer() {
+  bool due = config_.continuous_balancing ||
+             clock_.now() - last_balancer_check_ >= config_.balancer_period;
+  if (!due) {
+    return;
+  }
+  last_balancer_check_ = clock_.now();
+  if (hooks_ != nullptr && hooks_->SuppressRebalance(*this)) {
+    return;
+  }
+  if (StorageImbalance() > config_.native_threshold && !rebalance_active_) {
+    COV_BRANCH(cov_, CovModule::kBalancer, 25);
+    (void)TriggerRebalance();
+  }
+}
+
+void DfsCluster::ExecuteMove(const ChunkMove& move) {
+  auto layout_it = layouts_.find(move.file);
+  if (layout_it == layouts_.end() || move.chunk_index >= layout_it->second.chunks.size()) {
+    return;  // the file vanished while queued
+  }
+  ChunkPlacement& chunk = layout_it->second.chunks[move.chunk_index];
+  auto replica_it = std::find(chunk.replicas.begin(), chunk.replicas.end(), move.from);
+  if (replica_it == chunk.replicas.end()) {
+    return;  // already moved elsewhere
+  }
+  Brick* from = FindBrick(move.from);
+  Brick* to = FindBrick(move.to);
+  if (to == nullptr || !to->online || chunk.HasReplicaOn(move.to) ||
+      to->FreeBytes() < chunk.bytes) {
+    COV_BRANCH(cov_, CovModule::kMigration, 26);
+    THEMIS_LOG(kDebug, "migration: skip %s", move.ToString().c_str());
+    return;
+  }
+  *replica_it = move.to;
+  if (from != nullptr) {
+    from->used_bytes -= std::min(from->used_bytes, chunk.bytes);
+    ChargeStorage(from->node, IoCount(chunk.bytes), 0,
+                  kStorageCpuPerGiB * static_cast<double>(chunk.bytes) / kGiB * 0.5);
+  }
+  to->used_bytes += chunk.bytes;
+  ChargeStorage(to->node, 0, IoCount(chunk.bytes),
+                kStorageCpuPerGiB * static_cast<double>(chunk.bytes) / kGiB);
+  RemoveReplicaIndex(move.from, move.file, move.chunk_index);
+  AddReplicaIndex(move.to, move.file, move.chunk_index);
+  if (cov_ != nullptr) {
+    // Migration branches are the bulk of a load balancer's code: each
+    // distinct (reason, donor-level, receiver-level, imbalance, round-phase)
+    // combination corresponds to a different path through planning, pairing,
+    // throttling and verification logic.
+    uint64_t h = HashCombine(static_cast<uint64_t>(move.reason), move.is_linkfile);
+    if (from != nullptr) {
+      h = HashCombine(h, static_cast<uint64_t>(from->UsedFraction() * 16.0));
+    }
+    h = HashCombine(h, static_cast<uint64_t>(to->UsedFraction() * 16.0));
+    h = HashCombine(h, static_cast<uint64_t>(std::min(StorageImbalance(), 1.0) * 16.0));
+    h = HashCombine(h, static_cast<uint64_t>(completed_rebalance_rounds_ % 16));
+    h = HashCombine(h, move_queue_.size() / 8);
+    // Only balancer-initiated moves walk the imbalance-dependent planning
+    // code; recovery and evacuation are replication-repair paths.
+    int multiplicity = 1;
+    if (move.reason == MoveReason::kRebalance && !move.hash_driven) {
+      // Load-driven leveling walks the imbalance-dependent balancer logic;
+      // hash-driven relocation and replica repair are mechanical.
+      multiplicity = 2 * ImbalanceMultiplicity();
+    }
+    cov_->HitState(CovModule::kMigration, h, multiplicity);
+  }
+}
+
+void DfsCluster::AdvanceBackground(SimDuration dt) {
+  if (move_queue_.empty()) {
+    FinishRebalanceIfDrained();
+    return;
+  }
+  uint64_t budget = static_cast<uint64_t>(
+      static_cast<double>(dt) / 1e6 * static_cast<double>(config_.migration_bandwidth_per_s));
+  while (!move_queue_.empty() && budget > 0) {
+    ChunkMove move = move_queue_.front();
+    FaultHooks::MigrateVerdict verdict =
+        hooks_ != nullptr ? hooks_->OnMigrateChunk(*this, move)
+                          : FaultHooks::MigrateVerdict::kProceed;
+    if (verdict == FaultHooks::MigrateVerdict::kSkip) {
+      COV_BRANCH(cov_, CovModule::kMigration, 27);
+      move_queue_.pop_front();
+      current_move_done_bytes_ = 0;
+      continue;
+    }
+    if (verdict == FaultHooks::MigrateVerdict::kLoseData) {
+      COV_BRANCH(cov_, CovModule::kMigration, 28);
+      DestroyChunkReplica(move.file, move.chunk_index, move.from);
+      move_queue_.pop_front();
+      current_move_done_bytes_ = 0;
+      continue;
+    }
+    uint64_t remaining = move.bytes > current_move_done_bytes_
+                             ? move.bytes - current_move_done_bytes_
+                             : 0;
+    if (remaining > budget) {
+      current_move_done_bytes_ += budget;
+      budget = 0;
+      break;
+    }
+    budget -= remaining;
+    ExecuteMove(move);
+    move_queue_.pop_front();
+    current_move_done_bytes_ = 0;
+  }
+  FinishRebalanceIfDrained();
+}
+
+void DfsCluster::DestroyChunkReplica(FileId file, uint32_t chunk_index, BrickId brick) {
+  auto layout_it = layouts_.find(file);
+  if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+    return;
+  }
+  ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
+  auto replica_it = std::find(chunk.replicas.begin(), chunk.replicas.end(), brick);
+  if (replica_it == chunk.replicas.end()) {
+    return;
+  }
+  chunk.replicas.erase(replica_it);
+  Brick* b = FindBrick(brick);
+  if (b != nullptr) {
+    b->used_bytes -= std::min(b->used_bytes, chunk.bytes);
+  }
+  RemoveReplicaIndex(brick, file, chunk_index);
+  if (chunk.replicas.empty()) {
+    lost_bytes_ += chunk.bytes;
+  }
+}
+
+void DfsCluster::FinishRebalanceIfDrained() {
+  if (!move_queue_.empty()) {
+    return;
+  }
+  if (rebalance_active_) {
+    rebalance_active_ = false;
+    ++completed_rebalance_rounds_;
+    COV_BRANCH(cov_, CovModule::kBalancer, 29);
+    OnRebalanceRoundDone();
+    if (hooks_ != nullptr) {
+      hooks_->OnRebalanceDone(*this);
+    }
+  }
+  // Garbage-collect fully drained offline bricks and empty offline nodes.
+  for (auto it = bricks_.begin(); it != bricks_.end();) {
+    if (!it->second.online && it->second.used_bytes == 0 &&
+        brick_chunks_.count(it->first) == 0) {
+      StorageNode* node = FindStorageNode(it->second.node);
+      if (node != nullptr) {
+        node->bricks.erase(std::remove(node->bricks.begin(), node->bricks.end(), it->first),
+                           node->bricks.end());
+      }
+      it = bricks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load sampling / coverage
+
+std::vector<LoadSample> DfsCluster::SampleLoad() const {
+  std::vector<LoadSample> out;
+  out.reserve(storage_nodes_.size() + meta_nodes_.size());
+  for (const auto& [id, node] : storage_nodes_) {
+    LoadSample sample;
+    sample.node = id;
+    sample.is_storage = true;
+    sample.online = node.online;
+    sample.crashed = node.crashed;
+    for (BrickId b : node.bricks) {
+      const Brick* brick = FindBrick(b);
+      // Draining (offline) bricks are unmounted from the balancer's point of
+      // view; reporting them here would make the monitor's fleet utilization
+      // diverge from what the balancer can actually level.
+      if (brick != nullptr && brick->online) {
+        sample.used_bytes += brick->used_bytes;
+        sample.capacity_bytes += brick->capacity_bytes;
+      }
+    }
+    sample.requests = node.load.requests;
+    sample.read_ios = node.load.read_ios;
+    sample.write_ios = node.load.write_ios;
+    sample.cpu_seconds = node.load.cpu_seconds;
+    sample.taken_at = clock_.now();
+    out.push_back(sample);
+  }
+  for (const auto& [id, node] : meta_nodes_) {
+    LoadSample sample;
+    sample.node = id;
+    sample.is_storage = false;
+    sample.online = node.online;
+    sample.crashed = node.crashed;
+    sample.requests = node.load.requests;
+    sample.read_ios = node.load.read_ios;
+    sample.write_ios = node.load.write_ios;
+    sample.cpu_seconds = node.load.cpu_seconds;
+    sample.taken_at = clock_.now();
+    out.push_back(sample);
+  }
+  return out;
+}
+
+std::string DfsCluster::DescribeState() const {
+  std::string out;
+  for (const auto& [id, brick] : bricks_) {
+    const StorageNode* node = FindStorageNode(brick.node);
+    out += Sprintf("brick%u(n%u%s%s %lluG/%lluG) ", id, brick.node,
+                   brick.online ? "" : ",off",
+                   (node != nullptr && node->Serving()) ? "" : ",dead",
+                   static_cast<unsigned long long>(brick.used_bytes >> 30),
+                   static_cast<unsigned long long>(brick.capacity_bytes >> 30));
+  }
+  return out;
+}
+
+int DfsCluster::ImbalanceMultiplicity() const {
+  // Branches unlocked scale super-linearly with how far the system is from
+  // balance when the code runs: near-balanced operation stays on the fast
+  // path, while deep imbalance walks multi-round planning, throttling and
+  // emergency-handling code that is never touched otherwise.
+  double spread = std::min(StorageImbalance(), 0.6);
+  return 1 + static_cast<int>(40.0 * spread * spread);
+}
+
+void DfsCluster::RecordOpCoverage(const Operation& op, const OpResult& result) {
+  if (cov_ == nullptr) {
+    return;
+  }
+  cov_->HitStatic(CovModule::kRequest,
+                  static_cast<uint32_t>(op.kind) * 10 +
+                      static_cast<uint32_t>(result.status.code()));
+  // State-feature tuple: what the system looked like when this operator ran.
+  // Distinct tuples correspond to distinct exercised branches in a real code
+  // base (see DESIGN.md).
+  uint8_t class_mask = 0;
+  for (uint8_t c : recent_classes_) {
+    class_mask |= static_cast<uint8_t>(1u << c);
+  }
+  int imbalance_decile = static_cast<int>(std::min(StorageImbalance(), 2.0) * 12.0);
+  uint64_t file_bucket = 0;
+  for (uint64_t n = tree_.file_count(); n > 0; n /= 2) {
+    ++file_bucket;
+  }
+  uint64_t h = HashCombine(static_cast<uint64_t>(op.kind),
+                           static_cast<uint64_t>(result.status.code()));
+  h = HashCombine(h, class_mask);
+  h = HashCombine(h, static_cast<uint64_t>(imbalance_decile));
+  h = HashCombine(h, ServingStorageNodeIds().size());
+  h = HashCombine(h, meta_nodes_.size());
+  h = HashCombine(h, file_bucket);
+  h = HashCombine(h, rebalance_active_ ? 1u : 0u);
+  h = HashCombine(h, static_cast<uint64_t>(completed_rebalance_rounds_ % 8));
+  cov_->HitState(CovModule::kRequest, h);
+}
+
+}  // namespace themis

@@ -1,0 +1,390 @@
+// The DFS cluster simulator.
+//
+// `DfsInterface` is the black-box surface Themis (and every baseline) tests
+// against: execute an operation, sample per-node load, trigger / query
+// rebalance — exactly the two integration points (`operation.send()` and
+// `LoadMonitor()`) plus the rebalance APIs that the paper's Interaction
+// Adaptor uses (§5). `DfsCluster` is the shared simulator engine; the four
+// flavors in src/dfs/flavors/ plug in their placement policy, balancer
+// discipline and native balance threshold.
+
+#ifndef SRC_DFS_CLUSTER_H_
+#define SRC_DFS_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/coverage/coverage.h"
+#include "src/dfs/brick.h"
+#include "src/dfs/load_sample.h"
+#include "src/dfs/migration.h"
+#include "src/dfs/namespace_tree.h"
+#include "src/dfs/node.h"
+#include "src/dfs/operation.h"
+#include "src/dfs/types.h"
+
+namespace themis {
+
+class DfsCluster;
+
+// Fault-injection hooks. The cluster calls these at well-defined points; the
+// default implementation is a no-op (healthy system). src/faults implements
+// them to plant the paper's 10 new bugs and the 53-bug historical corpus.
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  // After an operation has been executed (successfully or not).
+  virtual void OnOperationExecuted(DfsCluster& dfs, const Operation& op,
+                                   const OpResult& result) {
+    (void)dfs;
+    (void)op;
+    (void)result;
+  }
+
+  // A rebalance plan was built and is about to be enqueued. Hooks may mutate
+  // it (drop moves, redirect targets) — load-calculation bugs live here.
+  virtual void OnRebalancePlanned(DfsCluster& dfs, MigrationPlan& plan) {
+    (void)dfs;
+    (void)plan;
+  }
+
+  // One chunk move is about to execute. Migration bugs live here.
+  enum class MigrateVerdict {
+    kProceed,   // execute normally
+    kSkip,      // silently skip the move (data stays put -> hotspot)
+    kLoseData,  // remove from source without writing destination
+  };
+  virtual MigrateVerdict OnMigrateChunk(DfsCluster& dfs, const ChunkMove& move) {
+    (void)dfs;
+    (void)move;
+    return MigrateVerdict::kProceed;
+  }
+
+  // A rebalance round finished draining.
+  virtual void OnRebalanceDone(DfsCluster& dfs) { (void)dfs; }
+
+  // Should the balancer trigger be suppressed right now? (hang faults)
+  virtual bool SuppressRebalance(const DfsCluster& dfs) {
+    (void)dfs;
+    return false;
+  }
+
+  // Membership / volume topology changed.
+  virtual void OnTopologyChanged(DfsCluster& dfs) { (void)dfs; }
+
+  // Should this node's metadata anti-entropy be stalled? (metadata-desync
+  // faults, the §7 extension)
+  virtual bool SuppressMetadataSync(const DfsCluster& dfs, NodeId node) {
+    (void)dfs;
+    (void)node;
+    return false;
+  }
+
+  // The cluster was reset to its initial state (after a confirmed failure).
+  virtual void OnClusterReset(DfsCluster& dfs) { (void)dfs; }
+};
+
+// What the testing tools see. Kept intentionally narrow: real deployments
+// expose exactly this via FUSE + admin CLIs.
+class DfsInterface {
+ public:
+  virtual ~DfsInterface() = default;
+
+  virtual OpResult Execute(const Operation& op) = 0;
+  virtual std::vector<LoadSample> SampleLoad() const = 0;
+
+  // Admin APIs (paper §4.3: most DFSes provide rebalance / rebalance-state).
+  virtual Status TriggerRebalance() = 0;
+  virtual bool RebalanceDone() const = 0;
+
+  // Admin views used to instantiate operands (gluster volume info, hdfs
+  // dfsadmin -report, ...).
+  virtual std::vector<NodeId> ListMetaNodes() const = 0;
+  virtual std::vector<NodeId> ListStorageNodes() const = 0;
+  virtual std::vector<BrickId> ListBricks() const = 0;
+  virtual uint64_t FreeSpaceBytes() const = 0;
+
+  virtual SimTime Now() const = 0;
+  // Lets a tester wait (background migration keeps progressing).
+  virtual void AdvanceTime(SimDuration delta) = 0;
+
+  virtual void ResetToInitial() = 0;
+  virtual Flavor flavor() const = 0;
+  virtual std::string_view name() const = 0;
+
+  // Diagnostic snapshot of the storage topology (for failure reports).
+  virtual std::string DescribeState() const { return {}; }
+};
+
+struct ClusterConfig {
+  int initial_storage_nodes = 8;
+  int initial_meta_nodes = 2;
+  uint64_t brick_capacity = 480 * kGiB;
+  int replication = 2;
+  uint64_t chunk_size = 2 * kGiB;      // stripe unit (chunks stay migratable)
+  double native_threshold = 0.10;      // balance tolerance (max/mean - 1)
+  bool continuous_balancing = false;   // CephFS balances in real time
+  SimDuration balancer_period = Minutes(5);  // periodic flavors
+  uint64_t migration_bandwidth_per_s = 1536 * kMiB;
+  uint64_t client_bandwidth_per_s = 2 * kGiB;
+  SimDuration base_op_latency = Millis(500);
+  int min_storage_nodes = 4;
+  int max_storage_nodes = 16;
+  int min_meta_nodes = 1;
+  int max_meta_nodes = 5;
+  uint64_t rng_seed = 1;
+};
+
+class DfsCluster : public DfsInterface {
+ public:
+  DfsCluster(ClusterConfig config, Flavor flavor, std::string cluster_name);
+  ~DfsCluster() override;
+
+  DfsCluster(const DfsCluster&) = delete;
+  DfsCluster& operator=(const DfsCluster&) = delete;
+
+  // ---- DfsInterface ----
+  OpResult Execute(const Operation& op) override;
+  std::vector<LoadSample> SampleLoad() const override;
+  Status TriggerRebalance() override;
+  bool RebalanceDone() const override;
+  std::vector<NodeId> ListMetaNodes() const override;
+  std::vector<NodeId> ListStorageNodes() const override;
+  std::vector<BrickId> ListBricks() const override;
+  uint64_t FreeSpaceBytes() const override;
+  SimTime Now() const override { return clock_.now(); }
+  void AdvanceTime(SimDuration delta) override;
+  void ResetToInitial() override;
+  Flavor flavor() const override { return flavor_; }
+  std::string_view name() const override { return name_; }
+  std::string DescribeState() const override;
+
+  // ---- wiring ----
+  void set_fault_hooks(FaultHooks* hooks) { hooks_ = hooks; }
+  void set_coverage(CoverageRecorder* cov) { cov_ = cov; }
+  CoverageRecorder* coverage() const { return cov_; }
+
+  // ---- introspection (flavors, faults, tests, ground truth) ----
+  const ClusterConfig& config() const { return config_; }
+  const NamespaceTree& tree() const { return tree_; }
+  const std::map<BrickId, Brick>& bricks() const { return bricks_; }
+  const std::map<NodeId, StorageNode>& storage_nodes() const { return storage_nodes_; }
+  const std::map<NodeId, MetaNode>& meta_nodes() const { return meta_nodes_; }
+  const std::map<FileId, FileLayout>& file_layouts() const { return layouts_; }
+
+  Brick* FindBrick(BrickId id);
+  const Brick* FindBrick(BrickId id) const;
+  StorageNode* FindStorageNode(NodeId id);
+  const StorageNode* FindStorageNode(NodeId id) const;
+
+  // Serving (online, not crashed, not draining) bricks.
+  std::vector<BrickId> ServingBricks() const;
+  std::vector<NodeId> ServingStorageNodeIds() const;
+
+  uint64_t TotalCapacityBytes() const;
+  uint64_t TotalUsedBytes() const;
+  // Used bytes aggregated per serving storage node.
+  std::vector<double> PerNodeUsedBytes() const;
+  // Disk utilization (used/capacity) per serving storage node — the metric
+  // real balancers level and `df` reports.
+  std::vector<double> PerNodeUsedFraction() const;
+  // Utilization spread (max - mean, in fraction points) over serving
+  // storage nodes — the quantity balancers threshold on.
+  double StorageImbalance() const;
+
+  // Generic capacity-proportional leveling plan: moves chunks from bricks
+  // above the fleet utilization (by more than `tolerance`) to bricks below
+  // it. Flavors build their plans on top of / instead of this.
+  // `extra_inflow` carries bytes the flavor's own plan section already
+  // directed at each brick, so the combined plan respects one budget.
+  // Chunks for which ChunkPinnedToBrick() holds are never moved — they sit
+  // where the flavor's placement function says they belong, and moving them
+  // would only make the next rebalance move them back.
+  MigrationPlan PlanLevelingByUsage(
+      double tolerance, const std::map<BrickId, uint64_t>* extra_inflow = nullptr) const;
+
+  int completed_rebalance_rounds() const { return completed_rebalance_rounds_; }
+  uint64_t rebalance_triggers() const { return rebalance_triggers_; }
+  // Authoritative namespace mutation count; metadata replicas (MetaNode::
+  // synced_epoch) trail it by at most the anti-entropy lag when healthy.
+  uint64_t namespace_epoch() const { return namespace_epoch_; }
+  uint64_t total_ops_executed() const { return total_ops_executed_; }
+  uint64_t lost_bytes() const { return lost_bytes_; }
+
+  // Replica index: chunks with a replica on `brick`.
+  std::vector<std::pair<FileId, uint32_t>> ChunksOnBrick(BrickId brick) const;
+
+  // ---- fault-effect mutators (used only by src/faults) ----
+  void InjectCpuLoad(NodeId node, double cpu_seconds);
+  void InjectNetLoad(NodeId node, uint64_t reads, uint64_t writes, uint64_t requests);
+  void CrashNode(NodeId node);
+  // Moves `bytes` of stored data from `from` to `to` without a migration
+  // round — models mis-placed / mis-migrated data accumulating on a hotspot.
+  uint64_t SkewBytes(BrickId from, BrickId to, uint64_t bytes);
+  // Destroys `bytes` of stored data on `brick` (data-loss effects).
+  uint64_t DestroyBytes(BrickId brick, uint64_t bytes);
+  // Deletes one replica without copying it anywhere (destructive unlink).
+  void DestroyChunkReplica(FileId file, uint32_t chunk_index, BrickId brick);
+
+  // Virtual-time clock (shared with the campaign).
+  VirtualClock& clock() { return clock_; }
+  Rng& rng() { return rng_; }
+
+ protected:
+  // ---- flavor extension points ----
+
+  // Chooses replica bricks for one chunk of `path`. Must return serving
+  // bricks with space, or empty to signal out-of-space.
+  virtual std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
+                                          uint64_t bytes) = 0;
+
+  // Builds a migration plan that would bring the cluster back inside the
+  // native threshold. Called by TriggerRebalance / the periodic balancer.
+  virtual MigrationPlan BuildRebalancePlan() = 0;
+
+  // Topology (nodes or bricks) changed: recompute layouts / rings / weights.
+  virtual void OnTopologyChangedInternal() {}
+
+  // Flavor hook after a file rename (GlusterFS spawns linkfiles here).
+  virtual void OnFileRenamed(FileId file, const std::string& from, const std::string& to) {
+    (void)file;
+    (void)from;
+    (void)to;
+  }
+
+  // Flavor hook when a rebalance round drains.
+  virtual void OnRebalanceRoundDone() {}
+
+  // True when this replica is exactly where the flavor's deterministic
+  // placement (DHT range, hash ring) says it belongs; the generic leveler
+  // then leaves it alone.
+  virtual bool ChunkPinnedToBrick(FileId file, uint32_t chunk_index, BrickId brick) const {
+    (void)file;
+    (void)chunk_index;
+    (void)brick;
+    return false;
+  }
+
+  // ---- services available to flavors ----
+  // Builds the initial topology; flavors call this at the end of their
+  // constructor (virtual dispatch to OnTopologyChangedInternal is live by
+  // then) and it backs ResetToInitial().
+  void BuildInitialTopology();
+  BrickId NewBrickOnNode(NodeId node, uint64_t capacity);
+  NodeId AddStorageNodeInternal(uint64_t brick_capacity);
+  void ChargeStorage(NodeId node, uint64_t reads, uint64_t writes, double cpu_seconds);
+  void ChargeMeta(NodeId node, uint64_t requests, double cpu_seconds);
+  // Balance check driven after each operation (periodic or continuous).
+  void MaybeTriggerBalancer();
+  // Runs OnTopologyChangedInternal + coverage + fault hooks.
+  void NotifyTopologyChanged();
+
+  ClusterConfig config_;
+
+ private:
+  // Operation handlers.
+  OpResult DoCreate(const Operation& op);
+  OpResult DoDelete(const Operation& op);
+  OpResult DoAppend(const Operation& op);
+  OpResult DoOverwrite(const Operation& op, bool truncate_first);
+  OpResult DoOpen(const Operation& op);
+  OpResult DoMkdir(const Operation& op);
+  OpResult DoRmdir(const Operation& op);
+  OpResult DoRename(const Operation& op);
+  OpResult DoAddMetaNode(const Operation& op);
+  OpResult DoRemoveMetaNode(const Operation& op);
+  OpResult DoAddStorageNode(const Operation& op);
+  OpResult DoRemoveStorageNode(const Operation& op);
+  OpResult DoAddVolume(const Operation& op);
+  OpResult DoRemoveVolume(const Operation& op);
+  OpResult DoExpandVolume(const Operation& op);
+  OpResult DoReduceVolume(const Operation& op);
+
+  // Places all chunks for `size` bytes of `path`; rolls back on failure.
+  Result<FileLayout> PlaceFile(const std::string& path, uint64_t size);
+  // Frees brick bytes and replica-index entries held by `layout`.
+  void ReleaseLayout(FileId file, const FileLayout& layout);
+  void IndexLayout(FileId file, const FileLayout& layout);
+  void ChargeLayoutIo(const FileLayout& layout, bool is_write);
+
+  // Routes the request to a serving metadata node; returns kInvalidNode if
+  // none are alive.
+  NodeId RouteToMetaNode(const Operation& op);
+
+  // Re-replicates chunks that lost replicas on `node` (offline/removed).
+  void ScheduleRecovery(NodeId node);
+  // Evacuates all data from a draining brick.
+  void ScheduleEvacuation(BrickId brick);
+  // Evacuates `bytes` worth of chunks off a shrunken brick.
+  void ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes);
+
+  // Background migration: processes `dt` worth of queued chunk moves.
+  void AdvanceBackground(SimDuration dt);
+  void ExecuteMove(const ChunkMove& move);
+  void FinishRebalanceIfDrained();
+
+  void AddReplicaIndex(BrickId brick, FileId file, uint32_t chunk);
+  void RemoveReplicaIndex(BrickId brick, FileId file, uint32_t chunk);
+
+  // Picks a serving replacement brick for a chunk replica (placement-neutral
+  // recovery used by evacuation / re-replication).
+  BrickId PickRecoveryTarget(const ChunkPlacement& chunk, uint64_t bytes);
+
+  void RecordOpCoverage(const Operation& op, const OpResult& result);
+  // 1..10: how many branches a state tuple unlocks at the current imbalance.
+  int ImbalanceMultiplicity() const;
+  // Anti-entropy: serving metadata replicas catch up to the namespace epoch
+  // (unless a fault stalls them).
+  void SyncMetadataReplicas();
+  SimDuration TransferCost(uint64_t bytes) const;
+  SimDuration ParallelTransferCost(const FileLayout& layout) const;
+
+  Flavor flavor_;
+  std::string name_;
+  VirtualClock clock_;
+  Rng rng_;
+
+  NamespaceTree tree_;
+  std::map<NodeId, StorageNode> storage_nodes_;
+  std::map<NodeId, MetaNode> meta_nodes_;
+  std::map<BrickId, Brick> bricks_;
+  std::map<FileId, FileLayout> layouts_;
+  // Reverse index: brick -> chunks with a replica there.
+  std::map<BrickId, std::set<std::pair<FileId, uint32_t>>> brick_chunks_;
+  // Classes of the last 8 operations (coverage feature).
+  std::deque<uint8_t> recent_classes_;
+
+  NodeId next_node_id_ = 1;
+  BrickId next_brick_id_ = 1;
+
+  // Background migration queue (rebalance + recovery + evacuation).
+  std::deque<ChunkMove> move_queue_;
+  uint64_t current_move_done_bytes_ = 0;
+  bool rebalance_active_ = false;
+  int completed_rebalance_rounds_ = 0;
+  uint64_t rebalance_triggers_ = 0;
+  SimTime last_balancer_check_ = 0;
+
+  uint64_t total_ops_executed_ = 0;
+  uint64_t lost_bytes_ = 0;
+  uint64_t namespace_epoch_ = 0;
+
+  FaultHooks* hooks_ = nullptr;
+  CoverageRecorder* cov_ = nullptr;
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_CLUSTER_H_

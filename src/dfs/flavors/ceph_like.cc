@@ -1,0 +1,131 @@
+#include "src/dfs/flavors/ceph_like.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace themis {
+
+ClusterConfig CephLikeCluster::DefaultConfig() {
+  ClusterConfig config;
+  config.native_threshold = 0.12;  // mgr balancer aims tighter than HDFS
+  // "Real time" balancing (paper §4.3) = the mgr balancer's short sleep
+  // interval (60 s), not a check on every single client operation.
+  config.continuous_balancing = false;
+  config.balancer_period = Seconds(60);
+  config.replication = 2;
+  return config;
+}
+
+CephLikeCluster::CephLikeCluster(ClusterConfig config)
+    : DfsCluster(config, Flavor::kCeph, "ceph-like"), crush_(256) {
+  BuildInitialTopology();
+}
+
+void CephLikeCluster::OnTopologyChangedInternal() {
+  // CRUSH weights follow device capacity.
+  for (BrickId id : crush_.Targets()) {
+    if (FindBrick(id) == nullptr) {
+      crush_.RemoveTarget(id);
+    }
+  }
+  std::vector<BrickId> serving = ServingBricks();
+  for (BrickId id : crush_.Targets()) {
+    if (std::find(serving.begin(), serving.end(), id) == serving.end()) {
+      crush_.RemoveTarget(id);
+    }
+  }
+  for (BrickId id : serving) {
+    const Brick* brick = FindBrick(id);
+    crush_.SetTargetWeight(id, static_cast<double>(brick->capacity_bytes) /
+                                   static_cast<double>(kGiB));
+  }
+}
+
+uint32_t CephLikeCluster::PgForObject(const std::string& path,
+                                      uint32_t chunk_index) const {
+  uint64_t h = Mix64(chunk_index + 0x12345ULL);
+  for (char c : path) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return crush_.PgOf(h);
+}
+
+std::vector<BrickId> CephLikeCluster::PlaceChunk(const std::string& path,
+                                                 uint32_t chunk_index, uint64_t bytes) {
+  uint32_t pg = PgForObject(path, chunk_index);
+  std::vector<BrickId> mapped = crush_.Map(pg, config_.replication);
+  std::vector<BrickId> chosen;
+  for (BrickId id : mapped) {
+    const Brick* brick = FindBrick(id);
+    if (brick != nullptr && brick->online && brick->FreeBytes() >= bytes) {
+      chosen.push_back(id);
+    }
+  }
+  if (!chosen.empty()) {
+    return chosen;
+  }
+  // CRUSH targets are full: fall back to any device with room (Ceph would
+  // return ENOSPC per device and retry remapped).
+  for (BrickId id : ServingBricks()) {
+    const Brick* brick = FindBrick(id);
+    if (brick->FreeBytes() >= bytes) {
+      chosen.push_back(id);
+      if (static_cast<int>(chosen.size()) >= config_.replication) {
+        break;
+      }
+    }
+  }
+  return chosen;
+}
+
+MigrationPlan CephLikeCluster::BuildRebalancePlan() {
+  // The upmap balancer pins PGs mapped to overfull devices onto underfull
+  // ones, then backfills the data. We pin first, then emit the chunk moves
+  // that the backfill would perform.
+  std::vector<BrickId> serving = ServingBricks();
+  if (serving.size() < 2) {
+    return {};
+  }
+  uint64_t total_used = 0;
+  uint64_t total_capacity = 0;
+  for (BrickId id : serving) {
+    const Brick* brick = FindBrick(id);
+    total_used += brick->used_bytes;
+    total_capacity += brick->capacity_bytes;
+  }
+  if (total_capacity == 0) {
+    return {};
+  }
+  double fleet = static_cast<double>(total_used) / static_cast<double>(total_capacity);
+  BrickId most_loaded = kInvalidBrick;
+  BrickId least_loaded = kInvalidBrick;
+  double max_frac = -1.0;
+  double min_frac = 2.0;
+  for (BrickId id : serving) {
+    double frac = FindBrick(id)->UsedFraction();
+    if (frac > max_frac) {
+      max_frac = frac;
+      most_loaded = id;
+    }
+    if (frac < min_frac) {
+      min_frac = frac;
+      least_loaded = id;
+    }
+  }
+  if (most_loaded != kInvalidBrick && least_loaded != kInvalidBrick &&
+      max_frac > fleet + config_.native_threshold * 0.5) {
+    // Pin a handful of PGs whose CRUSH primary is the overfull device.
+    int pinned = 0;
+    for (uint32_t pg = 0; pg < crush_.pg_count() && pinned < 8; ++pg) {
+      std::vector<BrickId> mapped = crush_.Map(pg, 1);
+      if (!mapped.empty() && mapped.front() == most_loaded) {
+        crush_.Upmap(pg, least_loaded);
+        ++pinned;
+      }
+    }
+  }
+  return PlanLevelingByUsage(config_.native_threshold * 0.5);
+}
+
+}  // namespace themis

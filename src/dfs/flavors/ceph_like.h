@@ -1,0 +1,39 @@
+// CephFS-like cluster: objects hash to placement groups; PGs map to OSD
+// bricks through CRUSH straw2 selection weighted by capacity; the balancer
+// runs continuously (Ceph's mgr balancer) and corrects skew with upmap-style
+// PG pinning.
+
+#ifndef SRC_DFS_FLAVORS_CEPH_LIKE_H_
+#define SRC_DFS_FLAVORS_CEPH_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dfs/cluster.h"
+#include "src/dfs/placement/crush_map.h"
+
+namespace themis {
+
+class CephLikeCluster : public DfsCluster {
+ public:
+  explicit CephLikeCluster(ClusterConfig config = DefaultConfig());
+
+  static ClusterConfig DefaultConfig();
+
+  const CrushMap& crush() const { return crush_; }
+
+ protected:
+  std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
+                                  uint64_t bytes) override;
+  MigrationPlan BuildRebalancePlan() override;
+  void OnTopologyChangedInternal() override;
+
+ private:
+  uint32_t PgForObject(const std::string& path, uint32_t chunk_index) const;
+
+  CrushMap crush_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_FLAVORS_CEPH_LIKE_H_

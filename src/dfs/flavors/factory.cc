@@ -1,0 +1,51 @@
+#include "src/dfs/flavors/factory.h"
+
+#include "src/dfs/flavors/ceph_like.h"
+#include "src/dfs/flavors/gluster_like.h"
+#include "src/dfs/flavors/hdfs_like.h"
+#include "src/dfs/flavors/leo_like.h"
+
+namespace themis {
+
+ClusterConfig DefaultConfigFor(Flavor flavor) {
+  switch (flavor) {
+    case Flavor::kHdfs:
+      return HdfsLikeCluster::DefaultConfig();
+    case Flavor::kCeph:
+      return CephLikeCluster::DefaultConfig();
+    case Flavor::kGluster:
+      return GlusterLikeCluster::DefaultConfig();
+    case Flavor::kLeo:
+      return LeoLikeCluster::DefaultConfig();
+    case Flavor::kCustom:
+      return ClusterConfig{};
+  }
+  return ClusterConfig{};
+}
+
+std::unique_ptr<DfsCluster> MakeCluster(Flavor flavor, uint64_t seed, int storage_nodes,
+                                        int meta_nodes) {
+  ClusterConfig config = DefaultConfigFor(flavor);
+  config.rng_seed = seed;
+  if (storage_nodes > 0) {
+    config.initial_storage_nodes = storage_nodes;
+  }
+  if (meta_nodes > 0) {
+    config.initial_meta_nodes = meta_nodes;
+  }
+  switch (flavor) {
+    case Flavor::kHdfs:
+      return std::make_unique<HdfsLikeCluster>(config);
+    case Flavor::kCeph:
+      return std::make_unique<CephLikeCluster>(config);
+    case Flavor::kGluster:
+      return std::make_unique<GlusterLikeCluster>(config);
+    case Flavor::kLeo:
+      return std::make_unique<LeoLikeCluster>(config);
+    case Flavor::kCustom:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace themis

@@ -1,0 +1,22 @@
+// Creates a simulated cluster for a flavor.
+
+#ifndef SRC_DFS_FLAVORS_FACTORY_H_
+#define SRC_DFS_FLAVORS_FACTORY_H_
+
+#include <memory>
+
+#include "src/dfs/cluster.h"
+
+namespace themis {
+
+// Builds the flavor's default configuration, overriding the RNG seed and the
+// initial node counts when the caller passes non-zero values.
+std::unique_ptr<DfsCluster> MakeCluster(Flavor flavor, uint64_t seed,
+                                        int storage_nodes = 0, int meta_nodes = 0);
+
+// The flavor's default configuration (before overrides).
+ClusterConfig DefaultConfigFor(Flavor flavor);
+
+}  // namespace themis
+
+#endif  // SRC_DFS_FLAVORS_FACTORY_H_

@@ -1,0 +1,47 @@
+// GlusterFS-like cluster: file names hash into DHT ranges assigned to
+// bricks; topology changes re-run fix-layout; files whose hash now maps to a
+// different brick leave a *linkfile* on the new hashed brick until the
+// rebalance migrates the data — the mechanism behind the paper's case study
+// (failure #1 / Fig. 11). Rebalance is a periodic command with a 20%
+// threshold (the GlusterFS default).
+
+#ifndef SRC_DFS_FLAVORS_GLUSTER_LIKE_H_
+#define SRC_DFS_FLAVORS_GLUSTER_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dfs/cluster.h"
+#include "src/dfs/placement/dht_layout.h"
+
+namespace themis {
+
+class GlusterLikeCluster : public DfsCluster {
+ public:
+  explicit GlusterLikeCluster(ClusterConfig config = DefaultConfig());
+
+  static ClusterConfig DefaultConfig();
+
+  const DhtLayout& layout() const { return layout_; }
+  uint32_t live_linkfiles() const { return live_linkfiles_; }
+
+ protected:
+  std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
+                                  uint64_t bytes) override;
+  MigrationPlan BuildRebalancePlan() override;
+  void OnTopologyChangedInternal() override;
+  void OnFileRenamed(FileId file, const std::string& from, const std::string& to) override;
+  void OnRebalanceRoundDone() override;
+  bool ChunkPinnedToBrick(FileId file, uint32_t chunk_index, BrickId brick) const override;
+
+ private:
+  // The brick after `primary` in layout order hosts the replica pair.
+  BrickId ReplicaPartner(BrickId primary) const;
+
+  DhtLayout layout_;
+  uint32_t live_linkfiles_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_FLAVORS_GLUSTER_LIKE_H_

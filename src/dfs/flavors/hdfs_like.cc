@@ -1,0 +1,80 @@
+#include "src/dfs/flavors/hdfs_like.h"
+
+#include <algorithm>
+
+namespace themis {
+
+ClusterConfig HdfsLikeCluster::DefaultConfig() {
+  ClusterConfig config;
+  config.native_threshold = 0.10;  // HDFS Balancer default
+  config.continuous_balancing = false;
+  config.balancer_period = Minutes(2);
+  config.replication = 2;
+  return config;
+}
+
+HdfsLikeCluster::HdfsLikeCluster(ClusterConfig config)
+    : DfsCluster(config, Flavor::kHdfs, "hdfs-like") {
+  BuildInitialTopology();
+}
+
+void HdfsLikeCluster::OnTopologyChangedInternal() {
+  // The NameNode re-registers DataNode bricks. (The real HDFS-13279 bug is a
+  // *stale* map — our fault injector reproduces its effect by mutating the
+  // balancer plan; the healthy flavor keeps the map in sync.)
+  cluster_map_ = ServingBricks();
+}
+
+std::vector<BrickId> HdfsLikeCluster::PlaceChunk(const std::string& path,
+                                                 uint32_t chunk_index, uint64_t bytes) {
+  (void)path;
+  (void)chunk_index;
+  // Build the weight tree from the cluster map and walk light-to-heavy,
+  // skipping targets without room and keeping replicas on distinct nodes.
+  WeightedTree tree;
+  for (BrickId id : cluster_map_) {
+    const Brick* brick = FindBrick(id);
+    if (brick == nullptr || !brick->online) {
+      continue;
+    }
+    tree.Insert(WeightedTarget{.brick = id, .used_fraction = brick->UsedFraction()});
+  }
+  std::vector<BrickId> sorted = tree.SortByLoad(rng());
+  std::vector<BrickId> chosen;
+  std::vector<NodeId> used_nodes;
+  for (int pass = 0; pass < 2 && static_cast<int>(chosen.size()) < config_.replication;
+       ++pass) {
+    for (BrickId id : sorted) {
+      if (static_cast<int>(chosen.size()) >= config_.replication) {
+        break;
+      }
+      const Brick* brick = FindBrick(id);
+      if (brick == nullptr || brick->FreeBytes() < bytes) {
+        continue;
+      }
+      if (std::find(chosen.begin(), chosen.end(), id) != chosen.end()) {
+        continue;
+      }
+      bool node_taken = std::find(used_nodes.begin(), used_nodes.end(), brick->node) !=
+                        used_nodes.end();
+      // First pass insists on distinct nodes; second pass relaxes.
+      if (pass == 0 && node_taken) {
+        continue;
+      }
+      chosen.push_back(id);
+      used_nodes.push_back(brick->node);
+    }
+  }
+  if (chosen.empty()) {
+    return {};
+  }
+  return chosen;
+}
+
+MigrationPlan HdfsLikeCluster::BuildRebalancePlan() {
+  // The HDFS Balancer levels DataNode utilization to within the threshold of
+  // the cluster average.
+  return PlanLevelingByUsage(config_.native_threshold * 0.5);
+}
+
+}  // namespace themis

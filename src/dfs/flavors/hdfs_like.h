@@ -1,0 +1,38 @@
+// HDFS-like cluster: a central NameNode tracks DataNodes in a cluster map;
+// block placement sorts targets by load through a weight tree (the
+// sortByLoad structure of the paper's Fig. 4); the Balancer runs
+// periodically with a 10% utilization threshold (the HDFS default).
+
+#ifndef SRC_DFS_FLAVORS_HDFS_LIKE_H_
+#define SRC_DFS_FLAVORS_HDFS_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dfs/cluster.h"
+#include "src/dfs/placement/weighted_tree.h"
+
+namespace themis {
+
+class HdfsLikeCluster : public DfsCluster {
+ public:
+  explicit HdfsLikeCluster(ClusterConfig config = DefaultConfig());
+
+  static ClusterConfig DefaultConfig();
+
+  // The NameNode's view of registered DataNode bricks ("clusterMap").
+  const std::vector<BrickId>& cluster_map() const { return cluster_map_; }
+
+ protected:
+  std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
+                                  uint64_t bytes) override;
+  MigrationPlan BuildRebalancePlan() override;
+  void OnTopologyChangedInternal() override;
+
+ private:
+  std::vector<BrickId> cluster_map_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_FLAVORS_HDFS_LIKE_H_

@@ -1,0 +1,162 @@
+#include "src/dfs/flavors/leo_like.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace themis {
+
+ClusterConfig LeoLikeCluster::DefaultConfig() {
+  ClusterConfig config;
+  config.native_threshold = 0.15;
+  config.continuous_balancing = false;
+  config.balancer_period = Minutes(2);
+  config.replication = 2;
+  return config;
+}
+
+LeoLikeCluster::LeoLikeCluster(ClusterConfig config)
+    : DfsCluster(config, Flavor::kLeo, "leo-like"), ring_(64) {
+  BuildInitialTopology();
+}
+
+void LeoLikeCluster::OnTopologyChangedInternal() {
+  // Ring arcs scale with device capacity; a capacity change re-plants the
+  // target's virtual nodes (a LeoFS ring/weight update).
+  std::vector<BrickId> serving = ServingBricks();
+  for (BrickId id : ring_.Targets()) {
+    if (std::find(serving.begin(), serving.end(), id) == serving.end()) {
+      ring_.RemoveTarget(id);
+      ring_weights_.erase(id);
+    }
+  }
+  for (BrickId id : serving) {
+    double weight = static_cast<double>(FindBrick(id)->capacity_bytes) /
+                    static_cast<double>(config_.brick_capacity);
+    auto it = ring_weights_.find(id);
+    bool stale = it != ring_weights_.end() &&
+                 (weight > it->second * 1.25 || weight < it->second * 0.8);
+    if (stale) {
+      ring_.RemoveTarget(id);
+      ring_weights_.erase(id);
+    }
+    if (!ring_.HasTarget(id)) {
+      ring_.AddTarget(id, weight);
+      ring_weights_[id] = weight;
+    }
+  }
+}
+
+uint64_t LeoLikeCluster::ObjectHash(const std::string& path, uint32_t chunk_index) {
+  uint64_t h = Mix64(chunk_index * 2654435761ULL + 0xabcdULL);
+  for (char c : path) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+std::vector<BrickId> LeoLikeCluster::PlaceChunk(const std::string& path,
+                                                uint32_t chunk_index, uint64_t bytes) {
+  std::vector<BrickId> located = ring_.Locate(ObjectHash(path, chunk_index),
+                                              config_.replication);
+  std::vector<BrickId> chosen;
+  for (BrickId id : located) {
+    const Brick* brick = FindBrick(id);
+    if (brick != nullptr && brick->online && brick->FreeBytes() >= bytes) {
+      chosen.push_back(id);
+    }
+  }
+  if (!chosen.empty()) {
+    return chosen;
+  }
+  // Ring targets full: walk the rest of the cluster for room.
+  for (BrickId id : ServingBricks()) {
+    const Brick* brick = FindBrick(id);
+    if (brick->FreeBytes() >= bytes) {
+      chosen.push_back(id);
+      if (static_cast<int>(chosen.size()) >= config_.replication) {
+        break;
+      }
+    }
+  }
+  return chosen;
+}
+
+MigrationPlan LeoLikeCluster::BuildRebalancePlan() {
+  // rebalance-list: move every object whose ring position no longer matches
+  // where it is stored (the arcs affected by ring changes).
+  MigrationPlan plan;
+  if (ring_.target_count() == 0) {
+    return plan;
+  }
+  uint64_t total_used = 0;
+  uint64_t total_capacity = 0;
+  for (BrickId id : ServingBricks()) {
+    const Brick* brick = FindBrick(id);
+    total_used += brick->used_bytes;
+    total_capacity += brick->capacity_bytes;
+  }
+  double fleet = total_capacity == 0 ? 0.0
+                                     : static_cast<double>(total_used) /
+                                           static_cast<double>(total_capacity);
+  // Like gluster's min-free-disk: never rebalance data onto an already-hot
+  // target, or the ring fixpoint can stay imbalanced forever.
+  double receive_limit = fleet + config_.native_threshold * 0.5;
+  std::map<BrickId, uint64_t> planned_inflow;  // cumulative per-target bytes
+  for (const auto& [file, layout] : file_layouts()) {
+    std::string path = tree().PathOf(file);
+    if (path.empty()) {
+      continue;
+    }
+    for (uint32_t i = 0; i < layout.chunks.size(); ++i) {
+      const ChunkPlacement& chunk = layout.chunks[i];
+      if (chunk.replicas.empty()) {
+        continue;
+      }
+      BrickId expected = ring_.Primary(ObjectHash(path, i));
+      BrickId actual = chunk.replicas.front();
+      if (expected == kInvalidBrick || expected == actual ||
+          chunk.HasReplicaOn(expected)) {
+        continue;
+      }
+      const Brick* target = FindBrick(expected);
+      if (target == nullptr || !target->online || target->FreeBytes() < chunk.bytes) {
+        continue;
+      }
+      double target_after =
+          static_cast<double>(target->used_bytes + planned_inflow[expected] +
+                              chunk.bytes) /
+          static_cast<double>(target->capacity_bytes);
+      if (target_after > receive_limit) {
+        continue;
+      }
+      planned_inflow[expected] += chunk.bytes;
+      plan.push_back(ChunkMove{.file = file,
+                               .chunk_index = i,
+                               .from = actual,
+                               .to = expected,
+                               .bytes = chunk.bytes,
+                               .reason = MoveReason::kRebalance,
+                               .hash_driven = true});
+    }
+  }
+  MigrationPlan leveling =
+      PlanLevelingByUsage(config_.native_threshold * 0.5, &planned_inflow);
+  plan.insert(plan.end(), leveling.begin(), leveling.end());
+  return plan;
+}
+
+bool LeoLikeCluster::ChunkPinnedToBrick(FileId file, uint32_t chunk_index,
+                                        BrickId brick) const {
+  if (ring_.target_count() == 0) {
+    return false;
+  }
+  std::string path = tree().PathOf(file);
+  if (path.empty()) {
+    return false;
+  }
+  return ring_.Primary(ObjectHash(path, chunk_index)) == brick;
+}
+
+}  // namespace themis

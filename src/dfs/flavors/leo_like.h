@@ -1,0 +1,42 @@
+// LeoFS-like cluster: objects are placed on a consistent-hash ring with
+// virtual nodes; gateway (metadata) nodes front the storage cluster; ring
+// changes enqueue an asynchronous rebalance that moves the affected arcs'
+// objects (takeover / rebalance-list semantics).
+
+#ifndef SRC_DFS_FLAVORS_LEO_LIKE_H_
+#define SRC_DFS_FLAVORS_LEO_LIKE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dfs/cluster.h"
+#include "src/dfs/placement/hash_ring.h"
+
+namespace themis {
+
+class LeoLikeCluster : public DfsCluster {
+ public:
+  explicit LeoLikeCluster(ClusterConfig config = DefaultConfig());
+
+  static ClusterConfig DefaultConfig();
+
+  const HashRing& ring() const { return ring_; }
+
+ protected:
+  std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
+                                  uint64_t bytes) override;
+  MigrationPlan BuildRebalancePlan() override;
+  void OnTopologyChangedInternal() override;
+  bool ChunkPinnedToBrick(FileId file, uint32_t chunk_index, BrickId brick) const override;
+
+ private:
+  static uint64_t ObjectHash(const std::string& path, uint32_t chunk_index);
+
+  HashRing ring_;
+  std::map<BrickId, double> ring_weights_;  // weight each target was planted with
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_FLAVORS_LEO_LIKE_H_

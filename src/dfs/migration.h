@@ -1,0 +1,59 @@
+// File data layout and migration plan types shared by the cluster engine,
+// the flavor balancers and the fault injector.
+
+#ifndef SRC_DFS_MIGRATION_H_
+#define SRC_DFS_MIGRATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dfs/types.h"
+
+namespace themis {
+
+// One stored chunk: `bytes` of data replicated across `replicas` bricks
+// (front = primary).
+struct ChunkPlacement {
+  uint64_t bytes = 0;
+  std::vector<BrickId> replicas;
+
+  bool HasReplicaOn(BrickId brick) const;
+};
+
+struct FileLayout {
+  uint64_t size = 0;
+  std::vector<ChunkPlacement> chunks;
+};
+
+// Why a chunk move was scheduled — faults discriminate on this.
+enum class MoveReason : uint8_t {
+  kRebalance = 0,   // balancer plan
+  kRecovery = 1,    // replica repair after node loss
+  kEvacuation = 2,  // brick being removed / shrunk
+};
+
+struct ChunkMove {
+  FileId file = 0;
+  uint32_t chunk_index = 0;
+  BrickId from = kInvalidBrick;
+  BrickId to = kInvalidBrick;
+  uint64_t bytes = 0;
+  MoveReason reason = MoveReason::kRebalance;
+  // GlusterFS: this move concerns a DHT linkfile, not the data itself.
+  bool is_linkfile = false;
+  // Hash-driven relocation (DHT fix-layout / ring takeover) rather than
+  // load-driven leveling; mechanical placement code, not balancer logic.
+  bool hash_driven = false;
+
+  std::string ToString() const;
+};
+
+using MigrationPlan = std::vector<ChunkMove>;
+
+// Total payload bytes in a plan.
+uint64_t PlanBytes(const MigrationPlan& plan);
+
+}  // namespace themis
+
+#endif  // SRC_DFS_MIGRATION_H_

@@ -1,0 +1,205 @@
+#include "src/dfs/namespace_tree.h"
+
+#include "src/common/strings.h"
+
+namespace themis {
+
+NamespaceTree::NamespaceTree() { Clear(); }
+
+void NamespaceTree::Clear() {
+  entries_.clear();
+  id_to_path_.clear();
+  next_file_id_ = 1;
+  file_count_ = 0;
+  dir_count_ = 0;
+  total_bytes_ = 0;
+  entries_["/"] = NamespaceEntry{.is_dir = true};
+}
+
+bool NamespaceTree::HasChildren(const std::string& dir_prefix) const {
+  // dir_prefix must end with '/'. Any key strictly greater than the prefix
+  // that still starts with it is a child.
+  auto it = entries_.upper_bound(dir_prefix);
+  return it != entries_.end() && StartsWith(it->first, dir_prefix);
+}
+
+Status NamespaceTree::MakeDir(std::string_view path) {
+  std::string norm = NormalizePath(path);
+  if (norm == "/") {
+    return Status::AlreadyExists("root always exists");
+  }
+  if (entries_.count(norm) != 0) {
+    return Status::AlreadyExists(norm);
+  }
+  std::string parent = ParentPath(norm);
+  auto parent_it = entries_.find(parent);
+  if (parent_it == entries_.end() || !parent_it->second.is_dir) {
+    return Status::NotFound("parent " + parent);
+  }
+  entries_[norm] = NamespaceEntry{.is_dir = true};
+  ++dir_count_;
+  return Status::Ok();
+}
+
+Status NamespaceTree::RemoveDir(std::string_view path) {
+  std::string norm = NormalizePath(path);
+  if (norm == "/") {
+    return Status::InvalidArgument("cannot remove root");
+  }
+  auto it = entries_.find(norm);
+  if (it == entries_.end() || !it->second.is_dir) {
+    return Status::NotFound(norm);
+  }
+  if (HasChildren(norm + "/")) {
+    return Status::FailedPrecondition("directory not empty: " + norm);
+  }
+  entries_.erase(it);
+  --dir_count_;
+  return Status::Ok();
+}
+
+Result<FileId> NamespaceTree::CreateFile(std::string_view path, uint64_t size) {
+  std::string norm = NormalizePath(path);
+  if (norm == "/") {
+    return Status::InvalidArgument("cannot create file at root path");
+  }
+  if (entries_.count(norm) != 0) {
+    return Status::AlreadyExists(norm);
+  }
+  std::string parent = ParentPath(norm);
+  auto parent_it = entries_.find(parent);
+  if (parent_it == entries_.end() || !parent_it->second.is_dir) {
+    return Status::NotFound("parent " + parent);
+  }
+  FileId id = next_file_id_++;
+  entries_[norm] = NamespaceEntry{.is_dir = false, .file_id = id, .size = size};
+  id_to_path_[id] = norm;
+  ++file_count_;
+  total_bytes_ += size;
+  return id;
+}
+
+Status NamespaceTree::RemoveFile(std::string_view path) {
+  std::string norm = NormalizePath(path);
+  auto it = entries_.find(norm);
+  if (it == entries_.end() || it->second.is_dir) {
+    return Status::NotFound(norm);
+  }
+  total_bytes_ -= it->second.size;
+  id_to_path_.erase(it->second.file_id);
+  entries_.erase(it);
+  --file_count_;
+  return Status::Ok();
+}
+
+Status NamespaceTree::SetFileSize(std::string_view path, uint64_t size) {
+  std::string norm = NormalizePath(path);
+  auto it = entries_.find(norm);
+  if (it == entries_.end() || it->second.is_dir) {
+    return Status::NotFound(norm);
+  }
+  total_bytes_ -= it->second.size;
+  it->second.size = size;
+  total_bytes_ += size;
+  return Status::Ok();
+}
+
+Status NamespaceTree::Rename(std::string_view from, std::string_view to) {
+  std::string src = NormalizePath(from);
+  std::string dst = NormalizePath(to);
+  if (src == "/" || dst == "/") {
+    return Status::InvalidArgument("cannot rename root");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("rename onto itself");
+  }
+  auto src_it = entries_.find(src);
+  if (src_it == entries_.end()) {
+    return Status::NotFound(src);
+  }
+  if (entries_.count(dst) != 0) {
+    return Status::AlreadyExists(dst);
+  }
+  std::string dst_parent = ParentPath(dst);
+  auto parent_it = entries_.find(dst_parent);
+  if (parent_it == entries_.end() || !parent_it->second.is_dir) {
+    return Status::NotFound("destination parent " + dst_parent);
+  }
+  if (src_it->second.is_dir) {
+    // Moving a directory under itself would orphan the subtree.
+    if (StartsWith(dst, src + "/")) {
+      return Status::InvalidArgument("cannot move a directory under itself");
+    }
+    // Rewrite the whole subtree.
+    std::string prefix = src + "/";
+    std::vector<std::pair<std::string, NamespaceEntry>> moved;
+    moved.emplace_back(dst, src_it->second);
+    for (auto it = entries_.upper_bound(prefix);
+         it != entries_.end() && StartsWith(it->first, prefix); ++it) {
+      moved.emplace_back(dst + "/" + it->first.substr(prefix.size()), it->second);
+    }
+    // Erase old keys (subtree + the directory itself).
+    auto begin = entries_.lower_bound(src);
+    auto end = entries_.upper_bound(prefix + "\xff");
+    for (auto it = begin; it != end;) {
+      if (it->first == src || StartsWith(it->first, prefix)) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [key, entry] : moved) {
+      if (!entry.is_dir) {
+        id_to_path_[entry.file_id] = key;
+      }
+      entries_[key] = entry;
+    }
+    return Status::Ok();
+  }
+  NamespaceEntry entry = src_it->second;
+  entries_.erase(src_it);
+  entries_[dst] = entry;
+  id_to_path_[entry.file_id] = dst;
+  return Status::Ok();
+}
+
+const NamespaceEntry* NamespaceTree::Find(std::string_view path) const {
+  auto it = entries_.find(NormalizePath(path));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool NamespaceTree::IsFile(std::string_view path) const {
+  const NamespaceEntry* e = Find(path);
+  return e != nullptr && !e->is_dir;
+}
+
+bool NamespaceTree::IsDir(std::string_view path) const {
+  const NamespaceEntry* e = Find(path);
+  return e != nullptr && e->is_dir;
+}
+
+Result<FileId> NamespaceTree::FileIdOf(std::string_view path) const {
+  const NamespaceEntry* e = Find(path);
+  if (e == nullptr || e->is_dir) {
+    return Status::NotFound(std::string(path));
+  }
+  return e->file_id;
+}
+
+std::vector<std::string> NamespaceTree::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(file_count_);
+  for (const auto& [path, entry] : entries_) {
+    if (!entry.is_dir) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+std::string NamespaceTree::PathOf(FileId id) const {
+  auto it = id_to_path_.find(id);
+  return it == id_to_path_.end() ? std::string() : it->second;
+}
+
+}  // namespace themis

@@ -1,0 +1,75 @@
+// The cluster-side file namespace: a directory tree mapping normalized paths
+// to files (with ids and sizes) and directories. This is the authoritative
+// namespace; Themis keeps its own black-box model (core/input_model.h) that
+// may drift, as it would against a real deployment.
+
+#ifndef SRC_DFS_NAMESPACE_TREE_H_
+#define SRC_DFS_NAMESPACE_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dfs/types.h"
+
+namespace themis {
+
+struct NamespaceEntry {
+  bool is_dir = false;
+  FileId file_id = 0;   // valid when !is_dir
+  uint64_t size = 0;    // file logical size
+};
+
+class NamespaceTree {
+ public:
+  NamespaceTree();
+
+  // Directory operations. Parents must exist; directories must be empty to be
+  // removed; the root cannot be removed.
+  Status MakeDir(std::string_view path);
+  Status RemoveDir(std::string_view path);
+
+  // File operations.
+  Result<FileId> CreateFile(std::string_view path, uint64_t size);
+  Status RemoveFile(std::string_view path);
+  Status SetFileSize(std::string_view path, uint64_t size);
+  // Renames a file or an entire directory subtree. Destination parent must
+  // exist and destination must not exist.
+  Status Rename(std::string_view from, std::string_view to);
+
+  // Lookup.
+  const NamespaceEntry* Find(std::string_view path) const;
+  bool IsFile(std::string_view path) const;
+  bool IsDir(std::string_view path) const;
+  Result<FileId> FileIdOf(std::string_view path) const;
+
+  size_t file_count() const { return file_count_; }
+  size_t dir_count() const { return dir_count_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  // Enumerates all file paths (test / detector helpers; O(n)).
+  std::vector<std::string> ListFiles() const;
+
+  // Returns the path for a live file id, or empty if unknown.
+  std::string PathOf(FileId id) const;
+
+  void Clear();
+
+ private:
+  bool HasChildren(const std::string& dir_prefix) const;
+
+  // Sorted map enables prefix scans for directory emptiness and renames.
+  std::map<std::string, NamespaceEntry> entries_;
+  std::map<FileId, std::string> id_to_path_;
+  FileId next_file_id_ = 1;
+  size_t file_count_ = 0;
+  size_t dir_count_ = 0;       // excludes root
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_NAMESPACE_TREE_H_

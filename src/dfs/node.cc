@@ -1,0 +1,6 @@
+#include "src/dfs/node.h"
+
+// Node types are plain data; this TU keeps the header honest.
+namespace themis {
+static_assert(sizeof(StorageNode) > 0);
+}  // namespace themis

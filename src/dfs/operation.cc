@@ -1,0 +1,112 @@
+#include "src/dfs/operation.h"
+
+#include "src/common/bytes.h"
+#include "src/common/strings.h"
+
+namespace themis {
+
+OpClass ClassOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreate:
+    case OpKind::kDelete:
+    case OpKind::kAppend:
+    case OpKind::kOverwrite:
+    case OpKind::kOpen:
+    case OpKind::kTruncateOverwrite:
+    case OpKind::kMkdir:
+    case OpKind::kRmdir:
+    case OpKind::kRename:
+      return OpClass::kFile;
+    case OpKind::kAddMetaNode:
+    case OpKind::kRemoveMetaNode:
+    case OpKind::kAddStorageNode:
+    case OpKind::kRemoveStorageNode:
+      return OpClass::kNode;
+    case OpKind::kAddVolume:
+    case OpKind::kRemoveVolume:
+    case OpKind::kExpandVolume:
+    case OpKind::kReduceVolume:
+      return OpClass::kVolume;
+  }
+  return OpClass::kFile;
+}
+
+bool IsConfigOp(OpKind kind) { return ClassOf(kind) != OpClass::kFile; }
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreate:
+      return "create";
+    case OpKind::kDelete:
+      return "delete";
+    case OpKind::kAppend:
+      return "append";
+    case OpKind::kOverwrite:
+      return "overwrite";
+    case OpKind::kOpen:
+      return "open";
+    case OpKind::kTruncateOverwrite:
+      return "truncate-overwrite";
+    case OpKind::kMkdir:
+      return "mkdir";
+    case OpKind::kRmdir:
+      return "rmdir";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kAddMetaNode:
+      return "add_MN";
+    case OpKind::kRemoveMetaNode:
+      return "remove_MN";
+    case OpKind::kAddStorageNode:
+      return "add_storage";
+    case OpKind::kRemoveStorageNode:
+      return "remove_storage";
+    case OpKind::kAddVolume:
+      return "add_volume";
+    case OpKind::kRemoveVolume:
+      return "remove_volume";
+    case OpKind::kExpandVolume:
+      return "expand_volume";
+    case OpKind::kReduceVolume:
+      return "reduce_volume";
+  }
+  return "?";
+}
+
+OpKind OpKindFromIndex(int index) {
+  return static_cast<OpKind>(index % kOpKindCount);
+}
+
+std::string Operation::ToString() const {
+  std::string out(OpKindName(kind));
+  switch (ClassOf(kind)) {
+    case OpClass::kFile:
+      out += " ";
+      out += path;
+      if (kind == OpKind::kRename) {
+        out += " -> " + path2;
+      }
+      if (kind == OpKind::kCreate || kind == OpKind::kAppend ||
+          kind == OpKind::kOverwrite || kind == OpKind::kTruncateOverwrite) {
+        out += " " + FormatBytes(size);
+      }
+      break;
+    case OpClass::kNode:
+      if (node != kInvalidNode) {
+        out += Sprintf(" node%u", node);
+      }
+      break;
+    case OpClass::kVolume:
+      if (brick != kInvalidBrick) {
+        out += Sprintf(" brick%u", brick);
+      }
+      if (kind == OpKind::kAddVolume || kind == OpKind::kExpandVolume ||
+          kind == OpKind::kReduceVolume) {
+        out += " " + FormatBytes(size);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace themis

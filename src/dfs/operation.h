@@ -1,0 +1,89 @@
+// The operation model of the paper's test-case specification (Fig. 7):
+//
+//   testcase:  operation+            // operation sequence opSeq
+//   operation: opt opd+              // operator + operands
+//   opt:       file_op | node_op | volume_op
+//   file_op:   create | delete | append | overwrite | open
+//            | truncate-overwrite | mkdir | rmdir | rename
+//   node_op:   add_MN | remove_MN | add_storage | remove_storage
+//   volume_op: add_volume | remove_volume | expand_volume | reduce_volume
+//   opd:       fileName | nodeId | size
+//
+// Both client requests (file_op) and system configuration changes (node_op,
+// volume_op) are expressed in this single vocabulary — the key modeling move
+// of Themis.
+
+#ifndef SRC_DFS_OPERATION_H_
+#define SRC_DFS_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/dfs/types.h"
+
+namespace themis {
+
+enum class OpKind : uint8_t {
+  // file_op (client requests)
+  kCreate = 0,
+  kDelete,
+  kAppend,
+  kOverwrite,
+  kOpen,
+  kTruncateOverwrite,
+  kMkdir,
+  kRmdir,
+  kRename,
+  // node_op (system configuration)
+  kAddMetaNode,
+  kRemoveMetaNode,
+  kAddStorageNode,
+  kRemoveStorageNode,
+  // volume_op (system configuration)
+  kAddVolume,
+  kRemoveVolume,
+  kExpandVolume,
+  kReduceVolume,
+};
+
+// Total number of distinct load-related operators (t = 17 in the paper).
+constexpr int kOpKindCount = 17;
+
+enum class OpClass : uint8_t {
+  kFile = 0,    // client request input space
+  kNode = 1,    // configuration input space (membership)
+  kVolume = 2,  // configuration input space (volumes)
+};
+
+OpClass ClassOf(OpKind kind);
+bool IsConfigOp(OpKind kind);  // node_op or volume_op
+std::string_view OpKindName(OpKind kind);
+OpKind OpKindFromIndex(int index);  // index in [0, kOpKindCount)
+
+// A fully instantiated operation. Which fields are meaningful depends on the
+// operator, mirroring "the number and contents of operands opd are determined
+// by the operator opt".
+struct Operation {
+  OpKind kind = OpKind::kOpen;
+  std::string path;    // fileName operand (file ops; also rename source)
+  std::string path2;   // rename target
+  NodeId node = kInvalidNode;    // nodeId operand (node ops)
+  BrickId brick = kInvalidBrick; // volume ops target brick
+  uint64_t size = 0;   // size operand (bytes)
+
+  std::string ToString() const;
+};
+
+// Outcome of executing one operation against a cluster.
+struct OpResult {
+  Status status;
+  SimDuration cost = 0;       // virtual time consumed
+  uint64_t bytes_moved = 0;   // client data written/read
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_OPERATION_H_

@@ -1,0 +1,57 @@
+// CRUSH-style placement (CephFS flavor).
+//
+// Objects map to placement groups (PGs) by hash; each PG is mapped to an
+// ordered set of targets with straw2 selection: every target draws
+// ln(u) / weight for a deterministic pseudo-random u = hash(pg, round,
+// target), and the largest draw wins. Weight changes move only a
+// proportional share of PGs — CRUSH's signature property. An "upmap" overlay
+// lets the balancer pin individual PGs elsewhere, mirroring Ceph's upmap
+// balancer.
+
+#ifndef SRC_DFS_PLACEMENT_CRUSH_MAP_H_
+#define SRC_DFS_PLACEMENT_CRUSH_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/dfs/types.h"
+
+namespace themis {
+
+class CrushMap {
+ public:
+  explicit CrushMap(uint32_t pg_count = 256);
+
+  void SetTargetWeight(BrickId target, double weight);  // weight<=0 removes
+  void RemoveTarget(BrickId target);
+  bool HasTarget(BrickId target) const;
+  double TargetWeight(BrickId target) const;
+  size_t target_count() const { return weights_.size(); }
+  uint32_t pg_count() const { return pg_count_; }
+
+  uint32_t PgOf(uint64_t object_hash) const { return object_hash % pg_count_; }
+
+  // CRUSH mapping of `pg` onto `replicas` distinct targets (before upmap).
+  std::vector<BrickId> RawMap(uint32_t pg, int replicas) const;
+
+  // Mapping after applying upmap overrides.
+  std::vector<BrickId> Map(uint32_t pg, int replicas) const;
+
+  // Balancer interface: pin a PG's primary to `target` / clear a pin.
+  void Upmap(uint32_t pg, BrickId target);
+  void ClearUpmap(uint32_t pg);
+  void ClearAllUpmaps();
+  size_t upmap_count() const { return upmaps_.size(); }
+
+  std::vector<BrickId> Targets() const;
+
+ private:
+  uint32_t pg_count_;
+  std::map<BrickId, double> weights_;
+  std::map<uint32_t, BrickId> upmaps_;  // pg -> pinned primary
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_PLACEMENT_CRUSH_MAP_H_

@@ -1,0 +1,54 @@
+// GlusterFS-style distributed hash table layout.
+//
+// The 32-bit hash space is partitioned into contiguous ranges, one per brick,
+// sized proportionally to brick weights. A file's name-hash selects its
+// "hashed" brick. When the brick set changes, `Recompute` (fix-layout)
+// rebuilds the ranges; files whose hash now maps to a different brick must be
+// migrated, and until they are, a small *linkfile* sits on the new hashed
+// brick pointing at the brick that still holds the data — the mechanism at
+// the heart of the paper's GlusterFS case study (Fig. 11).
+
+#ifndef SRC_DFS_PLACEMENT_DHT_LAYOUT_H_
+#define SRC_DFS_PLACEMENT_DHT_LAYOUT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/dfs/types.h"
+
+namespace themis {
+
+struct DhtRange {
+  uint32_t start = 0;  // inclusive
+  uint32_t end = 0;    // inclusive
+  BrickId brick = kInvalidBrick;
+};
+
+class DhtLayout {
+ public:
+  DhtLayout() = default;
+
+  // Rebuilds the layout over `bricks` with the given positive weights
+  // (typically capacities). Increments the layout generation.
+  void Recompute(const std::vector<std::pair<BrickId, double>>& bricks);
+
+  // The brick whose range covers hash(name). kInvalidBrick if no layout.
+  BrickId Locate(uint32_t name_hash) const;
+
+  uint64_t generation() const { return generation_; }
+  bool empty() const { return ranges_.empty(); }
+  const std::vector<DhtRange>& ranges() const { return ranges_; }
+
+  // 32-bit name hash (gluster uses Davies-Meyer; we use a splitmix fold).
+  static uint32_t HashName(std::string_view name);
+
+ private:
+  std::vector<DhtRange> ranges_;  // sorted by start, covering [0, 2^32)
+  uint64_t generation_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_PLACEMENT_DHT_LAYOUT_H_

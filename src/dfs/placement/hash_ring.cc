@@ -1,0 +1,92 @@
+#include "src/dfs/placement/hash_ring.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace themis {
+
+HashRing::HashRing(int vnodes_per_target)
+    : vnodes_(vnodes_per_target > 0 ? vnodes_per_target : 1) {}
+
+void HashRing::AddTarget(BrickId target, double weight) {
+  if (!targets_.insert(target).second) {
+    return;
+  }
+  int vnodes = static_cast<int>(static_cast<double>(vnodes_) * weight);
+  vnodes = std::clamp(vnodes, 4, 4 * vnodes_);
+  for (int v = 0; v < vnodes; ++v) {
+    uint64_t pos = HashCombine(Mix64(target + 0x9e37ULL), static_cast<uint64_t>(v));
+    // Resolve (vanishingly rare) collisions by probing.
+    while (ring_.count(pos) != 0) {
+      pos = Mix64(pos);
+    }
+    ring_[pos] = target;
+  }
+}
+
+void HashRing::RemoveTarget(BrickId target) {
+  if (targets_.erase(target) == 0) {
+    return;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == target) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool HashRing::HasTarget(BrickId target) const { return targets_.count(target) != 0; }
+
+int HashRing::VnodeCount(BrickId target) const {
+  int count = 0;
+  for (const auto& [pos, brick] : ring_) {
+    (void)pos;
+    if (brick == target) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<BrickId> HashRing::Locate(uint64_t key_hash, int replicas) const {
+  std::vector<BrickId> out;
+  if (ring_.empty() || replicas <= 0) {
+    return out;
+  }
+  size_t want = std::min(static_cast<size_t>(replicas), targets_.size());
+  auto it = ring_.lower_bound(key_hash);
+  size_t steps = 0;
+  while (out.size() < want && steps < 2 * ring_.size()) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    BrickId candidate = it->second;
+    bool seen = false;
+    for (BrickId b : out) {
+      if (b == candidate) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      out.push_back(candidate);
+    }
+    ++it;
+    ++steps;
+  }
+  return out;
+}
+
+BrickId HashRing::Primary(uint64_t key_hash) const {
+  std::vector<BrickId> located = Locate(key_hash, 1);
+  return located.empty() ? kInvalidBrick : located.front();
+}
+
+std::vector<BrickId> HashRing::Targets() const {
+  return std::vector<BrickId>(targets_.begin(), targets_.end());
+}
+
+}  // namespace themis

@@ -1,0 +1,49 @@
+#include "src/dfs/placement/weighted_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace themis {
+
+WeightedTree::WeightedTree(int buckets) : buckets_(buckets > 0 ? buckets : 1) {}
+
+void WeightedTree::Clear() {
+  tree_.clear();
+  count_ = 0;
+}
+
+void WeightedTree::Insert(const WeightedTarget& target) {
+  double f = std::clamp(target.used_fraction, 0.0, 1.0);
+  int bucket = static_cast<int>(f * buckets_);
+  if (bucket >= buckets_) {
+    bucket = buckets_ - 1;
+  }
+  tree_[bucket].push_back(target.brick);
+  ++count_;
+}
+
+std::vector<BrickId> WeightedTree::SortByLoad(Rng& rng) const {
+  std::vector<BrickId> out;
+  out.reserve(count_);
+  for (const auto& [bucket, members] : tree_) {
+    (void)bucket;
+    size_t start = out.size();
+    out.insert(out.end(), members.begin(), members.end());
+    // Collections.shuffle(l) over nodes with the same weight.
+    for (size_t i = out.size(); i > start + 1; --i) {
+      size_t j = start + rng.PickIndex(i - start);
+      std::swap(out[i - 1], out[j]);
+    }
+  }
+  return out;
+}
+
+std::vector<BrickId> WeightedTree::ChooseLeastLoaded(int n, Rng& rng) const {
+  std::vector<BrickId> sorted = SortByLoad(rng);
+  if (n >= 0 && static_cast<size_t>(n) < sorted.size()) {
+    sorted.resize(static_cast<size_t>(n));
+  }
+  return sorted;
+}
+
+}  // namespace themis

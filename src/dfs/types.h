@@ -1,0 +1,38 @@
+// Shared identifier and enum types for the DFS simulator.
+
+#ifndef SRC_DFS_TYPES_H_
+#define SRC_DFS_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace themis {
+
+using NodeId = uint32_t;
+using BrickId = uint32_t;
+using VolumeId = uint32_t;
+using FileId = uint64_t;
+
+constexpr NodeId kInvalidNode = 0xffffffffu;
+constexpr BrickId kInvalidBrick = 0xffffffffu;
+constexpr VolumeId kInvalidVolume = 0xffffffffu;
+
+// The four DFS architectures the paper evaluates, plus a slot for
+// user-provided systems adapted through DfsInterface.
+enum class Flavor : uint8_t {
+  kHdfs = 0,
+  kCeph = 1,
+  kGluster = 2,
+  kLeo = 3,
+  kCustom = 4,
+};
+
+std::string_view FlavorName(Flavor flavor);
+
+// Virtual branch space per flavor (see src/coverage/coverage.h). Sized so
+// that saturated Themis campaigns land near the paper's Table 5 magnitudes.
+size_t FlavorBranchSpace(Flavor flavor);
+
+}  // namespace themis
+
+#endif  // SRC_DFS_TYPES_H_

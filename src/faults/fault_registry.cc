@@ -1,0 +1,298 @@
+#include "src/faults/fault_registry.h"
+
+namespace themis {
+
+namespace {
+
+// Builds Table 2. Trigger structures follow the paper's root-cause analyses;
+// see each entry's comment. Reachability per strategy (Table 3) is emergent:
+// shallow single-space bugs fall to the baselines, deep mixed-space bugs
+// (both input classes + repeated rebalances + accumulated variance inside a
+// short window) fall only to load-variance-guided exploration.
+std::vector<FaultSpec> BuildNewBugs() {
+  std::vector<FaultSpec> bugs;
+
+  {
+    // #1 GlusterFS Bug#S24387 — dht.rebalancer deletes linkfiles whose hashed
+    // id is still cached, destroying migrated data (the Fig. 11 case study).
+    // Deep: create+rename churn, layout changes, two rebalance rounds in
+    // close succession with accumulated variance.
+    FaultSpec spec;
+    spec.id = "Bug#S24387";
+    spec.platform = Flavor::kGluster;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "load imbalance due to mistakenly removing plenty of file data in "
+        "dht.rebalancer, causing serious data loss";
+    spec.trigger.window = 12;
+    spec.trigger.min_window_ops = 6;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_volume_ops = true;
+    spec.trigger.required_kinds = {OpKind::kCreate, OpKind::kRename};
+    spec.trigger.min_rebalance_rounds = 2;
+    spec.trigger.min_variance = 0.21;
+    spec.trigger.min_variance_streak = 4;
+    spec.trigger.min_steadiness = 0.65;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.probability = 0.55;
+    spec.effect = EffectKind::kLinkfileUnlink;
+    spec.severity = 0.50;
+    bugs.push_back(spec);
+  }
+  {
+    // #2 GlusterFS Bug#S24389 — gf.handler mishandles batches of file
+    // operations with large size differences. Pure request-space bug.
+    FaultSpec spec;
+    spec.id = "Bug#S24389";
+    spec.platform = Flavor::kGluster;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "imbalanced storage distribution after mistakenly handling plenty of "
+        "file operations with large size differences in gf.handler";
+    spec.trigger.window = 8;
+    spec.trigger.min_window_ops = 5;
+    spec.trigger.needs_requests = true;
+    spec.trigger.required_kinds = {OpKind::kCreate, OpKind::kOverwrite,
+                                   OpKind::kTruncateOverwrite};
+    spec.trigger.min_distinct_kinds = 3;
+    spec.trigger.probability = 0.12;
+    spec.effect = EffectKind::kHotspotAccumulation;
+    spec.severity = 0.55;
+    bugs.push_back(spec);
+  }
+  {
+    // #3 GlusterFS Bug#S25081 — null-pointer hashID crashes storage nodes
+    // under frequent rebalance commands.
+    FaultSpec spec;
+    spec.id = "Bug#S25081";
+    spec.platform = Flavor::kGluster;
+    spec.type = FailureType::kCrash;
+    spec.cause = StudyRootCause::kLoadCalculation;
+    spec.description =
+        "some nodes crash down after frequently executing load rebalance "
+        "commands due to a null-pointer hashID";
+    spec.trigger.window = 10;
+    spec.trigger.min_window_ops = 6;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_volume_ops = true;
+    spec.trigger.required_kinds = {OpKind::kTruncateOverwrite, OpKind::kReduceVolume};
+    spec.trigger.min_rebalance_rounds = 3;
+    spec.trigger.min_rebalances_in_window = 2;
+    spec.trigger.probability = 0.35;
+    spec.effect = EffectKind::kCrashNode;
+    spec.severity = 0.0;  // detected through the node health signal
+    bugs.push_back(spec);
+  }
+  {
+    // #4 GlusterFS Bug#S25088 — wrong assignment in gf_self_healing after
+    // node changes plus a surge in client requests.
+    FaultSpec spec;
+    spec.id = "Bug#S25088";
+    spec.platform = Flavor::kGluster;
+    spec.type = FailureType::kImbalancedCpu;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "imbalanced computation load caused by wrong assignment in "
+        "gf_self_healing after nodes change and surge in client requests";
+    spec.trigger.window = 12;
+    spec.trigger.min_window_ops = 6;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_node_ops = true;
+    spec.trigger.required_kinds = {OpKind::kRemoveStorageNode, OpKind::kCreate,
+                                   OpKind::kRename};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.min_variance = 0.21;
+    spec.trigger.min_variance_streak = 4;
+    spec.trigger.min_steadiness = 0.65;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.probability = 0.55;
+    spec.effect = EffectKind::kCpuSkew;
+    spec.severity = 0.60;
+    bugs.push_back(spec);
+  }
+  {
+    // #5 LeoFS Bug#S231116 — wrong rebalance_list read in leofs.cluster after
+    // constant file resizing and volume changing.
+    FaultSpec spec;
+    spec.id = "Bug#S231116";
+    spec.platform = Flavor::kLeo;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "storage distributes unevenly due to wrong rebalance_list read in "
+        "leofs.cluster after constant file resizing and volume changing";
+    spec.trigger.window = 8;
+    spec.trigger.min_window_ops = 4;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_volume_ops = true;
+    spec.trigger.required_kinds = {OpKind::kAppend, OpKind::kReduceVolume,
+                                   OpKind::kExpandVolume};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.probability = 0.25;
+    spec.effect = EffectKind::kWrongTargetMigration;
+    spec.severity = 0.50;
+    bugs.push_back(spec);
+  }
+  {
+    // #6 LeoFS Bug#S231117 — incorrect data sync in leofs.migration after
+    // nodes enter and exit frequently.
+    FaultSpec spec;
+    spec.id = "Bug#S231117";
+    spec.platform = Flavor::kLeo;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "some nodes become hotspots caused by incorrect data sync in "
+        "leofs.migration after nodes enter and exit frequently";
+    spec.trigger.window = 12;
+    spec.trigger.min_window_ops = 6;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_node_ops = true;
+    spec.trigger.required_kinds = {OpKind::kAddStorageNode, OpKind::kRemoveStorageNode,
+                                   OpKind::kTruncateOverwrite};
+    spec.trigger.min_rebalance_rounds = 2;
+    spec.trigger.min_variance = 0.17;
+    spec.trigger.min_variance_streak = 4;
+    spec.trigger.min_steadiness = 0.65;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.probability = 0.55;
+    spec.effect = EffectKind::kPlanSkipsVictim;
+    spec.severity = 0.45;
+    bugs.push_back(spec);
+  }
+  {
+    // #7 LeoFS Bug#S231137 — wrong rebalance measuring between two
+    // LeoGateways when two nodes happen to exit.
+    FaultSpec spec;
+    spec.id = "Bug#S231137";
+    spec.platform = Flavor::kLeo;
+    spec.type = FailureType::kImbalancedNetwork;
+    spec.cause = StudyRootCause::kStateCollection;
+    spec.description =
+        "requests distributed imbalance due to wrong rebalance measuring "
+        "between two LeoGateways when two nodes happen to exit";
+    spec.trigger.window = 16;
+    spec.trigger.min_window_ops = 5;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_node_ops = true;
+    spec.trigger.required_kinds = {OpKind::kRemoveMetaNode, OpKind::kRemoveStorageNode,
+                                   OpKind::kOverwrite};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.min_variance = 0.14;
+    spec.trigger.min_variance_streak = 3;
+    spec.trigger.min_steadiness = 0.65;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.probability = 0.55;
+    spec.effect = EffectKind::kNetworkSkew;
+    spec.severity = 0.70;
+    bugs.push_back(spec);
+  }
+  {
+    // #8 CephFS Bug#63890 — balancing IO hangs in replicas: some devices
+    // full while others sit at 65%.
+    FaultSpec spec;
+    spec.id = "Bug#63890";
+    spec.platform = Flavor::kCeph;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "imbalanced storage where some storage devices are full while others "
+        "only occupy 65% caused by balancing IO hangs in replicas";
+    spec.trigger.window = 16;
+    spec.trigger.min_window_ops = 6;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_volume_ops = true;
+    spec.trigger.required_kinds = {OpKind::kCreate, OpKind::kAddVolume,
+                                   OpKind::kOverwrite};
+    spec.trigger.min_rebalance_rounds = 2;
+    spec.trigger.min_variance = 0.11;
+    spec.trigger.min_variance_streak = 3;
+    spec.trigger.min_steadiness = 0.65;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.probability = 0.55;
+    spec.effect = EffectKind::kRebalanceHang;
+    spec.severity = 0.54;  // full vs 65% ~ max/mean-1 around 0.5
+    bugs.push_back(spec);
+  }
+  {
+    // #9 HDFS Bug#20240111 — inode conflicts in balancing while many file
+    // operations run during node scaling.
+    FaultSpec spec;
+    spec.id = "Bug#20240111";
+    spec.platform = Flavor::kHdfs;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kLoadCalculation;
+    spec.description =
+        "some disks become hotspots due to inode conflicts in balancing when "
+        "executing many file operations within nodes scaling";
+    spec.trigger.window = 8;
+    spec.trigger.min_window_ops = 5;
+    spec.trigger.needs_requests = true;
+    spec.trigger.required_kinds = {OpKind::kRename, OpKind::kCreate, OpKind::kDelete};
+    spec.trigger.min_rebalances_in_window = 1;
+    spec.trigger.probability = 0.18;
+    spec.effect = EffectKind::kPlanSkipsVictim;
+    spec.severity = 0.42;
+    bugs.push_back(spec);
+  }
+  {
+    // #10 HDFS Bug#20240126 — NameNode traffic jams from checkpointSize
+    // handling of blocks in newly generated files when replicas go offline.
+    FaultSpec spec;
+    spec.id = "Bug#20240126";
+    spec.platform = Flavor::kHdfs;
+    spec.type = FailureType::kImbalancedNetwork;
+    spec.cause = StudyRootCause::kStateCollection;
+    spec.description =
+        "NameNodes traffic jams due to blocks in newly generated files in "
+        "checkpointSize when some storage replicas went offline";
+    spec.trigger.window = 12;
+    spec.trigger.min_window_ops = 6;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_node_ops = true;
+    spec.trigger.required_kinds = {OpKind::kCreate, OpKind::kRemoveStorageNode,
+                                   OpKind::kOverwrite};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.min_variance = 0.12;
+    spec.trigger.min_variance_streak = 4;
+    spec.trigger.min_steadiness = 0.65;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.probability = 0.55;
+    spec.effect = EffectKind::kNetworkSkew;
+    spec.severity = 0.80;
+    bugs.push_back(spec);
+  }
+
+  return bugs;
+}
+
+}  // namespace
+
+std::vector<FaultSpec> NewBugRegistry() {
+  static const std::vector<FaultSpec> kBugs = BuildNewBugs();
+  return kBugs;
+}
+
+std::vector<FaultSpec> NewBugsFor(Flavor flavor) {
+  std::vector<FaultSpec> out;
+  for (const FaultSpec& spec : NewBugRegistry()) {
+    if (spec.platform == flavor) {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+const FaultSpec* FindNewBug(const std::string& id) {
+  static const std::vector<FaultSpec> kBugs = NewBugRegistry();
+  for (const FaultSpec& spec : kBugs) {
+    if (spec.id == id) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace themis

@@ -1,0 +1,25 @@
+// Registries of injectable fault specifications.
+
+#ifndef SRC_FAULTS_FAULT_REGISTRY_H_
+#define SRC_FAULTS_FAULT_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_spec.h"
+
+namespace themis {
+
+// The 10 previously unknown imbalance failures of Table 2, implemented as
+// injectable faults in the matching flavor.
+std::vector<FaultSpec> NewBugRegistry();
+
+// Subset of NewBugRegistry for one platform.
+std::vector<FaultSpec> NewBugsFor(Flavor flavor);
+
+// Looks up one new-bug spec by id (empty id -> nullptr semantics via found).
+const FaultSpec* FindNewBug(const std::string& id);
+
+}  // namespace themis
+
+#endif  // SRC_FAULTS_FAULT_REGISTRY_H_

@@ -1,0 +1,19 @@
+#include "src/faults/fault_spec.h"
+
+namespace themis {
+
+const char* FailureTypeName(FailureType type) {
+  switch (type) {
+    case FailureType::kImbalancedStorage:
+      return "Imbalanced Storage";
+    case FailureType::kImbalancedCpu:
+      return "Imbalanced CPU";
+    case FailureType::kImbalancedNetwork:
+      return "Imbalanced Network";
+    case FailureType::kCrash:
+      return "Crash";
+  }
+  return "?";
+}
+
+}  // namespace themis

@@ -1,0 +1,29 @@
+// Derives injectable FaultSpecs from the 53-failure study corpus (§6.1.2's
+// historical-imbalance evaluation). Each study record becomes a fault whose
+// trigger structure follows its annotations: trigger input classes, step
+// count (deep 6-8-step failures demand rebalance rounds and accumulated
+// variance), dominant internal symptom (which load dimension the effect
+// skews) and environment gates (the five failures Themis cannot reach).
+
+#ifndef SRC_FAULTS_HISTORICAL_CORPUS_H_
+#define SRC_FAULTS_HISTORICAL_CORPUS_H_
+
+#include <vector>
+
+#include "src/faults/fault_spec.h"
+#include "src/study/study_corpus.h"
+
+namespace themis {
+
+// All 53 historical faults.
+std::vector<FaultSpec> HistoricalFaultCorpus();
+
+// Historical faults for one platform.
+std::vector<FaultSpec> HistoricalFaultsFor(Flavor flavor);
+
+// The conversion used above, exposed for tests.
+FaultSpec FaultFromStudyRecord(const StudyRecord& record);
+
+}  // namespace themis
+
+#endif  // SRC_FAULTS_HISTORICAL_CORPUS_H_

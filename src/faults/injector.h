@@ -1,0 +1,90 @@
+// The runtime fault injector.
+//
+// Implements the cluster's FaultHooks: it watches the execution history
+// (recent operations, completed rebalance rounds, current storage variance),
+// trips dormant FaultSpecs whose trigger predicate becomes satisfied, and
+// then applies their effect — mutating migration plans, dropping or
+// corrupting chunk moves, skewing CPU/network/storage load, hanging the
+// rebalance command, or crashing a node. Effects persist until the cluster
+// is reset (an imbalance failure, by definition §2.2, cannot self-recover).
+//
+// The injector is also the evaluation's ground truth: the campaign harness
+// asks which faults were active when the detector confirmed a failure, to
+// label reports as true/false positives. The *detector never reads this
+// state* — it sees only load samples.
+
+#ifndef SRC_FAULTS_INJECTOR_H_
+#define SRC_FAULTS_INJECTOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dfs/cluster.h"
+#include "src/faults/fault_spec.h"
+
+namespace themis {
+
+struct FaultRuntime {
+  FaultSpec spec;
+  bool active = false;
+  SimTime triggered_at = -1;
+  int trigger_count = 0;  // across cluster resets
+  BrickId victim_brick = kInvalidBrick;
+  NodeId victim_node = kInvalidNode;
+  // Sustained-variance tracking (min_variance_streak): consecutive ops with
+  // storage imbalance >= spec.trigger.min_variance, and the completed round
+  // count when the streak began.
+  int variance_streak = 0;
+  int rounds_at_streak_start = 0;
+  // Number of operations at which the full predicate (minus the probability
+  // gate) held — calibration telemetry.
+  uint64_t satisfied_evals = 0;
+};
+
+class FaultInjector : public FaultHooks {
+ public:
+  FaultInjector(std::vector<FaultSpec> specs, uint64_t seed);
+
+  // ---- FaultHooks ----
+  void OnOperationExecuted(DfsCluster& dfs, const Operation& op,
+                           const OpResult& result) override;
+  void OnRebalancePlanned(DfsCluster& dfs, MigrationPlan& plan) override;
+  MigrateVerdict OnMigrateChunk(DfsCluster& dfs, const ChunkMove& move) override;
+  bool SuppressRebalance(const DfsCluster& dfs) override;
+  bool SuppressMetadataSync(const DfsCluster& dfs, NodeId node) override;
+  void OnClusterReset(DfsCluster& dfs) override;
+
+  // ---- ground truth for the campaign harness ----
+  const std::vector<FaultRuntime>& faults() const { return faults_; }
+  std::vector<std::string> ActiveFaultIds() const;
+  bool AnyActive() const;
+  // Ids of faults that have triggered at least once over the whole campaign.
+  std::vector<std::string> EverTriggeredIds() const;
+
+ private:
+  void EvaluateTriggers(DfsCluster& dfs);
+  void UpdateVarianceStreaks(const DfsCluster& dfs);
+  // Operator-multiset overlap between the two most recent 8-op windows.
+  double Steadiness() const;
+  // Whether a file operation touched data resident on the hottest brick.
+  bool TouchesHottestBrick(const DfsCluster& dfs, const Operation& op) const;
+  bool TriggerSatisfied(const FaultRuntime& fault, const DfsCluster& dfs) const;
+  void Activate(FaultRuntime& fault, DfsCluster& dfs);
+  void PickVictim(FaultRuntime& fault, DfsCluster& dfs);
+  void ApplyContinuousEffects(DfsCluster& dfs);
+  bool EffectTargetsStorage(EffectKind effect) const;
+
+  std::vector<FaultRuntime> faults_;
+  // Rolling execution history (most recent at the back).
+  std::deque<OpKind> recent_ops_;
+  std::deque<int> rounds_at_op_;      // completed rounds when each op ran
+  std::deque<double> imbalance_at_op_;  // storage imbalance after each op
+  std::deque<bool> hot_touch_at_op_;  // op touched data on the hottest brick
+  Rng rng_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_FAULTS_INJECTOR_H_

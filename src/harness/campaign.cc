@@ -1,0 +1,148 @@
+#include "src/harness/campaign.h"
+
+#include "src/baselines/alternate.h"
+#include "src/baselines/concurrent.h"
+#include "src/baselines/fix_conf.h"
+#include "src/baselines/fix_req.h"
+#include "src/baselines/themis_minus.h"
+#include "src/common/log.h"
+
+namespace themis {
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kThemis:
+      return "Themis";
+    case StrategyKind::kThemisMinus:
+      return "Themis-";
+    case StrategyKind::kFixReq:
+      return "Fix_req";
+    case StrategyKind::kFixConf:
+      return "Fix_conf";
+    case StrategyKind::kAlternate:
+      return "Alternate";
+    case StrategyKind::kConcurrent:
+      return "Concurrent";
+  }
+  return "?";
+}
+
+Campaign::Campaign(CampaignConfig config) : config_(config) {}
+
+std::vector<FaultSpec> Campaign::FaultsForConfig() const {
+  switch (config_.fault_set) {
+    case FaultSet::kNewBugs:
+      return NewBugsFor(config_.flavor);
+    case FaultSet::kHistorical:
+      return HistoricalFaultsFor(config_.flavor);
+    case FaultSet::kNone:
+      return {};
+  }
+  return {};
+}
+
+std::unique_ptr<Strategy> Campaign::MakeStrategy(StrategyKind kind, InputModel& model,
+                                                 Rng& rng, bool variance_guidance) {
+  switch (kind) {
+    case StrategyKind::kThemis: {
+      FuzzerConfig fuzzer_config;
+      fuzzer_config.variance_guidance = variance_guidance;
+      return std::make_unique<ThemisFuzzer>(model, rng, fuzzer_config);
+    }
+    case StrategyKind::kThemisMinus:
+      return std::make_unique<ThemisMinusStrategy>(model, rng);
+    case StrategyKind::kFixReq:
+      return std::make_unique<FixReqStrategy>(model, rng);
+    case StrategyKind::kFixConf:
+      return std::make_unique<FixConfStrategy>(model, rng);
+    case StrategyKind::kAlternate:
+      return std::make_unique<AlternateStrategy>(model, rng);
+    case StrategyKind::kConcurrent:
+      return std::make_unique<ConcurrentStrategy>(model, rng);
+  }
+  return nullptr;
+}
+
+CampaignResult Campaign::Run(StrategyKind kind) {
+  CampaignResult result;
+  result.strategy_name = StrategyKindName(kind);
+  result.flavor = config_.flavor;
+
+  std::unique_ptr<DfsCluster> cluster = MakeCluster(
+      config_.flavor, config_.seed, config_.storage_nodes, config_.meta_nodes);
+  CoverageRecorder coverage(FlavorBranchSpace(config_.flavor), config_.seed);
+  cluster->set_coverage(&coverage);
+
+  FaultInjector injector(FaultsForConfig(), config_.seed ^ 0xfa0175ULL);
+  cluster->set_fault_hooks(&injector);
+
+  Rng rng(config_.seed ^ 0x7e5715ULL);
+  InputModel model;
+  StatesMonitor monitor(config_.weights);
+  DetectorConfig detector_config;
+  detector_config.threshold = config_.threshold_t;
+  ImbalanceDetector detector(detector_config);
+  TestCaseExecutor executor(*cluster, model, monitor, detector, &injector, &coverage,
+                            rng);
+  std::unique_ptr<Strategy> strategy =
+      MakeStrategy(kind, model, rng, /*variance_guidance=*/true);
+
+  // Initial data population.
+  OpSeqGenerator init_generator(model);
+  executor.SeedInitialData(init_generator, config_.initial_files);
+
+  GroundTruthTally tally;
+  SimTime next_coverage_sample = 0;
+  while (cluster->Now() < config_.budget) {
+    OpSeq testcase = strategy->Next();
+    ExecOutcome outcome = executor.Run(testcase);
+    strategy->OnOutcome(testcase, outcome);
+    ++result.testcases;
+    for (const FailureReport& report : outcome.failures) {
+      if (!report.IsTruePositive() && GetLogLevel() >= LogLevel::kDebug) {
+        for (const auto& [id, brick] : cluster->bricks()) {
+          THEMIS_LOG(kDebug, "FP state: brick%u node%u online=%d used=%lluG cap=%lluG",
+                     id, brick.node, brick.online ? 1 : 0,
+                     static_cast<unsigned long long>(brick.used_bytes >> 30),
+                     static_cast<unsigned long long>(brick.capacity_bytes >> 30));
+        }
+      }
+      result.reports.push_back(report);
+    }
+    TallyReports(outcome.failures, tally);
+    while (cluster->Now() >= next_coverage_sample) {
+      result.coverage_timeline.emplace_back(next_coverage_sample, coverage.TotalHits());
+      next_coverage_sample += config_.coverage_sample_period;
+    }
+  }
+
+  for (const FaultRuntime& fault : injector.faults()) {
+    result.trigger_stats[fault.spec.id] = {fault.satisfied_evals, fault.trigger_count};
+  }
+  result.distinct_failures = tally.distinct_failures;
+  result.false_positives = tally.false_positive_reports;
+  result.final_coverage = coverage.TotalHits();
+  result.total_ops = executor.total_ops();
+  result.candidates = executor.candidates_raised();
+  THEMIS_LOG(kInfo,
+             "campaign %s/%s: %d testcases, %llu ops, %d distinct failures, %d FPs, "
+             "%zu branches",
+             result.strategy_name.c_str(), std::string(FlavorName(config_.flavor)).c_str(),
+             result.testcases, static_cast<unsigned long long>(result.total_ops),
+             result.DistinctTruePositives(), result.false_positives,
+             result.final_coverage);
+  return result;
+}
+
+CampaignResult RunCampaign(StrategyKind kind, Flavor flavor, uint64_t seed,
+                           SimDuration budget, FaultSet fault_set) {
+  CampaignConfig config;
+  config.flavor = flavor;
+  config.seed = seed;
+  config.budget = budget;
+  config.fault_set = fault_set;
+  Campaign campaign(config);
+  return campaign.Run(kind);
+}
+
+}  // namespace themis

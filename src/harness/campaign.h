@@ -1,0 +1,101 @@
+// Campaign harness: wires a flavor cluster, a fault registry, the coverage
+// recorder, the monitor/detector stack, the executor and one generation
+// strategy, then runs the testing loop for a virtual time budget (the
+// paper's 24-hour experiments). Produces everything the evaluation tables
+// need: confirmed failures (labeled TP/FP against ground truth), distinct
+// root causes, trigger times and the coverage timeline.
+
+#ifndef SRC_HARNESS_CAMPAIGN_H_
+#define SRC_HARNESS_CAMPAIGN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/fuzzer.h"
+#include "src/core/strategy.h"
+#include "src/dfs/flavors/factory.h"
+#include "src/faults/fault_registry.h"
+#include "src/faults/historical_corpus.h"
+#include "src/harness/ground_truth.h"
+#include "src/monitor/detector.h"
+
+namespace themis {
+
+enum class StrategyKind : uint8_t {
+  kThemis = 0,
+  kThemisMinus,
+  kFixReq,
+  kFixConf,
+  kAlternate,
+  kConcurrent,
+};
+
+const char* StrategyKindName(StrategyKind kind);
+
+enum class FaultSet : uint8_t {
+  kNewBugs = 0,   // the 10 Table 2 failures for the flavor
+  kHistorical,    // the 53-failure corpus subset for the flavor
+  kNone,          // healthy system (false-positive studies)
+};
+
+struct CampaignConfig {
+  Flavor flavor = Flavor::kGluster;
+  uint64_t seed = 1;
+  SimDuration budget = Hours(24);
+  double threshold_t = 0.25;           // detector threshold (Table 7 sweeps)
+  LoadVarianceWeights weights;         // variance weights (Table 8 sweeps)
+  FaultSet fault_set = FaultSet::kNewBugs;
+  int initial_files = 60;
+  SimDuration coverage_sample_period = Minutes(1);
+  int storage_nodes = 8;               // 10 nodes total, like the paper
+  int meta_nodes = 2;
+};
+
+struct CampaignResult {
+  std::string strategy_name;
+  Flavor flavor = Flavor::kGluster;
+  // All confirmed reports in order (true and false positives).
+  std::vector<FailureReport> reports;
+  // Distinct true failures by root-cause id, with first confirmation time.
+  std::map<std::string, SimTime> distinct_failures;
+  int false_positives = 0;
+  size_t final_coverage = 0;
+  // (virtual time, branches hit) sampled once per coverage_sample_period.
+  std::vector<std::pair<SimTime, size_t>> coverage_timeline;
+  uint64_t total_ops = 0;
+  int testcases = 0;
+  int candidates = 0;
+  // fault id -> (ops at which the trigger predicate held, trigger count).
+  std::map<std::string, std::pair<uint64_t, int>> trigger_stats;
+
+  int DistinctTruePositives() const { return static_cast<int>(distinct_failures.size()); }
+  bool Found(const std::string& fault_id) const {
+    return distinct_failures.count(fault_id) != 0;
+  }
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config);
+
+  CampaignResult Run(StrategyKind kind);
+
+ private:
+  std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind, InputModel& model, Rng& rng,
+                                         bool variance_guidance);
+  std::vector<FaultSpec> FaultsForConfig() const;
+
+  CampaignConfig config_;
+};
+
+// Convenience: run one (strategy, flavor) campaign with defaults.
+CampaignResult RunCampaign(StrategyKind kind, Flavor flavor, uint64_t seed,
+                           SimDuration budget = Hours(24),
+                           FaultSet fault_set = FaultSet::kNewBugs);
+
+}  // namespace themis
+
+#endif  // SRC_HARNESS_CAMPAIGN_H_

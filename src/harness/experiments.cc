@@ -1,0 +1,282 @@
+#include "src/harness/experiments.h"
+
+#include <algorithm>
+
+#include "src/core/executor.h"
+#include "src/core/generator.h"
+#include "src/faults/fault_registry.h"
+#include "src/monitor/states_monitor.h"
+
+namespace themis {
+
+namespace {
+
+uint64_t SeedFor(const ExperimentBudget& budget, StrategyKind kind, Flavor flavor,
+                 int repetition) {
+  uint64_t h = budget.base_seed;
+  h = HashCombine(h, static_cast<uint64_t>(kind));
+  h = HashCombine(h, static_cast<uint64_t>(flavor));
+  h = HashCombine(h, static_cast<uint64_t>(repetition) * 1337);
+  return h | 1;
+}
+
+}  // namespace
+
+NewBugFindings RunNewBugExperiment(const std::vector<StrategyKind>& strategies,
+                                   const ExperimentBudget& budget) {
+  NewBugFindings findings;
+  for (StrategyKind kind : strategies) {
+    findings.false_positives[kind] = 0;
+    for (Flavor flavor : kAllFlavors) {
+      for (int rep = 0; rep < budget.seeds; ++rep) {
+        CampaignConfig config;
+        config.flavor = flavor;
+        config.seed = SeedFor(budget, kind, flavor, rep);
+        config.budget = budget.campaign;
+        config.fault_set = FaultSet::kNewBugs;
+        CampaignResult result = Campaign(config).Run(kind);
+        findings.false_positives[kind] += result.false_positives;
+        for (const auto& [id, at] : result.distinct_failures) {
+          auto [it, inserted] = findings.found[kind].emplace(id, at);
+          if (!inserted && at < it->second) {
+            it->second = at;
+          }
+        }
+      }
+    }
+    if (findings.found.count(kind) == 0) {
+      findings.found[kind] = {};
+    }
+  }
+  return findings;
+}
+
+HistoricalFindings RunHistoricalExperiment(const std::vector<StrategyKind>& strategies,
+                                           const ExperimentBudget& budget) {
+  HistoricalFindings findings;
+  for (StrategyKind kind : strategies) {
+    for (Flavor flavor : kAllFlavors) {
+      std::map<std::string, bool> found;
+      for (int rep = 0; rep < budget.seeds; ++rep) {
+        CampaignConfig config;
+        config.flavor = flavor;
+        config.seed = SeedFor(budget, kind, flavor, rep + 91);
+        config.budget = budget.campaign;
+        config.fault_set = FaultSet::kHistorical;
+        CampaignResult result = Campaign(config).Run(kind);
+        for (const auto& [id, at] : result.distinct_failures) {
+          (void)at;
+          found[id] = true;
+        }
+      }
+      std::vector<std::string>& ids = findings.found[kind][flavor];
+      for (const auto& [id, seen] : found) {
+        (void)seen;
+        ids.push_back(id);
+      }
+    }
+  }
+  return findings;
+}
+
+CoverageResults RunCoverageExperiment(const std::vector<StrategyKind>& strategies,
+                                      const ExperimentBudget& budget) {
+  CoverageResults results;
+  for (StrategyKind kind : strategies) {
+    for (Flavor flavor : kAllFlavors) {
+      size_t total = 0;
+      for (int rep = 0; rep < budget.seeds; ++rep) {
+        CampaignConfig config;
+        config.flavor = flavor;
+        config.seed = SeedFor(budget, kind, flavor, rep + 7);
+        config.budget = budget.campaign;
+        config.fault_set = FaultSet::kNewBugs;
+        CampaignResult result = Campaign(config).Run(kind);
+        total += result.final_coverage;
+        if (rep == 0) {
+          results.timelines[kind][flavor] = result.coverage_timeline;
+        }
+      }
+      results.final_coverage[kind][flavor] =
+          total / static_cast<size_t>(std::max(budget.seeds, 1));
+    }
+  }
+  return results;
+}
+
+AblationResults RunAblationExperiment(const ExperimentBudget& budget) {
+  AblationResults results;
+  for (Flavor flavor : kAllFlavors) {
+    for (bool full : {false, true}) {
+      StrategyKind kind = full ? StrategyKind::kThemis : StrategyKind::kThemisMinus;
+      std::map<std::string, bool> found;
+      size_t coverage_total = 0;
+      for (int rep = 0; rep < budget.seeds; ++rep) {
+        CampaignConfig config;
+        config.flavor = flavor;
+        config.seed = SeedFor(budget, kind, flavor, rep + 17);
+        config.budget = budget.campaign;
+        config.fault_set = FaultSet::kNewBugs;
+        CampaignResult result = Campaign(config).Run(kind);
+        coverage_total += result.final_coverage;
+        for (const auto& [id, at] : result.distinct_failures) {
+          (void)at;
+          found[id] = true;
+        }
+      }
+      size_t coverage = coverage_total / static_cast<size_t>(std::max(budget.seeds, 1));
+      if (full) {
+        results.failures_full[flavor] = static_cast<int>(found.size());
+        results.coverage_full[flavor] = coverage;
+      } else {
+        results.failures_minus[flavor] = static_cast<int>(found.size());
+        results.coverage_minus[flavor] = coverage;
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<ThresholdSweepRow> RunThresholdSweep(const std::vector<double>& thresholds,
+                                                 const ExperimentBudget& budget) {
+  std::vector<ThresholdSweepRow> rows;
+  for (double t : thresholds) {
+    ThresholdSweepRow row;
+    row.threshold = t;
+    std::map<std::string, bool> found;
+    for (Flavor flavor : kAllFlavors) {
+      for (int rep = 0; rep < budget.seeds; ++rep) {
+        CampaignConfig config;
+        config.flavor = flavor;
+        config.seed = SeedFor(budget, StrategyKind::kThemis, flavor, rep + 29);
+        config.budget = budget.campaign;
+        config.fault_set = FaultSet::kNewBugs;
+        config.threshold_t = t;
+        CampaignResult result = Campaign(config).Run(StrategyKind::kThemis);
+        row.false_positives += result.false_positives;
+        for (const auto& [id, at] : result.distinct_failures) {
+          (void)at;
+          found[id] = true;
+        }
+      }
+    }
+    row.true_positives = static_cast<int>(found.size());
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<WeightSweepRow> RunWeightSweep(const std::vector<double>& storage_weights,
+                                           const ExperimentBudget& budget) {
+  // The storage-type new bugs of Table 2 (#1, #2, #5, #6, #8, #9).
+  std::vector<std::string> storage_bug_ids;
+  for (const FaultSpec& spec : NewBugRegistry()) {
+    if (spec.type == FailureType::kImbalancedStorage) {
+      storage_bug_ids.push_back(spec.id);
+    }
+  }
+  std::vector<WeightSweepRow> rows;
+  for (double w : storage_weights) {
+    WeightSweepRow row;
+    row.storage_weight = w;
+    double total_minutes = 0.0;
+    int found = 0;
+    for (Flavor flavor : kAllFlavors) {
+      for (int rep = 0; rep < budget.seeds; ++rep) {
+        CampaignConfig config;
+        config.flavor = flavor;
+        config.seed = SeedFor(budget, StrategyKind::kThemis, flavor, rep + 47);
+        config.budget = budget.campaign;
+        config.fault_set = FaultSet::kNewBugs;
+        // Remaining weight splits evenly between computation and network.
+        config.weights.storage = w;
+        config.weights.computation = (1.0 - w) / 2.0;
+        config.weights.network = (1.0 - w) / 2.0;
+        CampaignResult result = Campaign(config).Run(StrategyKind::kThemis);
+        for (const std::string& id : storage_bug_ids) {
+          auto it = result.distinct_failures.find(id);
+          if (it != result.distinct_failures.end()) {
+            total_minutes += ToMinutes(it->second);
+            ++found;
+          }
+        }
+      }
+    }
+    row.storage_bugs_found = found;
+    row.mean_trigger_minutes = found > 0 ? total_minutes / found : -1.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+AccumulationTrace RunAccumulationTrace(uint64_t seed, SimDuration budget) {
+  // Reproduces GlusterFS-3356-style accumulation: a gluster-like cluster with
+  // the historical corpus active, driven by Themis, sampling every node's
+  // utilization once per virtual minute until the first storage failure is
+  // confirmed (Fig. 2's bug is part of the historical study corpus).
+  AccumulationTrace trace;
+  CampaignConfig config;
+  config.flavor = Flavor::kGluster;
+  config.seed = seed;
+  config.budget = budget;
+  config.fault_set = FaultSet::kHistorical;
+
+  std::unique_ptr<DfsCluster> cluster =
+      MakeCluster(config.flavor, config.seed, config.storage_nodes, config.meta_nodes);
+  CoverageRecorder coverage(FlavorBranchSpace(config.flavor), config.seed);
+  cluster->set_coverage(&coverage);
+  FaultInjector injector(HistoricalFaultsFor(config.flavor), config.seed ^ 0xfa0175ULL);
+  cluster->set_fault_hooks(&injector);
+
+  Rng rng(config.seed ^ 0x7e5715ULL);
+  InputModel model;
+  StatesMonitor monitor(config.weights);
+  DetectorConfig detector_config;
+  detector_config.threshold = config.threshold_t;
+  ImbalanceDetector detector(detector_config);
+  TestCaseExecutor executor(*cluster, model, monitor, detector, &injector, &coverage,
+                            rng);
+  FuzzerConfig fuzzer_config;
+  ThemisFuzzer fuzzer(model, rng, fuzzer_config);
+  OpSeqGenerator init_generator(model);
+  executor.SeedInitialData(init_generator, 60);
+
+  SimTime next_sample = 0;
+  auto sample = [&]() {
+    double minute = ToMinutes(cluster->Now());
+    double max_spread = cluster->StorageImbalance();
+    trace.max_variance_series.emplace_back(minute, max_spread);
+    for (const LoadSample& s : cluster->SampleLoad()) {
+      if (s.is_storage && s.online && !s.crashed && s.capacity_bytes > 0) {
+        trace.node_series[s.node].emplace_back(
+            minute, static_cast<double>(s.used_bytes) /
+                        static_cast<double>(s.capacity_bytes));
+      }
+    }
+  };
+
+  while (cluster->Now() < config.budget) {
+    OpSeq testcase = fuzzer.Next();
+    ExecOutcome outcome = executor.Run(testcase);
+    fuzzer.OnOutcome(testcase, outcome);
+    while (cluster->Now() >= next_sample) {
+      sample();
+      next_sample += Minutes(1);
+    }
+    for (const FailureReport& report : outcome.failures) {
+      if (report.IsTruePositive() &&
+          report.dimension == ImbalanceDimension::kStorage) {
+        trace.failure_confirmed = true;
+        trace.confirmed_at = report.confirmed_at;
+        return trace;
+      }
+      // Any other confirmed failure reset the cluster: restart the trace so
+      // the figure shows one contiguous reproduction.
+      trace.node_series.clear();
+      trace.max_variance_series.clear();
+    }
+  }
+  return trace;
+}
+
+}  // namespace themis

@@ -1,0 +1,56 @@
+#include "src/harness/report.h"
+
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace themis {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += " " + cell + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Percent(int part, int whole) {
+  if (whole == 0) {
+    return "0%";
+  }
+  return Sprintf("%.0f%%", 100.0 * static_cast<double>(part) / static_cast<double>(whole));
+}
+
+}  // namespace themis

@@ -1,0 +1,31 @@
+// Plain-text table rendering for the experiment drivers in bench/.
+
+#ifndef SRC_HARNESS_REPORT_H_
+#define SRC_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace themis {
+
+// A simple fixed-width table: header row + data rows, columns padded to the
+// widest cell. Rendered with a separator under the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string Render() const;
+  void Print() const;  // to stdout
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.3%" helpers for the study findings.
+std::string Percent(int part, int whole);
+
+}  // namespace themis
+
+#endif  // SRC_HARNESS_REPORT_H_

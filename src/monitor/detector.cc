@@ -1,0 +1,73 @@
+#include "src/monitor/detector.h"
+
+namespace themis {
+
+const char* ImbalanceDimensionName(ImbalanceDimension dimension) {
+  switch (dimension) {
+    case ImbalanceDimension::kStorage:
+      return "storage";
+    case ImbalanceDimension::kComputation:
+      return "computation";
+    case ImbalanceDimension::kNetwork:
+      return "network";
+    case ImbalanceDimension::kNodeHealth:
+      return "node-health";
+  }
+  return "?";
+}
+
+ImbalanceDetector::ImbalanceDetector(DetectorConfig config) : config_(config) {}
+
+std::optional<ImbalanceCandidate> ImbalanceDetector::Evaluate(
+    const LoadVarianceSnapshot& snapshot, bool use_instant) const {
+  if (snapshot.any_crashed) {
+    return ImbalanceCandidate{ImbalanceDimension::kNodeHealth, snapshot.MaxRatio(),
+                              snapshot.taken_at};
+  }
+  double limit = 1.0 + config_.threshold;
+  double computation =
+      use_instant ? snapshot.instant_computation_ratio : snapshot.computation_ratio;
+  double network = use_instant ? snapshot.instant_network_ratio : snapshot.network_ratio;
+  ImbalanceDimension dimension = ImbalanceDimension::kStorage;
+  double worst = snapshot.storage_ratio;
+  if (computation > worst) {
+    worst = computation;
+    dimension = ImbalanceDimension::kComputation;
+  }
+  if (network > worst) {
+    worst = network;
+    dimension = ImbalanceDimension::kNetwork;
+  }
+  if (worst > limit) {
+    return ImbalanceCandidate{dimension, worst, snapshot.taken_at};
+  }
+  return std::nullopt;
+}
+
+std::optional<ImbalanceCandidate> ImbalanceDetector::CheckOnce(
+    const LoadVarianceSnapshot& snapshot) const {
+  // Clean single-window evaluation (post-rebalance probe windows).
+  return Evaluate(snapshot, /*use_instant=*/true);
+}
+
+std::optional<ImbalanceCandidate> ImbalanceDetector::Check(
+    const LoadVarianceSnapshot& snapshot) {
+  if (snapshot.any_crashed) {
+    streak_ = 0;
+    return ImbalanceCandidate{ImbalanceDimension::kNodeHealth, snapshot.MaxRatio(),
+                              snapshot.taken_at};
+  }
+  std::optional<ImbalanceCandidate> candidate = Evaluate(snapshot, /*use_instant=*/false);
+  if (!candidate.has_value()) {
+    streak_ = 0;
+    return std::nullopt;
+  }
+  ++streak_;
+  if (streak_ < config_.consecutive_needed) {
+    return std::nullopt;
+  }
+  streak_ = 0;
+  return candidate;
+}
+
+}  // namespace themis

@@ -1,0 +1,76 @@
+// The Imbalance Detector (paper Fig. 9).
+//
+// Three anomaly detectors assess the computation, network and storage
+// variance ratios against the threshold t: a Load Imbalanced State is
+// declared when max(load)/mean(load) exceeds 1 + t for any component (§2.2),
+// persistently across consecutive checks. A crashed node is an immediate
+// candidate. Candidates are *not* failures: the executor runs the
+// double-check protocol (rebalance API -> wait for 'rebalance done' ->
+// re-execute the test case -> re-check) to weed out false positives.
+
+#ifndef SRC_MONITOR_DETECTOR_H_
+#define SRC_MONITOR_DETECTOR_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/monitor/load_model.h"
+
+namespace themis {
+
+enum class ImbalanceDimension : uint8_t {
+  kStorage = 0,
+  kComputation,
+  kNetwork,
+  kNodeHealth,  // crash signal
+};
+
+const char* ImbalanceDimensionName(ImbalanceDimension dimension);
+
+struct DetectorConfig {
+  // The variance threshold t. 25% is the optimum found in §6.4 (Table 7).
+  double threshold = 0.25;
+  // Consecutive imbalanced checks before raising a candidate; rides out
+  // transient variance the balancer has not had a chance to absorb yet.
+  int consecutive_needed = 3;
+  // How long the double-check waits for 'rebalance done'. Generous: a
+  // healthy cluster can owe terabytes of queued recovery traffic, and a slow
+  // drain is not a hang.
+  SimDuration rebalance_timeout = Hours(2);
+  // Polling step while waiting.
+  SimDuration poll_interval = Seconds(10);
+};
+
+struct ImbalanceCandidate {
+  ImbalanceDimension dimension = ImbalanceDimension::kStorage;
+  double ratio = 1.0;
+  SimTime at = 0;
+};
+
+class ImbalanceDetector {
+ public:
+  explicit ImbalanceDetector(DetectorConfig config);
+
+  const DetectorConfig& config() const { return config_; }
+
+  // Evaluates one snapshot; returns a candidate once the imbalance has
+  // persisted for `consecutive_needed` checks (crashes immediately).
+  std::optional<ImbalanceCandidate> Check(const LoadVarianceSnapshot& snapshot);
+
+  // Single-shot evaluation (used for the post-rebalance re-check).
+  std::optional<ImbalanceCandidate> CheckOnce(const LoadVarianceSnapshot& snapshot) const;
+
+  void ResetStreak() { streak_ = 0; }
+
+ private:
+  std::optional<ImbalanceCandidate> Evaluate(const LoadVarianceSnapshot& snapshot,
+                                             bool use_instant) const;
+
+  DetectorConfig config_;
+  int streak_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_MONITOR_DETECTOR_H_

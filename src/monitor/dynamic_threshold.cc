@@ -1,0 +1,29 @@
+#include "src/monitor/dynamic_threshold.h"
+
+#include <algorithm>
+
+namespace themis {
+
+DynamicThresholdAdjuster::DynamicThresholdAdjuster(DynamicThresholdConfig config)
+    : config_(config), current_(config.initial) {}
+
+void DynamicThresholdAdjuster::ReportFalsePositive() {
+  double next = std::min(current_ + config_.step, config_.maximum);
+  if (next != current_) {
+    current_ = next;
+    ++adjustments_;
+  }
+}
+
+void DynamicThresholdAdjuster::ReportTruePositive() {
+  // True positives confirm the current setting; no adjustment. (A decay
+  // toward `initial` would be possible but risks FP oscillation.)
+}
+
+DetectorConfig DynamicThresholdAdjuster::MakeDetectorConfig() const {
+  DetectorConfig config;
+  config.threshold = current_;
+  return config;
+}
+
+}  // namespace themis

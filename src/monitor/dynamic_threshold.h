@@ -1,0 +1,46 @@
+// Dynamic threshold adjustment — the first future-work alternative of §7
+// ("initiate the imbalance detector with a lower t value and incrementally
+// increase it upon encountering false positives").
+//
+// The adjuster wraps the fixed-threshold ImbalanceDetector: it starts
+// permissive (high recall), and every failure report that later proves to be
+// a false positive raises the threshold one step, converging toward the
+// smallest t that stops producing false alarms on this deployment.
+
+#ifndef SRC_MONITOR_DYNAMIC_THRESHOLD_H_
+#define SRC_MONITOR_DYNAMIC_THRESHOLD_H_
+
+#include "src/monitor/detector.h"
+
+namespace themis {
+
+struct DynamicThresholdConfig {
+  double initial = 0.20;  // start below the static optimum (recall first)
+  double step = 0.025;    // raise per confirmed false positive
+  double maximum = 0.40;  // never exceed (precision would cost recall)
+};
+
+class DynamicThresholdAdjuster {
+ public:
+  explicit DynamicThresholdAdjuster(DynamicThresholdConfig config = {});
+
+  double current() const { return current_; }
+  int adjustments() const { return adjustments_; }
+
+  // Feedback from the campaign's ground-truth labeling (in deployment, from
+  // the developer triaging the report).
+  void ReportFalsePositive();
+  void ReportTruePositive();
+
+  // A detector configured at the current threshold.
+  DetectorConfig MakeDetectorConfig() const;
+
+ private:
+  DynamicThresholdConfig config_;
+  double current_;
+  int adjustments_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_MONITOR_DYNAMIC_THRESHOLD_H_

@@ -1,0 +1,123 @@
+#include "src/monitor/load_model.h"
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+
+namespace themis {
+
+namespace {
+// Below these per-window totals the component carries no signal; comparing
+// noise-level rates would flood the detector with spurious ratios.
+constexpr double kMinCpuMean = 0.5;  // virtual seconds per window
+constexpr double kMinNetMean = 16.0;  // requests+ios per window
+}  // namespace
+
+double LoadVarianceSnapshot::Score(const LoadVarianceWeights& weights) const {
+  double score = 0.0;
+  score += weights.computation * std::max(0.0, computation_ratio - 1.0);
+  score += weights.network * std::max(0.0, network_ratio - 1.0);
+  score += weights.storage * std::max(0.0, storage_ratio - 1.0);
+  return score;
+}
+
+double LoadVarianceSnapshot::MaxRatio() const {
+  return std::max({storage_ratio, computation_ratio, network_ratio});
+}
+
+double RatioWithFloor(const std::vector<double>& values, double min_mean) {
+  if (values.size() < 2) {
+    return 1.0;
+  }
+  double mean = Mean(values);
+  if (mean < min_mean) {
+    return 1.0;
+  }
+  double ratio = MaxOverMean(values);
+  return ratio < 1.0 ? 1.0 : ratio;
+}
+
+LoadVarianceSnapshot LoadVarianceModel::Update(const std::vector<LoadSample>& samples) {
+  LoadVarianceSnapshot snapshot;
+  std::vector<double> storage_fractions;
+  std::vector<double> cpu_meta;
+  std::vector<double> cpu_storage;
+  std::vector<double> net_meta;
+  std::vector<double> net_storage;
+  uint64_t total_used = 0;
+  uint64_t total_capacity = 0;
+
+  for (const LoadSample& sample : samples) {
+    snapshot.taken_at = sample.taken_at;
+    if (sample.crashed) {
+      snapshot.any_crashed = true;
+    }
+    if (!sample.online || sample.crashed) {
+      continue;
+    }
+    if (sample.is_storage) {
+      ++snapshot.serving_storage_nodes;
+      if (sample.capacity_bytes > 0) {
+        storage_fractions.push_back(static_cast<double>(sample.used_bytes) /
+                                    static_cast<double>(sample.capacity_bytes));
+        total_used += sample.used_bytes;
+        total_capacity += sample.capacity_bytes;
+      }
+    }
+    auto prev_it = previous_.find(sample.node);
+    double cpu_delta = sample.cpu_seconds;
+    double net_delta = static_cast<double>(sample.requests + sample.read_ios +
+                                           sample.write_ios);
+    if (prev_it != previous_.end()) {
+      const LoadSample& prev = prev_it->second;
+      cpu_delta = std::max(0.0, sample.cpu_seconds - prev.cpu_seconds);
+      net_delta = std::max(0.0, net_delta - static_cast<double>(prev.requests +
+                                                                prev.read_ios +
+                                                                prev.write_ios));
+    }
+    if (sample.is_storage) {
+      cpu_storage.push_back(cpu_delta);
+      net_storage.push_back(net_delta);
+    } else {
+      cpu_meta.push_back(cpu_delta);
+      net_meta.push_back(net_delta);
+    }
+  }
+
+  // Storage: utilization spread in fraction points between the hottest node
+  // and the capacity-weighted fleet utilization, expressed as 1 + spread so
+  // the detector's "ratio > 1 + t" test reads t as percentage points — the
+  // semantics of real balancer thresholds (and the only spread a balancer
+  // can drive to zero on heterogeneous-capacity clusters).
+  if (storage_fractions.size() >= 2 && total_capacity > 0) {
+    double fleet = static_cast<double>(total_used) / static_cast<double>(total_capacity);
+    double max = *std::max_element(storage_fractions.begin(), storage_fractions.end());
+    snapshot.storage_ratio = 1.0 + std::max(0.0, max - fleet);
+  } else {
+    snapshot.storage_ratio = 1.0;
+  }
+  snapshot.instant_computation_ratio = std::max(RatioWithFloor(cpu_meta, kMinCpuMean),
+                                                RatioWithFloor(cpu_storage, kMinCpuMean));
+  snapshot.instant_network_ratio = std::max(RatioWithFloor(net_meta, kMinNetMean),
+                                            RatioWithFloor(net_storage, kMinNetMean));
+  constexpr double kAlpha = 0.3;
+  ema_computation_ = (1.0 - kAlpha) * ema_computation_ +
+                     kAlpha * snapshot.instant_computation_ratio;
+  ema_network_ = (1.0 - kAlpha) * ema_network_ + kAlpha * snapshot.instant_network_ratio;
+  snapshot.computation_ratio = ema_computation_;
+  snapshot.network_ratio = ema_network_;
+
+  previous_.clear();
+  for (const LoadSample& sample : samples) {
+    previous_[sample.node] = sample;
+  }
+  return snapshot;
+}
+
+void LoadVarianceModel::Reset() {
+  previous_.clear();
+  ema_computation_ = 1.0;
+  ema_network_ = 1.0;
+}
+
+}  // namespace themis

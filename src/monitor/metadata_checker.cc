@@ -1,0 +1,33 @@
+#include "src/monitor/metadata_checker.h"
+
+namespace themis {
+
+MetadataChecker::MetadataChecker(MetadataCheckerConfig config) : config_(config) {}
+
+std::optional<MetadataInconsistency> MetadataChecker::Check(const DfsCluster& dfs) {
+  uint64_t epoch = dfs.namespace_epoch();
+  NodeId worst = kInvalidNode;
+  uint64_t worst_lag = 0;
+  for (const auto& [id, node] : dfs.meta_nodes()) {
+    if (!node.Serving()) {
+      continue;
+    }
+    uint64_t lag = epoch >= node.synced_epoch ? epoch - node.synced_epoch : 0;
+    if (lag > worst_lag) {
+      worst_lag = lag;
+      worst = id;
+    }
+  }
+  if (worst == kInvalidNode || worst_lag <= config_.max_lag) {
+    streak_ = 0;
+    return std::nullopt;
+  }
+  ++streak_;
+  if (streak_ < config_.consecutive_needed) {
+    return std::nullopt;
+  }
+  streak_ = 0;
+  return MetadataInconsistency{worst, worst_lag, dfs.Now()};
+}
+
+}  // namespace themis

@@ -1,0 +1,51 @@
+// Metadata-inconsistency detection — the "more bug types" extension the
+// paper sketches in §7: "we can adapt Themis by checking whether the
+// metadata information of distributed nodes is constantly consistent".
+//
+// The cluster simulator gives every management node a metadata epoch (how
+// far its view of the namespace has caught up; see DfsCluster's anti-entropy
+// in src/dfs/cluster.h). A healthy system keeps all serving MNs within a
+// small sync lag of the authoritative epoch; a metadata-desync fault freezes
+// a victim's replication and the divergence grows without bound. The checker
+// flags a node whose lag exceeds `max_lag` for `consecutive_needed` checks.
+
+#ifndef SRC_MONITOR_METADATA_CHECKER_H_
+#define SRC_MONITOR_METADATA_CHECKER_H_
+
+#include <optional>
+
+#include "src/dfs/cluster.h"
+
+namespace themis {
+
+struct MetadataCheckerConfig {
+  // Namespace mutations a healthy replica may trail behind (anti-entropy
+  // runs continuously; transient lag is normal).
+  uint64_t max_lag = 64;
+  int consecutive_needed = 3;
+};
+
+struct MetadataInconsistency {
+  NodeId node = kInvalidNode;
+  uint64_t lag = 0;  // epochs behind the authoritative namespace
+  SimTime at = 0;
+};
+
+class MetadataChecker {
+ public:
+  explicit MetadataChecker(MetadataCheckerConfig config = {});
+
+  // Evaluates the cluster's metadata replicas; reports the worst laggard once
+  // its divergence has persisted.
+  std::optional<MetadataInconsistency> Check(const DfsCluster& dfs);
+
+  void ResetStreak() { streak_ = 0; }
+
+ private:
+  MetadataCheckerConfig config_;
+  int streak_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_MONITOR_METADATA_CHECKER_H_

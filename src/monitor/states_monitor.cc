@@ -1,0 +1,25 @@
+#include "src/monitor/states_monitor.h"
+
+namespace themis {
+
+StatesMonitor::StatesMonitor(LoadVarianceWeights weights, size_t history_limit)
+    : weights_(weights), history_limit_(history_limit) {}
+
+LoadVarianceSnapshot StatesMonitor::Sample(const DfsInterface& dfs) {
+  latest_ = model_.Update(dfs.SampleLoad());
+  if (history_.size() >= history_limit_) {
+    // Decimate: drop every other entry to keep long campaigns bounded.
+    std::vector<LoadVarianceSnapshot> kept;
+    kept.reserve(history_.size() / 2 + 1);
+    for (size_t i = 0; i < history_.size(); i += 2) {
+      kept.push_back(history_[i]);
+    }
+    history_ = std::move(kept);
+  }
+  history_.push_back(latest_);
+  return latest_;
+}
+
+void StatesMonitor::ResetWindow() { model_.Reset(); }
+
+}  // namespace themis

@@ -1,0 +1,39 @@
+// The States Monitor (paper Fig. 9): scrapes the DFS's load data, feeds the
+// Load Variance Model, and keeps a bounded history of snapshots for
+// trend analysis and reporting.
+
+#ifndef SRC_MONITOR_STATES_MONITOR_H_
+#define SRC_MONITOR_STATES_MONITOR_H_
+
+#include <vector>
+
+#include "src/dfs/cluster.h"
+#include "src/monitor/load_model.h"
+
+namespace themis {
+
+class StatesMonitor {
+ public:
+  explicit StatesMonitor(LoadVarianceWeights weights, size_t history_limit = 4096);
+
+  // Samples the DFS and returns the current snapshot.
+  LoadVarianceSnapshot Sample(const DfsInterface& dfs);
+
+  const LoadVarianceWeights& weights() const { return weights_; }
+  const std::vector<LoadVarianceSnapshot>& history() const { return history_; }
+  const LoadVarianceSnapshot& latest() const { return latest_; }
+
+  // Forgets windowed state after a cluster reset.
+  void ResetWindow();
+
+ private:
+  LoadVarianceWeights weights_;
+  LoadVarianceModel model_;
+  std::vector<LoadVarianceSnapshot> history_;
+  size_t history_limit_;
+  LoadVarianceSnapshot latest_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_MONITOR_STATES_MONITOR_H_

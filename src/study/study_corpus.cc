@@ -1,0 +1,179 @@
+#include "src/study/study_corpus.h"
+
+namespace themis {
+
+namespace {
+
+// Shorthand for readability of the 53-row table below.
+constexpr Flavor H = Flavor::kHdfs;
+constexpr Flavor C = Flavor::kCeph;
+constexpr Flavor G = Flavor::kGluster;
+constexpr Flavor L = Flavor::kLeo;
+
+constexpr Symptom PERF = Symptom::kPerfDegradation;
+constexpr Symptom PART = Symptom::kPartialOutage;
+constexpr Symptom LOSS = Symptom::kDataLoss;
+constexpr Symptom CLUS = Symptom::kClusterFailure;
+constexpr Symptom LIMI = Symptom::kLimitedImpact;
+
+constexpr StudyRootCause MIG = StudyRootCause::kMigration;
+constexpr StudyRootCause CALC = StudyRootCause::kLoadCalculation;
+constexpr StudyRootCause COLL = StudyRootCause::kStateCollection;
+
+constexpr TriggerInputs REQ = TriggerInputs::kRequestsOnly;
+constexpr TriggerInputs CONF = TriggerInputs::kConfigsOnly;
+constexpr TriggerInputs BOTH = TriggerInputs::kBoth;
+
+constexpr InternalSymptom DISK = InternalSymptom::kDisk;
+constexpr InternalSymptom CPU = InternalSymptom::kCpu;
+constexpr InternalSymptom NET = InternalSymptom::kNetwork;
+
+constexpr EnvGate WIN = EnvGate::kWindowsOnly;
+constexpr EnvGate HW = EnvGate::kHardware;
+constexpr EnvGate NOGATE = EnvGate::kNone;
+
+}  // namespace
+
+const std::vector<StudyRecord>& StudyCorpus() {
+  // Marginals reproduce every §3 statistic: 18/16/12/7 per platform;
+  // symptoms 20/9/7/7/10; causes 38/8/7; inputs 7/2/44; steps <=5: 35,
+  // 6-8: 18; internal 34/11/8; 5 environment-gated failures.
+  static const std::vector<StudyRecord> kCorpus = {
+      // ---- HDFS (18) ----
+      {"HDFS-13279", H, PART, CALC, BOTH, 7, DISK, NOGATE},  // motivating example
+      {"HDFS-4261", H, PERF, MIG, BOTH, 4, DISK, WIN},       // Windows-only timeouts
+      {"HDFS-11741", H, PERF, MIG, BOTH, 5, DISK, HW},       // DataEncryptionKey hardware
+      {"HDFS-9034", H, PERF, MIG, REQ, 3, DISK, NOGATE},
+      {"HDFS-14186", H, PERF, MIG, BOTH, 5, DISK, NOGATE},
+      {"HDFS-15240", H, PERF, CALC, BOTH, 6, CPU, NOGATE},
+      {"HDFS-16013", H, PERF, MIG, BOTH, 4, DISK, NOGATE},
+      {"HDFS-10285", H, PERF, MIG, BOTH, 8, DISK, NOGATE},
+      {"HDFS-11384", H, PART, COLL, BOTH, 6, NET, NOGATE},
+      {"HDFS-13183", H, PART, MIG, BOTH, 3, DISK, NOGATE},
+      {"HDFS-14476", H, LOSS, MIG, BOTH, 7, DISK, NOGATE},
+      {"HDFS-8824", H, LOSS, MIG, REQ, 4, DISK, NOGATE},
+      {"HDFS-12914", H, CLUS, MIG, BOTH, 6, CPU, NOGATE},
+      {"HDFS-10453", H, CLUS, COLL, BOTH, 5, NET, NOGATE},
+      {"HDFS-13547", H, LIMI, MIG, BOTH, 2, CPU, NOGATE},
+      {"HDFS-11160", H, LIMI, MIG, CONF, 3, DISK, NOGATE},
+      {"HDFS-9924", H, LIMI, CALC, BOTH, 4, CPU, NOGATE},
+      {"HDFS-12790", H, LIMI, MIG, BOTH, 5, DISK, NOGATE},
+      // ---- CephFS (16) ----
+      {"CEPH-64333", C, CLUS, CALC, BOTH, 6, CPU, NOGATE},  // autoscaler crash
+      {"CEPH-41935", C, CLUS, MIG, BOTH, 5, DISK, WIN},     // MDS crash, Windows-only
+      {"CEPH-55568", C, PERF, COLL, BOTH, 4, DISK, HW},     // PGImbalance alert, hw
+      {"CEPH-63014", C, PERF, MIG, BOTH, 3, NET, NOGATE},   // mclock latency
+      {"CEPH-64611", C, PART, COLL, BOTH, 5, NET, NOGATE},  // inconsistent rc
+      {"CEPH-65806", C, LIMI, MIG, BOTH, 5, NET, NOGATE},   // IO hang while peering
+      {"CEPH-57105", C, PERF, MIG, REQ, 4, DISK, NOGATE},
+      {"CEPH-52220", C, PERF, MIG, BOTH, 7, DISK, NOGATE},
+      {"CEPH-58530", C, PERF, MIG, BOTH, 6, DISK, NOGATE},
+      {"CEPH-62714", C, PERF, CALC, BOTH, 8, CPU, NOGATE},
+      {"CEPH-49231", C, PART, MIG, BOTH, 3, DISK, NOGATE},
+      {"CEPH-54296", C, PART, MIG, CONF, 2, DISK, NOGATE},
+      {"CEPH-60140", C, LOSS, MIG, BOTH, 6, DISK, NOGATE},
+      {"CEPH-47380", C, LOSS, MIG, REQ, 5, DISK, NOGATE},
+      {"CEPH-61007", C, CLUS, MIG, BOTH, 7, CPU, NOGATE},
+      {"CEPH-56873", C, LIMI, CALC, BOTH, 4, CPU, NOGATE},
+      // ---- GlusterFS (12) ----
+      {"GLUSTER-3356", G, PERF, MIG, BOTH, 5, DISK, NOGATE},      // Fig. 2 bug
+      {"GLUSTER-3513", G, LOSS, MIG, BOTH, 6, DISK, NOGATE},      // force-migration
+      {"GLUSTER-1245142", G, LIMI, COLL, BOTH, 8, DISK, NOGATE},  // 8-step sequence
+      {"GLUSTER-1699", G, PART, MIG, BOTH, 4, DISK, HW},          // brick signal:11
+      {"GLUSTER-2286", G, PERF, MIG, REQ, 3, DISK, NOGATE},
+      {"GLUSTER-875", G, PERF, MIG, BOTH, 5, CPU, NOGATE},
+      {"GLUSTER-3152", G, PERF, CALC, BOTH, 4, CPU, NOGATE},
+      {"GLUSTER-2918", G, PART, MIG, BOTH, 6, NET, NOGATE},
+      {"GLUSTER-1332", G, LOSS, MIG, BOTH, 5, DISK, NOGATE},
+      {"GLUSTER-3044", G, CLUS, MIG, BOTH, 7, NET, NOGATE},
+      {"GLUSTER-2407", G, LIMI, MIG, REQ, 2, DISK, NOGATE},
+      {"GLUSTER-3489", G, LIMI, COLL, BOTH, 3, DISK, NOGATE},
+      // ---- LeoFS (7) ----
+      {"LEOFS-1115", L, LOSS, MIG, BOTH, 4, DISK, NOGATE},  // node delete data loss
+      {"LEOFS-731", L, PERF, MIG, BOTH, 5, DISK, NOGATE},
+      {"LEOFS-942", L, PERF, CALC, BOTH, 6, CPU, NOGATE},
+      {"LEOFS-1003", L, PERF, MIG, REQ, 3, DISK, NOGATE},
+      {"LEOFS-866", L, PART, COLL, BOTH, 7, NET, NOGATE},
+      {"LEOFS-1088", L, CLUS, MIG, BOTH, 5, DISK, NOGATE},
+      {"LEOFS-590", L, LIMI, MIG, BOTH, 2, DISK, NOGATE},
+  };
+  return kCorpus;
+}
+
+StudySummary Summarize(const std::vector<StudyRecord>& corpus) {
+  StudySummary summary;
+  summary.total = static_cast<int>(corpus.size());
+  for (const StudyRecord& record : corpus) {
+    ++summary.per_platform[static_cast<int>(record.platform)];
+    ++summary.per_symptom[static_cast<int>(record.symptom)];
+    ++summary.per_cause[static_cast<int>(record.cause)];
+    ++summary.per_inputs[static_cast<int>(record.inputs)];
+    ++summary.per_internal[static_cast<int>(record.internal)];
+    if (record.steps <= 5) {
+      ++summary.steps_at_most_5;
+    } else {
+      ++summary.steps_6_to_8;
+    }
+    if (record.gate != EnvGate::kNone) {
+      ++summary.gated;
+    }
+    if (record.symptom != Symptom::kLimitedImpact) {
+      ++summary.majority_impact;
+    }
+  }
+  return summary;
+}
+
+const char* SymptomName(Symptom symptom) {
+  switch (symptom) {
+    case Symptom::kPerfDegradation:
+      return "performance degradation";
+    case Symptom::kPartialOutage:
+      return "partial outage";
+    case Symptom::kDataLoss:
+      return "data loss";
+    case Symptom::kClusterFailure:
+      return "cluster failure";
+    case Symptom::kLimitedImpact:
+      return "limited impact";
+  }
+  return "?";
+}
+
+const char* StudyRootCauseName(StudyRootCause cause) {
+  switch (cause) {
+    case StudyRootCause::kMigration:
+      return "data migration";
+    case StudyRootCause::kLoadCalculation:
+      return "load calculation";
+    case StudyRootCause::kStateCollection:
+      return "state collection";
+  }
+  return "?";
+}
+
+const char* TriggerInputsName(TriggerInputs inputs) {
+  switch (inputs) {
+    case TriggerInputs::kRequestsOnly:
+      return "requests only";
+    case TriggerInputs::kConfigsOnly:
+      return "configs only";
+    case TriggerInputs::kBoth:
+      return "requests + configs";
+  }
+  return "?";
+}
+
+const char* InternalSymptomName(InternalSymptom internal) {
+  switch (internal) {
+    case InternalSymptom::kCpu:
+      return "cpu";
+    case InternalSymptom::kDisk:
+      return "disk";
+    case InternalSymptom::kNetwork:
+      return "network";
+  }
+  return "?";
+}
+
+}  // namespace themis

@@ -1,0 +1,95 @@
+// The motivation-study corpus (paper §3): 53 real-world imbalance failures
+// across HDFS, CephFS, GlusterFS and LeoFS, annotated with symptom class,
+// root cause, trigger inputs, trigger step count, dominant internal symptom
+// and environment gates. Table 1 and Findings 1-6 are aggregations over this
+// data; the historical fault registry (src/faults/historical_corpus.cc)
+// derives an injectable FaultSpec from every record.
+
+#ifndef SRC_STUDY_STUDY_CORPUS_H_
+#define SRC_STUDY_STUDY_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dfs/types.h"
+
+namespace themis {
+
+// Consequence classes of §3.1 (Finding 1).
+enum class Symptom : uint8_t {
+  kPerfDegradation = 0,  // whole system slows down (38%)
+  kPartialOutage,        // some services unavailable (17%)
+  kDataLoss,             // (13%)
+  kClusterFailure,       // complete cluster failure (13%)
+  kLimitedImpact,        // few nodes / users affected (18%)
+};
+
+// Root causes of §3.1 (Finding 2).
+enum class StudyRootCause : uint8_t {
+  kMigration = 0,       // data migration logic (72%)
+  kLoadCalculation,     // load calculation processing (15%)
+  kStateCollection,     // load state collection (13%)
+};
+
+// Trigger input classes of §3.2 (Finding 4).
+enum class TriggerInputs : uint8_t {
+  kRequestsOnly = 0,  // 13%
+  kConfigsOnly,       // 4%
+  kBoth,              // 83%
+};
+
+// Dominant internal symptom of §3.1 (Finding 3).
+enum class InternalSymptom : uint8_t {
+  kDisk = 0,  // 64%
+  kCpu,       // 21%
+  kNetwork,   // 15%
+};
+
+// Environment gates: five historical failures are out of scope for Themis
+// (two Windows-only, three tied to specific hardware) — §6.1.2.
+enum class EnvGate : uint8_t {
+  kNone = 0,
+  kWindowsOnly,
+  kHardware,
+};
+
+struct StudyRecord {
+  std::string id;
+  Flavor platform = Flavor::kHdfs;
+  Symptom symptom = Symptom::kPerfDegradation;
+  StudyRootCause cause = StudyRootCause::kMigration;
+  TriggerInputs inputs = TriggerInputs::kBoth;
+  int steps = 3;  // triggering sequence length (<= 8, Finding 5)
+  InternalSymptom internal = InternalSymptom::kDisk;
+  EnvGate gate = EnvGate::kNone;
+};
+
+// All 53 records. Marginal counts reproduce every percentage in §3.
+const std::vector<StudyRecord>& StudyCorpus();
+
+struct StudySummary {
+  int total = 0;
+  int per_platform[5] = {0, 0, 0, 0, 0};        // indexed by Flavor
+  int per_symptom[5] = {0, 0, 0, 0, 0};         // indexed by Symptom
+  int per_cause[3] = {0, 0, 0};                 // indexed by StudyRootCause
+  int per_inputs[3] = {0, 0, 0};                // indexed by TriggerInputs
+  int per_internal[3] = {0, 0, 0};              // indexed by InternalSymptom
+  int steps_at_most_5 = 0;
+  int steps_6_to_8 = 0;
+  int gated = 0;
+
+  // Finding 1: failures affecting all or a majority of nodes (everything but
+  // kLimitedImpact).
+  int majority_impact = 0;
+};
+
+StudySummary Summarize(const std::vector<StudyRecord>& corpus);
+
+const char* SymptomName(Symptom symptom);
+const char* StudyRootCauseName(StudyRootCause cause);
+const char* TriggerInputsName(TriggerInputs inputs);
+const char* InternalSymptomName(InternalSymptom internal);
+
+}  // namespace themis
+
+#endif  // SRC_STUDY_STUDY_CORPUS_H_

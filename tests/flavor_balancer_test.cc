@@ -1,0 +1,213 @@
+// Flavor-specific balancer behaviors: DHT migrate-data, ring takeover,
+// CRUSH/upmap response, weighted-tree leveling — plus the shared rebalance
+// API semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/dfs/flavors/ceph_like.h"
+#include "src/dfs/flavors/factory.h"
+#include "src/dfs/flavors/gluster_like.h"
+#include "src/dfs/flavors/hdfs_like.h"
+#include "src/dfs/flavors/leo_like.h"
+
+namespace themis {
+namespace {
+
+Operation Create(const std::string& path, uint64_t size) {
+  Operation op;
+  op.kind = OpKind::kCreate;
+  op.path = path;
+  op.size = size;
+  return op;
+}
+
+void Drain(DfsCluster& dfs) {
+  for (int i = 0; i < 5000 && !dfs.RebalanceDone(); ++i) {
+    dfs.AdvanceTime(Seconds(10));
+  }
+  ASSERT_TRUE(dfs.RebalanceDone());
+}
+
+TEST(RebalanceApi, IdempotentWhenBalanced) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kHdfs, 71);
+  EXPECT_TRUE(dfs->RebalanceDone());
+  EXPECT_TRUE(dfs->TriggerRebalance().ok());
+  EXPECT_TRUE(dfs->RebalanceDone()) << "empty plan completes immediately";
+  EXPECT_EQ(dfs->completed_rebalance_rounds(), 1);
+  EXPECT_EQ(dfs->rebalance_triggers(), 1u);
+}
+
+TEST(RebalanceApi, BackgroundMigrationTakesTime) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kHdfs, 72);
+  // Write data, then shrink the cluster's balance by hand via volume churn.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(dfs->Execute(Create("/f" + std::to_string(i), 10 * kGiB)).status.ok());
+  }
+  // Skew: move bytes onto one brick directly.
+  BrickId victim = dfs->ListBricks().front();
+  for (BrickId donor : dfs->ListBricks()) {
+    if (donor != victim) {
+      dfs->SkewBytes(donor, victim, 40 * kGiB);
+    }
+  }
+  ASSERT_GT(dfs->StorageImbalance(), dfs->config().native_threshold);
+  ASSERT_TRUE(dfs->TriggerRebalance().ok());
+  EXPECT_FALSE(dfs->RebalanceDone()) << "a non-trivial plan must take time";
+  Drain(*dfs);
+  EXPECT_LE(dfs->StorageImbalance(), dfs->config().native_threshold + 0.03);
+}
+
+TEST(GlusterBalancer, MigrateDataFollowsLayoutAfterExpansion) {
+  GlusterLikeCluster dfs;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(dfs.Execute(Create("/f" + std::to_string(i), 8 * kGiB)).status.ok());
+  }
+  // Adding a storage node re-runs fix-layout; the rebalance must move data
+  // whose hash now maps to the new brick onto it.
+  Operation add;
+  add.kind = OpKind::kAddStorageNode;
+  ASSERT_TRUE(dfs.Execute(add).status.ok());
+  BrickId fresh = dfs.ListBricks().back();
+  ASSERT_EQ(dfs.FindBrick(fresh)->used_bytes, 0u);
+  ASSERT_TRUE(dfs.TriggerRebalance().ok());
+  Drain(dfs);
+  EXPECT_GT(dfs.FindBrick(fresh)->used_bytes, 0u)
+      << "fix-layout + migrate-data must populate the new brick";
+  // And the moved files must now sit on their hashed bricks.
+  int misplaced = 0;
+  for (const auto& [file, layout] : dfs.file_layouts()) {
+    std::string path = dfs.tree().PathOf(file);
+    for (uint32_t i = 0; i < layout.chunks.size(); ++i) {
+      if (layout.chunks[i].replicas.empty()) {
+        continue;
+      }
+      uint32_t hash = DhtLayout::HashName(path) + i * 0x9e3779b9u;
+      BrickId expected = dfs.layout().Locate(hash);
+      if (!layout.chunks[i].HasReplicaOn(expected)) {
+        ++misplaced;
+      }
+    }
+  }
+  // min-free-disk may legitimately leave a few in place; most must match.
+  EXPECT_LT(misplaced, 20);
+}
+
+TEST(GlusterBalancer, RebalanceReconcilesLinkfiles) {
+  GlusterLikeCluster dfs;
+  ASSERT_TRUE(dfs.Execute(Create("/src", kGiB)).status.ok());
+  // Force linkfiles via renames across ranges.
+  int renames = 0;
+  for (int i = 0; i < 64 && dfs.live_linkfiles() == 0; ++i) {
+    Operation rename;
+    rename.kind = OpKind::kRename;
+    rename.path = renames == 0 ? "/src" : "/dst" + std::to_string(renames - 1);
+    rename.path2 = "/dst" + std::to_string(renames);
+    ASSERT_TRUE(dfs.Execute(rename).status.ok());
+    ++renames;
+  }
+  ASSERT_GT(dfs.live_linkfiles(), 0u);
+  ASSERT_TRUE(dfs.TriggerRebalance().ok());
+  Drain(dfs);
+  EXPECT_EQ(dfs.live_linkfiles(), 0u) << "a completed rebalance reclaims linkfiles";
+}
+
+TEST(LeoBalancer, RingChangeMovesAffectedObjects) {
+  LeoLikeCluster dfs;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(dfs.Execute(Create("/f" + std::to_string(i), 8 * kGiB)).status.ok());
+  }
+  Operation add;
+  add.kind = OpKind::kAddStorageNode;
+  ASSERT_TRUE(dfs.Execute(add).status.ok());
+  BrickId fresh = dfs.ListBricks().back();
+  ASSERT_TRUE(dfs.TriggerRebalance().ok());
+  Drain(dfs);
+  EXPECT_GT(dfs.FindBrick(fresh)->used_bytes, 0u)
+      << "the ring's new arcs must receive their objects";
+}
+
+TEST(CephBalancer, UpmapsAppearUnderSkew) {
+  CephLikeCluster dfs;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(dfs.Execute(Create("/f" + std::to_string(i), 8 * kGiB)).status.ok());
+  }
+  BrickId victim = dfs.ListBricks().front();
+  for (BrickId donor : dfs.ListBricks()) {
+    if (donor != victim) {
+      dfs.SkewBytes(donor, victim, 60 * kGiB);
+    }
+  }
+  ASSERT_GT(dfs.StorageImbalance(), dfs.config().native_threshold);
+  size_t upmaps_before = dfs.crush().upmap_count();
+  ASSERT_TRUE(dfs.TriggerRebalance().ok());
+  Drain(dfs);
+  EXPECT_GT(dfs.crush().upmap_count(), upmaps_before)
+      << "the upmap balancer pins PGs away from the overfull device";
+  EXPECT_LE(dfs.StorageImbalance(), dfs.config().native_threshold + 0.03);
+}
+
+TEST(HdfsBalancer, LevelsWithinNativeThreshold) {
+  HdfsLikeCluster dfs;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(dfs.Execute(Create("/f" + std::to_string(i), 6 * kGiB)).status.ok());
+  }
+  BrickId victim = dfs.ListBricks().front();
+  for (BrickId donor : dfs.ListBricks()) {
+    if (donor != victim) {
+      dfs.SkewBytes(donor, victim, 30 * kGiB);
+    }
+  }
+  ASSERT_GT(dfs.StorageImbalance(), 0.10);
+  ASSERT_TRUE(dfs.TriggerRebalance().ok());
+  Drain(dfs);
+  EXPECT_LE(dfs.StorageImbalance(), 0.10 + 0.03)
+      << "the HDFS balancer's contract is its 10% threshold";
+}
+
+TEST(PeriodicBalancer, FiresWithoutExplicitTrigger) {
+  // The periodic discipline must notice imbalance on its own.
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kGluster, 77);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(dfs->Execute(Create("/f" + std::to_string(i), 10 * kGiB)).status.ok());
+  }
+  BrickId victim = dfs->ListBricks().front();
+  for (BrickId donor : dfs->ListBricks()) {
+    if (donor != victim) {
+      dfs->SkewBytes(donor, victim, 50 * kGiB);
+    }
+  }
+  ASSERT_GT(dfs->StorageImbalance(), dfs->config().native_threshold);
+  int rounds_before = dfs->completed_rebalance_rounds();
+  // Idle time beyond the balancer period; no client activity at all.
+  dfs->AdvanceTime(dfs->config().balancer_period * 4);
+  EXPECT_GT(dfs->completed_rebalance_rounds(), rounds_before);
+  EXPECT_LE(dfs->StorageImbalance(), dfs->config().native_threshold + 0.03);
+}
+
+TEST(FlavorDefaults, MatchPaperThresholds) {
+  EXPECT_DOUBLE_EQ(HdfsLikeCluster::DefaultConfig().native_threshold, 0.10);
+  EXPECT_DOUBLE_EQ(GlusterLikeCluster::DefaultConfig().native_threshold, 0.20);
+  EXPECT_LT(CephLikeCluster::DefaultConfig().native_threshold, 0.15);
+  EXPECT_EQ(HdfsLikeCluster::DefaultConfig().initial_storage_nodes +
+                HdfsLikeCluster::DefaultConfig().initial_meta_nodes,
+            10)
+      << "the paper's clusters have 10 nodes";
+}
+
+TEST(FlavorFactory, BuildsEveryFlavor) {
+  for (Flavor flavor :
+       {Flavor::kHdfs, Flavor::kCeph, Flavor::kGluster, Flavor::kLeo}) {
+    std::unique_ptr<DfsCluster> dfs = MakeCluster(flavor, 1, 6, 3);
+    ASSERT_NE(dfs, nullptr);
+    EXPECT_EQ(dfs->flavor(), flavor);
+    EXPECT_EQ(dfs->ListStorageNodes().size(), 6u);
+    EXPECT_EQ(dfs->ListMetaNodes().size(), 3u);
+    EXPECT_FALSE(dfs->name().empty());
+    EXPECT_FALSE(dfs->DescribeState().empty());
+  }
+  EXPECT_EQ(MakeCluster(Flavor::kCustom, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace themis

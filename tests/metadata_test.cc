@@ -1,0 +1,134 @@
+// Tests for the metadata-consistency extension (§7 "more bug types"):
+// namespace epochs, anti-entropy, the desync fault effect, and the checker.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/dfs/flavors/factory.h"
+#include "src/faults/injector.h"
+#include "src/monitor/metadata_checker.h"
+
+namespace themis {
+namespace {
+
+Operation Create(const std::string& path, uint64_t size) {
+  Operation op;
+  op.kind = OpKind::kCreate;
+  op.path = path;
+  op.size = size;
+  return op;
+}
+
+TEST(MetadataEpoch, MutationsAdvanceIt) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kHdfs, 81);
+  EXPECT_EQ(dfs->namespace_epoch(), 0u);
+  ASSERT_TRUE(dfs->Execute(Create("/a", kMiB)).status.ok());
+  EXPECT_EQ(dfs->namespace_epoch(), 1u);
+  Operation open;
+  open.kind = OpKind::kOpen;
+  open.path = "/a";
+  ASSERT_TRUE(dfs->Execute(open).status.ok());
+  EXPECT_EQ(dfs->namespace_epoch(), 1u) << "reads do not mutate the namespace";
+  Operation del;
+  del.kind = OpKind::kDelete;
+  del.path = "/a";
+  ASSERT_TRUE(dfs->Execute(del).status.ok());
+  EXPECT_EQ(dfs->namespace_epoch(), 2u);
+}
+
+TEST(MetadataEpoch, FailedMutationsDoNotAdvance) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kHdfs, 82);
+  Operation del;
+  del.kind = OpKind::kDelete;
+  del.path = "/missing";
+  ASSERT_FALSE(dfs->Execute(del).status.ok());
+  EXPECT_EQ(dfs->namespace_epoch(), 0u);
+}
+
+TEST(MetadataEpoch, HealthyReplicasStayInSync) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kGluster, 83);
+  for (int i = 0; i < 50; ++i) {
+    (void)dfs->Execute(Create("/f" + std::to_string(i), kMiB));
+  }
+  for (const auto& [id, node] : dfs->meta_nodes()) {
+    (void)id;
+    if (node.Serving()) {
+      EXPECT_EQ(node.synced_epoch, dfs->namespace_epoch());
+    }
+  }
+}
+
+TEST(MetadataChecker, SilentOnHealthySystem) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kLeo, 84);
+  MetadataChecker checker;
+  for (int i = 0; i < 100; ++i) {
+    (void)dfs->Execute(Create("/f" + std::to_string(i), kMiB));
+    EXPECT_FALSE(checker.Check(*dfs).has_value());
+  }
+}
+
+TEST(MetadataChecker, DetectsDesyncFault) {
+  FaultSpec spec;
+  spec.id = "mds-desync";
+  spec.platform = Flavor::kCeph;
+  spec.effect = EffectKind::kMetadataDesync;
+  spec.trigger.min_window_ops = 1;
+  spec.trigger.probability = 1.0;
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kCeph, 85);
+  FaultInjector injector({spec}, 85);
+  dfs->set_fault_hooks(&injector);
+
+  MetadataChecker checker;
+  std::optional<MetadataInconsistency> found;
+  for (int i = 0; i < 200 && !found.has_value(); ++i) {
+    (void)dfs->Execute(Create("/f" + std::to_string(i), kMiB));
+    found = checker.Check(*dfs);
+  }
+  ASSERT_TRUE(found.has_value()) << "a frozen replica must diverge past the lag bound";
+  EXPECT_GT(found->lag, 64u);
+  // The flagged node is the fault's victim.
+  ASSERT_TRUE(injector.AnyActive());
+  bool victim_flagged = false;
+  for (const FaultRuntime& fault : injector.faults()) {
+    victim_flagged |= fault.active && fault.victim_node == found->node;
+  }
+  EXPECT_TRUE(victim_flagged);
+}
+
+TEST(MetadataChecker, RequiresPersistence) {
+  MetadataCheckerConfig config;
+  config.max_lag = 0;
+  config.consecutive_needed = 3;
+  MetadataChecker checker(config);
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kHdfs, 86);
+  // Freeze one replica by hand via a desync fault with instant trigger.
+  FaultSpec spec;
+  spec.id = "freeze";
+  spec.platform = Flavor::kHdfs;
+  spec.effect = EffectKind::kMetadataDesync;
+  spec.trigger.min_window_ops = 1;
+  spec.trigger.probability = 1.0;
+  FaultInjector injector({spec}, 86);
+  dfs->set_fault_hooks(&injector);
+  (void)dfs->Execute(Create("/a", kMiB));
+  (void)dfs->Execute(Create("/b", kMiB));
+  // Two checks below the persistence bar, third one reports.
+  EXPECT_FALSE(checker.Check(*dfs).has_value());
+  EXPECT_FALSE(checker.Check(*dfs).has_value());
+  EXPECT_TRUE(checker.Check(*dfs).has_value());
+}
+
+TEST(MetadataEpoch, ResetClearsEpochs) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kHdfs, 87);
+  (void)dfs->Execute(Create("/a", kMiB));
+  ASSERT_GT(dfs->namespace_epoch(), 0u);
+  dfs->ResetToInitial();
+  EXPECT_EQ(dfs->namespace_epoch(), 0u);
+  for (const auto& [id, node] : dfs->meta_nodes()) {
+    (void)id;
+    EXPECT_EQ(node.synced_epoch, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,170 @@
+// Unit tests for the cluster-side namespace tree.
+
+#include <gtest/gtest.h>
+
+#include "src/dfs/namespace_tree.h"
+
+namespace themis {
+namespace {
+
+TEST(NamespaceTree, RootExists) {
+  NamespaceTree tree;
+  EXPECT_TRUE(tree.IsDir("/"));
+  EXPECT_EQ(tree.file_count(), 0u);
+  EXPECT_EQ(tree.dir_count(), 0u);
+}
+
+TEST(NamespaceTree, CreateAndFindFile) {
+  NamespaceTree tree;
+  Result<FileId> id = tree.CreateFile("/a", 100);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(tree.IsFile("/a"));
+  EXPECT_FALSE(tree.IsDir("/a"));
+  EXPECT_EQ(tree.total_bytes(), 100u);
+  EXPECT_EQ(tree.PathOf(*id), "/a");
+}
+
+TEST(NamespaceTree, CreateRequiresParent) {
+  NamespaceTree tree;
+  EXPECT_EQ(tree.CreateFile("/no/such/dir/f", 1).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(tree.MakeDir("/d").ok());
+  EXPECT_TRUE(tree.CreateFile("/d/f", 1).ok());
+}
+
+TEST(NamespaceTree, CreateDuplicateFails) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.CreateFile("/a", 1).ok());
+  EXPECT_EQ(tree.CreateFile("/a", 2).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(NamespaceTree, FileIdsAreUnique) {
+  NamespaceTree tree;
+  FileId a = *tree.CreateFile("/a", 1);
+  FileId b = *tree.CreateFile("/b", 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(NamespaceTree, RemoveFileUpdatesAccounting) {
+  NamespaceTree tree;
+  FileId id = *tree.CreateFile("/a", 100);
+  ASSERT_TRUE(tree.RemoveFile("/a").ok());
+  EXPECT_EQ(tree.total_bytes(), 0u);
+  EXPECT_EQ(tree.file_count(), 0u);
+  EXPECT_EQ(tree.PathOf(id), "");
+  EXPECT_EQ(tree.RemoveFile("/a").code(), StatusCode::kNotFound);
+}
+
+TEST(NamespaceTree, SetFileSize) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.CreateFile("/a", 100).ok());
+  ASSERT_TRUE(tree.SetFileSize("/a", 250).ok());
+  EXPECT_EQ(tree.total_bytes(), 250u);
+  EXPECT_EQ(tree.SetFileSize("/missing", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(NamespaceTree, MkdirAndRmdir) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.MakeDir("/d").ok());
+  EXPECT_EQ(tree.dir_count(), 1u);
+  EXPECT_EQ(tree.MakeDir("/d").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.MakeDir("/x/y").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(tree.RemoveDir("/d").ok());
+  EXPECT_EQ(tree.dir_count(), 0u);
+}
+
+TEST(NamespaceTree, RmdirRefusesNonEmpty) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.MakeDir("/d").ok());
+  ASSERT_TRUE(tree.CreateFile("/d/f", 1).ok());
+  EXPECT_EQ(tree.RemoveDir("/d").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(tree.RemoveFile("/d/f").ok());
+  EXPECT_TRUE(tree.RemoveDir("/d").ok());
+}
+
+TEST(NamespaceTree, RootIsProtected) {
+  NamespaceTree tree;
+  EXPECT_FALSE(tree.RemoveDir("/").ok());
+  EXPECT_FALSE(tree.CreateFile("/", 1).ok());
+  EXPECT_FALSE(tree.Rename("/", "/x").ok());
+}
+
+TEST(NamespaceTree, RenameFile) {
+  NamespaceTree tree;
+  FileId id = *tree.CreateFile("/a", 10);
+  ASSERT_TRUE(tree.Rename("/a", "/b").ok());
+  EXPECT_FALSE(tree.IsFile("/a"));
+  EXPECT_TRUE(tree.IsFile("/b"));
+  EXPECT_EQ(tree.PathOf(id), "/b");
+  EXPECT_EQ(*tree.FileIdOf("/b"), id);
+}
+
+TEST(NamespaceTree, RenameRejectsCollisionsAndMissing) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.CreateFile("/a", 1).ok());
+  ASSERT_TRUE(tree.CreateFile("/b", 1).ok());
+  EXPECT_EQ(tree.Rename("/a", "/b").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.Rename("/missing", "/c").code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Rename("/a", "/a").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.Rename("/a", "/nodir/c").code(), StatusCode::kNotFound);
+}
+
+TEST(NamespaceTree, RenameDirectoryMovesSubtree) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.MakeDir("/d").ok());
+  ASSERT_TRUE(tree.MakeDir("/d/sub").ok());
+  FileId f1 = *tree.CreateFile("/d/f1", 5);
+  FileId f2 = *tree.CreateFile("/d/sub/f2", 7);
+  ASSERT_TRUE(tree.Rename("/d", "/e").ok());
+  EXPECT_TRUE(tree.IsDir("/e"));
+  EXPECT_TRUE(tree.IsDir("/e/sub"));
+  EXPECT_EQ(tree.PathOf(f1), "/e/f1");
+  EXPECT_EQ(tree.PathOf(f2), "/e/sub/f2");
+  EXPECT_FALSE(tree.IsDir("/d"));
+  EXPECT_EQ(tree.total_bytes(), 12u);
+}
+
+TEST(NamespaceTree, RenameDirectoryUnderItselfRejected) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.MakeDir("/d").ok());
+  EXPECT_EQ(tree.Rename("/d", "/d/inner").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NamespaceTree, ListFiles) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.CreateFile("/b", 1).ok());
+  ASSERT_TRUE(tree.CreateFile("/a", 1).ok());
+  ASSERT_TRUE(tree.MakeDir("/d").ok());
+  std::vector<std::string> files = tree.ListFiles();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "/a");  // sorted map order
+  EXPECT_EQ(files[1], "/b");
+}
+
+TEST(NamespaceTree, ClearResets) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.CreateFile("/a", 1).ok());
+  tree.Clear();
+  EXPECT_EQ(tree.file_count(), 0u);
+  EXPECT_EQ(tree.total_bytes(), 0u);
+  EXPECT_TRUE(tree.IsDir("/"));
+}
+
+TEST(NamespaceTree, PathsAreNormalized) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.CreateFile("//a//", 1).ok());
+  EXPECT_TRUE(tree.IsFile("/a"));
+  EXPECT_TRUE(tree.IsFile("a"));
+}
+
+TEST(NamespaceTree, SimilarPrefixIsNotAChild) {
+  // "/dir2" must not count as a child of "/dir" during rmdir.
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.MakeDir("/dir").ok());
+  ASSERT_TRUE(tree.MakeDir("/dir2").ok());
+  EXPECT_TRUE(tree.RemoveDir("/dir").ok());
+  EXPECT_TRUE(tree.IsDir("/dir2"));
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,327 @@
+// Unit + property tests for the four placement algorithms.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/dfs/placement/crush_map.h"
+#include "src/dfs/placement/dht_layout.h"
+#include "src/dfs/placement/hash_ring.h"
+#include "src/dfs/placement/weighted_tree.h"
+
+namespace themis {
+namespace {
+
+// ---- HashRing ----
+
+TEST(HashRing, EmptyRingLocatesNothing) {
+  HashRing ring;
+  EXPECT_TRUE(ring.Locate(123, 2).empty());
+  EXPECT_EQ(ring.Primary(123), kInvalidBrick);
+}
+
+TEST(HashRing, LocateReturnsDistinctTargets) {
+  HashRing ring(32);
+  for (BrickId b = 1; b <= 5; ++b) {
+    ring.AddTarget(b);
+  }
+  for (uint64_t key = 0; key < 200; ++key) {
+    std::vector<BrickId> located = ring.Locate(Mix64(key), 3);
+    ASSERT_EQ(located.size(), 3u);
+    std::set<BrickId> unique(located.begin(), located.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(HashRing, ReplicasCappedByTargetCount) {
+  HashRing ring;
+  ring.AddTarget(1);
+  ring.AddTarget(2);
+  EXPECT_EQ(ring.Locate(99, 5).size(), 2u);
+}
+
+TEST(HashRing, AddTargetIsIdempotent) {
+  HashRing ring(16);
+  ring.AddTarget(7);
+  int vnodes = ring.VnodeCount(7);
+  ring.AddTarget(7);
+  EXPECT_EQ(ring.VnodeCount(7), vnodes);
+}
+
+TEST(HashRing, RemoveTargetMovesOnlyItsArcs) {
+  // Consistent-hashing property: removing a target only remaps keys that
+  // were on the removed target.
+  HashRing ring(64);
+  for (BrickId b = 1; b <= 8; ++b) {
+    ring.AddTarget(b);
+  }
+  std::map<uint64_t, BrickId> before;
+  for (uint64_t key = 0; key < 500; ++key) {
+    before[key] = ring.Primary(Mix64(key));
+  }
+  ring.RemoveTarget(4);
+  int moved = 0;
+  for (const auto& [key, primary] : before) {
+    BrickId now = ring.Primary(Mix64(key));
+    if (primary == 4) {
+      EXPECT_NE(now, 4u);
+    } else {
+      EXPECT_EQ(now, primary) << "key not on removed target was remapped";
+    }
+    if (now != primary) {
+      ++moved;
+    }
+  }
+  // Roughly 1/8 of the keys should have moved.
+  EXPECT_GT(moved, 20);
+  EXPECT_LT(moved, 140);
+}
+
+TEST(HashRing, WeightScalesShare) {
+  HashRing ring(64);
+  ring.AddTarget(1, 1.0);
+  ring.AddTarget(2, 4.0);
+  int heavy = 0;
+  const int kKeys = 4000;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    if (ring.Primary(Mix64(key)) == 2) {
+      ++heavy;
+    }
+  }
+  double share = static_cast<double>(heavy) / kKeys;
+  EXPECT_GT(share, 0.65);
+  EXPECT_LT(share, 0.92);
+}
+
+TEST(HashRing, BalancedDistribution) {
+  HashRing ring(64);
+  for (BrickId b = 1; b <= 4; ++b) {
+    ring.AddTarget(b);
+  }
+  std::map<BrickId, int> counts;
+  const int kKeys = 8000;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[ring.Primary(Mix64(key))];
+  }
+  for (const auto& [brick, count] : counts) {
+    EXPECT_GT(count, kKeys / 8) << "target " << brick << " starved";
+    EXPECT_LT(count, kKeys / 2) << "target " << brick << " dominates";
+  }
+}
+
+// ---- CrushMap ----
+
+TEST(CrushMap, DeterministicMapping) {
+  CrushMap crush(128);
+  crush.SetTargetWeight(1, 1.0);
+  crush.SetTargetWeight(2, 1.0);
+  crush.SetTargetWeight(3, 1.0);
+  for (uint32_t pg = 0; pg < 128; ++pg) {
+    EXPECT_EQ(crush.RawMap(pg, 2), crush.RawMap(pg, 2));
+  }
+}
+
+TEST(CrushMap, MapsDistinctReplicas) {
+  CrushMap crush(64);
+  for (BrickId b = 1; b <= 6; ++b) {
+    crush.SetTargetWeight(b, 1.0);
+  }
+  for (uint32_t pg = 0; pg < 64; ++pg) {
+    std::vector<BrickId> mapped = crush.RawMap(pg, 3);
+    ASSERT_EQ(mapped.size(), 3u);
+    std::set<BrickId> unique(mapped.begin(), mapped.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(CrushMap, WeightProportionalPgShare) {
+  CrushMap crush(2048);
+  crush.SetTargetWeight(1, 1.0);
+  crush.SetTargetWeight(2, 3.0);
+  int heavy = 0;
+  for (uint32_t pg = 0; pg < 2048; ++pg) {
+    if (crush.RawMap(pg, 1).front() == 2) {
+      ++heavy;
+    }
+  }
+  EXPECT_NEAR(heavy / 2048.0, 0.75, 0.06);
+}
+
+TEST(CrushMap, WeightChangeMovesProportionalShare) {
+  CrushMap crush(1024);
+  for (BrickId b = 1; b <= 5; ++b) {
+    crush.SetTargetWeight(b, 1.0);
+  }
+  std::map<uint32_t, BrickId> before;
+  for (uint32_t pg = 0; pg < 1024; ++pg) {
+    before[pg] = crush.RawMap(pg, 1).front();
+  }
+  crush.SetTargetWeight(5, 2.0);  // double one target's weight
+  int moved = 0;
+  for (const auto& [pg, primary] : before) {
+    if (crush.RawMap(pg, 1).front() != primary) {
+      ++moved;
+    }
+  }
+  // Only pgs gained by the heavier target move (about 1/6 of the space);
+  // nothing else reshuffles.
+  EXPECT_GT(moved, 60);
+  EXPECT_LT(moved, 350);
+}
+
+TEST(CrushMap, UpmapOverridesPrimary) {
+  CrushMap crush(64);
+  crush.SetTargetWeight(1, 1.0);
+  crush.SetTargetWeight(2, 1.0);
+  crush.SetTargetWeight(3, 1.0);
+  crush.Upmap(10, 3);
+  EXPECT_EQ(crush.Map(10, 2).front(), 3u);
+  crush.ClearUpmap(10);
+  EXPECT_EQ(crush.Map(10, 2), crush.RawMap(10, 2));
+}
+
+TEST(CrushMap, StaleUpmapIgnoredAfterTargetRemoval) {
+  CrushMap crush(64);
+  crush.SetTargetWeight(1, 1.0);
+  crush.SetTargetWeight(2, 1.0);
+  crush.Upmap(5, 2);
+  crush.RemoveTarget(2);
+  std::vector<BrickId> mapped = crush.Map(5, 1);
+  ASSERT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(mapped.front(), 1u);
+  EXPECT_EQ(crush.upmap_count(), 0u);
+}
+
+TEST(CrushMap, RemovingWeightRemovesTarget) {
+  CrushMap crush(64);
+  crush.SetTargetWeight(1, 1.0);
+  crush.SetTargetWeight(1, 0.0);
+  EXPECT_FALSE(crush.HasTarget(1));
+  EXPECT_TRUE(crush.RawMap(3, 1).empty());
+}
+
+// ---- DhtLayout ----
+
+TEST(DhtLayout, CoversFullHashSpace) {
+  DhtLayout layout;
+  layout.Recompute({{1, 100.0}, {2, 100.0}, {3, 100.0}});
+  ASSERT_EQ(layout.ranges().size(), 3u);
+  EXPECT_EQ(layout.ranges().front().start, 0u);
+  EXPECT_EQ(layout.ranges().back().end, 0xffffffffu);
+  for (size_t i = 1; i < layout.ranges().size(); ++i) {
+    EXPECT_EQ(layout.ranges()[i].start, layout.ranges()[i - 1].end + 1);
+  }
+}
+
+TEST(DhtLayout, RangesProportionalToWeight) {
+  DhtLayout layout;
+  layout.Recompute({{1, 300.0}, {2, 100.0}});
+  double share1 = static_cast<double>(layout.ranges()[0].end) / 4294967295.0;
+  EXPECT_NEAR(share1, 0.75, 0.01);
+}
+
+TEST(DhtLayout, LocateIsStableAcrossIdenticalRecompute) {
+  DhtLayout layout;
+  layout.Recompute({{1, 100.0}, {2, 100.0}});
+  BrickId before = layout.Locate(12345);
+  uint64_t generation = layout.generation();
+  layout.Recompute({{1, 100.0}, {2, 100.0}});
+  EXPECT_EQ(layout.Locate(12345), before);
+  EXPECT_EQ(layout.generation(), generation + 1);
+}
+
+TEST(DhtLayout, ZeroWeightBricksGetNoRange) {
+  DhtLayout layout;
+  layout.Recompute({{1, 100.0}, {2, 0.0}, {3, 100.0}});
+  for (const DhtRange& range : layout.ranges()) {
+    EXPECT_NE(range.brick, 2u);
+  }
+}
+
+TEST(DhtLayout, EmptyLayout) {
+  DhtLayout layout;
+  EXPECT_TRUE(layout.empty());
+  EXPECT_EQ(layout.Locate(1), kInvalidBrick);
+  layout.Recompute({});
+  EXPECT_TRUE(layout.empty());
+}
+
+TEST(DhtLayout, HashNameDeterministicAndSpread) {
+  EXPECT_EQ(DhtLayout::HashName("/a/b"), DhtLayout::HashName("/a/b"));
+  EXPECT_NE(DhtLayout::HashName("/a/b"), DhtLayout::HashName("/a/c"));
+  // Names spread roughly evenly over two equal ranges.
+  DhtLayout layout;
+  layout.Recompute({{1, 1.0}, {2, 1.0}});
+  int first = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (layout.Locate(DhtLayout::HashName("/f" + std::to_string(i))) == 1) {
+      ++first;
+    }
+  }
+  EXPECT_NEAR(first / 2000.0, 0.5, 0.06);
+}
+
+// ---- WeightedTree ----
+
+TEST(WeightedTree, SortsLightToHeavy) {
+  WeightedTree tree(10);
+  tree.Insert({1, 0.95});
+  tree.Insert({2, 0.05});
+  tree.Insert({3, 0.55});
+  Rng rng(1);
+  std::vector<BrickId> sorted = tree.SortByLoad(rng);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], 2u);
+  EXPECT_EQ(sorted[1], 3u);
+  EXPECT_EQ(sorted[2], 1u);
+}
+
+TEST(WeightedTree, ShufflesWithinEqualBuckets) {
+  // Nodes with the same weight must share placements (Collections.shuffle).
+  WeightedTree tree(10);
+  for (BrickId b = 1; b <= 6; ++b) {
+    tree.Insert({b, 0.5});
+  }
+  Rng rng(2);
+  std::map<BrickId, int> first_counts;
+  for (int i = 0; i < 600; ++i) {
+    ++first_counts[tree.ChooseLeastLoaded(1, rng).front()];
+  }
+  for (BrickId b = 1; b <= 6; ++b) {
+    EXPECT_GT(first_counts[b], 30) << "target " << b << " never chosen first";
+  }
+}
+
+TEST(WeightedTree, ChooseLeastLoadedTruncates) {
+  WeightedTree tree;
+  tree.Insert({1, 0.2});
+  tree.Insert({2, 0.8});
+  Rng rng(3);
+  EXPECT_EQ(tree.ChooseLeastLoaded(1, rng).size(), 1u);
+  EXPECT_EQ(tree.ChooseLeastLoaded(5, rng).size(), 2u);
+}
+
+TEST(WeightedTree, ClearEmptiesTree) {
+  WeightedTree tree;
+  tree.Insert({1, 0.5});
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  Rng rng(4);
+  EXPECT_TRUE(tree.SortByLoad(rng).empty());
+}
+
+TEST(WeightedTree, ClampsOutOfRangeFractions) {
+  WeightedTree tree(10);
+  tree.Insert({1, -0.5});
+  tree.Insert({2, 1.5});
+  Rng rng(5);
+  std::vector<BrickId> sorted = tree.SortByLoad(rng);
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0], 1u);  // clamped to lightest bucket
+  EXPECT_EQ(sorted[1], 2u);  // clamped to heaviest bucket
+}
+
+}  // namespace
+}  // namespace themis

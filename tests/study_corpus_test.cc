@@ -1,0 +1,119 @@
+// The study corpus must reproduce every statistic of paper §3.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/study/study_corpus.h"
+
+namespace themis {
+namespace {
+
+TEST(StudyCorpus, Table1Counts) {
+  StudySummary s = Summarize(StudyCorpus());
+  EXPECT_EQ(s.total, 53);
+  EXPECT_EQ(s.per_platform[static_cast<int>(Flavor::kHdfs)], 18);
+  EXPECT_EQ(s.per_platform[static_cast<int>(Flavor::kCeph)], 16);
+  EXPECT_EQ(s.per_platform[static_cast<int>(Flavor::kGluster)], 12);
+  EXPECT_EQ(s.per_platform[static_cast<int>(Flavor::kLeo)], 7);
+}
+
+TEST(StudyCorpus, Finding1SeverityShares) {
+  StudySummary s = Summarize(StudyCorpus());
+  EXPECT_EQ(s.per_symptom[static_cast<int>(Symptom::kPerfDegradation)], 20);  // 38%
+  EXPECT_EQ(s.per_symptom[static_cast<int>(Symptom::kPartialOutage)], 9);     // 17%
+  EXPECT_EQ(s.per_symptom[static_cast<int>(Symptom::kDataLoss)], 7);          // 13%
+  EXPECT_EQ(s.per_symptom[static_cast<int>(Symptom::kClusterFailure)], 7);    // 13%
+  EXPECT_EQ(s.per_symptom[static_cast<int>(Symptom::kLimitedImpact)], 10);    // 18%
+  // "Most (82%) lead to serious consequences affecting all or a majority."
+  EXPECT_EQ(s.majority_impact, 43);
+  EXPECT_NEAR(100.0 * s.majority_impact / s.total, 82.0, 1.5);
+}
+
+TEST(StudyCorpus, Finding2RootCauses) {
+  StudySummary s = Summarize(StudyCorpus());
+  EXPECT_EQ(s.per_cause[static_cast<int>(StudyRootCause::kMigration)], 38);      // 72%
+  EXPECT_EQ(s.per_cause[static_cast<int>(StudyRootCause::kLoadCalculation)], 8); // 15%
+  EXPECT_EQ(s.per_cause[static_cast<int>(StudyRootCause::kStateCollection)], 7); // 13%
+}
+
+TEST(StudyCorpus, Finding3InternalSymptoms) {
+  StudySummary s = Summarize(StudyCorpus());
+  EXPECT_EQ(s.per_internal[static_cast<int>(InternalSymptom::kDisk)], 34);    // 64%
+  EXPECT_EQ(s.per_internal[static_cast<int>(InternalSymptom::kCpu)], 11);     // 21%
+  EXPECT_EQ(s.per_internal[static_cast<int>(InternalSymptom::kNetwork)], 8);  // 15%
+}
+
+TEST(StudyCorpus, Finding4TriggerInputs) {
+  StudySummary s = Summarize(StudyCorpus());
+  EXPECT_EQ(s.per_inputs[static_cast<int>(TriggerInputs::kRequestsOnly)], 7);  // 13%
+  EXPECT_EQ(s.per_inputs[static_cast<int>(TriggerInputs::kConfigsOnly)], 2);   // 4%
+  EXPECT_EQ(s.per_inputs[static_cast<int>(TriggerInputs::kBoth)], 44);         // 83%
+}
+
+TEST(StudyCorpus, Finding5StepCounts) {
+  StudySummary s = Summarize(StudyCorpus());
+  EXPECT_EQ(s.steps_at_most_5, 35);  // 66%
+  EXPECT_EQ(s.steps_6_to_8, 18);     // 34%
+  for (const StudyRecord& record : StudyCorpus()) {
+    EXPECT_GE(record.steps, 1);
+    EXPECT_LE(record.steps, 8) << "Finding 5: no more than 8 operations";
+  }
+}
+
+TEST(StudyCorpus, FiveEnvironmentGatedFailures) {
+  StudySummary s = Summarize(StudyCorpus());
+  EXPECT_EQ(s.gated, 5);
+  int windows = 0;
+  int hardware = 0;
+  for (const StudyRecord& record : StudyCorpus()) {
+    windows += record.gate == EnvGate::kWindowsOnly ? 1 : 0;
+    hardware += record.gate == EnvGate::kHardware ? 1 : 0;
+  }
+  EXPECT_EQ(windows, 2);  // CephFS #41935, HDFS #4261
+  EXPECT_EQ(hardware, 3); // CephFS #55568, GlusterFS #1699, HDFS #11741
+}
+
+TEST(StudyCorpus, IdsAreUnique) {
+  std::set<std::string> ids;
+  for (const StudyRecord& record : StudyCorpus()) {
+    EXPECT_TRUE(ids.insert(record.id).second) << record.id;
+  }
+}
+
+TEST(StudyCorpus, NamedPaperFailuresPresent) {
+  std::set<std::string> ids;
+  for (const StudyRecord& record : StudyCorpus()) {
+    ids.insert(record.id);
+  }
+  // Failures the paper cites by number.
+  EXPECT_TRUE(ids.count("HDFS-13279"));      // the motivating example
+  EXPECT_TRUE(ids.count("GLUSTER-3356"));    // Fig. 2
+  EXPECT_TRUE(ids.count("GLUSTER-1245142")); // the 8-step sequence
+  EXPECT_TRUE(ids.count("LEOFS-1115"));
+  EXPECT_TRUE(ids.count("CEPH-64333"));
+  EXPECT_TRUE(ids.count("CEPH-63014"));
+}
+
+TEST(StudyCorpus, MotivatingExampleShape) {
+  for (const StudyRecord& record : StudyCorpus()) {
+    if (record.id == "HDFS-13279") {
+      EXPECT_EQ(record.steps, 7);  // the seven key steps of Fig. 3
+      EXPECT_EQ(record.inputs, TriggerInputs::kBoth);
+      EXPECT_EQ(record.cause, StudyRootCause::kLoadCalculation);
+    }
+    if (record.id == "GLUSTER-1245142") {
+      EXPECT_EQ(record.steps, 8);  // 'create, volume_add, mount, ...' (8 ops)
+    }
+  }
+}
+
+TEST(StudyCorpus, EnumNamesAreStable) {
+  EXPECT_STREQ(SymptomName(Symptom::kDataLoss), "data loss");
+  EXPECT_STREQ(StudyRootCauseName(StudyRootCause::kMigration), "data migration");
+  EXPECT_STREQ(TriggerInputsName(TriggerInputs::kBoth), "requests + configs");
+  EXPECT_STREQ(InternalSymptomName(InternalSymptom::kDisk), "disk");
+}
+
+}  // namespace
+}  // namespace themis
