@@ -2,20 +2,27 @@
 //   1. registers google-benchmark microbenchmarks that exercise the
 //      experiment machinery at a reduced virtual budget (so `--benchmark_*`
 //      flags work as usual), and
-//   2. after RunSpecifiedBenchmarks(), executes the full experiment and
-//      prints the paper-style table / series.
+//   2. after RunSpecifiedBenchmarks(), executes the full experiment through
+//      the parallel CampaignRunner and prints the paper-style table / series
+//      plus the experiment's wall-clock (and, on request, the speedup over a
+//      serial run — per-campaign results are bit-identical either way).
 //
-// Environment knobs (full experiment only):
-//   THEMIS_BENCH_HOURS  virtual hours per campaign (default 24)
-//   THEMIS_BENCH_SEEDS  repeated campaigns per (tool, flavor) (default 3)
+// Flags / environment knobs (full experiment only):
+//   --jobs N              CampaignRunner worker threads (flag wins over env)
+//   THEMIS_BENCH_JOBS     same as --jobs (default 1)
+//   THEMIS_BENCH_HOURS    virtual hours per campaign (default 24)
+//   THEMIS_BENCH_SEEDS    repeated campaigns per (tool, flavor) (default 3)
+//   THEMIS_BENCH_COMPARE_SERIAL=1  rerun with 1 job and report the speedup
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/common/strings.h"
@@ -23,6 +30,12 @@
 #include "src/harness/report.h"
 
 namespace themis {
+
+// Worker-thread count for the full experiment (set by --jobs / env).
+inline int& BenchJobs() {
+  static int jobs = 1;
+  return jobs;
+}
 
 inline ExperimentBudget BenchBudget() {
   ExperimentBudget budget;
@@ -32,7 +45,27 @@ inline ExperimentBudget BenchBudget() {
   if (const char* seeds = std::getenv("THEMIS_BENCH_SEEDS")) {
     budget.seeds = std::max(1, std::atoi(seeds));
   }
+  budget.jobs = BenchJobs();
   return budget;
+}
+
+// Consumes `--jobs N` / `--jobs=N` from argv (google-benchmark rejects flags
+// it does not know) and folds THEMIS_BENCH_JOBS in as the default.
+inline void InitBenchJobs(int& argc, char** argv) {
+  if (const char* jobs = std::getenv("THEMIS_BENCH_JOBS")) {
+    BenchJobs() = std::max(1, std::atoi(jobs));
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      BenchJobs() = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      BenchJobs() = std::max(1, std::atoi(argv[i] + 7));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
 }
 
 inline void PrintHeader(const char* title) {
@@ -41,18 +74,46 @@ inline void PrintHeader(const char* title) {
   std::printf("================================================================\n");
 }
 
+// Runs the experiment with the configured job count, reports wall-clock, and
+// optionally (THEMIS_BENCH_COMPARE_SERIAL=1) reruns serially to print the
+// measured speedup.
+template <typename RunExperimentFn>
+void RunTimedExperiment(RunExperimentFn&& run) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+  run();
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  std::printf("\n[experiment wall-clock: %.2fs with --jobs %d]\n", seconds,
+              BenchJobs());
+
+  const char* compare = std::getenv("THEMIS_BENCH_COMPARE_SERIAL");
+  if (compare != nullptr && std::atoi(compare) != 0 && BenchJobs() > 1) {
+    int parallel_jobs = BenchJobs();
+    BenchJobs() = 1;
+    Clock::time_point serial_start = Clock::now();
+    run();
+    double serial_seconds =
+        std::chrono::duration<double>(Clock::now() - serial_start).count();
+    BenchJobs() = parallel_jobs;
+    std::printf("\n[serial wall-clock: %.2fs; speedup with --jobs %d: %.2fx]\n",
+                serial_seconds, parallel_jobs,
+                seconds > 0.0 ? serial_seconds / seconds : 0.0);
+  }
+}
+
 }  // namespace themis
 
-// Standard main: benchmarks first, then the full experiment table.
+// Standard main: benchmarks first, then the timed full experiment table.
 #define THEMIS_BENCH_MAIN(RunExperimentFn)                       \
   int main(int argc, char** argv) {                              \
+    ::themis::InitBenchJobs(argc, argv);                         \
     ::benchmark::Initialize(&argc, argv);                        \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
       return 1;                                                  \
     }                                                            \
     ::benchmark::RunSpecifiedBenchmarks();                       \
     ::benchmark::Shutdown();                                     \
-    RunExperimentFn();                                           \
+    ::themis::RunTimedExperiment([] { RunExperimentFn(); });     \
     return 0;                                                    \
   }
 

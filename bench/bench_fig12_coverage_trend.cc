@@ -11,7 +11,7 @@ void BM_TimelineSampling(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     CampaignResult result = RunCampaign(StrategyKind::kConcurrent, Flavor::kLeo, seed++,
-                                        Hours(1), FaultSet::kNewBugs);
+                                        Hours(1), FaultSet::kNewBugs).take();
     state.counters["samples"] = static_cast<double>(result.coverage_timeline.size());
   }
 }

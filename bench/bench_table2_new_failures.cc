@@ -11,7 +11,7 @@ void BM_ThemisCampaignShort(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     CampaignResult result = RunCampaign(StrategyKind::kThemis, Flavor::kGluster, seed++,
-                                        Hours(state.range(0)), FaultSet::kNewBugs);
+                                        Hours(state.range(0)), FaultSet::kNewBugs).take();
     benchmark::DoNotOptimize(result.testcases);
     state.counters["failures"] = result.DistinctTruePositives();
     state.counters["ops"] = static_cast<double>(result.total_ops);

@@ -13,7 +13,7 @@ void BM_BaselineCampaignShort(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     CampaignResult result = RunCampaign(kind, Flavor::kGluster, seed++, Hours(1),
-                                        FaultSet::kNewBugs);
+                                        FaultSet::kNewBugs).take();
     benchmark::DoNotOptimize(result.testcases);
   }
 }

@@ -12,7 +12,7 @@ void BM_HistoricalCampaignShort(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     CampaignResult result = RunCampaign(StrategyKind::kThemis, Flavor::kHdfs, seed++,
-                                        Hours(1), FaultSet::kHistorical);
+                                        Hours(1), FaultSet::kHistorical).take();
     benchmark::DoNotOptimize(result.testcases);
   }
 }

@@ -12,7 +12,7 @@ void BM_CoverageCampaignShort(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     CampaignResult result = RunCampaign(StrategyKind::kThemis, Flavor::kCeph, seed++,
-                                        Hours(state.range(0)), FaultSet::kNewBugs);
+                                        Hours(state.range(0)), FaultSet::kNewBugs).take();
     state.counters["branches"] = static_cast<double>(result.final_coverage);
   }
 }

@@ -10,7 +10,7 @@ void BM_ThemisMinusCampaignShort(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     CampaignResult result = RunCampaign(StrategyKind::kThemisMinus, Flavor::kGluster,
-                                        seed++, Hours(1), FaultSet::kNewBugs);
+                                        seed++, Hours(1), FaultSet::kNewBugs).take();
     benchmark::DoNotOptimize(result.testcases);
   }
 }

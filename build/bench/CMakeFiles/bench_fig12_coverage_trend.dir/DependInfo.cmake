@@ -13,7 +13,6 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
-  "/root/repo/build/src/CMakeFiles/themis.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

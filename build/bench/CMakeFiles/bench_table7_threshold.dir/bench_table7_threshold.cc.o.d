@@ -183,14 +183,11 @@ bench/CMakeFiles/bench_table7_threshold.dir/bench_table7_threshold.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/strings.h /root/repo/src/harness/experiments.h \
- /usr/include/c++/12/array /root/repo/src/harness/campaign.h \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -203,8 +200,17 @@ bench/CMakeFiles/bench_table7_threshold.dir/bench_table7_threshold.cc.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/strings.h /root/repo/src/harness/experiments.h \
+ /usr/include/c++/12/array /root/repo/src/harness/campaign.h \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -214,13 +220,13 @@ bench/CMakeFiles/bench_table7_threshold.dir/bench_table7_threshold.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/executor.h /root/repo/src/common/rng.h \
  /root/repo/src/core/generator.h /root/repo/src/core/input_model.h \
  /root/repo/src/dfs/cluster.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/bytes.h /root/repo/src/common/clock.h \
- /root/repo/src/common/status.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/coverage/coverage.h /root/repo/src/dfs/brick.h \
  /root/repo/src/dfs/types.h /root/repo/src/dfs/load_sample.h \
  /root/repo/src/dfs/migration.h /root/repo/src/dfs/namespace_tree.h \
@@ -228,9 +234,15 @@ bench/CMakeFiles/bench_table7_threshold.dir/bench_table7_threshold.cc.o: \
  /root/repo/src/core/opseq.h /root/repo/src/faults/injector.h \
  /root/repo/src/faults/fault_spec.h /root/repo/src/study/study_corpus.h \
  /root/repo/src/monitor/detector.h /root/repo/src/monitor/load_model.h \
- /root/repo/src/monitor/states_monitor.h /root/repo/src/core/fuzzer.h \
- /root/repo/src/core/mutator.h /root/repo/src/core/seed_pool.h \
- /root/repo/src/core/strategy.h /root/repo/src/dfs/flavors/factory.h \
+ /root/repo/src/monitor/states_monitor.h /root/repo/src/core/strategy.h \
+ /root/repo/src/core/strategy_registry.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/dfs/flavors/factory.h \
  /root/repo/src/faults/fault_registry.h \
  /root/repo/src/faults/historical_corpus.h \
- /root/repo/src/harness/ground_truth.h /root/repo/src/harness/report.h
+ /root/repo/src/harness/ground_truth.h /root/repo/src/harness/runner.h \
+ /root/repo/src/common/stats.h /root/repo/src/harness/report.h

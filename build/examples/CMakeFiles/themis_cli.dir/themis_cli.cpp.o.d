@@ -224,12 +224,24 @@ examples/CMakeFiles/themis_cli.dir/themis_cli.cpp.o: \
  /root/repo/src/dfs/namespace_tree.h /root/repo/src/dfs/node.h \
  /root/repo/src/faults/fault_registry.h \
  /root/repo/src/faults/fault_spec.h /root/repo/src/study/study_corpus.h \
- /root/repo/src/faults/injector.h /root/repo/src/harness/campaign.h \
- /root/repo/src/core/executor.h /root/repo/src/core/generator.h \
- /root/repo/src/core/input_model.h /root/repo/src/monitor/detector.h \
+ /root/repo/src/faults/injector.h /root/repo/src/core/strategy_registry.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/input_model.h \
+ /root/repo/src/core/strategy.h /root/repo/src/core/executor.h \
+ /root/repo/src/core/generator.h /root/repo/src/monitor/detector.h \
  /root/repo/src/monitor/load_model.h \
- /root/repo/src/monitor/states_monitor.h /root/repo/src/core/fuzzer.h \
- /root/repo/src/core/mutator.h /root/repo/src/core/seed_pool.h \
- /root/repo/src/core/strategy.h /root/repo/src/dfs/flavors/factory.h \
+ /root/repo/src/monitor/states_monitor.h /root/repo/src/harness/report.h \
+ /root/repo/src/harness/runner.h /root/repo/src/common/stats.h \
+ /root/repo/src/harness/campaign.h /root/repo/src/dfs/flavors/factory.h \
  /root/repo/src/faults/historical_corpus.h \
- /root/repo/src/harness/ground_truth.h /root/repo/src/harness/report.h
+ /root/repo/src/harness/ground_truth.h

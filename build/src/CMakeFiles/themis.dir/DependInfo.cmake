@@ -28,6 +28,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/opseq.cc" "src/CMakeFiles/themis.dir/core/opseq.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/opseq.cc.o.d"
   "/root/repo/src/core/replay.cc" "src/CMakeFiles/themis.dir/core/replay.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/replay.cc.o.d"
   "/root/repo/src/core/seed_pool.cc" "src/CMakeFiles/themis.dir/core/seed_pool.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/seed_pool.cc.o.d"
+  "/root/repo/src/core/strategy_registry.cc" "src/CMakeFiles/themis.dir/core/strategy_registry.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/strategy_registry.cc.o.d"
   "/root/repo/src/coverage/coverage.cc" "src/CMakeFiles/themis.dir/coverage/coverage.cc.o" "gcc" "src/CMakeFiles/themis.dir/coverage/coverage.cc.o.d"
   "/root/repo/src/dfs/brick.cc" "src/CMakeFiles/themis.dir/dfs/brick.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/brick.cc.o.d"
   "/root/repo/src/dfs/cluster.cc" "src/CMakeFiles/themis.dir/dfs/cluster.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/cluster.cc.o.d"
@@ -53,6 +54,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/harness/experiments.cc" "src/CMakeFiles/themis.dir/harness/experiments.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/experiments.cc.o.d"
   "/root/repo/src/harness/ground_truth.cc" "src/CMakeFiles/themis.dir/harness/ground_truth.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/ground_truth.cc.o.d"
   "/root/repo/src/harness/report.cc" "src/CMakeFiles/themis.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/themis.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/thread_pool.cc" "src/CMakeFiles/themis.dir/harness/thread_pool.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/thread_pool.cc.o.d"
   "/root/repo/src/monitor/detector.cc" "src/CMakeFiles/themis.dir/monitor/detector.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/detector.cc.o.d"
   "/root/repo/src/monitor/dynamic_threshold.cc" "src/CMakeFiles/themis.dir/monitor/dynamic_threshold.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/dynamic_threshold.cc.o.d"
   "/root/repo/src/monitor/load_model.cc" "src/CMakeFiles/themis.dir/monitor/load_model.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/load_model.cc.o.d"

@@ -224,4 +224,8 @@ src/CMakeFiles/themis.dir/dfs/cluster.cc.o: /root/repo/src/dfs/cluster.cc \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/common/log.h /root/repo/src/common/strings.h \
- /root/repo/src/common/stats.h
+ /root/repo/src/common/stats.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -201,32 +201,42 @@ src/CMakeFiles/themis.dir/harness/campaign.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/executor.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/cstddef \
- /root/repo/src/core/generator.h /root/repo/src/core/input_model.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/dfs/cluster.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/bytes.h \
- /root/repo/src/common/clock.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/coverage/coverage.h /root/repo/src/dfs/brick.h \
- /root/repo/src/dfs/types.h /root/repo/src/dfs/load_sample.h \
- /root/repo/src/dfs/migration.h /root/repo/src/dfs/namespace_tree.h \
- /root/repo/src/dfs/node.h /root/repo/src/dfs/operation.h \
- /root/repo/src/core/opseq.h /root/repo/src/faults/injector.h \
- /root/repo/src/faults/fault_spec.h /root/repo/src/study/study_corpus.h \
- /root/repo/src/monitor/detector.h /root/repo/src/monitor/load_model.h \
- /root/repo/src/monitor/states_monitor.h /root/repo/src/core/fuzzer.h \
- /root/repo/src/core/mutator.h /root/repo/src/core/seed_pool.h \
- /root/repo/src/core/strategy.h /root/repo/src/dfs/flavors/factory.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/executor.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/generator.h \
+ /root/repo/src/core/input_model.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/dfs/cluster.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/bytes.h \
+ /root/repo/src/common/clock.h /root/repo/src/coverage/coverage.h \
+ /root/repo/src/dfs/brick.h /root/repo/src/dfs/types.h \
+ /root/repo/src/dfs/load_sample.h /root/repo/src/dfs/migration.h \
+ /root/repo/src/dfs/namespace_tree.h /root/repo/src/dfs/node.h \
+ /root/repo/src/dfs/operation.h /root/repo/src/core/opseq.h \
+ /root/repo/src/faults/injector.h /root/repo/src/faults/fault_spec.h \
+ /root/repo/src/study/study_corpus.h /root/repo/src/monitor/detector.h \
+ /root/repo/src/monitor/load_model.h \
+ /root/repo/src/monitor/states_monitor.h /root/repo/src/core/strategy.h \
+ /root/repo/src/core/strategy_registry.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/dfs/flavors/factory.h \
  /root/repo/src/faults/fault_registry.h \
  /root/repo/src/faults/historical_corpus.h \
- /root/repo/src/harness/ground_truth.h \
- /root/repo/src/baselines/alternate.h \
- /root/repo/src/baselines/concurrent.h \
- /root/repo/src/baselines/fix_conf.h /root/repo/src/baselines/fix_req.h \
- /root/repo/src/baselines/themis_minus.h /root/repo/src/common/log.h \
- /root/repo/src/common/strings.h
+ /root/repo/src/harness/ground_truth.h /root/repo/src/common/log.h \
+ /root/repo/src/common/strings.h /root/repo/src/core/fuzzer.h \
+ /root/repo/src/core/mutator.h /root/repo/src/core/seed_pool.h

@@ -293,23 +293,29 @@ tests/CMakeFiles/campaign_test.dir/campaign_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/harness/campaign.h /root/repo/src/core/executor.h \
- /root/repo/src/common/rng.h /root/repo/src/core/generator.h \
- /root/repo/src/core/input_model.h /root/repo/src/dfs/cluster.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/bytes.h \
- /root/repo/src/common/clock.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/core/strategy_registry.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/status.h /root/repo/src/core/input_model.h \
+ /root/repo/src/dfs/cluster.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/bytes.h /root/repo/src/common/clock.h \
  /root/repo/src/coverage/coverage.h /root/repo/src/dfs/brick.h \
  /root/repo/src/dfs/types.h /root/repo/src/dfs/load_sample.h \
  /root/repo/src/dfs/migration.h /root/repo/src/dfs/namespace_tree.h \
  /root/repo/src/dfs/node.h /root/repo/src/dfs/operation.h \
- /root/repo/src/core/opseq.h /root/repo/src/faults/injector.h \
- /root/repo/src/faults/fault_spec.h /root/repo/src/study/study_corpus.h \
- /root/repo/src/monitor/detector.h /root/repo/src/monitor/load_model.h \
- /root/repo/src/monitor/states_monitor.h /root/repo/src/core/fuzzer.h \
- /root/repo/src/core/mutator.h /root/repo/src/core/seed_pool.h \
- /root/repo/src/core/strategy.h /root/repo/src/dfs/flavors/factory.h \
+ /root/repo/src/core/strategy.h /root/repo/src/core/executor.h \
+ /root/repo/src/core/generator.h /root/repo/src/core/opseq.h \
+ /root/repo/src/faults/injector.h /root/repo/src/faults/fault_spec.h \
+ /root/repo/src/study/study_corpus.h /root/repo/src/monitor/detector.h \
+ /root/repo/src/monitor/load_model.h \
+ /root/repo/src/monitor/states_monitor.h \
+ /root/repo/src/harness/campaign.h /root/repo/src/dfs/flavors/factory.h \
  /root/repo/src/faults/fault_registry.h \
  /root/repo/src/faults/historical_corpus.h \
  /root/repo/src/harness/ground_truth.h \
- /root/repo/src/harness/experiments.h /root/repo/src/harness/report.h
+ /root/repo/src/harness/experiments.h /root/repo/src/harness/runner.h \
+ /root/repo/src/common/stats.h /root/repo/src/harness/report.h

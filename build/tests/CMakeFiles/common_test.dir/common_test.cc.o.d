@@ -316,5 +316,7 @@ tests/CMakeFiles/common_test.dir/common_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/bytes.h \
  /root/repo/src/common/clock.h /root/repo/src/common/rng.h \
- /root/repo/src/common/stats.h /root/repo/src/common/status.h \
+ /root/repo/src/common/stats.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
  /root/repo/src/common/strings.h

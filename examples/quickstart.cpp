@@ -24,7 +24,12 @@ int main(int argc, char** argv) {
   config.budget = themis::Minutes(minutes);
   config.fault_set = themis::FaultSet::kNewBugs;
   themis::Campaign campaign(config);
-  themis::CampaignResult result = campaign.Run(themis::StrategyKind::kThemis);
+  themis::Result<themis::CampaignResult> run = campaign.Run("Themis");
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  themis::CampaignResult result = run.take();
 
   std::printf("\n=== Campaign summary ===\n");
   std::printf("test cases executed : %d\n", result.testcases);

@@ -4,10 +4,14 @@
 //   themis_cli fuzz   <hdfs|ceph|gluster|leo> [options]
 //   themis_cli replay <hdfs|ceph|gluster|leo> <logfile> [--repeat N] [--bugs]
 //
-// Options for `fuzz`:
+// Options for `fuzz` (runs a CampaignMatrix through the parallel runner):
 //   --hours H       virtual campaign budget (default 24)
-//   --seed S        campaign seed (default 1234)
-//   --strategy X    themis | themis- | fixreq | fixconf | alternate | concurrent
+//   --seed S        matrix seed (default 1); per-campaign seeds are
+//                   deterministic RNG streams split off it
+//   --seeds N       repeated campaigns (default 1)
+//   --jobs N        worker threads; results are identical for every N
+//   --strategy X    a registered strategy: themis | themis- | fixreq |
+//                   fixconf | alternate | concurrent, or any registry name
 //   --threshold T   detector threshold t, e.g. 0.25
 //   --historical    inject the 53-bug historical corpus instead of the 10 new bugs
 //   --healthy       inject nothing (false-positive soak test)
@@ -23,8 +27,9 @@
 #include "src/core/replay.h"
 #include "src/faults/fault_registry.h"
 #include "src/faults/injector.h"
-#include "src/harness/campaign.h"
+#include "src/core/strategy_registry.h"
 #include "src/harness/report.h"
+#include "src/harness/runner.h"
 
 namespace {
 
@@ -34,6 +39,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  themis_cli fuzz <hdfs|ceph|gluster|leo> [--hours H] [--seed S]\n"
+               "             [--seeds N] [--jobs N]\n"
                "             [--strategy themis|themis-|fixreq|fixconf|alternate|\n"
                "              concurrent] [--threshold T] [--historical] [--healthy]\n"
                "             [--logs]\n"
@@ -58,19 +64,23 @@ bool ParseFlavor(const char* text, Flavor* out) {
   return true;
 }
 
-bool ParseStrategy(const char* text, StrategyKind* out) {
+// Maps the CLI spellings to registry names; any name already known to the
+// StrategyRegistry (e.g. one added by a plugin) passes through unchanged.
+bool ParseStrategy(const char* text, std::string* out) {
   if (std::strcmp(text, "themis") == 0) {
-    *out = StrategyKind::kThemis;
+    *out = "Themis";
   } else if (std::strcmp(text, "themis-") == 0) {
-    *out = StrategyKind::kThemisMinus;
+    *out = "Themis-";
   } else if (std::strcmp(text, "fixreq") == 0) {
-    *out = StrategyKind::kFixReq;
+    *out = "Fix_req";
   } else if (std::strcmp(text, "fixconf") == 0) {
-    *out = StrategyKind::kFixConf;
+    *out = "Fix_conf";
   } else if (std::strcmp(text, "alternate") == 0) {
-    *out = StrategyKind::kAlternate;
+    *out = "Alternate";
   } else if (std::strcmp(text, "concurrent") == 0) {
-    *out = StrategyKind::kConcurrent;
+    *out = "Concurrent";
+  } else if (StrategyRegistry::Instance().Contains(text)) {
+    *out = text;
   } else {
     return false;
   }
@@ -85,58 +95,101 @@ int RunFuzz(int argc, char** argv) {
   if (!ParseFlavor(argv[0], &flavor)) {
     return Usage();
   }
-  CampaignConfig config;
-  config.flavor = flavor;
-  StrategyKind strategy = StrategyKind::kThemis;
+  CampaignMatrix matrix;
+  matrix.flavors = {flavor};
+  std::string strategy = "Themis";
+  int jobs = 1;
   bool print_logs = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
-      config.budget = Hours(std::atoi(argv[++i]));
+      matrix.base.budget = Hours(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      config.seed = std::strtoull(argv[++i], nullptr, 10);
+      matrix.matrix_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      matrix.seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      config.threshold_t = std::atof(argv[++i]);
+      matrix.base.threshold_t = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
       if (!ParseStrategy(argv[++i], &strategy)) {
         return Usage();
       }
     } else if (std::strcmp(argv[i], "--historical") == 0) {
-      config.fault_set = FaultSet::kHistorical;
+      matrix.base.fault_set = FaultSet::kHistorical;
     } else if (std::strcmp(argv[i], "--healthy") == 0) {
-      config.fault_set = FaultSet::kNone;
+      matrix.base.fault_set = FaultSet::kNone;
     } else if (std::strcmp(argv[i], "--logs") == 0) {
       print_logs = true;
     } else {
       return Usage();
     }
   }
+  matrix.strategies = {strategy};
+  if (matrix.seeds < 1) {
+    std::fprintf(stderr, "--seeds must be >= 1\n");
+    return 2;
+  }
 
   SetLogLevel(LogLevel::kInfo);
-  CampaignResult result = Campaign(config).Run(strategy);
-  std::printf("\n=== %s on %s (%lld virtual hours, t=%.0f%%) ===\n",
-              result.strategy_name.c_str(),
-              std::string(FlavorName(config.flavor)).c_str(),
-              static_cast<long long>(config.budget / Hours(1)),
-              config.threshold_t * 100.0);
-  std::printf("test cases %d | operations %llu | candidates %d | coverage %zu\n",
-              result.testcases, static_cast<unsigned long long>(result.total_ops),
-              result.candidates, result.final_coverage);
-  std::printf("distinct failures %d | false positives %d\n",
-              result.DistinctTruePositives(), result.false_positives);
-  if (!result.distinct_failures.empty()) {
+  RunnerOptions options;
+  options.jobs = jobs;
+  MatrixResult result = CampaignRunner(options).Run(matrix);
+
+  std::printf("\n=== %s on %s (%lld virtual hours, t=%.0f%%, %d campaign%s on "
+              "%d thread%s, %.2fs wall) ===\n",
+              strategy.c_str(), std::string(FlavorName(flavor)).c_str(),
+              static_cast<long long>(matrix.base.budget / Hours(1)),
+              matrix.base.threshold_t * 100.0, matrix.seeds,
+              matrix.seeds == 1 ? "" : "s", result.threads,
+              result.threads == 1 ? "" : "s", result.wall_seconds);
+
+  bool any_ok = false;
+  TextTable jobs_table({"Seed rep", "Test cases", "Ops", "Coverage", "Distinct",
+                        "FPs", "Wall (s)"});
+  for (const JobResult& job : result.jobs) {
+    if (!job.status.ok()) {
+      std::fprintf(stderr, "campaign %d failed: %s\n", job.job.repetition,
+                   job.status.ToString().c_str());
+      continue;
+    }
+    any_ok = true;
+    jobs_table.AddRow({std::to_string(job.job.repetition),
+                       std::to_string(job.result.testcases),
+                       std::to_string(job.result.total_ops),
+                       std::to_string(job.result.final_coverage),
+                       std::to_string(job.result.DistinctTruePositives()),
+                       std::to_string(job.result.false_positives),
+                       Sprintf("%.2f", job.wall_seconds)});
+  }
+  if (!any_ok) {
+    return 1;
+  }
+  jobs_table.Print();
+
+  const MatrixRollup& rollup = result.overall;
+  std::printf("union: distinct failures %d | false positives %d | total ops %llu\n",
+              rollup.DistinctTruePositives(), rollup.false_positives,
+              static_cast<unsigned long long>(rollup.total_ops));
+  if (!rollup.distinct_failures.empty()) {
     TextTable table({"Failure", "First confirmed (virtual min)"});
-    for (const auto& [id, at] : result.distinct_failures) {
+    for (const auto& [id, at] : rollup.distinct_failures) {
       table.AddRow({id, Sprintf("%.1f", ToMinutes(at))});
     }
     table.Print();
   }
   if (print_logs) {
-    for (const FailureReport& report : result.reports) {
-      if (report.IsTruePositive()) {
-        std::printf("\n# reproduction log for %s (%s imbalance, ratio %.2f)\n%s",
-                    report.DedupKey().c_str(),
-                    ImbalanceDimensionName(report.dimension), report.ratio,
-                    FormatReproductionLog(report.testcase).c_str());
+    for (const JobResult& job : result.jobs) {
+      if (!job.status.ok()) {
+        continue;
+      }
+      for (const FailureReport& report : job.result.reports) {
+        if (report.IsTruePositive()) {
+          std::printf("\n# reproduction log for %s (%s imbalance, ratio %.2f)\n%s",
+                      report.DedupKey().c_str(),
+                      ImbalanceDimensionName(report.dimension), report.ratio,
+                      FormatReproductionLog(report.testcase).c_str());
+        }
       }
     }
   }

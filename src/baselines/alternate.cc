@@ -1,5 +1,7 @@
 #include "src/baselines/alternate.h"
 
+#include "src/core/strategy_registry.h"
+
 namespace themis {
 
 AlternateStrategy::AlternateStrategy(InputModel& model, Rng& rng, int max_len,
@@ -62,5 +64,12 @@ void AlternateStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) 
     request_pool_.Add(seq, 1.0);
   }
 }
+
+
+THEMIS_REGISTER_STRATEGY("Alternate", [](InputModel& model, Rng& rng,
+                                         const StrategyOptions& options)
+                                          -> std::unique_ptr<Strategy> {
+  return std::make_unique<AlternateStrategy>(model, rng, options.max_len);
+});
 
 }  // namespace themis

@@ -1,5 +1,7 @@
 #include "src/baselines/concurrent.h"
 
+#include "src/core/strategy_registry.h"
+
 namespace themis {
 
 ConcurrentStrategy::ConcurrentStrategy(InputModel& model, Rng& rng, int max_len)
@@ -37,5 +39,12 @@ void ConcurrentStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome)
   (void)seq;
   (void)outcome;  // feedback unusable by construction
 }
+
+
+THEMIS_REGISTER_STRATEGY("Concurrent", [](InputModel& model, Rng& rng,
+                                          const StrategyOptions& options)
+                                           -> std::unique_ptr<Strategy> {
+  return std::make_unique<ConcurrentStrategy>(model, rng, options.max_len);
+});
 
 }  // namespace themis

@@ -1,5 +1,7 @@
 #include "src/baselines/fix_conf.h"
 
+#include "src/core/strategy_registry.h"
+
 namespace themis {
 
 FixConfStrategy::FixConfStrategy(InputModel& model, Rng& rng, int max_len)
@@ -50,5 +52,12 @@ void FixConfStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
                                (outcome.failures.empty() ? 0.0 : 1.0));
   }
 }
+
+
+THEMIS_REGISTER_STRATEGY("Fix_conf", [](InputModel& model, Rng& rng,
+                                        const StrategyOptions& options)
+                                         -> std::unique_ptr<Strategy> {
+  return std::make_unique<FixConfStrategy>(model, rng, options.max_len);
+});
 
 }  // namespace themis

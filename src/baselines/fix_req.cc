@@ -1,5 +1,7 @@
 #include "src/baselines/fix_req.h"
 
+#include "src/core/strategy_registry.h"
+
 #include "src/common/bytes.h"
 
 namespace themis {
@@ -75,5 +77,12 @@ void FixReqStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
                          (outcome.failures.empty() ? 0.0 : 1.0));
   }
 }
+
+
+THEMIS_REGISTER_STRATEGY("Fix_req", [](InputModel& model, Rng& rng,
+                                       const StrategyOptions& options)
+                                        -> std::unique_ptr<Strategy> {
+  return std::make_unique<FixReqStrategy>(model, rng, options.max_len);
+});
 
 }  // namespace themis

@@ -1,5 +1,7 @@
 #include "src/baselines/themis_minus.h"
 
+#include "src/core/strategy_registry.h"
+
 namespace themis {
 
 ThemisMinusStrategy::ThemisMinusStrategy(InputModel& model, Rng& rng, int max_len)
@@ -11,5 +13,12 @@ void ThemisMinusStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome
   (void)seq;
   (void)outcome;  // no feedback: that is the ablation
 }
+
+
+THEMIS_REGISTER_STRATEGY("Themis-", [](InputModel& model, Rng& rng,
+                                       const StrategyOptions& options)
+                                        -> std::unique_ptr<Strategy> {
+  return std::make_unique<ThemisMinusStrategy>(model, rng, options.max_len);
+});
 
 }  // namespace themis

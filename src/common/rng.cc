@@ -112,4 +112,14 @@ size_t Rng::PickWeighted(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xa02bdbf7bb3c0a7ULL); }
 
+uint64_t Rng::SplitSeed(uint64_t root_seed, uint64_t stream) {
+  // Double splitmix64 pass over the (root, stream) pair. A single xor of the
+  // raw inputs would make streams of nearby roots collide; mixing the stream
+  // index through the finalizer first keeps the family pairwise decorrelated.
+  uint64_t state = root_seed;
+  uint64_t mixed = SplitMix64(state);
+  state = mixed ^ Mix64(stream + 0x632be59bd9b4e019ULL);
+  return SplitMix64(state);
+}
+
 }  // namespace themis

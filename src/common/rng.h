@@ -54,6 +54,19 @@ class Rng {
   // Forks a child generator whose stream is decorrelated from this one.
   Rng Fork();
 
+  // Derives the seed of stream `stream` in the generator family rooted at
+  // `root_seed`. Streams are decorrelated from each other and from the root:
+  // two distinct (root_seed, stream) pairs never alias in practice. This is
+  // the basis of the campaign matrix's determinism guarantee — every job
+  // draws from its own stream, so results are independent of thread count
+  // and of the order jobs are executed in.
+  static uint64_t SplitSeed(uint64_t root_seed, uint64_t stream);
+
+  // Convenience: a generator seeded with SplitSeed(root_seed, stream).
+  static Rng Split(uint64_t root_seed, uint64_t stream) {
+    return Rng(SplitSeed(root_seed, stream));
+  }
+
  private:
   uint64_t s_[4];
   bool have_gaussian_ = false;

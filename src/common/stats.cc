@@ -19,6 +19,24 @@ void RunningStat::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  double n1 = static_cast<double>(count_);
+  double n2 = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+}
+
 void RunningStat::Reset() {
   count_ = 0;
   mean_ = 0.0;
@@ -35,6 +53,21 @@ double RunningStat::variance() const {
 }
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void ConcurrentRunningStat::Add(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stat_.Add(x);
+}
+
+void ConcurrentRunningStat::Merge(const RunningStat& partial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stat_.Merge(partial);
+}
+
+RunningStat ConcurrentRunningStat::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stat_;
+}
 
 double MaxOverMean(const std::vector<double>& values) {
   if (values.empty()) {

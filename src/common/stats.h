@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace themis {
@@ -15,6 +16,10 @@ class RunningStat {
  public:
   void Add(double x);
   void Reset();
+
+  // Folds another stat into this one (Chan et al. parallel combine), so
+  // per-thread partials can be merged into a campaign-matrix roll-up.
+  void Merge(const RunningStat& other);
 
   size_t count() const { return count_; }
   double mean() const { return mean_; }
@@ -29,6 +34,20 @@ class RunningStat {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+// Mutex-guarded RunningStat for aggregation across campaign-runner worker
+// threads. Writers call Add/Merge concurrently; readers take a Snapshot once
+// the jobs they care about have completed.
+class ConcurrentRunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& partial);
+  RunningStat Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  RunningStat stat_;
 };
 
 // max(values) / mean(values); 0 if the series is empty or the mean is 0.

@@ -1,5 +1,7 @@
 #include "src/core/fuzzer.h"
 
+#include "src/core/strategy_registry.h"
+
 #include <algorithm>
 
 namespace themis {
@@ -86,5 +88,17 @@ void ThemisFuzzer::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
     }
   }
 }
+
+
+// "Themis" is the full variance-guided fuzzer; the options control the
+// ablation knobs so registry clients can build Themis variants too.
+THEMIS_REGISTER_STRATEGY("Themis", [](InputModel& model, Rng& rng,
+                                      const StrategyOptions& options)
+                                       -> std::unique_ptr<Strategy> {
+  FuzzerConfig config;
+  config.max_len = options.max_len;
+  config.variance_guidance = options.variance_guidance;
+  return std::make_unique<ThemisFuzzer>(model, rng, config);
+});
 
 }  // namespace themis

@@ -1,0 +1,58 @@
+#include "src/core/strategy_registry.h"
+
+#include "src/common/log.h"
+#include "src/common/strings.h"
+
+namespace themis {
+
+StrategyRegistry& StrategyRegistry::Instance() {
+  static StrategyRegistry* registry = new StrategyRegistry();
+  return *registry;
+}
+
+void StrategyRegistry::Register(std::string name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    THEMIS_LOG(kWarn, "duplicate strategy registration ignored: %s",
+               it->first.c_str());
+  }
+}
+
+Result<std::unique_ptr<Strategy>> StrategyRegistry::Make(
+    std::string_view name, InputModel& model, Rng& rng,
+    const StrategyOptions& options) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return Status::NotFound("unknown strategy '" + std::string(name) +
+                              "'; registered: " + Join(NamesLocked(), ", "));
+    }
+    factory = it->second;
+  }
+  return factory(model, rng, options);
+}
+
+bool StrategyRegistry::Contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> StrategyRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NamesLocked();
+}
+
+std::vector<std::string> StrategyRegistry::NamesLocked() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace themis

@@ -1,11 +1,9 @@
 #include "src/harness/campaign.h"
 
-#include "src/baselines/alternate.h"
-#include "src/baselines/concurrent.h"
-#include "src/baselines/fix_conf.h"
-#include "src/baselines/fix_req.h"
-#include "src/baselines/themis_minus.h"
 #include "src/common/log.h"
+#include "src/core/fuzzer.h"
+#include "src/core/generator.h"
+#include "src/monitor/states_monitor.h"
 
 namespace themis {
 
@@ -27,6 +25,33 @@ const char* StrategyKindName(StrategyKind kind) {
   return "?";
 }
 
+Status CampaignConfig::Validate() const {
+  if (budget <= 0) {
+    return Status::InvalidArgument("campaign budget must be positive");
+  }
+  if (storage_nodes <= 0) {
+    return Status::InvalidArgument("campaign needs at least one storage node");
+  }
+  if (meta_nodes < 0) {
+    return Status::InvalidArgument("meta node count cannot be negative");
+  }
+  if (threshold_t <= 0.0) {
+    return Status::InvalidArgument("detector threshold t must be > 0");
+  }
+  if (coverage_sample_period <= 0) {
+    return Status::InvalidArgument("coverage sample period must be positive");
+  }
+  if (initial_files < 0) {
+    return Status::InvalidArgument("initial file population cannot be negative");
+  }
+  if (weights.computation < 0.0 || weights.network < 0.0 || weights.storage < 0.0 ||
+      weights.computation + weights.network + weights.storage <= 0.0) {
+    return Status::InvalidArgument(
+        "variance weights must be non-negative and sum to a positive value");
+  }
+  return Status::Ok();
+}
+
 Campaign::Campaign(CampaignConfig config) : config_(config) {}
 
 std::vector<FaultSpec> Campaign::FaultsForConfig() const {
@@ -41,31 +66,13 @@ std::vector<FaultSpec> Campaign::FaultsForConfig() const {
   return {};
 }
 
-std::unique_ptr<Strategy> Campaign::MakeStrategy(StrategyKind kind, InputModel& model,
-                                                 Rng& rng, bool variance_guidance) {
-  switch (kind) {
-    case StrategyKind::kThemis: {
-      FuzzerConfig fuzzer_config;
-      fuzzer_config.variance_guidance = variance_guidance;
-      return std::make_unique<ThemisFuzzer>(model, rng, fuzzer_config);
-    }
-    case StrategyKind::kThemisMinus:
-      return std::make_unique<ThemisMinusStrategy>(model, rng);
-    case StrategyKind::kFixReq:
-      return std::make_unique<FixReqStrategy>(model, rng);
-    case StrategyKind::kFixConf:
-      return std::make_unique<FixConfStrategy>(model, rng);
-    case StrategyKind::kAlternate:
-      return std::make_unique<AlternateStrategy>(model, rng);
-    case StrategyKind::kConcurrent:
-      return std::make_unique<ConcurrentStrategy>(model, rng);
+Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
+  if (Status status = config_.Validate(); !status.ok()) {
+    return status;
   }
-  return nullptr;
-}
 
-CampaignResult Campaign::Run(StrategyKind kind) {
   CampaignResult result;
-  result.strategy_name = StrategyKindName(kind);
+  result.strategy_name = std::string(strategy_name);
   result.flavor = config_.flavor;
 
   std::unique_ptr<DfsCluster> cluster = MakeCluster(
@@ -84,8 +91,11 @@ CampaignResult Campaign::Run(StrategyKind kind) {
   ImbalanceDetector detector(detector_config);
   TestCaseExecutor executor(*cluster, model, monitor, detector, &injector, &coverage,
                             rng);
-  std::unique_ptr<Strategy> strategy =
-      MakeStrategy(kind, model, rng, /*variance_guidance=*/true);
+  Result<std::unique_ptr<Strategy>> strategy =
+      StrategyRegistry::Instance().Make(strategy_name, model, rng);
+  if (!strategy.ok()) {
+    return strategy.status();
+  }
 
   // Initial data population.
   OpSeqGenerator init_generator(model);
@@ -94,9 +104,9 @@ CampaignResult Campaign::Run(StrategyKind kind) {
   GroundTruthTally tally;
   SimTime next_coverage_sample = 0;
   while (cluster->Now() < config_.budget) {
-    OpSeq testcase = strategy->Next();
+    OpSeq testcase = (*strategy)->Next();
     ExecOutcome outcome = executor.Run(testcase);
-    strategy->OnOutcome(testcase, outcome);
+    (*strategy)->OnOutcome(testcase, outcome);
     ++result.testcases;
     for (const FailureReport& report : outcome.failures) {
       if (!report.IsTruePositive() && GetLogLevel() >= LogLevel::kDebug) {
@@ -134,15 +144,20 @@ CampaignResult Campaign::Run(StrategyKind kind) {
   return result;
 }
 
-CampaignResult RunCampaign(StrategyKind kind, Flavor flavor, uint64_t seed,
-                           SimDuration budget, FaultSet fault_set) {
+Result<CampaignResult> RunCampaign(std::string_view strategy_name, Flavor flavor,
+                                   uint64_t seed, SimDuration budget,
+                                   FaultSet fault_set) {
   CampaignConfig config;
   config.flavor = flavor;
   config.seed = seed;
   config.budget = budget;
   config.fault_set = fault_set;
-  Campaign campaign(config);
-  return campaign.Run(kind);
+  return Campaign(config).Run(strategy_name);
+}
+
+Result<CampaignResult> RunCampaign(StrategyKind kind, Flavor flavor, uint64_t seed,
+                                   SimDuration budget, FaultSet fault_set) {
+  return RunCampaign(StrategyKindName(kind), flavor, seed, budget, fault_set);
 }
 
 }  // namespace themis

@@ -4,6 +4,11 @@
 // paper's 24-hour experiments). Produces everything the evaluation tables
 // need: confirmed failures (labeled TP/FP against ground truth), distinct
 // root causes, trigger times and the coverage timeline.
+//
+// Strategies are resolved by name through the StrategyRegistry; the
+// StrategyKind enum survives only as a compatibility shim over the names.
+// Construction is validated: Run() returns a Result and never crashes on a
+// bad config, so the parallel runner can report per-job errors.
 
 #ifndef SRC_HARNESS_CAMPAIGN_H_
 #define SRC_HARNESS_CAMPAIGN_H_
@@ -11,11 +16,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/executor.h"
-#include "src/core/fuzzer.h"
 #include "src/core/strategy.h"
+#include "src/core/strategy_registry.h"
 #include "src/dfs/flavors/factory.h"
 #include "src/faults/fault_registry.h"
 #include "src/faults/historical_corpus.h"
@@ -24,6 +31,9 @@
 
 namespace themis {
 
+// Compatibility shim over the registry's strategy names. New strategies
+// should be addressed by name; nothing below the harness dispatches on the
+// enum any more.
 enum class StrategyKind : uint8_t {
   kThemis = 0,
   kThemisMinus,
@@ -33,6 +43,7 @@ enum class StrategyKind : uint8_t {
   kConcurrent,
 };
 
+// The registry name the kind maps to ("Themis", "Fix_req", ...).
 const char* StrategyKindName(StrategyKind kind);
 
 enum class FaultSet : uint8_t {
@@ -52,6 +63,12 @@ struct CampaignConfig {
   SimDuration coverage_sample_period = Minutes(1);
   int storage_nodes = 8;               // 10 nodes total, like the paper
   int meta_nodes = 2;
+
+  // Rejects configurations no campaign can meaningfully run: non-positive
+  // budget or sample period, zero nodes, threshold <= 0, negative initial
+  // population, or degenerate variance weights. FaultSet::kNone is valid —
+  // it is the designated false-positive study mode.
+  Status Validate() const;
 };
 
 struct CampaignResult {
@@ -81,20 +98,26 @@ class Campaign {
  public:
   explicit Campaign(CampaignConfig config);
 
-  CampaignResult Run(StrategyKind kind);
+  // Runs one campaign with the named strategy from the StrategyRegistry.
+  // Fails (without crashing) on an invalid config or unknown strategy.
+  Result<CampaignResult> Run(std::string_view strategy_name);
+
+  // Compatibility shim for enum-based callers.
+  Result<CampaignResult> Run(StrategyKind kind) { return Run(StrategyKindName(kind)); }
 
  private:
-  std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind, InputModel& model, Rng& rng,
-                                         bool variance_guidance);
   std::vector<FaultSpec> FaultsForConfig() const;
 
   CampaignConfig config_;
 };
 
 // Convenience: run one (strategy, flavor) campaign with defaults.
-CampaignResult RunCampaign(StrategyKind kind, Flavor flavor, uint64_t seed,
-                           SimDuration budget = Hours(24),
-                           FaultSet fault_set = FaultSet::kNewBugs);
+Result<CampaignResult> RunCampaign(std::string_view strategy_name, Flavor flavor,
+                                   uint64_t seed, SimDuration budget = Hours(24),
+                                   FaultSet fault_set = FaultSet::kNewBugs);
+Result<CampaignResult> RunCampaign(StrategyKind kind, Flavor flavor, uint64_t seed,
+                                   SimDuration budget = Hours(24),
+                                   FaultSet fault_set = FaultSet::kNewBugs);
 
 }  // namespace themis
 

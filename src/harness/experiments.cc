@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/executor.h"
+#include "src/core/fuzzer.h"
 #include "src/core/generator.h"
 #include "src/faults/fault_registry.h"
 #include "src/monitor/states_monitor.h"
@@ -11,66 +12,100 @@ namespace themis {
 
 namespace {
 
-uint64_t SeedFor(const ExperimentBudget& budget, StrategyKind kind, Flavor flavor,
-                 int repetition) {
-  uint64_t h = budget.base_seed;
-  h = HashCombine(h, static_cast<uint64_t>(kind));
-  h = HashCombine(h, static_cast<uint64_t>(flavor));
-  h = HashCombine(h, static_cast<uint64_t>(repetition) * 1337);
-  return h | 1;
+// Per-driver salts: each experiment family owns its own stream of the base
+// seed, so drivers never share campaign RNG streams no matter how the grids
+// overlap (the order-dependence bug the old ad-hoc SeedFor scheme had).
+enum class DriverSalt : uint64_t {
+  kNewBugs = 1,
+  kHistorical = 2,
+  kCoverage = 3,
+  kAblation = 4,
+  kThreshold = 5,
+  kWeights = 6,
+};
+
+uint64_t DriverSeed(const ExperimentBudget& budget, DriverSalt salt) {
+  return Rng::SplitSeed(budget.base_seed, static_cast<uint64_t>(salt));
+}
+
+CampaignMatrix BaseMatrix(const ExperimentBudget& budget, DriverSalt salt,
+                          const std::vector<StrategyKind>& strategies) {
+  CampaignMatrix matrix;
+  matrix.flavors.assign(kAllFlavors.begin(), kAllFlavors.end());
+  matrix.strategies = StrategyNames(strategies);
+  matrix.seeds = budget.seeds;
+  matrix.matrix_seed = DriverSeed(budget, salt);
+  matrix.base.budget = budget.campaign;
+  matrix.base.fault_set = FaultSet::kNewBugs;
+  return matrix;
+}
+
+StrategyKind KindFromName(const std::string& name) {
+  for (StrategyKind kind :
+       {StrategyKind::kThemis, StrategyKind::kThemisMinus, StrategyKind::kFixReq,
+        StrategyKind::kFixConf, StrategyKind::kAlternate, StrategyKind::kConcurrent}) {
+    if (name == StrategyKindName(kind)) {
+      return kind;
+    }
+  }
+  return StrategyKind::kThemis;
+}
+
+MatrixResult RunMatrix(const CampaignMatrix& matrix, const ExperimentBudget& budget) {
+  RunnerOptions options;
+  options.jobs = budget.jobs;
+  return CampaignRunner(options).Run(matrix);
 }
 
 }  // namespace
 
+std::vector<std::string> StrategyNames(const std::vector<StrategyKind>& kinds) {
+  std::vector<std::string> names;
+  names.reserve(kinds.size());
+  for (StrategyKind kind : kinds) {
+    names.emplace_back(StrategyKindName(kind));
+  }
+  return names;
+}
+
 NewBugFindings RunNewBugExperiment(const std::vector<StrategyKind>& strategies,
                                    const ExperimentBudget& budget) {
+  CampaignMatrix matrix = BaseMatrix(budget, DriverSalt::kNewBugs, strategies);
+  MatrixResult result = RunMatrix(matrix, budget);
+
   NewBugFindings findings;
   for (StrategyKind kind : strategies) {
-    findings.false_positives[kind] = 0;
-    for (Flavor flavor : kAllFlavors) {
-      for (int rep = 0; rep < budget.seeds; ++rep) {
-        CampaignConfig config;
-        config.flavor = flavor;
-        config.seed = SeedFor(budget, kind, flavor, rep);
-        config.budget = budget.campaign;
-        config.fault_set = FaultSet::kNewBugs;
-        CampaignResult result = Campaign(config).Run(kind);
-        findings.false_positives[kind] += result.false_positives;
-        for (const auto& [id, at] : result.distinct_failures) {
-          auto [it, inserted] = findings.found[kind].emplace(id, at);
-          if (!inserted && at < it->second) {
-            it->second = at;
-          }
-        }
-      }
-    }
-    if (findings.found.count(kind) == 0) {
-      findings.found[kind] = {};
-    }
+    const MatrixRollup& rollup = result.by_strategy[StrategyKindName(kind)];
+    findings.found[kind] = rollup.distinct_failures;
+    findings.false_positives[kind] = rollup.false_positives;
   }
   return findings;
 }
 
 HistoricalFindings RunHistoricalExperiment(const std::vector<StrategyKind>& strategies,
                                            const ExperimentBudget& budget) {
+  CampaignMatrix matrix = BaseMatrix(budget, DriverSalt::kHistorical, strategies);
+  matrix.base.fault_set = FaultSet::kHistorical;
+  MatrixResult result = RunMatrix(matrix, budget);
+
   HistoricalFindings findings;
+  // Union per (strategy, flavor); the ids come out sorted because they are
+  // accumulated through an ordered map.
+  std::map<StrategyKind, std::map<Flavor, std::map<std::string, bool>>> found;
+  for (const JobResult& job : result.jobs) {
+    if (!job.status.ok()) {
+      continue;
+    }
+    StrategyKind kind = KindFromName(job.job.strategy);
+    for (const auto& [id, at] : job.result.distinct_failures) {
+      (void)at;
+      found[kind][job.job.config.flavor][id] = true;
+    }
+  }
   for (StrategyKind kind : strategies) {
     for (Flavor flavor : kAllFlavors) {
-      std::map<std::string, bool> found;
-      for (int rep = 0; rep < budget.seeds; ++rep) {
-        CampaignConfig config;
-        config.flavor = flavor;
-        config.seed = SeedFor(budget, kind, flavor, rep + 91);
-        config.budget = budget.campaign;
-        config.fault_set = FaultSet::kHistorical;
-        CampaignResult result = Campaign(config).Run(kind);
-        for (const auto& [id, at] : result.distinct_failures) {
-          (void)at;
-          found[id] = true;
-        }
-      }
       std::vector<std::string>& ids = findings.found[kind][flavor];
-      for (const auto& [id, seen] : found) {
+      for (const auto& [id, seen] : found[kind][flavor]) {
         (void)seen;
         ids.push_back(id);
       }
@@ -81,83 +116,86 @@ HistoricalFindings RunHistoricalExperiment(const std::vector<StrategyKind>& stra
 
 CoverageResults RunCoverageExperiment(const std::vector<StrategyKind>& strategies,
                                       const ExperimentBudget& budget) {
+  CampaignMatrix matrix = BaseMatrix(budget, DriverSalt::kCoverage, strategies);
+  MatrixResult result = RunMatrix(matrix, budget);
+
   CoverageResults results;
+  std::map<StrategyKind, std::map<Flavor, size_t>> totals;
+  for (const JobResult& job : result.jobs) {
+    if (!job.status.ok()) {
+      continue;
+    }
+    StrategyKind kind = KindFromName(job.job.strategy);
+    Flavor flavor = job.job.config.flavor;
+    totals[kind][flavor] += job.result.final_coverage;
+    if (job.job.repetition == 0) {
+      results.timelines[kind][flavor] = job.result.coverage_timeline;
+    }
+  }
   for (StrategyKind kind : strategies) {
     for (Flavor flavor : kAllFlavors) {
-      size_t total = 0;
-      for (int rep = 0; rep < budget.seeds; ++rep) {
-        CampaignConfig config;
-        config.flavor = flavor;
-        config.seed = SeedFor(budget, kind, flavor, rep + 7);
-        config.budget = budget.campaign;
-        config.fault_set = FaultSet::kNewBugs;
-        CampaignResult result = Campaign(config).Run(kind);
-        total += result.final_coverage;
-        if (rep == 0) {
-          results.timelines[kind][flavor] = result.coverage_timeline;
-        }
-      }
       results.final_coverage[kind][flavor] =
-          total / static_cast<size_t>(std::max(budget.seeds, 1));
+          totals[kind][flavor] / static_cast<size_t>(std::max(budget.seeds, 1));
     }
   }
   return results;
 }
 
 AblationResults RunAblationExperiment(const ExperimentBudget& budget) {
+  CampaignMatrix matrix =
+      BaseMatrix(budget, DriverSalt::kAblation,
+                 {StrategyKind::kThemisMinus, StrategyKind::kThemis});
+  MatrixResult result = RunMatrix(matrix, budget);
+
   AblationResults results;
-  for (Flavor flavor : kAllFlavors) {
-    for (bool full : {false, true}) {
-      StrategyKind kind = full ? StrategyKind::kThemis : StrategyKind::kThemisMinus;
-      std::map<std::string, bool> found;
-      size_t coverage_total = 0;
-      for (int rep = 0; rep < budget.seeds; ++rep) {
-        CampaignConfig config;
-        config.flavor = flavor;
-        config.seed = SeedFor(budget, kind, flavor, rep + 17);
-        config.budget = budget.campaign;
-        config.fault_set = FaultSet::kNewBugs;
-        CampaignResult result = Campaign(config).Run(kind);
-        coverage_total += result.final_coverage;
-        for (const auto& [id, at] : result.distinct_failures) {
-          (void)at;
-          found[id] = true;
-        }
-      }
-      size_t coverage = coverage_total / static_cast<size_t>(std::max(budget.seeds, 1));
-      if (full) {
-        results.failures_full[flavor] = static_cast<int>(found.size());
-        results.coverage_full[flavor] = coverage;
-      } else {
-        results.failures_minus[flavor] = static_cast<int>(found.size());
-        results.coverage_minus[flavor] = coverage;
-      }
+  std::map<StrategyKind, std::map<Flavor, std::map<std::string, bool>>> found;
+  std::map<StrategyKind, std::map<Flavor, size_t>> coverage_totals;
+  for (const JobResult& job : result.jobs) {
+    if (!job.status.ok()) {
+      continue;
     }
+    StrategyKind kind = KindFromName(job.job.strategy);
+    Flavor flavor = job.job.config.flavor;
+    coverage_totals[kind][flavor] += job.result.final_coverage;
+    for (const auto& [id, at] : job.result.distinct_failures) {
+      (void)at;
+      found[kind][flavor][id] = true;
+    }
+  }
+  for (Flavor flavor : kAllFlavors) {
+    size_t denom = static_cast<size_t>(std::max(budget.seeds, 1));
+    results.failures_minus[flavor] =
+        static_cast<int>(found[StrategyKind::kThemisMinus][flavor].size());
+    results.failures_full[flavor] =
+        static_cast<int>(found[StrategyKind::kThemis][flavor].size());
+    results.coverage_minus[flavor] =
+        coverage_totals[StrategyKind::kThemisMinus][flavor] / denom;
+    results.coverage_full[flavor] =
+        coverage_totals[StrategyKind::kThemis][flavor] / denom;
   }
   return results;
 }
 
 std::vector<ThresholdSweepRow> RunThresholdSweep(const std::vector<double>& thresholds,
                                                  const ExperimentBudget& budget) {
+  CampaignMatrix matrix =
+      BaseMatrix(budget, DriverSalt::kThreshold, {StrategyKind::kThemis});
+  matrix.thresholds = thresholds;
+  MatrixResult result = RunMatrix(matrix, budget);
+
   std::vector<ThresholdSweepRow> rows;
   for (double t : thresholds) {
     ThresholdSweepRow row;
     row.threshold = t;
     std::map<std::string, bool> found;
-    for (Flavor flavor : kAllFlavors) {
-      for (int rep = 0; rep < budget.seeds; ++rep) {
-        CampaignConfig config;
-        config.flavor = flavor;
-        config.seed = SeedFor(budget, StrategyKind::kThemis, flavor, rep + 29);
-        config.budget = budget.campaign;
-        config.fault_set = FaultSet::kNewBugs;
-        config.threshold_t = t;
-        CampaignResult result = Campaign(config).Run(StrategyKind::kThemis);
-        row.false_positives += result.false_positives;
-        for (const auto& [id, at] : result.distinct_failures) {
-          (void)at;
-          found[id] = true;
-        }
+    for (const JobResult& job : result.jobs) {
+      if (!job.status.ok() || job.job.config.threshold_t != t) {
+        continue;
+      }
+      row.false_positives += job.result.false_positives;
+      for (const auto& [id, at] : job.result.distinct_failures) {
+        (void)at;
+        found[id] = true;
       }
     }
     row.true_positives = static_cast<int>(found.size());
@@ -175,30 +213,34 @@ std::vector<WeightSweepRow> RunWeightSweep(const std::vector<double>& storage_we
       storage_bug_ids.push_back(spec.id);
     }
   }
+
+  CampaignMatrix matrix =
+      BaseMatrix(budget, DriverSalt::kWeights, {StrategyKind::kThemis});
+  for (double w : storage_weights) {
+    // Remaining weight splits evenly between computation and network.
+    LoadVarianceWeights weights;
+    weights.storage = w;
+    weights.computation = (1.0 - w) / 2.0;
+    weights.network = (1.0 - w) / 2.0;
+    matrix.weight_sets.push_back(weights);
+  }
+  MatrixResult result = RunMatrix(matrix, budget);
+
   std::vector<WeightSweepRow> rows;
   for (double w : storage_weights) {
     WeightSweepRow row;
     row.storage_weight = w;
     double total_minutes = 0.0;
     int found = 0;
-    for (Flavor flavor : kAllFlavors) {
-      for (int rep = 0; rep < budget.seeds; ++rep) {
-        CampaignConfig config;
-        config.flavor = flavor;
-        config.seed = SeedFor(budget, StrategyKind::kThemis, flavor, rep + 47);
-        config.budget = budget.campaign;
-        config.fault_set = FaultSet::kNewBugs;
-        // Remaining weight splits evenly between computation and network.
-        config.weights.storage = w;
-        config.weights.computation = (1.0 - w) / 2.0;
-        config.weights.network = (1.0 - w) / 2.0;
-        CampaignResult result = Campaign(config).Run(StrategyKind::kThemis);
-        for (const std::string& id : storage_bug_ids) {
-          auto it = result.distinct_failures.find(id);
-          if (it != result.distinct_failures.end()) {
-            total_minutes += ToMinutes(it->second);
-            ++found;
-          }
+    for (const JobResult& job : result.jobs) {
+      if (!job.status.ok() || job.job.config.weights.storage != w) {
+        continue;
+      }
+      for (const std::string& id : storage_bug_ids) {
+        auto it = job.result.distinct_failures.find(id);
+        if (it != job.result.distinct_failures.end()) {
+          total_minutes += ToMinutes(it->second);
+          ++found;
         }
       }
     }

@@ -7,6 +7,11 @@
 // times with the same environment setups". Each driver therefore runs
 // `seeds` repeated campaigns per (tool, flavor) and a failure counts as
 // found if any repetition confirmed it — applied uniformly to every tool.
+//
+// Every driver expands its grid into a CampaignMatrix and executes it on the
+// parallel CampaignRunner (`budget.jobs` worker threads). Job seeds derive
+// from per-driver RNG streams of `base_seed`, so results are identical
+// across thread counts and job orderings.
 
 #ifndef SRC_HARNESS_EXPERIMENTS_H_
 #define SRC_HARNESS_EXPERIMENTS_H_
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "src/harness/campaign.h"
+#include "src/harness/runner.h"
 
 namespace themis {
 
@@ -31,7 +37,11 @@ struct ExperimentBudget {
   SimDuration campaign = Hours(24);
   int seeds = 3;          // repeated campaigns per (tool, flavor)
   uint64_t base_seed = 1234;
+  int jobs = 1;           // CampaignRunner worker threads
 };
+
+// The registry names of the shim enum's strategies, for building matrices.
+std::vector<std::string> StrategyNames(const std::vector<StrategyKind>& kinds);
 
 // ---- Table 2 / Table 3: new imbalance failures ----
 struct NewBugFindings {

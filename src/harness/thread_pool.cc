@@ -1,0 +1,103 @@
+#include "src/harness/thread_pool.h"
+
+#include <algorithm>
+
+namespace themis {
+
+ThreadPool::ThreadPool(int threads) {
+  size_t n = static_cast<size_t>(std::max(threads, 1));
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      return false;
+    }
+    ++pending_;
+  }
+  size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+bool ThreadPool::RunOne(size_t self) {
+  std::function<void()> task;
+  bool stolen = false;
+  {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+    }
+  }
+  if (!task) {
+    // Steal from the back of sibling deques, starting after ourselves so
+    // workers don't all gang up on queue 0.
+    for (size_t step = 1; step < queues_.size() && !task; ++step) {
+      size_t victim = (self + step) % queues_.size();
+      std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+      if (!queues_[victim]->tasks.empty()) {
+        task = std::move(queues_[victim]->tasks.back());
+        queues_[victim]->tasks.pop_back();
+        stolen = true;
+      }
+    }
+  }
+  if (!task) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+  }
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) {
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    if (RunOne(self)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ > 0 || draining_; });
+    if (pending_ == 0 && draining_) {
+      return;
+    }
+  }
+}
+
+}  // namespace themis

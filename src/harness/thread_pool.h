@@ -1,0 +1,79 @@
+// Work-stealing thread pool for the parallel campaign engine.
+//
+// Each worker owns a deque: it pops its own work LIFO-free from the front and
+// steals from the back of a sibling's deque when it runs dry, which keeps all
+// cores busy even when job costs are wildly uneven (a 24h Themis campaign vs
+// a 1h Fix_conf one). Campaign jobs are fully self-contained — cluster,
+// strategy, RNG stream — so the pool never needs to know what a job computes,
+// and scheduling order cannot affect results.
+//
+// Shutdown() drains every queued task before joining: a submitted job is
+// guaranteed to run exactly once unless the pool rejected the Submit.
+
+#ifndef SRC_HARNESS_THREAD_POOL_H_
+#define SRC_HARNESS_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace themis {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  // Drains and joins (equivalent to Shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Returns false (and drops the task) after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  // Stops accepting new work, runs everything still queued, then joins the
+  // workers. Safe to call more than once.
+  void Shutdown();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Observability: total tasks run, and how many were stolen from another
+  // worker's deque rather than popped locally.
+  uint64_t tasks_executed() const { return executed_.load(std::memory_order_relaxed); }
+  uint64_t tasks_stolen() const { return stolen_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops a task: own queue front first, then steals from siblings' backs.
+  bool RunOne(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;      // queued-but-not-yet-popped tasks (guarded by mu_)
+  bool accepting_ = true;   // guarded by mu_
+  bool draining_ = false;   // guarded by mu_
+
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> stolen_{0};
+};
+
+}  // namespace themis
+
+#endif  // SRC_HARNESS_THREAD_POOL_H_

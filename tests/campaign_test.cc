@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "src/core/strategy_registry.h"
 #include "src/harness/campaign.h"
 #include "src/harness/experiments.h"
 #include "src/harness/ground_truth.h"
@@ -16,7 +19,9 @@ TEST(Campaign, RunsForTheVirtualBudget) {
   config.flavor = Flavor::kGluster;
   config.seed = 3;
   config.budget = Hours(2);
-  CampaignResult result = Campaign(config).Run(StrategyKind::kThemis);
+  Result<CampaignResult> run = Campaign(config).Run("Themis");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CampaignResult& result = *run;
   EXPECT_GT(result.testcases, 50);
   EXPECT_GT(result.total_ops, 500u);
   EXPECT_GT(result.final_coverage, 100u);
@@ -29,8 +34,8 @@ TEST(Campaign, Deterministic) {
   config.flavor = Flavor::kLeo;
   config.seed = 9;
   config.budget = Hours(1);
-  CampaignResult a = Campaign(config).Run(StrategyKind::kThemis);
-  CampaignResult b = Campaign(config).Run(StrategyKind::kThemis);
+  CampaignResult a = Campaign(config).Run(StrategyKind::kThemis).take();
+  CampaignResult b = Campaign(config).Run(StrategyKind::kThemis).take();
   EXPECT_EQ(a.total_ops, b.total_ops);
   EXPECT_EQ(a.final_coverage, b.final_coverage);
   EXPECT_EQ(a.testcases, b.testcases);
@@ -43,7 +48,7 @@ TEST(Campaign, CoverageTimelineIsMonotone) {
   config.flavor = Flavor::kHdfs;
   config.seed = 4;
   config.budget = Hours(1);
-  CampaignResult result = Campaign(config).Run(StrategyKind::kConcurrent);
+  CampaignResult result = Campaign(config).Run(StrategyKind::kConcurrent).take();
   ASSERT_GT(result.coverage_timeline.size(), 10u);
   for (size_t i = 1; i < result.coverage_timeline.size(); ++i) {
     EXPECT_GE(result.coverage_timeline[i].second,
@@ -58,19 +63,75 @@ TEST(Campaign, HealthySystemYieldsNoFailures) {
   config.seed = 5;
   config.budget = Hours(3);
   config.fault_set = FaultSet::kNone;
-  CampaignResult result = Campaign(config).Run(StrategyKind::kThemis);
+  CampaignResult result = Campaign(config).Run(StrategyKind::kThemis).take();
   EXPECT_EQ(result.DistinctTruePositives(), 0);
   EXPECT_EQ(result.false_positives, 0) << "healthy system must not be flagged";
 }
 
-TEST(Campaign, EveryStrategyRuns) {
+TEST(Campaign, EveryRegisteredStrategyRuns) {
+  std::vector<std::string> names = StrategyRegistry::Instance().Names();
+  // The 6 strategies of the paper's evaluation all self-register.
+  for (const char* expected :
+       {"Themis", "Themis-", "Fix_req", "Fix_conf", "Alternate", "Concurrent"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from the registry";
+  }
+  for (const std::string& name : names) {
+    Result<CampaignResult> result =
+        RunCampaign(name, Flavor::kGluster, 6, Minutes(30), FaultSet::kNewBugs);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_GT(result->total_ops, 50u) << name;
+  }
+}
+
+TEST(Campaign, EnumShimMapsToRegistryNames) {
   for (StrategyKind kind :
        {StrategyKind::kThemis, StrategyKind::kThemisMinus, StrategyKind::kFixReq,
         StrategyKind::kFixConf, StrategyKind::kAlternate, StrategyKind::kConcurrent}) {
-    CampaignResult result =
-        RunCampaign(kind, Flavor::kGluster, 6, Minutes(30), FaultSet::kNewBugs);
-    EXPECT_GT(result.total_ops, 50u) << StrategyKindName(kind);
+    EXPECT_TRUE(StrategyRegistry::Instance().Contains(StrategyKindName(kind)))
+        << StrategyKindName(kind);
   }
+}
+
+TEST(Campaign, ValidateRejectsBadConfigs) {
+  CampaignConfig ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  CampaignConfig bad_budget = ok;
+  bad_budget.budget = 0;
+  EXPECT_EQ(bad_budget.Validate().code(), StatusCode::kInvalidArgument);
+
+  CampaignConfig bad_nodes = ok;
+  bad_nodes.storage_nodes = 0;
+  EXPECT_EQ(bad_nodes.Validate().code(), StatusCode::kInvalidArgument);
+
+  CampaignConfig bad_threshold = ok;
+  bad_threshold.threshold_t = 0.0;
+  EXPECT_EQ(bad_threshold.Validate().code(), StatusCode::kInvalidArgument);
+
+  CampaignConfig bad_weights = ok;
+  bad_weights.weights.computation = 0.0;
+  bad_weights.weights.network = 0.0;
+  bad_weights.weights.storage = 0.0;
+  EXPECT_EQ(bad_weights.Validate().code(), StatusCode::kInvalidArgument);
+
+  CampaignConfig healthy = ok;
+  healthy.fault_set = FaultSet::kNone;
+  EXPECT_TRUE(healthy.Validate().ok()) << "FP-study mode must validate";
+}
+
+TEST(Campaign, RunReportsErrorsInsteadOfCrashing) {
+  CampaignConfig config;
+  config.budget = -Hours(1);
+  Result<CampaignResult> run = Campaign(config).Run("Themis");
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+
+  CampaignConfig valid;
+  valid.budget = Minutes(5);
+  Result<CampaignResult> unknown = Campaign(valid).Run("NoSuchStrategy");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
 }
 
 TEST(GroundTruth, TallyClassifiesAndDedups) {

@@ -1,0 +1,228 @@
+// Parallel campaign engine tests: matrix expansion, thread-count and
+// job-order invariance of results, per-job error isolation, thread-pool
+// drain semantics, and thread-safe stats aggregation. This test is the
+// ThreadSanitizer target of the THEMIS_SANITIZE=thread configuration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "src/common/stats.h"
+#include "src/harness/runner.h"
+#include "src/harness/thread_pool.h"
+
+namespace themis {
+namespace {
+
+CampaignMatrix SmallMatrix() {
+  CampaignMatrix matrix;
+  matrix.flavors = {Flavor::kGluster, Flavor::kLeo};
+  matrix.strategies = {"Themis", "Fix_conf"};
+  matrix.seeds = 2;
+  matrix.matrix_seed = 77;
+  matrix.base.budget = Minutes(30);
+  matrix.base.fault_set = FaultSet::kNewBugs;
+  return matrix;
+}
+
+void ExpectSameCampaignResult(const CampaignResult& a, const CampaignResult& b,
+                              const std::string& context) {
+  EXPECT_EQ(a.strategy_name, b.strategy_name) << context;
+  EXPECT_EQ(a.flavor, b.flavor) << context;
+  EXPECT_EQ(a.testcases, b.testcases) << context;
+  EXPECT_EQ(a.total_ops, b.total_ops) << context;
+  EXPECT_EQ(a.candidates, b.candidates) << context;
+  EXPECT_EQ(a.final_coverage, b.final_coverage) << context;
+  EXPECT_EQ(a.false_positives, b.false_positives) << context;
+  EXPECT_EQ(a.distinct_failures, b.distinct_failures) << context;
+  EXPECT_EQ(a.coverage_timeline, b.coverage_timeline) << context;
+  EXPECT_EQ(a.trigger_stats, b.trigger_stats) << context;
+  EXPECT_EQ(a.reports.size(), b.reports.size()) << context;
+}
+
+TEST(Runner, ExpandAssignsCanonicalIndicesAndDistinctSeeds) {
+  CampaignMatrix matrix = SmallMatrix();
+  std::vector<CampaignJob> jobs = CampaignRunner::Expand(matrix);
+  ASSERT_EQ(jobs.size(), 2u * 2u * 2u);
+  std::set<uint64_t> seeds;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].config.seed, Rng::SplitSeed(matrix.matrix_seed, i));
+    seeds.insert(jobs[i].config.seed);
+  }
+  EXPECT_EQ(seeds.size(), jobs.size()) << "per-job RNG streams must not collide";
+}
+
+TEST(Runner, ResultsIdenticalAcrossThreadCounts) {
+  CampaignMatrix matrix = SmallMatrix();
+  MatrixResult serial = CampaignRunner({.jobs = 1}).Run(matrix);
+  MatrixResult parallel = CampaignRunner({.jobs = 8}).Run(matrix);
+  EXPECT_EQ(parallel.threads, 8);
+  ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+  for (size_t i = 0; i < serial.jobs.size(); ++i) {
+    ASSERT_TRUE(serial.jobs[i].status.ok()) << serial.jobs[i].status.ToString();
+    ASSERT_TRUE(parallel.jobs[i].status.ok()) << parallel.jobs[i].status.ToString();
+    ExpectSameCampaignResult(serial.jobs[i].result, parallel.jobs[i].result,
+                             "job " + std::to_string(i));
+  }
+  EXPECT_EQ(serial.overall.distinct_failures, parallel.overall.distinct_failures);
+  EXPECT_EQ(serial.overall.false_positives, parallel.overall.false_positives);
+  EXPECT_EQ(serial.overall.total_ops, parallel.overall.total_ops);
+}
+
+TEST(Runner, ResultsIdenticalUnderJobPermutation) {
+  CampaignMatrix matrix = SmallMatrix();
+  std::vector<CampaignJob> jobs = CampaignRunner::Expand(matrix);
+  std::vector<CampaignJob> permuted = jobs;
+  // A deterministic non-trivial permutation: reverse, then swap a middle pair.
+  std::reverse(permuted.begin(), permuted.end());
+  std::swap(permuted[1], permuted[permuted.size() - 2]);
+
+  MatrixResult straight = CampaignRunner({.jobs = 2}).RunJobs(jobs);
+  MatrixResult shuffled = CampaignRunner({.jobs = 2}).RunJobs(permuted);
+
+  ASSERT_EQ(straight.jobs.size(), shuffled.jobs.size());
+  for (const JobResult& expected : straight.jobs) {
+    auto it = std::find_if(shuffled.jobs.begin(), shuffled.jobs.end(),
+                           [&](const JobResult& candidate) {
+                             return candidate.job.index == expected.job.index;
+                           });
+    ASSERT_NE(it, shuffled.jobs.end());
+    ASSERT_TRUE(expected.status.ok());
+    ASSERT_TRUE(it->status.ok());
+    ExpectSameCampaignResult(expected.result, it->result,
+                             "job " + std::to_string(expected.job.index));
+  }
+  EXPECT_EQ(straight.overall.distinct_failures, shuffled.overall.distinct_failures);
+}
+
+TEST(Runner, InvalidJobIsReportedWithoutAbortingTheMatrix) {
+  CampaignMatrix matrix;
+  matrix.flavors = {Flavor::kGluster};
+  matrix.strategies = {"Themis"};
+  matrix.seeds = 1;
+  matrix.base.budget = Minutes(10);
+  std::vector<CampaignJob> jobs = CampaignRunner::Expand(matrix);
+  ASSERT_EQ(jobs.size(), 1u);
+
+  CampaignJob bad = jobs[0];
+  bad.index = 1;
+  bad.config.threshold_t = -1.0;  // fails Validate()
+  CampaignJob unknown = jobs[0];
+  unknown.index = 2;
+  unknown.strategy = "NoSuchStrategy";
+  jobs.push_back(bad);
+  jobs.push_back(unknown);
+
+  MatrixResult result = CampaignRunner({.jobs = 4}).RunJobs(jobs);
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_TRUE(result.jobs[0].status.ok());
+  EXPECT_GT(result.jobs[0].result.total_ops, 0u);
+  EXPECT_EQ(result.jobs[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.jobs[2].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.FailedJobs(), 2);
+  EXPECT_EQ(result.overall.jobs, 3);
+  // The healthy job's findings still roll up.
+  EXPECT_EQ(result.overall.total_ops, result.jobs[0].result.total_ops);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedJobs) {
+  constexpr int kTasks = 64;
+  std::atomic<int> executed{0};
+  ThreadPool pool(3);
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(pool.Submit([&executed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(executed.load(), kTasks);
+  EXPECT_EQ(pool.tasks_executed(), static_cast<uint64_t>(kTasks));
+  // After shutdown new work is rejected, not silently dropped mid-queue.
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPool, ClampsThreadCountAndRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.Submit([&ran] { ran = true; }));
+  pool.Shutdown();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Stats, RunningStatMergeMatchesSequentialFeed) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 100; ++i) {
+    double x = 0.37 * i - 11.0;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Stats, ConcurrentRunningStatAggregatesAcrossThreads) {
+  ConcurrentRunningStat stat;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([&stat, t] {
+        RunningStat partial;
+        for (int i = 0; i < kPerThread; ++i) {
+          if (i % 2 == 0) {
+            stat.Add(static_cast<double>(t));
+          } else {
+            partial.Add(static_cast<double>(t));
+          }
+        }
+        stat.Merge(partial);
+      });
+    }
+    pool.Shutdown();
+  }
+  RunningStat snapshot = stat.Snapshot();
+  EXPECT_EQ(snapshot.count(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(snapshot.min(), 0.0);
+  EXPECT_EQ(snapshot.max(), kThreads - 1.0);
+}
+
+TEST(Runner, RollupUnionsFailuresAndTimesJobs) {
+  CampaignMatrix matrix;
+  matrix.flavors = {Flavor::kGluster};
+  matrix.strategies = {"Themis"};
+  matrix.seeds = 2;
+  matrix.matrix_seed = 5;
+  matrix.base.budget = Hours(1);
+  MatrixResult result = CampaignRunner({.jobs = 2}).Run(matrix);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  const MatrixRollup& rollup = result.by_strategy.at("Themis");
+  EXPECT_EQ(rollup.jobs, 2);
+  EXPECT_EQ(rollup.failed_jobs, 0);
+  EXPECT_EQ(rollup.total_ops,
+            result.jobs[0].result.total_ops + result.jobs[1].result.total_ops);
+  EXPECT_EQ(rollup.job_seconds.count(), 2u);
+  // The rollup timeline is the first (lowest-index) job's timeline.
+  EXPECT_EQ(rollup.coverage_timeline, result.jobs[0].result.coverage_timeline);
+  for (const auto& [id, at] : result.jobs[0].result.distinct_failures) {
+    auto it = rollup.distinct_failures.find(id);
+    ASSERT_NE(it, rollup.distinct_failures.end());
+    EXPECT_LE(it->second, at);
+  }
+}
+
+}  // namespace
+}  // namespace themis
