@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_coverage_trend.dir/bench_fig12_coverage_trend.cc.o"
+  "CMakeFiles/bench_fig12_coverage_trend.dir/bench_fig12_coverage_trend.cc.o.d"
+  "bench_fig12_coverage_trend"
+  "bench_fig12_coverage_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_coverage_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

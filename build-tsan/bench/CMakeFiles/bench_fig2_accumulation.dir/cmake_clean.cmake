@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_accumulation.dir/bench_fig2_accumulation.cc.o"
+  "CMakeFiles/bench_fig2_accumulation.dir/bench_fig2_accumulation.cc.o.d"
+  "bench_fig2_accumulation"
+  "bench_fig2_accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_study.dir/bench_table1_study.cc.o"
+  "CMakeFiles/bench_table1_study.dir/bench_table1_study.cc.o.d"
+  "bench_table1_study"
+  "bench_table1_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

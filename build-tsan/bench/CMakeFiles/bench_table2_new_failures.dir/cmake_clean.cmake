@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_new_failures.dir/bench_table2_new_failures.cc.o"
+  "CMakeFiles/bench_table2_new_failures.dir/bench_table2_new_failures.cc.o.d"
+  "bench_table2_new_failures"
+  "bench_table2_new_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_new_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

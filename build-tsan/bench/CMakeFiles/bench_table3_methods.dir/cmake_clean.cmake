@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_methods.dir/bench_table3_methods.cc.o"
+  "CMakeFiles/bench_table3_methods.dir/bench_table3_methods.cc.o.d"
+  "bench_table3_methods"
+  "bench_table3_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

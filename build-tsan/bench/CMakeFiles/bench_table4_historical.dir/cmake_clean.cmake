@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_historical.dir/bench_table4_historical.cc.o"
+  "CMakeFiles/bench_table4_historical.dir/bench_table4_historical.cc.o.d"
+  "bench_table4_historical"
+  "bench_table4_historical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_coverage.dir/bench_table5_coverage.cc.o"
+  "CMakeFiles/bench_table5_coverage.dir/bench_table5_coverage.cc.o.d"
+  "bench_table5_coverage"
+  "bench_table5_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ablation.dir/bench_table6_ablation.cc.o"
+  "CMakeFiles/bench_table6_ablation.dir/bench_table6_ablation.cc.o.d"
+  "bench_table6_ablation"
+  "bench_table6_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

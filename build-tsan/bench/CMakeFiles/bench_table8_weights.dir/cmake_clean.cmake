@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_weights.dir/bench_table8_weights.cc.o"
+  "CMakeFiles/bench_table8_weights.dir/bench_table8_weights.cc.o.d"
+  "bench_table8_weights"
+  "bench_table8_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dfs_adapter.dir/custom_dfs_adapter.cpp.o"
+  "CMakeFiles/custom_dfs_adapter.dir/custom_dfs_adapter.cpp.o.d"
+  "custom_dfs_adapter"
+  "custom_dfs_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dfs_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

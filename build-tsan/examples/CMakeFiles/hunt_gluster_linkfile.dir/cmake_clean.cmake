@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hunt_gluster_linkfile.dir/hunt_gluster_linkfile.cpp.o"
+  "CMakeFiles/hunt_gluster_linkfile.dir/hunt_gluster_linkfile.cpp.o.d"
+  "hunt_gluster_linkfile"
+  "hunt_gluster_linkfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hunt_gluster_linkfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

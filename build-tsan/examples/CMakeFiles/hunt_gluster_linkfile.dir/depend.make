@@ -1,0 +1,2 @@
+# Empty dependencies file for hunt_gluster_linkfile.
+# This may be replaced when dependencies are built.

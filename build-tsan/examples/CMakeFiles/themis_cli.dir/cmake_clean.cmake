@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/themis_cli.dir/themis_cli.cpp.o"
+  "CMakeFiles/themis_cli.dir/themis_cli.cpp.o.d"
+  "themis_cli"
+  "themis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/themis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

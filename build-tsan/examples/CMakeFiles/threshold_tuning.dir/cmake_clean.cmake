@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_tuning.dir/threshold_tuning.cpp.o"
+  "CMakeFiles/threshold_tuning.dir/threshold_tuning.cpp.o.d"
+  "threshold_tuning"
+  "threshold_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

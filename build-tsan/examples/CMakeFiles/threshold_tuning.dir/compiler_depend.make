@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for threshold_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for threshold_tuning.
+# This may be replaced when dependencies are built.

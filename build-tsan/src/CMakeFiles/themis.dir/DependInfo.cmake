@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alternate.cc" "src/CMakeFiles/themis.dir/baselines/alternate.cc.o" "gcc" "src/CMakeFiles/themis.dir/baselines/alternate.cc.o.d"
+  "/root/repo/src/baselines/concurrent.cc" "src/CMakeFiles/themis.dir/baselines/concurrent.cc.o" "gcc" "src/CMakeFiles/themis.dir/baselines/concurrent.cc.o.d"
+  "/root/repo/src/baselines/fix_conf.cc" "src/CMakeFiles/themis.dir/baselines/fix_conf.cc.o" "gcc" "src/CMakeFiles/themis.dir/baselines/fix_conf.cc.o.d"
+  "/root/repo/src/baselines/fix_req.cc" "src/CMakeFiles/themis.dir/baselines/fix_req.cc.o" "gcc" "src/CMakeFiles/themis.dir/baselines/fix_req.cc.o.d"
+  "/root/repo/src/baselines/themis_minus.cc" "src/CMakeFiles/themis.dir/baselines/themis_minus.cc.o" "gcc" "src/CMakeFiles/themis.dir/baselines/themis_minus.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/themis.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/themis.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/themis.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/themis.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/themis.dir/common/log.cc.o" "gcc" "src/CMakeFiles/themis.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/themis.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/themis.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/themis.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/themis.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/themis.dir/common/status.cc.o" "gcc" "src/CMakeFiles/themis.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/themis.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/themis.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/themis.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/fuzzer.cc" "src/CMakeFiles/themis.dir/core/fuzzer.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/fuzzer.cc.o.d"
+  "/root/repo/src/core/generator.cc" "src/CMakeFiles/themis.dir/core/generator.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/generator.cc.o.d"
+  "/root/repo/src/core/input_model.cc" "src/CMakeFiles/themis.dir/core/input_model.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/input_model.cc.o.d"
+  "/root/repo/src/core/mutator.cc" "src/CMakeFiles/themis.dir/core/mutator.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/mutator.cc.o.d"
+  "/root/repo/src/core/opseq.cc" "src/CMakeFiles/themis.dir/core/opseq.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/opseq.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/CMakeFiles/themis.dir/core/replay.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/replay.cc.o.d"
+  "/root/repo/src/core/seed_pool.cc" "src/CMakeFiles/themis.dir/core/seed_pool.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/seed_pool.cc.o.d"
+  "/root/repo/src/core/strategy_registry.cc" "src/CMakeFiles/themis.dir/core/strategy_registry.cc.o" "gcc" "src/CMakeFiles/themis.dir/core/strategy_registry.cc.o.d"
+  "/root/repo/src/coverage/coverage.cc" "src/CMakeFiles/themis.dir/coverage/coverage.cc.o" "gcc" "src/CMakeFiles/themis.dir/coverage/coverage.cc.o.d"
+  "/root/repo/src/dfs/brick.cc" "src/CMakeFiles/themis.dir/dfs/brick.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/brick.cc.o.d"
+  "/root/repo/src/dfs/cluster.cc" "src/CMakeFiles/themis.dir/dfs/cluster.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/cluster.cc.o.d"
+  "/root/repo/src/dfs/flavors/ceph_like.cc" "src/CMakeFiles/themis.dir/dfs/flavors/ceph_like.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/flavors/ceph_like.cc.o.d"
+  "/root/repo/src/dfs/flavors/factory.cc" "src/CMakeFiles/themis.dir/dfs/flavors/factory.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/flavors/factory.cc.o.d"
+  "/root/repo/src/dfs/flavors/gluster_like.cc" "src/CMakeFiles/themis.dir/dfs/flavors/gluster_like.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/flavors/gluster_like.cc.o.d"
+  "/root/repo/src/dfs/flavors/hdfs_like.cc" "src/CMakeFiles/themis.dir/dfs/flavors/hdfs_like.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/flavors/hdfs_like.cc.o.d"
+  "/root/repo/src/dfs/flavors/leo_like.cc" "src/CMakeFiles/themis.dir/dfs/flavors/leo_like.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/flavors/leo_like.cc.o.d"
+  "/root/repo/src/dfs/migration.cc" "src/CMakeFiles/themis.dir/dfs/migration.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/migration.cc.o.d"
+  "/root/repo/src/dfs/namespace_tree.cc" "src/CMakeFiles/themis.dir/dfs/namespace_tree.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/namespace_tree.cc.o.d"
+  "/root/repo/src/dfs/node.cc" "src/CMakeFiles/themis.dir/dfs/node.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/node.cc.o.d"
+  "/root/repo/src/dfs/operation.cc" "src/CMakeFiles/themis.dir/dfs/operation.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/operation.cc.o.d"
+  "/root/repo/src/dfs/placement/crush_map.cc" "src/CMakeFiles/themis.dir/dfs/placement/crush_map.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/placement/crush_map.cc.o.d"
+  "/root/repo/src/dfs/placement/dht_layout.cc" "src/CMakeFiles/themis.dir/dfs/placement/dht_layout.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/placement/dht_layout.cc.o.d"
+  "/root/repo/src/dfs/placement/hash_ring.cc" "src/CMakeFiles/themis.dir/dfs/placement/hash_ring.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/placement/hash_ring.cc.o.d"
+  "/root/repo/src/dfs/placement/weighted_tree.cc" "src/CMakeFiles/themis.dir/dfs/placement/weighted_tree.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/placement/weighted_tree.cc.o.d"
+  "/root/repo/src/dfs/types.cc" "src/CMakeFiles/themis.dir/dfs/types.cc.o" "gcc" "src/CMakeFiles/themis.dir/dfs/types.cc.o.d"
+  "/root/repo/src/faults/fault_registry.cc" "src/CMakeFiles/themis.dir/faults/fault_registry.cc.o" "gcc" "src/CMakeFiles/themis.dir/faults/fault_registry.cc.o.d"
+  "/root/repo/src/faults/fault_spec.cc" "src/CMakeFiles/themis.dir/faults/fault_spec.cc.o" "gcc" "src/CMakeFiles/themis.dir/faults/fault_spec.cc.o.d"
+  "/root/repo/src/faults/historical_corpus.cc" "src/CMakeFiles/themis.dir/faults/historical_corpus.cc.o" "gcc" "src/CMakeFiles/themis.dir/faults/historical_corpus.cc.o.d"
+  "/root/repo/src/faults/injector.cc" "src/CMakeFiles/themis.dir/faults/injector.cc.o" "gcc" "src/CMakeFiles/themis.dir/faults/injector.cc.o.d"
+  "/root/repo/src/harness/campaign.cc" "src/CMakeFiles/themis.dir/harness/campaign.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/campaign.cc.o.d"
+  "/root/repo/src/harness/experiments.cc" "src/CMakeFiles/themis.dir/harness/experiments.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/experiments.cc.o.d"
+  "/root/repo/src/harness/ground_truth.cc" "src/CMakeFiles/themis.dir/harness/ground_truth.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/ground_truth.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/themis.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/themis.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/thread_pool.cc" "src/CMakeFiles/themis.dir/harness/thread_pool.cc.o" "gcc" "src/CMakeFiles/themis.dir/harness/thread_pool.cc.o.d"
+  "/root/repo/src/monitor/detector.cc" "src/CMakeFiles/themis.dir/monitor/detector.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/detector.cc.o.d"
+  "/root/repo/src/monitor/dynamic_threshold.cc" "src/CMakeFiles/themis.dir/monitor/dynamic_threshold.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/dynamic_threshold.cc.o.d"
+  "/root/repo/src/monitor/load_model.cc" "src/CMakeFiles/themis.dir/monitor/load_model.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/load_model.cc.o.d"
+  "/root/repo/src/monitor/metadata_checker.cc" "src/CMakeFiles/themis.dir/monitor/metadata_checker.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/metadata_checker.cc.o.d"
+  "/root/repo/src/monitor/states_monitor.cc" "src/CMakeFiles/themis.dir/monitor/states_monitor.cc.o" "gcc" "src/CMakeFiles/themis.dir/monitor/states_monitor.cc.o.d"
+  "/root/repo/src/study/study_corpus.cc" "src/CMakeFiles/themis.dir/study/study_corpus.cc.o" "gcc" "src/CMakeFiles/themis.dir/study/study_corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

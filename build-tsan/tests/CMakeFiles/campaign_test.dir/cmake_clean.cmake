@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_test.dir/campaign_test.cc.o"
+  "CMakeFiles/campaign_test.dir/campaign_test.cc.o.d"
+  "campaign_test"
+  "campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

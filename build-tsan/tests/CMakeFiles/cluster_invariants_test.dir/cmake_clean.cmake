@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_invariants_test.dir/cluster_invariants_test.cc.o"
+  "CMakeFiles/cluster_invariants_test.dir/cluster_invariants_test.cc.o.d"
+  "cluster_invariants_test"
+  "cluster_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

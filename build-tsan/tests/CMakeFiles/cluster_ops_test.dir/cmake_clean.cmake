@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_ops_test.dir/cluster_ops_test.cc.o"
+  "CMakeFiles/cluster_ops_test.dir/cluster_ops_test.cc.o.d"
+  "cluster_ops_test"
+  "cluster_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

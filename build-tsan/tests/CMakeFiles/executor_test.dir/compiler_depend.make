@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for executor_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faults_test.dir/faults_test.cc.o"
+  "CMakeFiles/faults_test.dir/faults_test.cc.o.d"
+  "faults_test"
+  "faults_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flavor_balancer_test.dir/flavor_balancer_test.cc.o"
+  "CMakeFiles/flavor_balancer_test.dir/flavor_balancer_test.cc.o.d"
+  "flavor_balancer_test"
+  "flavor_balancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flavor_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_test.dir/metadata_test.cc.o"
+  "CMakeFiles/metadata_test.dir/metadata_test.cc.o.d"
+  "metadata_test"
+  "metadata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

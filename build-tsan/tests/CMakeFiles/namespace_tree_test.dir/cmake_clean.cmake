@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namespace_tree_test.dir/namespace_tree_test.cc.o"
+  "CMakeFiles/namespace_tree_test.dir/namespace_tree_test.cc.o.d"
+  "namespace_tree_test"
+  "namespace_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namespace_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

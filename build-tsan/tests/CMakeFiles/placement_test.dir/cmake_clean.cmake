@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_test.dir/placement_test.cc.o"
+  "CMakeFiles/placement_test.dir/placement_test.cc.o.d"
+  "placement_test"
+  "placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

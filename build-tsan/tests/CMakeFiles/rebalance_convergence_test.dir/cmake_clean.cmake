@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebalance_convergence_test.dir/rebalance_convergence_test.cc.o"
+  "CMakeFiles/rebalance_convergence_test.dir/rebalance_convergence_test.cc.o.d"
+  "rebalance_convergence_test"
+  "rebalance_convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalance_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

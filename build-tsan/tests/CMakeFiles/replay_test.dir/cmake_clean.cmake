@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_test.dir/replay_test.cc.o"
+  "CMakeFiles/replay_test.dir/replay_test.cc.o.d"
+  "replay_test"
+  "replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_test.dir/runner_test.cc.o"
+  "CMakeFiles/runner_test.dir/runner_test.cc.o.d"
+  "runner_test"
+  "runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

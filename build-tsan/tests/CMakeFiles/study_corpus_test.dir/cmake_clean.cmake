@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_corpus_test.dir/study_corpus_test.cc.o"
+  "CMakeFiles/study_corpus_test.dir/study_corpus_test.cc.o.d"
+  "study_corpus_test"
+  "study_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
