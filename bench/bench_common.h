@@ -13,6 +13,13 @@
 //   THEMIS_BENCH_HOURS    virtual hours per campaign (default 24)
 //   THEMIS_BENCH_SEEDS    repeated campaigns per (tool, flavor) (default 3)
 //   THEMIS_BENCH_COMPARE_SERIAL=1  rerun with 1 job and report the speedup
+//   --telemetry-out=PATH / THEMIS_BENCH_TELEMETRY_OUT
+//                         write the campaign event stream (JSONL) to PATH
+//   --metrics-summary / THEMIS_BENCH_METRICS_SUMMARY=1
+//                         print the merged metrics registry after the run
+//   --summary-json[=PATH] / THEMIS_BENCH_SUMMARY_JSON
+//                         write the machine-readable metrics summary; the
+//                         default path is BENCH_<bench name>.json
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
@@ -28,6 +35,8 @@
 #include "src/common/strings.h"
 #include "src/harness/experiments.h"
 #include "src/harness/report.h"
+#include "src/harness/telemetry_export.h"
+#include "src/telemetry/metrics.h"
 
 namespace themis {
 
@@ -35,6 +44,26 @@ namespace themis {
 inline int& BenchJobs() {
   static int jobs = 1;
   return jobs;
+}
+
+// Bench name derived from argv[0] ("bench_table3_methods" -> "table3_methods").
+inline std::string& BenchName() {
+  static std::string name = "bench";
+  return name;
+}
+
+// Telemetry knobs (set by flags / env in InitBenchJobs).
+inline std::string& BenchTelemetryOut() {
+  static std::string path;
+  return path;
+}
+inline bool& BenchMetricsSummary() {
+  static bool enabled = false;
+  return enabled;
+}
+inline std::string& BenchSummaryJsonPath() {
+  static std::string path;
+  return path;
 }
 
 inline ExperimentBudget BenchBudget() {
@@ -46,14 +75,38 @@ inline ExperimentBudget BenchBudget() {
     budget.seeds = std::max(1, std::atoi(seeds));
   }
   budget.jobs = BenchJobs();
+  budget.telemetry_out = BenchTelemetryOut();
   return budget;
 }
 
-// Consumes `--jobs N` / `--jobs=N` from argv (google-benchmark rejects flags
-// it does not know) and folds THEMIS_BENCH_JOBS in as the default.
+// Consumes the flags google-benchmark does not know (--jobs, --telemetry-out,
+// --metrics-summary, --summary-json) from argv, with the THEMIS_BENCH_* env
+// vars as defaults.
 inline void InitBenchJobs(int& argc, char** argv) {
+  if (argc > 0) {
+    std::string name = argv[0];
+    size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) {
+      name = name.substr(slash + 1);
+    }
+    if (name.rfind("bench_", 0) == 0) {
+      name = name.substr(6);
+    }
+    if (!name.empty()) {
+      BenchName() = name;
+    }
+  }
   if (const char* jobs = std::getenv("THEMIS_BENCH_JOBS")) {
     BenchJobs() = std::max(1, std::atoi(jobs));
+  }
+  if (const char* out = std::getenv("THEMIS_BENCH_TELEMETRY_OUT")) {
+    BenchTelemetryOut() = out;
+  }
+  if (const char* summary = std::getenv("THEMIS_BENCH_METRICS_SUMMARY")) {
+    BenchMetricsSummary() = std::atoi(summary) != 0;
+  }
+  if (const char* json = std::getenv("THEMIS_BENCH_SUMMARY_JSON")) {
+    BenchSummaryJsonPath() = json;
   }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +114,16 @@ inline void InitBenchJobs(int& argc, char** argv) {
       BenchJobs() = std::max(1, std::atoi(argv[++i]));
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       BenchJobs() = std::max(1, std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
+      BenchTelemetryOut() = argv[i] + 16;
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      BenchTelemetryOut() = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+      BenchMetricsSummary() = true;
+    } else if (std::strncmp(argv[i], "--summary-json=", 15) == 0) {
+      BenchSummaryJsonPath() = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--summary-json") == 0) {
+      BenchSummaryJsonPath() = "BENCH_" + BenchName() + ".json";
     } else {
       argv[out++] = argv[i];
     }
@@ -85,6 +148,17 @@ void RunTimedExperiment(RunExperimentFn&& run) {
   double seconds = std::chrono::duration<double>(Clock::now() - start).count();
   std::printf("\n[experiment wall-clock: %.2fs with --jobs %d]\n", seconds,
               BenchJobs());
+
+  if (BenchMetricsSummary()) {
+    std::printf("\n%s", MetricsRegistry::Global().RenderSummary().c_str());
+  }
+  if (!BenchSummaryJsonPath().empty()) {
+    Status write =
+        WriteMetricsSummaryJson(BenchName(), seconds, BenchSummaryJsonPath());
+    std::printf("[metrics summary: %s]\n",
+                write.ok() ? BenchSummaryJsonPath().c_str()
+                           : write.ToString().c_str());
+  }
 
   const char* compare = std::getenv("THEMIS_BENCH_COMPARE_SERIAL");
   if (compare != nullptr && std::atoi(compare) != 0 && BenchJobs() > 1) {

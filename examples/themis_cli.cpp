@@ -16,6 +16,9 @@
 //   --historical    inject the 53-bug historical corpus instead of the 10 new bugs
 //   --healthy       inject nothing (false-positive soak test)
 //   --logs          write each confirmed failure's reproduction log to stdout
+//   --telemetry-out=PATH  write the campaign event stream (JSONL) to PATH;
+//                   event lines are byte-identical for every --jobs value
+//   --metrics-summary     print the merged metrics registry table at the end
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +33,7 @@
 #include "src/core/strategy_registry.h"
 #include "src/harness/report.h"
 #include "src/harness/runner.h"
+#include "src/telemetry/metrics.h"
 
 namespace {
 
@@ -42,7 +46,7 @@ int Usage() {
                "             [--seeds N] [--jobs N]\n"
                "             [--strategy themis|themis-|fixreq|fixconf|alternate|\n"
                "              concurrent] [--threshold T] [--historical] [--healthy]\n"
-               "             [--logs]\n"
+               "             [--logs] [--telemetry-out=PATH] [--metrics-summary]\n"
                "  themis_cli replay <hdfs|ceph|gluster|leo> <logfile> [--repeat N] [--bugs]\n"
                "          (--bugs re-injects the Table 2 faults: reproduction against\n"
                "           the buggy system, as in the paper's replay step)\n");
@@ -100,6 +104,8 @@ int RunFuzz(int argc, char** argv) {
   std::string strategy = "Themis";
   int jobs = 1;
   bool print_logs = false;
+  bool metrics_summary = false;
+  std::string telemetry_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
       matrix.base.budget = Hours(std::atoi(argv[++i]));
@@ -121,6 +127,12 @@ int RunFuzz(int argc, char** argv) {
       matrix.base.fault_set = FaultSet::kNone;
     } else if (std::strcmp(argv[i], "--logs") == 0) {
       print_logs = true;
+    } else if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
+      telemetry_out = argv[i] + 16;
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+      metrics_summary = true;
     } else {
       return Usage();
     }
@@ -134,6 +146,7 @@ int RunFuzz(int argc, char** argv) {
   SetLogLevel(LogLevel::kInfo);
   RunnerOptions options;
   options.jobs = jobs;
+  options.telemetry_out = telemetry_out;
   MatrixResult result = CampaignRunner(options).Run(matrix);
 
   std::printf("\n=== %s on %s (%lld virtual hours, t=%.0f%%, %d campaign%s on "
@@ -192,6 +205,9 @@ int RunFuzz(int argc, char** argv) {
         }
       }
     }
+  }
+  if (metrics_summary) {
+    std::printf("\n%s", MetricsRegistry::Global().RenderSummary().c_str());
   }
   return 0;
 }

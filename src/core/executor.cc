@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace themis {
 
@@ -18,9 +20,11 @@ std::string FailureReport::DedupKey() const {
 TestCaseExecutor::TestCaseExecutor(DfsInterface& dfs, InputModel& model,
                                    StatesMonitor& monitor, ImbalanceDetector& detector,
                                    FaultInjector* ground_truth,
-                                   CoverageRecorder* coverage, Rng& rng)
+                                   CoverageRecorder* coverage, Rng& rng,
+                                   EventLog* telemetry)
     : dfs_(dfs), model_(model), monitor_(monitor), detector_(detector),
-      ground_truth_(ground_truth), coverage_(coverage), rng_(rng) {
+      ground_truth_(ground_truth), coverage_(coverage), rng_(rng),
+      telemetry_(telemetry) {
   model_.SyncFromDfs(dfs_);
 }
 
@@ -54,9 +58,11 @@ void TestCaseExecutor::ExecuteOps(const OpSeq& seq, ExecOutcome* outcome) {
 }
 
 ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
+  THEMIS_SPAN(testcase_span, "executor.testcase");
   ExecOutcome outcome;
   size_t coverage_before = coverage_ != nullptr ? coverage_->TotalHits() : 0;
 
+  double score_before = last_score_;
   ExecuteOps(seq, &outcome);
 
   LoadVarianceSnapshot snapshot = monitor_.Sample(dfs_);
@@ -65,6 +71,13 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
   last_score_ = outcome.variance_score;
   if (coverage_ != nullptr) {
     outcome.new_coverage = coverage_->TotalHits() - coverage_before;
+  }
+  THEMIS_COUNTER_INC("executor.testcases", 1);
+  THEMIS_COUNTER_INC("executor.ops", static_cast<uint64_t>(outcome.ops_executed));
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(CampaignEventKind::kVariance, {}, score_before,
+                       outcome.variance_score,
+                       static_cast<uint64_t>(outcome.ops_executed));
   }
 
   std::optional<ImbalanceCandidate> candidate = detector_.Check(snapshot);
@@ -81,11 +94,25 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
   }
   if (candidate.has_value()) {
     ++candidates_raised_;
+    THEMIS_COUNTER_INC("detector.candidates", 1);
     FailureReport report;
     report.dimension = candidate->dimension;
     report.ratio = candidate->ratio;
     report.testcase = seq;
-    if (DoubleCheck(seq, *candidate, report)) {
+    bool confirmed = DoubleCheck(seq, *candidate, report);
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(CampaignEventKind::kDoubleCheck,
+                         confirmed ? (report.rebalance_hung ? "rebalance_hung"
+                                                            : "confirmed")
+                                   : "refuted",
+                         report.ratio);
+    }
+    if (confirmed) {
+      THEMIS_COUNTER_INC("double_check.confirmed", 1);
+    } else {
+      THEMIS_COUNTER_INC("double_check.refuted", 1);
+    }
+    if (confirmed) {
       HandleConfirmed(report, outcome);
     }
   }
@@ -95,10 +122,19 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
 bool TestCaseExecutor::WaitForRebalanceDone() {
   const DetectorConfig& config = detector_.config();
   SimTime deadline = dfs_.Now() + config.rebalance_timeout;
+  uint64_t polls = 0;
   while (!dfs_.RebalanceDone() && dfs_.Now() < deadline) {
     dfs_.AdvanceTime(config.poll_interval);
+    ++polls;
   }
-  return dfs_.RebalanceDone();
+  bool done = dfs_.RebalanceDone();
+  // Convergence telemetry: how many poll iterations the balancer needed to
+  // drain (or that the candidate burned before timing out).
+  if (telemetry_ != nullptr && polls > 0) {
+    telemetry_->Record(CampaignEventKind::kRebalanceWait, done ? "done" : "timeout",
+                       0.0, 0.0, polls);
+  }
+  return done;
 }
 
 void TestCaseExecutor::RunProbeWorkload() {
@@ -204,6 +240,10 @@ void TestCaseExecutor::HandleConfirmed(FailureReport& report, ExecOutcome& outco
   monitor_.ResetWindow();
   detector_.ResetStreak();
   last_score_ = 0.0;
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(CampaignEventKind::kClusterReset,
+                       ImbalanceDimensionName(report.dimension));
+  }
 }
 
 }  // namespace themis

@@ -22,6 +22,7 @@
 #include "src/faults/injector.h"
 #include "src/monitor/detector.h"
 #include "src/monitor/states_monitor.h"
+#include "src/telemetry/event_log.h"
 
 namespace themis {
 
@@ -56,7 +57,8 @@ class TestCaseExecutor {
  public:
   TestCaseExecutor(DfsInterface& dfs, InputModel& model, StatesMonitor& monitor,
                    ImbalanceDetector& detector, FaultInjector* ground_truth,
-                   CoverageRecorder* coverage, Rng& rng);
+                   CoverageRecorder* coverage, Rng& rng,
+                   EventLog* telemetry = nullptr);
 
   // Executes `seq`, checks for imbalance, double-checks candidates, and
   // resets the DFS after a confirmed failure.
@@ -79,6 +81,8 @@ class TestCaseExecutor {
   // the candidate survives.
   bool DoubleCheck(const OpSeq& seq, const ImbalanceCandidate& candidate,
                    FailureReport& report);
+  // Polls until 'rebalance done' or timeout; records the convergence
+  // iteration count as a telemetry event.
   bool WaitForRebalanceDone();
   // Drains in-flight migration, issues a fresh rebalance, waits again.
   bool RebalanceAndWait();
@@ -93,6 +97,7 @@ class TestCaseExecutor {
   FaultInjector* ground_truth_;  // may be null (healthy system)
   CoverageRecorder* coverage_;   // may be null
   Rng& rng_;
+  EventLog* telemetry_;          // may be null (no event collection)
 
   double last_score_ = 0.0;
   uint64_t total_ops_ = 0;

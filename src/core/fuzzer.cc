@@ -4,12 +4,16 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.h"
+
 namespace themis {
 
 ThemisFuzzer::ThemisFuzzer(InputModel& model, Rng& rng, FuzzerConfig config)
     : config_(config), rng_(rng), generator_(model, config.max_len),
       mutator_(model, generator_, config.max_len), pool_(config.pool_capacity),
-      initial_remaining_(config.initial_seeds) {}
+      initial_remaining_(config.initial_seeds) {
+  mutator_.set_telemetry(config_.telemetry);
+}
 
 OpSeq ThemisFuzzer::Next() {
   if (initial_remaining_ > 0 || (pool_.empty() && !climbing_)) {
@@ -43,22 +47,43 @@ void ThemisFuzzer::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
   }
   bool interesting = false;
   double score = 0.0;
+  std::string reasons;
+  auto add_reason = [&reasons](const char* reason) {
+    if (!reasons.empty()) {
+      reasons += '+';
+    }
+    reasons += reason;
+  };
   // "If the variance becomes larger or any new imbalance failures are
   // found, the new test case is regarded as an interesting seed."
   if (outcome.variance_gain > 1e-6) {
     interesting = true;
     score += outcome.variance_score + outcome.variance_gain;
+    add_reason("variance");
   }
   if (!outcome.failures.empty()) {
     interesting = true;
     score += 1.0;
+    add_reason("failure");
   }
   if (outcome.new_coverage > 0) {
     interesting = true;
     score += 0.05 * static_cast<double>(std::min<size_t>(outcome.new_coverage, 20));
+    add_reason("coverage");
   }
   if (interesting) {
     pool_.Add(seq, score);
+    THEMIS_COUNTER_INC("fuzzer.seeds_accepted", 1);
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->Record(CampaignEventKind::kSeedAccepted, reasons, score,
+                                outcome.variance_gain);
+    }
+  } else {
+    THEMIS_COUNTER_INC("fuzzer.seeds_rejected", 1);
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->Record(CampaignEventKind::kSeedRejected, {}, 0.0,
+                                outcome.variance_gain);
+    }
   }
   // Hill-climbing control: a variance gain (re)arms exploitation around this
   // sequence; a few unproductive attempts in a row fall back to the pool.
@@ -98,6 +123,7 @@ THEMIS_REGISTER_STRATEGY("Themis", [](InputModel& model, Rng& rng,
   FuzzerConfig config;
   config.max_len = options.max_len;
   config.variance_guidance = options.variance_guidance;
+  config.telemetry = options.telemetry;
   return std::make_unique<ThemisFuzzer>(model, rng, config);
 });
 

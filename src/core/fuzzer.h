@@ -25,6 +25,8 @@ struct FuzzerConfig {
   // Whether variance feedback guides seed retention. Disabled for the
   // Themis⁻ ablation (§6.3).
   bool variance_guidance = true;
+  // Campaign event sink (seed accepted/rejected, mutation kinds); may be null.
+  EventLog* telemetry = nullptr;
 };
 
 class ThemisFuzzer : public Strategy {

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.h"
+
 namespace themis {
+
+namespace {
+
+const char* MutationKindLabel(int kind) {
+  switch (kind) {
+    case 0:
+      return "replace";
+    case 1:
+      return "delete";
+    case 2:
+      return "insert";
+  }
+  return "?";
+}
+
+}  // namespace
 
 OpSeqMutator::OpSeqMutator(InputModel& model, OpSeqGenerator& generator, int max_len)
     : model_(model), generator_(generator), max_len_(max_len > 0 ? max_len : 1) {}
@@ -25,9 +43,11 @@ OpSeq OpSeqMutator::MutateK(const OpSeq& seed, int k, Rng& rng) {
     out = generator_.Generate(rng);
     return out;
   }
+  uint64_t applied[3] = {0, 0, 0};  // per-kind application counts
   for (int i = 0; i < k && !out.ops.empty(); ++i) {
     size_t pos = rng.PickIndex(out.ops.size());
     MutationKind kind = static_cast<MutationKind>(rng.NextBelow(3));
+    ++applied[static_cast<int>(kind)];
     switch (kind) {
       case MutationKind::kReplace:
         out.ops[pos] = generator_.GenerateOp(rng);
@@ -50,6 +70,15 @@ OpSeq OpSeqMutator::MutateK(const OpSeq& seed, int k, Rng& rng) {
     }
   }
   Repair(out, rng);
+  THEMIS_COUNTER_INC("mutator.mutations", static_cast<uint64_t>(k));
+  if (telemetry_ != nullptr) {
+    for (int kind = 0; kind < 3; ++kind) {
+      if (applied[kind] > 0) {
+        telemetry_->Record(CampaignEventKind::kMutation, MutationKindLabel(kind),
+                           0.0, 0.0, applied[kind]);
+      }
+    }
+  }
   return out;
 }
 

@@ -9,12 +9,17 @@
 #include "src/core/generator.h"
 #include "src/core/input_model.h"
 #include "src/core/opseq.h"
+#include "src/telemetry/event_log.h"
 
 namespace themis {
 
 class OpSeqMutator {
  public:
   OpSeqMutator(InputModel& model, OpSeqGenerator& generator, int max_len = 8);
+
+  // Campaign event sink: each Mutate/MutateLight call records which mutation
+  // kinds it applied. Null disables recording.
+  void set_telemetry(EventLog* telemetry) { telemetry_ = telemetry; }
 
   // Produces a mutated copy of `seed` (always at least one mutation; length
   // stays within [1, max_len]). The result is already repaired.
@@ -36,6 +41,7 @@ class OpSeqMutator {
   InputModel& model_;
   OpSeqGenerator& generator_;
   int max_len_;
+  EventLog* telemetry_ = nullptr;
 };
 
 }  // namespace themis

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.h"
+
 namespace themis {
 
 SeedPool::SeedPool(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
@@ -14,12 +16,15 @@ void SeedPool::Add(OpSeq seq, double score) {
                                     return a.score < b.score;
                                   });
     if (worst != seeds_.end() && worst->score >= score) {
+      THEMIS_COUNTER_INC("seed_pool.add_dropped", 1);
       return;  // the pool is full of better seeds
     }
     if (worst != seeds_.end()) {
       seeds_.erase(worst);
+      THEMIS_COUNTER_INC("seed_pool.evictions", 1);
     }
   }
+  THEMIS_COUNTER_INC("seed_pool.adds", 1);
   Seed seed;
   seed.seq = std::move(seq);
   seed.score = score;
@@ -40,6 +45,7 @@ const OpSeq& SeedPool::Select(Rng& rng) {
   }
   size_t index = rng.PickWeighted(weights);
   ++seeds_[index].selections;
+  THEMIS_COUNTER_INC("seed_pool.selects", 1);
   return seeds_[index].seq;
 }
 

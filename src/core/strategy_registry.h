@@ -25,6 +25,7 @@
 #include "src/common/status.h"
 #include "src/core/input_model.h"
 #include "src/core/strategy.h"
+#include "src/telemetry/event_log.h"
 
 namespace themis {
 
@@ -32,6 +33,9 @@ namespace themis {
 struct StrategyOptions {
   int max_len = 8;               // max_n of Finding 5
   bool variance_guidance = true; // load-variance feedback (Themis only)
+  // Campaign event sink (owned by the campaign); strategies that record
+  // telemetry write here. Null = no event collection.
+  EventLog* telemetry = nullptr;
 };
 
 class StrategyRegistry {

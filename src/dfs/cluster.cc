@@ -6,6 +6,7 @@
 #include "src/common/log.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
+#include "src/telemetry/metrics.h"
 
 namespace themis {
 
@@ -47,6 +48,7 @@ void DfsCluster::BuildInitialTopology() {
   move_queue_.clear();
   current_move_done_bytes_ = 0;
   rebalance_active_ = false;
+  current_round_moves_ = 0;
   last_balancer_check_ = clock_.now();
   recent_classes_.clear();
 
@@ -1337,11 +1339,21 @@ Status DfsCluster::TriggerRebalance() {
   }
   if (plan.empty()) {
     ++completed_rebalance_rounds_;
+    THEMIS_COUNTER_INC("cluster.rebalance_rounds", 1);
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(CampaignEventKind::kRebalanceRound, "empty",
+                         StorageImbalance());
+    }
     OnRebalanceRoundDone();
     if (hooks_ != nullptr) {
       hooks_->OnRebalanceDone(*this);
     }
     return Status::Ok();
+  }
+  current_round_moves_ = plan.size();
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(CampaignEventKind::kRebalanceRound, "planned",
+                       StorageImbalance(), 0.0, current_round_moves_);
   }
   for (ChunkMove& move : plan) {
     move_queue_.push_back(move);
@@ -1492,6 +1504,12 @@ void DfsCluster::FinishRebalanceIfDrained() {
     rebalance_active_ = false;
     ++completed_rebalance_rounds_;
     COV_BRANCH(cov_, CovModule::kBalancer, 29);
+    THEMIS_COUNTER_INC("cluster.rebalance_rounds", 1);
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(CampaignEventKind::kRebalanceRound, "drained",
+                         StorageImbalance(), 0.0, current_round_moves_);
+    }
+    current_round_moves_ = 0;
     OnRebalanceRoundDone();
     if (hooks_ != nullptr) {
       hooks_->OnRebalanceDone(*this);

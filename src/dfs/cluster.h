@@ -33,6 +33,7 @@
 #include "src/dfs/node.h"
 #include "src/dfs/operation.h"
 #include "src/dfs/types.h"
+#include "src/telemetry/event_log.h"
 
 namespace themis {
 
@@ -175,6 +176,8 @@ class DfsCluster : public DfsInterface {
   void set_fault_hooks(FaultHooks* hooks) { hooks_ = hooks; }
   void set_coverage(CoverageRecorder* cov) { cov_ = cov; }
   CoverageRecorder* coverage() const { return cov_; }
+  // Campaign event sink for rebalance-round telemetry; null disables it.
+  void set_telemetry(EventLog* telemetry) { telemetry_ = telemetry; }
 
   // ---- introspection (flavors, faults, tests, ground truth) ----
   const ClusterConfig& config() const { return config_; }
@@ -373,6 +376,7 @@ class DfsCluster : public DfsInterface {
   std::deque<ChunkMove> move_queue_;
   uint64_t current_move_done_bytes_ = 0;
   bool rebalance_active_ = false;
+  uint64_t current_round_moves_ = 0;  // moves enqueued for the active round
   int completed_rebalance_rounds_ = 0;
   uint64_t rebalance_triggers_ = 0;
   SimTime last_balancer_check_ = 0;
@@ -383,6 +387,7 @@ class DfsCluster : public DfsInterface {
 
   FaultHooks* hooks_ = nullptr;
   CoverageRecorder* cov_ = nullptr;
+  EventLog* telemetry_ = nullptr;
 };
 
 }  // namespace themis

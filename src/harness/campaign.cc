@@ -1,11 +1,74 @@
 #include "src/harness/campaign.h"
 
+#include <bit>
+
 #include "src/common/log.h"
 #include "src/core/fuzzer.h"
 #include "src/core/generator.h"
 #include "src/monitor/states_monitor.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace themis {
+
+namespace {
+
+uint64_t HashString(uint64_t h, const std::string& text) {
+  h = HashCombine(h, text.size());
+  for (char c : text) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double value) {
+  return HashCombine(h, std::bit_cast<uint64_t>(value));
+}
+
+}  // namespace
+
+uint64_t CampaignResult::Digest() const {
+  uint64_t h = Mix64(0x7e315d16e57ULL);
+  h = HashString(h, strategy_name);
+  h = HashCombine(h, static_cast<uint64_t>(flavor));
+  h = HashCombine(h, static_cast<uint64_t>(testcases));
+  h = HashCombine(h, total_ops);
+  h = HashCombine(h, static_cast<uint64_t>(candidates));
+  h = HashCombine(h, final_coverage);
+  h = HashCombine(h, static_cast<uint64_t>(false_positives));
+  for (const auto& [id, at] : distinct_failures) {
+    h = HashString(h, id);
+    h = HashCombine(h, static_cast<uint64_t>(at));
+  }
+  for (const auto& [at, hits] : coverage_timeline) {
+    h = HashCombine(h, static_cast<uint64_t>(at));
+    h = HashCombine(h, hits);
+  }
+  for (const auto& [id, stats] : trigger_stats) {
+    h = HashString(h, id);
+    h = HashCombine(h, stats.first);
+    h = HashCombine(h, static_cast<uint64_t>(stats.second));
+  }
+  for (const FailureReport& report : reports) {
+    h = HashCombine(h, static_cast<uint64_t>(report.dimension));
+    h = HashDouble(h, report.ratio);
+    h = HashCombine(h, static_cast<uint64_t>(report.confirmed_at));
+    h = HashCombine(h, report.rebalance_hung ? 1u : 0u);
+    h = HashString(h, report.testcase.ToString());
+    for (const std::string& fault : report.active_faults) {
+      h = HashString(h, fault);
+    }
+  }
+  for (const CampaignEvent& event : telemetry) {
+    h = HashCombine(h, static_cast<uint64_t>(event.kind));
+    h = HashCombine(h, static_cast<uint64_t>(event.at));
+    h = HashString(h, event.label);
+    h = HashDouble(h, event.value);
+    h = HashDouble(h, event.value2);
+    h = HashCombine(h, event.count);
+  }
+  return h;
+}
 
 const char* StrategyKindName(StrategyKind kind) {
   switch (kind) {
@@ -67,6 +130,7 @@ std::vector<FaultSpec> Campaign::FaultsForConfig() const {
 }
 
 Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
+  THEMIS_SPAN(campaign_span, "campaign.run");
   if (Status status = config_.Validate(); !status.ok()) {
     return status;
   }
@@ -80,6 +144,15 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
   CoverageRecorder coverage(FlavorBranchSpace(config_.flavor), config_.seed);
   cluster->set_coverage(&coverage);
 
+  // One event log per campaign, stamped with the campaign's virtual clock so
+  // every event is deterministic; metrics are global and thread-striped.
+  EventLog event_log;
+  EventLog* telemetry = config_.collect_telemetry ? &event_log : nullptr;
+  if (telemetry != nullptr) {
+    telemetry->BindClock(&cluster->clock());
+    cluster->set_telemetry(telemetry);
+  }
+
   FaultInjector injector(FaultsForConfig(), config_.seed ^ 0xfa0175ULL);
   cluster->set_fault_hooks(&injector);
 
@@ -89,10 +162,13 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
   DetectorConfig detector_config;
   detector_config.threshold = config_.threshold_t;
   ImbalanceDetector detector(detector_config);
+  detector.set_telemetry(telemetry);
   TestCaseExecutor executor(*cluster, model, monitor, detector, &injector, &coverage,
-                            rng);
+                            rng, telemetry);
+  StrategyOptions strategy_options;
+  strategy_options.telemetry = telemetry;
   Result<std::unique_ptr<Strategy>> strategy =
-      StrategyRegistry::Instance().Make(strategy_name, model, rng);
+      StrategyRegistry::Instance().Make(strategy_name, model, rng, strategy_options);
   if (!strategy.ok()) {
     return strategy.status();
   }
@@ -134,6 +210,12 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
   result.final_coverage = coverage.TotalHits();
   result.total_ops = executor.total_ops();
   result.candidates = executor.candidates_raised();
+  result.telemetry = event_log.TakeEvents();
+  THEMIS_COUNTER_INC("campaign.runs", 1);
+  THEMIS_COUNTER_INC("campaign.testcases", static_cast<uint64_t>(result.testcases));
+  THEMIS_COUNTER_INC("campaign.ops", result.total_ops);
+  THEMIS_COUNTER_INC("campaign.confirmed_failures",
+                     static_cast<uint64_t>(result.reports.size()));
   THEMIS_LOG(kInfo,
              "campaign %s/%s: %d testcases, %llu ops, %d distinct failures, %d FPs, "
              "%zu branches",

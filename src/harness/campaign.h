@@ -28,6 +28,7 @@
 #include "src/faults/historical_corpus.h"
 #include "src/harness/ground_truth.h"
 #include "src/monitor/detector.h"
+#include "src/telemetry/event_log.h"
 
 namespace themis {
 
@@ -63,6 +64,11 @@ struct CampaignConfig {
   SimDuration coverage_sample_period = Minutes(1);
   int storage_nodes = 8;               // 10 nodes total, like the paper
   int meta_nodes = 2;
+  // Collect per-campaign telemetry events into CampaignResult::telemetry.
+  // Off by default: long matrices would otherwise hold every job's event
+  // stream in memory at once. Recording never draws from the RNG, so this
+  // flag cannot change any campaign result.
+  bool collect_telemetry = false;
 
   // Rejects configurations no campaign can meaningfully run: non-positive
   // budget or sample period, zero nodes, threshold <= 0, negative initial
@@ -87,11 +93,19 @@ struct CampaignResult {
   int candidates = 0;
   // fault id -> (ops at which the trigger predicate held, trigger count).
   std::map<std::string, std::pair<uint64_t, int>> trigger_stats;
+  // Campaign event stream (empty unless CampaignConfig::collect_telemetry).
+  std::vector<CampaignEvent> telemetry;
 
   int DistinctTruePositives() const { return static_cast<int>(distinct_failures.size()); }
   bool Found(const std::string& fault_id) const {
     return distinct_failures.count(fault_id) != 0;
   }
+
+  // Order-stable 64-bit digest over every deterministic field (results,
+  // timelines, reports, telemetry events) — two runs of the same job must
+  // produce the same digest regardless of --jobs count or scheduling. Wall
+  // and CPU time live outside CampaignResult and never enter the digest.
+  uint64_t Digest() const;
 };
 
 class Campaign {

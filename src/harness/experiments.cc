@@ -54,6 +54,7 @@ StrategyKind KindFromName(const std::string& name) {
 MatrixResult RunMatrix(const CampaignMatrix& matrix, const ExperimentBudget& budget) {
   RunnerOptions options;
   options.jobs = budget.jobs;
+  options.telemetry_out = budget.telemetry_out;
   return CampaignRunner(options).Run(matrix);
 }
 

@@ -38,6 +38,9 @@ struct ExperimentBudget {
   int seeds = 3;          // repeated campaigns per (tool, flavor)
   uint64_t base_seed = 1234;
   int jobs = 1;           // CampaignRunner worker threads
+  // When non-empty, the driver's matrix writes its campaign event stream
+  // here as JSONL (see RunnerOptions::telemetry_out).
+  std::string telemetry_out;
 };
 
 // The registry names of the shim enum's strategies, for building matrices.

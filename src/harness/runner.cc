@@ -1,9 +1,13 @@
 #include "src/harness/runner.h"
 
 #include <chrono>
+#include <ctime>
 
 #include "src/common/log.h"
+#include "src/harness/telemetry_export.h"
 #include "src/harness/thread_pool.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace themis {
 
@@ -12,6 +16,17 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// CPU time consumed by the calling thread; 0 where the clock is unsupported.
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
 }
 
 void FoldInto(MatrixRollup& rollup, const JobResult& job_result, size_t job_index,
@@ -97,11 +112,13 @@ MatrixResult CampaignRunner::Run(const CampaignMatrix& matrix) {
 }
 
 MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
+  THEMIS_SPAN(matrix_span, "runner.matrix");
   auto matrix_start = std::chrono::steady_clock::now();
 
   MatrixResult matrix_result;
   matrix_result.jobs.resize(jobs.size());
 
+  const bool want_telemetry = !options_.telemetry_out.empty();
   ConcurrentRunningStat job_seconds;
   {
     ThreadPool pool(options_.jobs);
@@ -111,10 +128,17 @@ MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
       // vector needs no lock; the pool join is the synchronization point.
       JobResult* slot = &matrix_result.jobs[i];
       const CampaignJob* job = &jobs[i];
-      pool.Submit([slot, job, &job_seconds] {
+      pool.Submit([slot, job, want_telemetry, &job_seconds] {
         auto job_start = std::chrono::steady_clock::now();
+        double cpu_start = ThreadCpuSeconds();
         slot->job = *job;
-        Result<CampaignResult> run = Campaign(job->config).Run(job->strategy);
+        if (want_telemetry) {
+          // Event recording never draws from the RNG, so flipping this on
+          // cannot change the campaign result.
+          slot->job.config.collect_telemetry = true;
+        }
+        Result<CampaignResult> run =
+            Campaign(slot->job.config).Run(slot->job.strategy);
         if (run.ok()) {
           slot->result = run.take();
         } else {
@@ -122,7 +146,11 @@ MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
           THEMIS_LOG(kWarn, "matrix job %zu (%s) failed: %s", job->index,
                      job->strategy.c_str(), slot->status.ToString().c_str());
         }
+        slot->cpu_seconds = ThreadCpuSeconds() - cpu_start;
         slot->wall_seconds = SecondsSince(job_start);
+        THEMIS_COUNTER_INC("runner.jobs", 1);
+        THEMIS_HISTOGRAM_RECORD("runner.job_wall_us", slot->wall_seconds * 1e6);
+        THEMIS_HISTOGRAM_RECORD("runner.job_cpu_us", slot->cpu_seconds * 1e6);
         job_seconds.Add(slot->wall_seconds);
       });
     }
@@ -144,6 +172,14 @@ MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
   }
   matrix_result.overall.job_seconds = job_seconds.Snapshot();
   matrix_result.wall_seconds = SecondsSince(matrix_start);
+  if (want_telemetry) {
+    Status write = WriteTelemetryJsonl(matrix_result, options_.telemetry_out);
+    if (!write.ok()) {
+      THEMIS_LOG(kWarn, "telemetry export failed: %s", write.ToString().c_str());
+    } else {
+      THEMIS_LOG(kInfo, "telemetry: wrote %s", options_.telemetry_out.c_str());
+    }
+  }
   THEMIS_LOG(kInfo,
              "matrix: %zu jobs on %d threads in %.2fs (%llu stolen, %d failed)",
              jobs.size(), matrix_result.threads, matrix_result.wall_seconds,

@@ -60,6 +60,7 @@ struct JobResult {
   Status status;
   CampaignResult result;
   double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;  // thread CPU time of the executing worker
 };
 
 // Per-strategy (and overall) roll-up across jobs, enough to print the
@@ -99,6 +100,11 @@ struct MatrixResult {
 
 struct RunnerOptions {
   int jobs = 1;  // worker threads; campaigns run jobs-wide in parallel
+  // When non-empty, every job runs with collect_telemetry enabled and the
+  // full event stream plus per-job job_summary records are written here as
+  // JSONL after the matrix completes (see telemetry_export.h). The event
+  // lines are byte-identical for any `jobs` value.
+  std::string telemetry_out;
 };
 
 class CampaignRunner {

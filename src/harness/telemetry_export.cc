@@ -1,0 +1,163 @@
+#include "src/harness/telemetry_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/dfs/types.h"
+#include "src/telemetry/event_log.h"
+#include "src/telemetry/metrics.h"
+
+namespace themis {
+
+namespace {
+
+std::string JobSummaryJson(const JobResult& job_result) {
+  const CampaignJob& job = job_result.job;
+  std::string status =
+      job_result.status.ok() ? "ok" : JsonEscape(job_result.status.ToString());
+  std::string out = Sprintf(
+      "{\"job\":%llu,\"event\":\"job_summary\",\"strategy\":\"%s\","
+      "\"flavor\":\"%s\",\"repetition\":%d,\"status\":\"%s\"",
+      static_cast<unsigned long long>(job.index), JsonEscape(job.strategy).c_str(),
+      std::string(FlavorName(job.config.flavor)).c_str(), job.repetition,
+      status.c_str());
+  if (job_result.status.ok()) {
+    const CampaignResult& r = job_result.result;
+    out += Sprintf(
+        ",\"testcases\":%d,\"total_ops\":%llu,\"candidates\":%d,"
+        "\"distinct_failures\":%d,\"false_positives\":%d,"
+        "\"final_coverage\":%zu,\"events\":%zu",
+        r.testcases, static_cast<unsigned long long>(r.total_ops), r.candidates,
+        r.DistinctTruePositives(), r.false_positives, r.final_coverage,
+        r.telemetry.size());
+  }
+  out += Sprintf(",\"wall_seconds\":%.6f,\"cpu_seconds\":%.6f}",
+                 job_result.wall_seconds, job_result.cpu_seconds);
+  return out;
+}
+
+// Canonical order: ascending job index, independent of the order the job
+// vector was handed to RunJobs in.
+std::vector<const JobResult*> SortedJobs(const MatrixResult& result) {
+  std::vector<const JobResult*> jobs;
+  jobs.reserve(result.jobs.size());
+  for (const JobResult& job_result : result.jobs) {
+    jobs.push_back(&job_result);
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const JobResult* a, const JobResult* b) {
+    return a->job.index < b->job.index;
+  });
+  return jobs;
+}
+
+Status WriteWholeFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable(Sprintf("cannot open %s for writing", path.c_str()));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  int close_rc = std::fclose(file);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Unavailable(Sprintf("short write to %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+std::string HistogramJson(const HistogramSnapshot& snapshot) {
+  std::string out = Sprintf(
+      "{\"count\":%llu,\"sum\":%.17g,\"mean\":%.6g,\"p50\":%.6g,\"p90\":%.6g,"
+      "\"p99\":%.6g,\"buckets\":[",
+      static_cast<unsigned long long>(snapshot.count), snapshot.sum,
+      snapshot.mean(), snapshot.Quantile(0.5), snapshot.Quantile(0.9),
+      snapshot.Quantile(0.99));
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    out += Sprintf("%s%llu", i == 0 ? "" : ",",
+                   static_cast<unsigned long long>(snapshot.buckets[i]));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string RenderTelemetryJsonl(const MatrixResult& result) {
+  std::vector<const JobResult*> jobs = SortedJobs(result);
+  std::string out;
+  // Deterministic event lines first, then the wall-clock job_summary block,
+  // so a determinism comparison can just drop the file's tail.
+  for (const JobResult* job_result : jobs) {
+    for (const CampaignEvent& event : job_result->result.telemetry) {
+      out += event.ToJson(static_cast<int64_t>(job_result->job.index));
+      out += '\n';
+    }
+  }
+  for (const JobResult* job_result : jobs) {
+    out += JobSummaryJson(*job_result);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteTelemetryJsonl(const MatrixResult& result, const std::string& path) {
+  return WriteWholeFile(path, RenderTelemetryJsonl(result));
+}
+
+namespace {
+
+// The counters/gauges/histograms tail shared by both summary variants;
+// `head` must already open the object and end with ",\n".
+Status WriteSummaryWithHead(std::string out, const std::string& path) {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += Sprintf("%s\n    \"%s\": %llu", first ? "" : ",",
+                   JsonEscape(name).c_str(), static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += Sprintf("%s\n    \"%s\": %lld", first ? "" : ",",
+                   JsonEscape(name).c_str(), static_cast<long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out += Sprintf("%s\n    \"%s\": %s", first ? "" : ",",
+                   JsonEscape(name).c_str(), HistogramJson(histogram).c_str());
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return WriteWholeFile(path, out);
+}
+
+}  // namespace
+
+Status WriteMetricsSummaryJson(const std::string& bench_name,
+                               const MatrixResult& result,
+                               const std::string& path) {
+  std::string head = Sprintf(
+      "{\n  \"bench\": \"%s\",\n  \"jobs\": %zu,\n  \"failed_jobs\": %d,\n"
+      "  \"threads\": %d,\n  \"wall_seconds\": %.6f,\n  \"total_ops\": %llu,\n"
+      "  \"distinct_failures\": %d,\n  \"false_positives\": %d,\n",
+      JsonEscape(bench_name).c_str(), result.jobs.size(), result.FailedJobs(),
+      result.threads, result.wall_seconds,
+      static_cast<unsigned long long>(result.overall.total_ops),
+      result.overall.DistinctTruePositives(), result.overall.false_positives);
+  return WriteSummaryWithHead(std::move(head), path);
+}
+
+Status WriteMetricsSummaryJson(const std::string& bench_name, double wall_seconds,
+                               const std::string& path) {
+  std::string head = Sprintf("{\n  \"bench\": \"%s\",\n  \"wall_seconds\": %.6f,\n",
+                             JsonEscape(bench_name).c_str(), wall_seconds);
+  return WriteSummaryWithHead(std::move(head), path);
+}
+
+}  // namespace themis

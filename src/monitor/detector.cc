@@ -1,5 +1,7 @@
 #include "src/monitor/detector.h"
 
+#include "src/telemetry/metrics.h"
+
 namespace themis {
 
 const char* ImbalanceDimensionName(ImbalanceDimension dimension) {
@@ -47,13 +49,26 @@ std::optional<ImbalanceCandidate> ImbalanceDetector::Evaluate(
 std::optional<ImbalanceCandidate> ImbalanceDetector::CheckOnce(
     const LoadVarianceSnapshot& snapshot) const {
   // Clean single-window evaluation (post-rebalance probe windows).
-  return Evaluate(snapshot, /*use_instant=*/true);
+  std::optional<ImbalanceCandidate> verdict = Evaluate(snapshot, /*use_instant=*/true);
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(CampaignEventKind::kDetectorVerdict,
+                       verdict.has_value() ? ImbalanceDimensionName(verdict->dimension)
+                                           : "none",
+                       verdict.has_value() ? verdict->ratio : snapshot.MaxRatio());
+  }
+  return verdict;
 }
 
 std::optional<ImbalanceCandidate> ImbalanceDetector::Check(
     const LoadVarianceSnapshot& snapshot) {
   if (snapshot.any_crashed) {
     streak_ = 0;
+    THEMIS_COUNTER_INC("detector.crash_candidates", 1);
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(CampaignEventKind::kDetectorVerdict,
+                         ImbalanceDimensionName(ImbalanceDimension::kNodeHealth),
+                         snapshot.MaxRatio());
+    }
     return ImbalanceCandidate{ImbalanceDimension::kNodeHealth, snapshot.MaxRatio(),
                               snapshot.taken_at};
   }
@@ -65,6 +80,12 @@ std::optional<ImbalanceCandidate> ImbalanceDetector::Check(
   ++streak_;
   if (streak_ < config_.consecutive_needed) {
     return std::nullopt;
+  }
+  // The imbalance persisted long enough: a candidate goes to double-check.
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(CampaignEventKind::kDetectorVerdict,
+                       ImbalanceDimensionName(candidate->dimension), candidate->ratio,
+                       0.0, static_cast<uint64_t>(streak_));
   }
   streak_ = 0;
   return candidate;

@@ -16,6 +16,7 @@
 
 #include "src/common/clock.h"
 #include "src/monitor/load_model.h"
+#include "src/telemetry/event_log.h"
 
 namespace themis {
 
@@ -63,12 +64,16 @@ class ImbalanceDetector {
 
   void ResetStreak() { streak_ = 0; }
 
+  // Campaign event sink for verdict telemetry; null disables recording.
+  void set_telemetry(EventLog* telemetry) { telemetry_ = telemetry; }
+
  private:
   std::optional<ImbalanceCandidate> Evaluate(const LoadVarianceSnapshot& snapshot,
                                              bool use_instant) const;
 
   DetectorConfig config_;
   int streak_ = 0;
+  EventLog* telemetry_ = nullptr;
 };
 
 }  // namespace themis

@@ -1,0 +1,11 @@
+#include "src/telemetry/trace.h"
+
+namespace themis {
+
+SpanMetrics MakeSpanMetrics(const std::string& name) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  return SpanMetrics{&registry.GetHistogram("span." + name + ".us"),
+                     &registry.GetCounter("span." + name + ".calls")};
+}
+
+}  // namespace themis

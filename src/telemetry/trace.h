@@ -1,0 +1,67 @@
+// Lightweight trace spans: RAII timers over the monotonic clock that record
+// elapsed wall microseconds into a named histogram ("span.<name>.us") and
+// count entries ("span.<name>.calls"). Spans measure real time, never
+// virtual time, so they describe the engine's own performance — the virtual
+// clock already times the simulated system.
+//
+// Compiles away entirely under THEMIS_TELEMETRY_DISABLED (the THEMIS_SPAN
+// macro expands to nothing, so not even the clock read survives).
+
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+
+namespace themis {
+
+class TraceSpan {
+ public:
+  // `histogram` and `calls` are registry handles for "span.<name>.us" and
+  // "span.<name>.calls"; use MakeSpanMetrics to create them once per site.
+  TraceSpan(Histogram& histogram, Counter& calls)
+      : histogram_(histogram), calls_(calls),
+        start_(std::chrono::steady_clock::now()) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    histogram_.Record(us);
+    calls_.Inc();
+  }
+
+ private:
+  Histogram& histogram_;
+  Counter& calls_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct SpanMetrics {
+  Histogram* histogram;
+  Counter* calls;
+};
+
+// Resolves the two registry handles backing a span site.
+SpanMetrics MakeSpanMetrics(const std::string& name);
+
+// Scoped span with a once-per-site registry lookup; no-op when disabled.
+#if !defined(THEMIS_TELEMETRY_DISABLED)
+#define THEMIS_SPAN(var, name)                                        \
+  static const ::themis::SpanMetrics var##_metrics =                  \
+      ::themis::MakeSpanMetrics(name);                                \
+  ::themis::TraceSpan var(*var##_metrics.histogram, *var##_metrics.calls)
+#else
+#define THEMIS_SPAN(var, name) \
+  do {                         \
+  } while (0)
+#endif
+
+}  // namespace themis
+
+#endif  // SRC_TELEMETRY_TRACE_H_

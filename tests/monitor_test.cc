@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/common/bytes.h"
 #include "src/monitor/detector.h"
 #include "src/monitor/load_model.h"
@@ -222,6 +224,64 @@ TEST(Detector, ThresholdIsConfigurable) {
   strict.consecutive_needed = 1;
   ImbalanceDetector tight(strict);
   EXPECT_FALSE(tight.Check(Snapshot(1.30)).has_value());
+}
+
+// ---- edge cases: degenerate clusters and exact thresholds ----
+
+TEST(LoadModel, EmptyClusterIsBalanced) {
+  LoadVarianceModel model;
+  LoadVarianceSnapshot snapshot = model.Update({});
+  EXPECT_DOUBLE_EQ(snapshot.storage_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.instant_computation_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.instant_network_ratio, 1.0);
+  EXPECT_FALSE(snapshot.any_crashed);
+  EXPECT_EQ(snapshot.serving_storage_nodes, 0);
+  ImbalanceDetector detector(DetectorConfig{});
+  EXPECT_FALSE(detector.Check(snapshot).has_value());
+}
+
+TEST(LoadModel, SingleNodeMaxEqualsMean) {
+  LoadVarianceModel model;
+  // One node is always "perfectly balanced": max/mean == 1 by construction.
+  LoadVarianceSnapshot snapshot =
+      model.Update({StorageSample(1, 400 * kGiB, 480 * kGiB, 50.0, 10000)});
+  EXPECT_DOUBLE_EQ(snapshot.storage_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.instant_computation_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.instant_network_ratio, 1.0);
+  ImbalanceDetector detector(DetectorConfig{});
+  EXPECT_FALSE(detector.CheckOnce(snapshot).has_value());
+}
+
+TEST(LoadModel, AllZeroLoadsProduceFiniteRatios) {
+  LoadVarianceModel model;
+  // Zero capacity, zero usage, zero CPU, zero requests: the mean of every
+  // component is 0, which must degrade to ratio 1, never divide by zero.
+  LoadVarianceSnapshot snapshot = model.Update(
+      {StorageSample(1, 0, 0), StorageSample(2, 0, 0), MetaSample(3, 0, 0.0)});
+  EXPECT_DOUBLE_EQ(snapshot.storage_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.instant_computation_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.instant_network_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.Score(LoadVarianceWeights{}), 0.0);
+  ImbalanceDetector detector(DetectorConfig{});
+  EXPECT_FALSE(detector.Check(snapshot).has_value());
+}
+
+TEST(Detector, ExactThresholdBoundaryDoesNotFlag) {
+  // The detector tests max/mean > 1 + t strictly: a ratio of exactly 1 + t
+  // sits on the boundary and must not flag (matching real balancer
+  // semantics, where "within threshold" is acceptable).
+  DetectorConfig config;
+  config.threshold = 0.25;
+  config.consecutive_needed = 1;
+  ImbalanceDetector detector(config);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(detector.Check(Snapshot(1.25)).has_value());
+    EXPECT_FALSE(detector.CheckOnce(Snapshot(1.25)).has_value());
+  }
+  // The next representable value above the boundary flags.
+  double above = std::nextafter(1.25, 2.0);
+  EXPECT_TRUE(detector.CheckOnce(Snapshot(above)).has_value());
+  EXPECT_TRUE(detector.Check(Snapshot(above)).has_value());
 }
 
 TEST(Detector, ResetStreakClearsProgress) {
