@@ -1,6 +1,7 @@
 #include "src/dfs/cluster.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "src/common/log.h"
@@ -51,12 +52,18 @@ void DfsCluster::BuildInitialTopology() {
   current_round_moves_ = 0;
   last_balancer_check_ = clock_.now();
   recent_classes_.clear();
+  class_counts_[0] = class_counts_[1] = class_counts_[2] = 0;
+  recent_class_mask_ = 0;
+  offline_bricks_ = 0;
+  serving_meta_nodes_.clear();
+  InvalidateLoadIndex();
 
   for (int i = 0; i < config_.initial_meta_nodes; ++i) {
     NodeId id = next_node_id_++;
     MetaNode node;
     node.id = id;
     meta_nodes_[id] = node;
+    serving_meta_nodes_.push_back(id);
   }
   for (int i = 0; i < config_.initial_storage_nodes; ++i) {
     AddStorageNodeInternal(config_.brick_capacity);
@@ -98,95 +105,295 @@ const StorageNode* DfsCluster::FindStorageNode(NodeId id) const {
   return it == storage_nodes_.end() ? nullptr : &it->second;
 }
 
-std::vector<BrickId> DfsCluster::ServingBricks() const {
-  std::vector<BrickId> out;
+// ---------------------------------------------------------------------------
+// Incremental load index
+//
+// Aggregates over bricks/nodes are maintained, not recomputed: the per-op
+// read points (StorageImbalance in the balancer check and the coverage hash,
+// SampleLoad in the monitor) run off integer running sums, while mutation
+// points pay an O(1) delta (byte writes) or an O(bricks-of-one-node) update
+// (membership changes). The full rebuild only runs after a topology reset —
+// removed nodes stay in the node maps as tombstones, so anything that walks
+// a whole node map is O(all nodes ever created) and must stay off the per-op
+// path. All sums are integers, so every cached double is bit-identical to a
+// from-scratch walk (tests/cluster_cache_test.cc).
+
+void DfsCluster::InvalidateLoadIndex() {
+  load_index_dirty_ = true;
+  ++load_epoch_;
+}
+
+void DfsCluster::RebuildLoadIndex() const {
+  serving_bricks_.clear();
+  serving_storage_nodes_.clear();
+  node_agg_.clear();
+  fleet_used_ = 0;
+  fleet_cap_ = 0;
+  fleet_overflow_ = 0;
+  total_used_all_ = 0;
+  for (const auto& [id, node] : storage_nodes_) {
+    NodeLoadAgg agg;
+    agg.serving = node.Serving();
+    if (agg.serving) {
+      serving_storage_nodes_.push_back(id);
+    }
+    for (BrickId b : node.bricks) {
+      const Brick* brick = FindBrick(b);
+      if (brick == nullptr) {
+        continue;
+      }
+      agg.used_all += brick->used_bytes;
+      if (brick->online) {
+        agg.used_online += brick->used_bytes;
+        agg.cap_online += brick->capacity_bytes;
+      }
+    }
+    node_agg_[id] = agg;
+  }
   for (const auto& [id, brick] : bricks_) {
+    total_used_all_ += brick.used_bytes;
     if (!brick.online) {
       continue;
     }
-    const StorageNode* node = FindStorageNode(brick.node);
-    if (node != nullptr && node->Serving()) {
-      out.push_back(id);
+    auto it = node_agg_.find(brick.node);
+    if (it != node_agg_.end() && it->second.serving) {
+      serving_bricks_.push_back(id);
+      fleet_used_ += brick.used_bytes;
+      fleet_cap_ += brick.capacity_bytes;
+      if (brick.used_bytes > brick.capacity_bytes) {
+        fleet_overflow_ += brick.used_bytes - brick.capacity_bytes;
+      }
     }
   }
-  return out;
+  load_index_dirty_ = false;
 }
 
-std::vector<NodeId> DfsCluster::ServingStorageNodeIds() const {
-  std::vector<NodeId> out;
-  for (const auto& [id, node] : storage_nodes_) {
-    if (node.Serving()) {
-      out.push_back(id);
+void DfsCluster::ApplyUsedBytesDelta(const Brick& brick, uint64_t old_used) {
+  ++load_epoch_;
+  if (load_index_dirty_) {
+    return;  // the pending rebuild recomputes everything from ground truth
+  }
+  uint64_t delta = brick.used_bytes - old_used;  // two's complement: may wrap
+  total_used_all_ += delta;
+  auto it = node_agg_.find(brick.node);
+  if (it == node_agg_.end()) {
+    return;
+  }
+  it->second.used_all += delta;
+  if (!brick.online) {
+    return;
+  }
+  it->second.used_online += delta;
+  if (it->second.serving) {
+    fleet_used_ += delta;
+    uint64_t old_over =
+        old_used > brick.capacity_bytes ? old_used - brick.capacity_bytes : 0;
+    uint64_t new_over = brick.used_bytes > brick.capacity_bytes
+                            ? brick.used_bytes - brick.capacity_bytes
+                            : 0;
+    fleet_overflow_ += new_over - old_over;
+  }
+}
+
+void DfsCluster::AccreteBrickBytes(Brick* brick, uint64_t bytes) {
+  if (brick == nullptr || bytes == 0) {
+    return;
+  }
+  uint64_t old_used = brick->used_bytes;
+  brick->used_bytes += bytes;
+  ApplyUsedBytesDelta(*brick, old_used);
+}
+
+void DfsCluster::ReleaseBrickBytes(Brick* brick, uint64_t bytes) {
+  if (brick == nullptr || bytes == 0) {
+    return;
+  }
+  uint64_t old_used = brick->used_bytes;
+  brick->used_bytes -= std::min(old_used, bytes);
+  if (brick->used_bytes != old_used) {
+    ApplyUsedBytesDelta(*brick, old_used);
+  }
+}
+
+void DfsCluster::OnStorageNodeAdded(NodeId id) {
+  ++load_epoch_;
+  if (load_index_dirty_) {
+    return;
+  }
+  NodeLoadAgg agg;
+  agg.serving = true;
+  node_agg_[id] = agg;
+  // Node ids are monotonic, so appending preserves storage_nodes_ map order.
+  serving_storage_nodes_.push_back(id);
+}
+
+void DfsCluster::OnBrickAdded(const Brick& brick) {
+  ++load_epoch_;
+  if (load_index_dirty_) {
+    return;
+  }
+  auto it = node_agg_.find(brick.node);
+  if (it == node_agg_.end()) {
+    return;
+  }
+  it->second.used_all += brick.used_bytes;
+  if (!brick.online) {
+    return;
+  }
+  it->second.used_online += brick.used_bytes;
+  it->second.cap_online += brick.capacity_bytes;
+  if (it->second.serving) {
+    // Brick ids are monotonic, so appending preserves bricks_ map order.
+    serving_bricks_.push_back(brick.id);
+    fleet_used_ += brick.used_bytes;
+    fleet_cap_ += brick.capacity_bytes;
+    if (brick.used_bytes > brick.capacity_bytes) {
+      fleet_overflow_ += brick.used_bytes - brick.capacity_bytes;
     }
   }
-  return out;
+}
+
+void DfsCluster::OnStorageNodeUnserving(NodeId id) {
+  ++load_epoch_;
+  if (load_index_dirty_) {
+    return;
+  }
+  auto it = node_agg_.find(id);
+  if (it == node_agg_.end() || !it->second.serving) {
+    return;
+  }
+  it->second.serving = false;
+  auto pos = std::lower_bound(serving_storage_nodes_.begin(),
+                              serving_storage_nodes_.end(), id);
+  if (pos != serving_storage_nodes_.end() && *pos == id) {
+    serving_storage_nodes_.erase(pos);
+  }
+  // The node's online bricks leave the fleet (they are no longer serving)
+  // but stay in the per-node sums: SampleLoad still reports a crashed
+  // node's mounted bricks.
+  const StorageNode* node = FindStorageNode(id);
+  if (node == nullptr) {
+    return;
+  }
+  for (BrickId b : node->bricks) {
+    const Brick* brick = FindBrick(b);
+    if (brick == nullptr || !brick->online) {
+      continue;
+    }
+    fleet_used_ -= brick->used_bytes;
+    fleet_cap_ -= brick->capacity_bytes;
+    if (brick->used_bytes > brick->capacity_bytes) {
+      fleet_overflow_ -= brick->used_bytes - brick->capacity_bytes;
+    }
+    auto bpos = std::lower_bound(serving_bricks_.begin(), serving_bricks_.end(), b);
+    if (bpos != serving_bricks_.end() && *bpos == b) {
+      serving_bricks_.erase(bpos);
+    }
+  }
+}
+
+void DfsCluster::OnBrickOffline(const Brick& brick) {
+  ++load_epoch_;
+  if (load_index_dirty_) {
+    return;
+  }
+  auto it = node_agg_.find(brick.node);
+  if (it == node_agg_.end()) {
+    return;
+  }
+  it->second.used_online -= brick.used_bytes;
+  it->second.cap_online -= brick.capacity_bytes;
+  if (it->second.serving) {
+    fleet_used_ -= brick.used_bytes;
+    fleet_cap_ -= brick.capacity_bytes;
+    if (brick.used_bytes > brick.capacity_bytes) {
+      fleet_overflow_ -= brick.used_bytes - brick.capacity_bytes;
+    }
+    auto pos = std::lower_bound(serving_bricks_.begin(), serving_bricks_.end(),
+                                brick.id);
+    if (pos != serving_bricks_.end() && *pos == brick.id) {
+      serving_bricks_.erase(pos);
+    }
+  }
+}
+
+void DfsCluster::OnBrickCapacityChanged(const Brick& brick, uint64_t old_capacity) {
+  ++load_epoch_;
+  if (load_index_dirty_ || !brick.online) {
+    return;
+  }
+  uint64_t delta = brick.capacity_bytes - old_capacity;  // may wrap; sums re-wrap
+  auto it = node_agg_.find(brick.node);
+  if (it == node_agg_.end()) {
+    return;
+  }
+  it->second.cap_online += delta;
+  if (it->second.serving) {
+    fleet_cap_ += delta;
+    uint64_t old_over =
+        brick.used_bytes > old_capacity ? brick.used_bytes - old_capacity : 0;
+    uint64_t new_over = brick.used_bytes > brick.capacity_bytes
+                            ? brick.used_bytes - brick.capacity_bytes
+                            : 0;
+    fleet_overflow_ += new_over - old_over;
+  }
+}
+
+const std::vector<BrickId>& DfsCluster::ServingBricks() const {
+  EnsureLoadIndex();
+  return serving_bricks_;
+}
+
+const std::vector<NodeId>& DfsCluster::ServingStorageNodeIds() const {
+  EnsureLoadIndex();
+  return serving_storage_nodes_;
 }
 
 uint64_t DfsCluster::TotalCapacityBytes() const {
-  uint64_t total = 0;
-  for (BrickId id : ServingBricks()) {
-    total += FindBrick(id)->capacity_bytes;
-  }
-  return total;
+  EnsureLoadIndex();
+  return fleet_cap_;
 }
 
 uint64_t DfsCluster::TotalUsedBytes() const {
-  uint64_t total = 0;
-  for (const auto& [id, brick] : bricks_) {
-    (void)id;
-    total += brick.used_bytes;
-  }
-  return total;
+  EnsureLoadIndex();
+  return total_used_all_;
+}
+
+uint64_t DfsCluster::TotalServingUsedBytes() const {
+  EnsureLoadIndex();
+  return fleet_used_;
 }
 
 uint64_t DfsCluster::FreeSpaceBytes() const {
-  uint64_t capacity = 0;
-  uint64_t used = 0;
-  for (BrickId id : ServingBricks()) {
-    const Brick* brick = FindBrick(id);
-    capacity += brick->capacity_bytes;
-    used += std::min(brick->used_bytes, brick->capacity_bytes);
-  }
-  return capacity - used;
+  // capacity - sum(min(used, capacity)) over serving bricks; min(used, cap)
+  // = used - max(0, used - cap), so the clamped sum falls out of the
+  // maintained overflow aggregate.
+  EnsureLoadIndex();
+  return fleet_cap_ - (fleet_used_ - fleet_overflow_);
 }
 
 std::vector<double> DfsCluster::PerNodeUsedBytes() const {
+  EnsureLoadIndex();
   std::vector<double> out;
-  for (const auto& [id, node] : storage_nodes_) {
-    (void)id;
-    if (!node.Serving()) {
-      continue;
+  out.reserve(serving_storage_nodes_.size());
+  for (NodeId id : serving_storage_nodes_) {
+    auto it = node_agg_.find(id);
+    if (it != node_agg_.end()) {
+      out.push_back(static_cast<double>(it->second.used_all));
     }
-    uint64_t used = 0;
-    for (BrickId b : node.bricks) {
-      const Brick* brick = FindBrick(b);
-      if (brick != nullptr) {
-        used += brick->used_bytes;
-      }
-    }
-    out.push_back(static_cast<double>(used));
   }
   return out;
 }
 
 std::vector<double> DfsCluster::PerNodeUsedFraction() const {
+  EnsureLoadIndex();
   std::vector<double> out;
-  for (const auto& [id, node] : storage_nodes_) {
-    (void)id;
-    if (!node.Serving()) {
-      continue;
-    }
-    uint64_t used = 0;
-    uint64_t capacity = 0;
-    for (BrickId b : node.bricks) {
-      const Brick* brick = FindBrick(b);
-      if (brick != nullptr && brick->online) {
-        used += brick->used_bytes;
-        capacity += brick->capacity_bytes;
-      }
-    }
-    if (capacity > 0) {
-      out.push_back(static_cast<double>(used) / static_cast<double>(capacity));
+  out.reserve(serving_storage_nodes_.size());
+  for (NodeId id : serving_storage_nodes_) {
+    auto it = node_agg_.find(id);
+    if (it != node_agg_.end() && it->second.cap_online > 0) {
+      out.push_back(static_cast<double>(it->second.used_online) /
+                    static_cast<double>(it->second.cap_online));
     }
   }
   return out;
@@ -199,39 +406,44 @@ double DfsCluster::StorageImbalance() const {
   // average utilization by more than N%"). An unweighted node mean would
   // diverge from what the balancer can actually guarantee on
   // heterogeneous-capacity clusters.
-  std::vector<double> fractions = PerNodeUsedFraction();
-  if (fractions.size() < 2) {
-    return 0.0;
+  EnsureLoadIndex();
+  if (imbalance_epoch_ == load_epoch_) {
+    return imbalance_memo_;
   }
-  uint64_t used = 0;
-  uint64_t capacity = 0;
-  for (BrickId id : ServingBricks()) {
-    const Brick* brick = FindBrick(id);
-    used += brick->used_bytes;
-    capacity += brick->capacity_bytes;
+  double spread = 0.0;
+  size_t fraction_nodes = 0;
+  double max_fraction = 0.0;
+  for (NodeId id : serving_storage_nodes_) {
+    auto it = node_agg_.find(id);
+    if (it != node_agg_.end() && it->second.cap_online > 0) {
+      ++fraction_nodes;
+      double fraction = static_cast<double>(it->second.used_online) /
+                        static_cast<double>(it->second.cap_online);
+      if (fraction_nodes == 1 || fraction > max_fraction) {
+        max_fraction = fraction;
+      }
+    }
   }
-  if (capacity == 0) {
-    return 0.0;
+  if (fraction_nodes >= 2 && fleet_cap_ > 0) {
+    double fleet =
+        static_cast<double>(fleet_used_) / static_cast<double>(fleet_cap_);
+    spread = std::max(0.0, max_fraction - fleet);
   }
-  double fleet = static_cast<double>(used) / static_cast<double>(capacity);
-  double max = *std::max_element(fractions.begin(), fractions.end());
-  return std::max(0.0, max - fleet);
+  imbalance_epoch_ = load_epoch_;
+  imbalance_memo_ = spread;
+  return spread;
 }
 
 MigrationPlan DfsCluster::PlanLevelingByUsage(
     double tolerance, const std::map<BrickId, uint64_t>* extra_inflow) const {
   MigrationPlan plan;
-  std::vector<BrickId> serving = ServingBricks();
+  EnsureLoadIndex();
+  const std::vector<BrickId>& serving = serving_bricks_;
   if (serving.size() < 2) {
     return plan;
   }
-  uint64_t total_used = 0;
-  uint64_t total_capacity = 0;
-  for (BrickId id : serving) {
-    const Brick* brick = FindBrick(id);
-    total_used += brick->used_bytes;
-    total_capacity += brick->capacity_bytes;
-  }
+  uint64_t total_used = fleet_used_;
+  uint64_t total_capacity = fleet_cap_;
   if (total_capacity == 0 || total_used == 0) {
     return plan;
   }
@@ -289,8 +501,8 @@ MigrationPlan DfsCluster::PlanLevelingByUsage(
                                                               brick->capacity_bytes));
     THEMIS_LOG(kDebug, "leveling: donor brick%u (node %u) used=%.2f excess=%lluM chunks=%zu",
                donor, brick->node, brick->UsedFraction(),
-               static_cast<unsigned long long>(excess >> 20), ChunksOnBrick(donor).size());
-    for (const auto& [file, chunk_index] : ChunksOnBrick(donor)) {
+               static_cast<unsigned long long>(excess >> 20), ChunksOnBrickRef(donor).size());
+    for (const auto& [file, chunk_index] : ChunksOnBrickRef(donor)) {
       if (excess == 0 || receiver_cursor >= receivers.size()) {
         break;
       }
@@ -343,15 +555,7 @@ MigrationPlan DfsCluster::PlanLevelingByUsage(
   return plan;
 }
 
-std::vector<NodeId> DfsCluster::ListMetaNodes() const {
-  std::vector<NodeId> out;
-  for (const auto& [id, node] : meta_nodes_) {
-    if (node.Serving()) {
-      out.push_back(id);
-    }
-  }
-  return out;
-}
+std::vector<NodeId> DfsCluster::ListMetaNodes() const { return serving_meta_nodes_; }
 
 std::vector<NodeId> DfsCluster::ListStorageNodes() const { return ServingStorageNodeIds(); }
 
@@ -409,12 +613,24 @@ void DfsCluster::InjectNetLoad(NodeId node, uint64_t reads, uint64_t writes,
 
 void DfsCluster::CrashNode(NodeId node) {
   if (StorageNode* sn = FindStorageNode(node)) {
+    bool was_serving = sn->Serving();
     sn->crashed = true;
+    if (was_serving) {
+      OnStorageNodeUnserving(node);
+    }
     return;
   }
   auto it = meta_nodes_.find(node);
   if (it != meta_nodes_.end()) {
+    bool was_serving = it->second.Serving();
     it->second.crashed = true;
+    if (was_serving) {
+      auto pos = std::lower_bound(serving_meta_nodes_.begin(),
+                                  serving_meta_nodes_.end(), node);
+      if (pos != serving_meta_nodes_.end() && *pos == node) {
+        serving_meta_nodes_.erase(pos);
+      }
+    }
   }
 }
 
@@ -447,8 +663,8 @@ uint64_t DfsCluster::SkewBytes(BrickId from, BrickId to, uint64_t bytes) {
     for (BrickId& replica : chunk.replicas) {
       if (replica == from) {
         replica = to;
-        src->used_bytes -= std::min(src->used_bytes, chunk.bytes);
-        dst->used_bytes += chunk.bytes;
+        ReleaseBrickBytes(src, chunk.bytes);
+        AccreteBrickBytes(dst, chunk.bytes);
         RemoveReplicaIndex(from, file, chunk_index);
         AddReplicaIndex(to, file, chunk_index);
         moved += chunk.bytes;
@@ -485,7 +701,7 @@ uint64_t DfsCluster::DestroyBytes(BrickId brick, uint64_t bytes) {
       continue;
     }
     chunk.replicas.erase(replica_it);
-    target->used_bytes -= std::min(target->used_bytes, chunk.bytes);
+    ReleaseBrickBytes(target, chunk.bytes);
     RemoveReplicaIndex(brick, file, chunk_index);
     destroyed += chunk.bytes;
     if (chunk.replicas.empty()) {
@@ -521,6 +737,13 @@ std::vector<std::pair<FileId, uint32_t>> DfsCluster::ChunksOnBrick(BrickId brick
   return {it->second.begin(), it->second.end()};
 }
 
+const std::set<std::pair<FileId, uint32_t>>& DfsCluster::ChunksOnBrickRef(
+    BrickId brick) const {
+  static const std::set<std::pair<FileId, uint32_t>> kEmpty;
+  auto it = brick_chunks_.find(brick);
+  return it == brick_chunks_.end() ? kEmpty : it->second;
+}
+
 // ---------------------------------------------------------------------------
 // Topology services
 
@@ -532,6 +755,7 @@ BrickId DfsCluster::NewBrickOnNode(NodeId node, uint64_t capacity) {
   BrickId id = next_brick_id_++;
   bricks_[id] = Brick{.id = id, .node = node, .capacity_bytes = capacity};
   sn->bricks.push_back(id);
+  OnBrickAdded(bricks_[id]);
   return id;
 }
 
@@ -540,6 +764,7 @@ NodeId DfsCluster::AddStorageNodeInternal(uint64_t brick_capacity) {
   StorageNode node;
   node.id = id;
   storage_nodes_[id] = node;
+  OnStorageNodeAdded(id);
   NewBrickOnNode(id, brick_capacity);
   return id;
 }
@@ -567,19 +792,13 @@ SimDuration DfsCluster::ParallelTransferCost(const FileLayout& layout) const {
 
 NodeId DfsCluster::RouteToMetaNode(const Operation& op) {
   (void)op;
-  std::vector<NodeId> serving;
-  for (const auto& [id, node] : meta_nodes_) {
-    if (node.Serving()) {
-      serving.push_back(id);
-    }
-  }
-  if (serving.empty()) {
+  if (serving_meta_nodes_.empty()) {
     return kInvalidNode;
   }
   // Round-robin request routing (front-end load balancing): a healthy
   // cluster spreads requests evenly, so network imbalance is a *signal*,
   // not sampling noise.
-  NodeId chosen = serving[total_ops_executed_ % serving.size()];
+  NodeId chosen = serving_meta_nodes_[total_ops_executed_ % serving_meta_nodes_.size()];
   ChargeMeta(chosen, 1, kMetaCpuPerOp);
   return chosen;
 }
@@ -653,9 +872,16 @@ OpResult DfsCluster::Execute(const Operation& op) {
     ++namespace_epoch_;
   }
   SyncMetadataReplicas();
-  recent_classes_.push_back(static_cast<uint8_t>(ClassOf(op.kind)));
+  uint8_t op_class = static_cast<uint8_t>(ClassOf(op.kind));
+  recent_classes_.push_back(op_class);
+  ++class_counts_[op_class];
+  recent_class_mask_ |= static_cast<uint8_t>(1u << op_class);
   if (recent_classes_.size() > 8) {
+    uint8_t dropped = recent_classes_.front();
     recent_classes_.pop_front();
+    if (--class_counts_[dropped] == 0) {
+      recent_class_mask_ &= static_cast<uint8_t>(~(1u << dropped));
+    }
   }
 
   clock_.Advance(result.cost);
@@ -669,14 +895,15 @@ OpResult DfsCluster::Execute(const Operation& op) {
 }
 
 void DfsCluster::SyncMetadataReplicas() {
-  for (auto& [id, node] : meta_nodes_) {
-    if (!node.Serving()) {
+  for (NodeId id : serving_meta_nodes_) {
+    auto it = meta_nodes_.find(id);
+    if (it == meta_nodes_.end()) {
       continue;
     }
     if (hooks_ != nullptr && hooks_->SuppressMetadataSync(*this, id)) {
       continue;
     }
-    node.synced_epoch = namespace_epoch_;
+    it->second.synced_epoch = namespace_epoch_;
   }
 }
 
@@ -713,10 +940,7 @@ Result<FileLayout> DfsCluster::PlaceFile(const std::string& path, uint64_t size)
       // Roll back bricks already charged.
       for (ChunkPlacement& chunk : layout.chunks) {
         for (BrickId b : chunk.replicas) {
-          Brick* brick = FindBrick(b);
-          if (brick != nullptr) {
-            brick->used_bytes -= std::min(brick->used_bytes, chunk.bytes);
-          }
+          ReleaseBrickBytes(FindBrick(b), chunk.bytes);
         }
       }
       return Status::OutOfSpace(Sprintf("no placement for chunk %u of %s", i, path.c_str()));
@@ -725,10 +949,7 @@ Result<FileLayout> DfsCluster::PlaceFile(const std::string& path, uint64_t size)
     chunk.bytes = bytes;
     chunk.replicas = replicas;
     for (BrickId b : replicas) {
-      Brick* brick = FindBrick(b);
-      if (brick != nullptr) {
-        brick->used_bytes += bytes;
-      }
+      AccreteBrickBytes(FindBrick(b), bytes);
     }
     layout.chunks.push_back(std::move(chunk));
   }
@@ -739,10 +960,7 @@ void DfsCluster::ReleaseLayout(FileId file, const FileLayout& layout) {
   for (uint32_t i = 0; i < layout.chunks.size(); ++i) {
     const ChunkPlacement& chunk = layout.chunks[i];
     for (BrickId b : chunk.replicas) {
-      Brick* brick = FindBrick(b);
-      if (brick != nullptr) {
-        brick->used_bytes -= std::min(brick->used_bytes, chunk.bytes);
-      }
+      ReleaseBrickBytes(FindBrick(b), chunk.bytes);
       RemoveReplicaIndex(b, file, i);
     }
   }
@@ -844,8 +1062,9 @@ OpResult DfsCluster::DoAppend(const Operation& op) {
     if (fits) {
       last.bytes += bytes;
       for (BrickId b : last.replicas) {
-        FindBrick(b)->used_bytes += bytes;
-        ChargeStorage(FindBrick(b)->node, 0, IoCount(bytes),
+        Brick* brick = FindBrick(b);
+        AccreteBrickBytes(brick, bytes);
+        ChargeStorage(brick->node, 0, IoCount(bytes),
                       kStorageCpuPerGiB * static_cast<double>(bytes) / kGiB);
       }
       layout.size += bytes;
@@ -872,7 +1091,7 @@ OpResult DfsCluster::DoAppend(const Operation& op) {
     uint32_t index = static_cast<uint32_t>(layout.chunks.size());
     for (BrickId b : replicas) {
       Brick* brick = FindBrick(b);
-      brick->used_bytes += piece;
+      AccreteBrickBytes(brick, piece);
       AddReplicaIndex(b, *id, index);
       ChargeStorage(brick->node, 0, IoCount(piece),
                     kStorageCpuPerGiB * static_cast<double>(piece) / kGiB);
@@ -975,7 +1194,7 @@ OpResult DfsCluster::DoAddMetaNode(const Operation& op) {
   (void)op;
   OpResult result;
   COV_BRANCH(cov_, CovModule::kMembership, 11);
-  int serving = static_cast<int>(ListMetaNodes().size());
+  int serving = static_cast<int>(serving_meta_nodes_.size());
   if (serving >= config_.max_meta_nodes) {
     result.status = Status::FailedPrecondition("metadata node limit reached");
     return result;
@@ -984,6 +1203,7 @@ OpResult DfsCluster::DoAddMetaNode(const Operation& op) {
   MetaNode node;
     node.id = id;
     meta_nodes_[id] = node;
+  serving_meta_nodes_.push_back(id);  // node ids are monotonic: stays sorted
   result.cost = Seconds(5);
   NotifyTopologyChanged();
   result.status = Status::Ok();
@@ -993,8 +1213,7 @@ OpResult DfsCluster::DoAddMetaNode(const Operation& op) {
 OpResult DfsCluster::DoRemoveMetaNode(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kMembership, 12);
-  std::vector<NodeId> serving = ListMetaNodes();
-  if (static_cast<int>(serving.size()) <= config_.min_meta_nodes) {
+  if (static_cast<int>(serving_meta_nodes_.size()) <= config_.min_meta_nodes) {
     result.status = Status::FailedPrecondition("metadata node minimum reached");
     return result;
   }
@@ -1005,6 +1224,11 @@ OpResult DfsCluster::DoRemoveMetaNode(const Operation& op) {
     return result;
   }
   it->second.online = false;
+  auto pos = std::lower_bound(serving_meta_nodes_.begin(),
+                              serving_meta_nodes_.end(), target);
+  if (pos != serving_meta_nodes_.end() && *pos == target) {
+    serving_meta_nodes_.erase(pos);
+  }
   result.cost = Seconds(3);
   NotifyTopologyChanged();
   result.status = Status::Ok();
@@ -1050,11 +1274,19 @@ OpResult DfsCluster::DoRemoveStorageNode(const Operation& op) {
     result.status = Status::FailedPrecondition("too few bricks would remain");
     return result;
   }
+  bool was_serving = node->Serving();
   node->online = false;
+  if (was_serving) {
+    OnStorageNodeUnserving(op.node);
+  }
   for (BrickId b : node->bricks) {
     Brick* brick = FindBrick(b);
     if (brick != nullptr) {
-      brick->online = false;
+      if (brick->online) {
+        ++offline_bricks_;
+        brick->online = false;
+        OnBrickOffline(*brick);
+      }
     }
   }
   ScheduleRecovery(op.node);
@@ -1074,12 +1306,13 @@ OpResult DfsCluster::DoAddVolume(const Operation& op) {
     // Attach to the node with the least total capacity.
     uint64_t best_capacity = UINT64_MAX;
     target = kInvalidNode;
-    for (const auto& [id, node] : storage_nodes_) {
-      if (!node.Serving()) {
+    for (NodeId id : ServingStorageNodeIds()) {
+      const StorageNode* node = FindStorageNode(id);
+      if (node == nullptr) {
         continue;
       }
       uint64_t cap = 0;
-      for (BrickId b : node.bricks) {
+      for (BrickId b : node->bricks) {
         const Brick* brick = FindBrick(b);
         if (brick != nullptr) {
           cap += brick->capacity_bytes;
@@ -1125,6 +1358,8 @@ OpResult DfsCluster::DoRemoveVolume(const Operation& op) {
     return result;
   }
   brick->online = false;  // draining: no new placements
+  ++offline_bricks_;
+  OnBrickOffline(*brick);
   ScheduleEvacuation(op.brick);
   result.cost = Seconds(10);
   NotifyTopologyChanged();
@@ -1148,7 +1383,9 @@ OpResult DfsCluster::DoExpandVolume(const Operation& op) {
     result.status = Status::FailedPrecondition("volume already at maximum size");
     return result;
   }
+  uint64_t old_capacity = brick->capacity_bytes;
   brick->capacity_bytes = std::min(brick->capacity_bytes + delta, cap_limit);
+  OnBrickCapacityChanged(*brick, old_capacity);
   result.cost = Seconds(8);
   NotifyTopologyChanged();
   result.status = Status::Ok();
@@ -1185,10 +1422,14 @@ OpResult DfsCluster::DoReduceVolume(const Operation& op) {
       result.status = Status::FailedPrecondition("reduction would strand data");
       return result;
     }
+    uint64_t old_capacity = brick->capacity_bytes;
     brick->capacity_bytes = new_capacity;
+    OnBrickCapacityChanged(*brick, old_capacity);
     ScheduleOverflowEvacuation(op.brick, overflow);
   } else {
+    uint64_t old_capacity = brick->capacity_bytes;
     brick->capacity_bytes = new_capacity;
+    OnBrickCapacityChanged(*brick, old_capacity);
   }
   result.cost = Seconds(8);
   NotifyTopologyChanged();
@@ -1244,7 +1485,7 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
     return;
   }
   for (BrickId b : sn->bricks) {
-    for (const auto& [file, chunk_index] : ChunksOnBrick(b)) {
+    for (const auto& [file, chunk_index] : ChunksOnBrickRef(b)) {
       auto layout_it = layouts_.find(file);
       if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
         continue;
@@ -1267,7 +1508,7 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
 
 void DfsCluster::ScheduleEvacuation(BrickId brick) {
   COV_BRANCH(cov_, CovModule::kMigration, 22);
-  for (const auto& [file, chunk_index] : ChunksOnBrick(brick)) {
+  for (const auto& [file, chunk_index] : ChunksOnBrickRef(brick)) {
     auto layout_it = layouts_.find(file);
     if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
       continue;
@@ -1288,7 +1529,7 @@ void DfsCluster::ScheduleEvacuation(BrickId brick) {
 
 void DfsCluster::ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes) {
   uint64_t scheduled = 0;
-  for (const auto& [file, chunk_index] : ChunksOnBrick(brick)) {
+  for (const auto& [file, chunk_index] : ChunksOnBrickRef(brick)) {
     if (scheduled >= bytes) {
       break;
     }
@@ -1400,11 +1641,11 @@ void DfsCluster::ExecuteMove(const ChunkMove& move) {
   }
   *replica_it = move.to;
   if (from != nullptr) {
-    from->used_bytes -= std::min(from->used_bytes, chunk.bytes);
+    ReleaseBrickBytes(from, chunk.bytes);
     ChargeStorage(from->node, IoCount(chunk.bytes), 0,
                   kStorageCpuPerGiB * static_cast<double>(chunk.bytes) / kGiB * 0.5);
   }
-  to->used_bytes += chunk.bytes;
+  AccreteBrickBytes(to, chunk.bytes);
   ChargeStorage(to->node, 0, IoCount(chunk.bytes),
                 kStorageCpuPerGiB * static_cast<double>(chunk.bytes) / kGiB);
   RemoveReplicaIndex(move.from, move.file, move.chunk_index);
@@ -1486,10 +1727,7 @@ void DfsCluster::DestroyChunkReplica(FileId file, uint32_t chunk_index, BrickId 
     return;
   }
   chunk.replicas.erase(replica_it);
-  Brick* b = FindBrick(brick);
-  if (b != nullptr) {
-    b->used_bytes -= std::min(b->used_bytes, chunk.bytes);
-  }
+  ReleaseBrickBytes(FindBrick(brick), chunk.bytes);
   RemoveReplicaIndex(brick, file, chunk_index);
   if (chunk.replicas.empty()) {
     lost_bytes_ += chunk.bytes;
@@ -1516,6 +1754,11 @@ void DfsCluster::FinishRebalanceIfDrained() {
     }
   }
   // Garbage-collect fully drained offline bricks and empty offline nodes.
+  // Gated on the offline-brick count so healthy steady state (no draining
+  // bricks anywhere) skips the O(bricks) sweep entirely.
+  if (offline_bricks_ == 0) {
+    return;
+  }
   for (auto it = bricks_.begin(); it != bricks_.end();) {
     if (!it->second.online && it->second.used_bytes == 0 &&
         brick_chunks_.count(it->first) == 0) {
@@ -1524,7 +1767,11 @@ void DfsCluster::FinishRebalanceIfDrained() {
         node->bricks.erase(std::remove(node->bricks.begin(), node->bricks.end(), it->first),
                            node->bricks.end());
       }
+      // No aggregate updates: a drained offline brick contributes zero to
+      // every maintained sum (offline => not in the online/fleet sums,
+      // used_bytes == 0 => nothing in the used-all sums).
       it = bricks_.erase(it);
+      --offline_bricks_;
     } else {
       ++it;
     }
@@ -1535,6 +1782,7 @@ void DfsCluster::FinishRebalanceIfDrained() {
 // Load sampling / coverage
 
 std::vector<LoadSample> DfsCluster::SampleLoad() const {
+  EnsureLoadIndex();
   std::vector<LoadSample> out;
   out.reserve(storage_nodes_.size() + meta_nodes_.size());
   for (const auto& [id, node] : storage_nodes_) {
@@ -1543,15 +1791,13 @@ std::vector<LoadSample> DfsCluster::SampleLoad() const {
     sample.is_storage = true;
     sample.online = node.online;
     sample.crashed = node.crashed;
-    for (BrickId b : node.bricks) {
-      const Brick* brick = FindBrick(b);
-      // Draining (offline) bricks are unmounted from the balancer's point of
-      // view; reporting them here would make the monitor's fleet utilization
-      // diverge from what the balancer can actually level.
-      if (brick != nullptr && brick->online) {
-        sample.used_bytes += brick->used_bytes;
-        sample.capacity_bytes += brick->capacity_bytes;
-      }
+    // Draining (offline) bricks are unmounted from the balancer's point of
+    // view; the load index's per-node aggregates already exclude them, so
+    // the monitor's fleet utilization matches what the balancer can level.
+    auto agg_it = node_agg_.find(id);
+    if (agg_it != node_agg_.end()) {
+      sample.used_bytes = agg_it->second.used_online;
+      sample.capacity_bytes = agg_it->second.cap_online;
     }
     sample.requests = node.load.requests;
     sample.read_ios = node.load.read_ios;
@@ -1607,16 +1853,13 @@ void DfsCluster::RecordOpCoverage(const Operation& op, const OpResult& result) {
                       static_cast<uint32_t>(result.status.code()));
   // State-feature tuple: what the system looked like when this operator ran.
   // Distinct tuples correspond to distinct exercised branches in a real code
-  // base (see DESIGN.md).
-  uint8_t class_mask = 0;
-  for (uint8_t c : recent_classes_) {
-    class_mask |= static_cast<uint8_t>(1u << c);
-  }
+  // base (see DESIGN.md). The class mask and file bucket are maintained
+  // incrementally (Execute's window push/pop, bit_width) — same values as the
+  // loops they replaced, without the per-op rescans.
+  uint8_t class_mask = recent_class_mask_;
   int imbalance_decile = static_cast<int>(std::min(StorageImbalance(), 2.0) * 12.0);
-  uint64_t file_bucket = 0;
-  for (uint64_t n = tree_.file_count(); n > 0; n /= 2) {
-    ++file_bucket;
-  }
+  uint64_t file_bucket =
+      std::bit_width(static_cast<uint64_t>(tree_.file_count()));
   uint64_t h = HashCombine(static_cast<uint64_t>(op.kind),
                            static_cast<uint64_t>(result.status.code()));
   h = HashCombine(h, class_mask);

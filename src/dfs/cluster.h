@@ -192,12 +192,18 @@ class DfsCluster : public DfsInterface {
   StorageNode* FindStorageNode(NodeId id);
   const StorageNode* FindStorageNode(NodeId id) const;
 
-  // Serving (online, not crashed, not draining) bricks.
-  std::vector<BrickId> ServingBricks() const;
-  std::vector<NodeId> ServingStorageNodeIds() const;
+  // Serving (online, not crashed, not draining) bricks. The returned
+  // reference points at the maintained load index and stays valid until the
+  // next topology mutation (brick/node add/remove/online/offline/capacity
+  // change); copy it before mutating topology mid-iteration.
+  const std::vector<BrickId>& ServingBricks() const;
+  const std::vector<NodeId>& ServingStorageNodeIds() const;
 
   uint64_t TotalCapacityBytes() const;
   uint64_t TotalUsedBytes() const;
+  // Used bytes summed over serving bricks only (the balancers' view of fleet
+  // utilization); TotalUsedBytes also counts draining/offline bricks.
+  uint64_t TotalServingUsedBytes() const;
   // Used bytes aggregated per serving storage node.
   std::vector<double> PerNodeUsedBytes() const;
   // Disk utilization (used/capacity) per serving storage node — the metric
@@ -228,6 +234,9 @@ class DfsCluster : public DfsInterface {
 
   // Replica index: chunks with a replica on `brick`.
   std::vector<std::pair<FileId, uint32_t>> ChunksOnBrick(BrickId brick) const;
+  // Allocation-free view of the same index; the reference stays valid until
+  // a replica is added to or removed from `brick`.
+  const std::set<std::pair<FileId, uint32_t>>& ChunksOnBrickRef(BrickId brick) const;
 
   // ---- fault-effect mutators (used only by src/faults) ----
   void InjectCpuLoad(NodeId node, double cpu_seconds);
@@ -294,6 +303,20 @@ class DfsCluster : public DfsInterface {
   // Runs OnTopologyChangedInternal + coverage + fault hooks.
   void NotifyTopologyChanged();
 
+  // ---- incremental load accounting (DESIGN.md §10) ----
+  // Every byte-level mutation of a brick goes through these two so the
+  // running aggregates (per-node used/capacity, fleet totals, imbalance)
+  // stay exact without per-op rescans. Release clamps at zero, matching the
+  // `used -= min(used, bytes)` idiom the scattered call sites used.
+  void AccreteBrickBytes(Brick* brick, uint64_t bytes);
+  void ReleaseBrickBytes(Brick* brick, uint64_t bytes);
+  // Drops the whole index; the next read rebuilds it from the ground-truth
+  // maps. Only the topology reset uses this — steady-state structural
+  // mutations go through the targeted On*() updates below, which are O(1)
+  // (or O(bricks-of-one-node)), because dead node entries accumulate in the
+  // node maps and a full rebuild is O(all nodes ever created).
+  void InvalidateLoadIndex();
+
   ClusterConfig config_;
 
  private:
@@ -348,6 +371,28 @@ class DfsCluster : public DfsInterface {
   void RecordOpCoverage(const Operation& op, const OpResult& result);
   // 1..10: how many branches a state tuple unlocks at the current imbalance.
   int ImbalanceMultiplicity() const;
+
+  // ---- load-index internals ----
+  // Rebuilds every aggregate from the ground-truth brick/node maps. Called
+  // lazily (EnsureLoadIndex) after a topology reset; all steady-state
+  // mutations update the aggregates in place and never trigger a rebuild.
+  void RebuildLoadIndex() const;
+  void EnsureLoadIndex() const { if (load_index_dirty_) RebuildLoadIndex(); }
+  // Applies the used-bytes delta of one brick (old value -> current value)
+  // to the aggregates; no-op while the index is dirty (the rebuild wins).
+  void ApplyUsedBytesDelta(const Brick& brick, uint64_t old_used);
+  // Targeted structural updates. Each is a no-op (beyond the epoch bump)
+  // while the index is dirty; the eventual rebuild reads ground truth.
+  void OnStorageNodeAdded(NodeId id);
+  void OnBrickAdded(const Brick& brick);
+  // The node stopped serving (crashed or removed); its online bricks leave
+  // the fleet aggregates but stay in the per-node ones (SampleLoad reports
+  // crashed nodes' still-online bricks).
+  void OnStorageNodeUnserving(NodeId id);
+  // Called after a brick's online flag flipped to false.
+  void OnBrickOffline(const Brick& brick);
+  // Called after a brick's capacity changed while online.
+  void OnBrickCapacityChanged(const Brick& brick, uint64_t old_capacity);
   // Anti-entropy: serving metadata replicas catch up to the namespace epoch
   // (unless a fault stalls them).
   void SyncMetadataReplicas();
@@ -388,6 +433,39 @@ class DfsCluster : public DfsInterface {
   FaultHooks* hooks_ = nullptr;
   CoverageRecorder* cov_ = nullptr;
   EventLog* telemetry_ = nullptr;
+
+  // ---- incremental load accounting state ----
+  // Integer running sums; every derived double (utilization fractions, the
+  // imbalance spread) divides the same integers a from-scratch walk would
+  // sum, so cached reads are bit-identical to recomputation.
+  struct NodeLoadAgg {
+    uint64_t used_online = 0;  // bytes on this node's online bricks
+    uint64_t cap_online = 0;   // capacity of this node's online bricks
+    uint64_t used_all = 0;     // bytes on all of this node's bricks
+    bool serving = false;      // node online && !crashed
+  };
+  mutable bool load_index_dirty_ = true;
+  // Bumped on every load-affecting mutation; memoized reads key off it.
+  mutable uint64_t load_epoch_ = 0;
+  mutable std::vector<BrickId> serving_bricks_;        // bricks_ map order
+  mutable std::vector<NodeId> serving_storage_nodes_;  // storage_nodes_ order
+  mutable std::map<NodeId, NodeLoadAgg> node_agg_;     // every storage node
+  mutable uint64_t fleet_used_ = 0;      // over serving bricks
+  mutable uint64_t fleet_cap_ = 0;       // over serving bricks
+  mutable uint64_t fleet_overflow_ = 0;  // sum of max(0, used-cap), serving
+  mutable uint64_t total_used_all_ = 0;  // over every brick
+  mutable uint64_t imbalance_epoch_ = UINT64_MAX;  // load_epoch_ of the memo
+  mutable double imbalance_memo_ = 0.0;
+  // Serving metadata nodes, maintained at the (rare) membership changes so
+  // per-op request routing / anti-entropy need not scan the ever-growing
+  // meta_nodes_ map (removed nodes stay in it as tombstones).
+  std::vector<NodeId> serving_meta_nodes_;
+  // Online-flag bookkeeping so the per-op drained-brick GC can skip its
+  // whole-map scan when nothing is offline (the common case).
+  int offline_bricks_ = 0;
+  // Running view of the last-8-op class window (coverage feature).
+  uint32_t class_counts_[3] = {0, 0, 0};
+  uint8_t recent_class_mask_ = 0;
 };
 
 }  // namespace themis

@@ -87,13 +87,8 @@ MigrationPlan CephLikeCluster::BuildRebalancePlan() {
   if (serving.size() < 2) {
     return {};
   }
-  uint64_t total_used = 0;
-  uint64_t total_capacity = 0;
-  for (BrickId id : serving) {
-    const Brick* brick = FindBrick(id);
-    total_used += brick->used_bytes;
-    total_capacity += brick->capacity_bytes;
-  }
+  uint64_t total_used = TotalServingUsedBytes();
+  uint64_t total_capacity = TotalCapacityBytes();
   if (total_capacity == 0) {
     return {};
   }

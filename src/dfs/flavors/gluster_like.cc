@@ -80,7 +80,7 @@ std::vector<BrickId> GlusterLikeCluster::PlaceChunk(const std::string& path,
         ++live_linkfiles_;
         Brick* hashed = FindBrick(primary);
         hashed->linkfiles += 1;
-        hashed->used_bytes += kLinkfileBytes;
+        AccreteBrickBytes(hashed, kLinkfileBytes);
       }
       if (static_cast<int>(chosen.size()) >= config_.replication) {
         break;
@@ -105,7 +105,7 @@ void GlusterLikeCluster::OnFileRenamed(FileId file, const std::string& from,
     if (brick != nullptr) {
       ++live_linkfiles_;
       brick->linkfiles += 1;
-      brick->used_bytes += kLinkfileBytes;
+      AccreteBrickBytes(brick, kLinkfileBytes);
     }
   }
 }
@@ -121,13 +121,8 @@ MigrationPlan GlusterLikeCluster::BuildRebalancePlan() {
   if (layout_.empty()) {
     return plan;
   }
-  uint64_t total_used = 0;
-  uint64_t total_capacity = 0;
-  for (BrickId id : ServingBricks()) {
-    const Brick* brick = FindBrick(id);
-    total_used += brick->used_bytes;
-    total_capacity += brick->capacity_bytes;
-  }
+  uint64_t total_used = TotalServingUsedBytes();
+  uint64_t total_capacity = TotalCapacityBytes();
   double fleet = total_capacity == 0 ? 0.0
                                      : static_cast<double>(total_used) /
                                            static_cast<double>(total_capacity);
@@ -210,7 +205,7 @@ void GlusterLikeCluster::OnRebalanceRoundDone() {
     if (brick.linkfiles > 0) {
       Brick* mutable_brick = FindBrick(id);
       uint64_t reclaimed = static_cast<uint64_t>(mutable_brick->linkfiles) * kLinkfileBytes;
-      mutable_brick->used_bytes -= std::min(mutable_brick->used_bytes, reclaimed);
+      ReleaseBrickBytes(mutable_brick, reclaimed);
       live_linkfiles_ -= std::min(live_linkfiles_, mutable_brick->linkfiles);
       mutable_brick->linkfiles = 0;
     }

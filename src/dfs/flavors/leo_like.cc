@@ -90,13 +90,8 @@ MigrationPlan LeoLikeCluster::BuildRebalancePlan() {
   if (ring_.target_count() == 0) {
     return plan;
   }
-  uint64_t total_used = 0;
-  uint64_t total_capacity = 0;
-  for (BrickId id : ServingBricks()) {
-    const Brick* brick = FindBrick(id);
-    total_used += brick->used_bytes;
-    total_capacity += brick->capacity_bytes;
-  }
+  uint64_t total_used = TotalServingUsedBytes();
+  uint64_t total_capacity = TotalCapacityBytes();
   double fleet = total_capacity == 0 ? 0.0
                                      : static_cast<double>(total_used) /
                                            static_cast<double>(total_capacity);

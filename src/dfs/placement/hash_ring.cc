@@ -10,11 +10,13 @@ HashRing::HashRing(int vnodes_per_target)
     : vnodes_(vnodes_per_target > 0 ? vnodes_per_target : 1) {}
 
 void HashRing::AddTarget(BrickId target, double weight) {
-  if (!targets_.insert(target).second) {
+  if (positions_.count(target) != 0) {
     return;
   }
   int vnodes = static_cast<int>(static_cast<double>(vnodes_) * weight);
   vnodes = std::clamp(vnodes, 4, 4 * vnodes_);
+  std::vector<uint64_t>& planted = positions_[target];
+  planted.reserve(static_cast<size_t>(vnodes));
   for (int v = 0; v < vnodes; ++v) {
     uint64_t pos = HashCombine(Mix64(target + 0x9e37ULL), static_cast<uint64_t>(v));
     // Resolve (vanishingly rare) collisions by probing.
@@ -22,33 +24,26 @@ void HashRing::AddTarget(BrickId target, double weight) {
       pos = Mix64(pos);
     }
     ring_[pos] = target;
+    planted.push_back(pos);
   }
 }
 
 void HashRing::RemoveTarget(BrickId target) {
-  if (targets_.erase(target) == 0) {
+  auto it = positions_.find(target);
+  if (it == positions_.end()) {
     return;
   }
-  for (auto it = ring_.begin(); it != ring_.end();) {
-    if (it->second == target) {
-      it = ring_.erase(it);
-    } else {
-      ++it;
-    }
+  for (uint64_t pos : it->second) {
+    ring_.erase(pos);
   }
+  positions_.erase(it);
 }
 
-bool HashRing::HasTarget(BrickId target) const { return targets_.count(target) != 0; }
+bool HashRing::HasTarget(BrickId target) const { return positions_.count(target) != 0; }
 
 int HashRing::VnodeCount(BrickId target) const {
-  int count = 0;
-  for (const auto& [pos, brick] : ring_) {
-    (void)pos;
-    if (brick == target) {
-      ++count;
-    }
-  }
-  return count;
+  auto it = positions_.find(target);
+  return it == positions_.end() ? 0 : static_cast<int>(it->second.size());
 }
 
 std::vector<BrickId> HashRing::Locate(uint64_t key_hash, int replicas) const {
@@ -56,7 +51,7 @@ std::vector<BrickId> HashRing::Locate(uint64_t key_hash, int replicas) const {
   if (ring_.empty() || replicas <= 0) {
     return out;
   }
-  size_t want = std::min(static_cast<size_t>(replicas), targets_.size());
+  size_t want = std::min(static_cast<size_t>(replicas), positions_.size());
   auto it = ring_.lower_bound(key_hash);
   size_t steps = 0;
   while (out.size() < want && steps < 2 * ring_.size()) {
@@ -81,12 +76,26 @@ std::vector<BrickId> HashRing::Locate(uint64_t key_hash, int replicas) const {
 }
 
 BrickId HashRing::Primary(uint64_t key_hash) const {
-  std::vector<BrickId> located = Locate(key_hash, 1);
-  return located.empty() ? kInvalidBrick : located.front();
+  // Non-allocating fast path for the placement hot loop: the first clockwise
+  // entry is Locate(key, 1) without materializing a vector.
+  if (ring_.empty()) {
+    return kInvalidBrick;
+  }
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
 }
 
 std::vector<BrickId> HashRing::Targets() const {
-  return std::vector<BrickId>(targets_.begin(), targets_.end());
+  std::vector<BrickId> out;
+  out.reserve(positions_.size());
+  for (const auto& [target, planted] : positions_) {
+    (void)planted;
+    out.push_back(target);
+  }
+  return out;
 }
 
 }  // namespace themis

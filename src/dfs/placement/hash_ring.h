@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "src/dfs/types.h"
@@ -29,7 +28,7 @@ class HashRing {
   // Virtual nodes currently planted for a target (0 if absent).
   int VnodeCount(BrickId target) const;
   bool HasTarget(BrickId target) const;
-  size_t target_count() const { return targets_.size(); }
+  size_t target_count() const { return positions_.size(); }
 
   // First `replicas` distinct targets clockwise from hash(key). Returns fewer
   // if the ring has fewer targets. Empty if the ring is empty.
@@ -43,7 +42,9 @@ class HashRing {
  private:
   int vnodes_;
   std::map<uint64_t, BrickId> ring_;  // position -> target
-  std::set<BrickId> targets_;
+  // Per-target vnode positions, so RemoveTarget erases its own entries in
+  // O(v log n) and VnodeCount is a lookup instead of a full-ring scan.
+  std::map<BrickId, std::vector<uint64_t>> positions_;
 };
 
 }  // namespace themis
