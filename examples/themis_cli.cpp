@@ -19,6 +19,13 @@
 //   --telemetry-out=PATH  write the campaign event stream (JSONL) to PATH;
 //                   event lines are byte-identical for every --jobs value
 //   --metrics-summary     print the merged metrics registry table at the end
+//   --checkpoint-dir=DIR  snapshot campaign state into DIR (DESIGN.md §11)
+//   --checkpoint-every-ops N  mid-campaign snapshot cadence in executed ops
+//                   (0 = only the final snapshot); requires --checkpoint-dir
+//   --resume        continue from the newest valid snapshot in DIR; a
+//                   resumed campaign is bit-identical to an uninterrupted one
+//   --summary-json=PATH   write the deterministic per-job summary (digests,
+//                   result counters, no wall-clock fields) to PATH
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +54,8 @@ int Usage() {
                "             [--strategy themis|themis-|fixreq|fixconf|alternate|\n"
                "              concurrent] [--threshold T] [--historical] [--healthy]\n"
                "             [--logs] [--telemetry-out=PATH] [--metrics-summary]\n"
+               "             [--checkpoint-dir=DIR] [--checkpoint-every-ops N]\n"
+               "             [--resume] [--summary-json=PATH]\n"
                "  themis_cli replay <hdfs|ceph|gluster|leo> <logfile> [--repeat N] [--bugs]\n"
                "          (--bugs re-injects the Table 2 faults: reproduction against\n"
                "           the buggy system, as in the paper's replay step)\n");
@@ -106,6 +115,10 @@ int RunFuzz(int argc, char** argv) {
   bool print_logs = false;
   bool metrics_summary = false;
   std::string telemetry_out;
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every_ops = 0;
+  bool resume = false;
+  std::string summary_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
       matrix.base.budget = Hours(std::atoi(argv[++i]));
@@ -133,9 +146,27 @@ int RunFuzz(int argc, char** argv) {
       telemetry_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
       metrics_summary = true;
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      checkpoint_dir = argv[i] + 17;
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every-ops") == 0 && i + 1 < argc) {
+      checkpoint_every_ops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--checkpoint-every-ops=", 23) == 0) {
+      checkpoint_every_ops = std::strtoull(argv[i] + 23, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strncmp(argv[i], "--summary-json=", 15) == 0) {
+      summary_json = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--summary-json") == 0 && i + 1 < argc) {
+      summary_json = argv[++i];
     } else {
       return Usage();
     }
+  }
+  if (checkpoint_dir.empty() && (checkpoint_every_ops > 0 || resume)) {
+    std::fprintf(stderr, "--checkpoint-every-ops/--resume require --checkpoint-dir\n");
+    return 2;
   }
   matrix.strategies = {strategy};
   if (matrix.seeds < 1) {
@@ -147,6 +178,10 @@ int RunFuzz(int argc, char** argv) {
   RunnerOptions options;
   options.jobs = jobs;
   options.telemetry_out = telemetry_out;
+  options.checkpoint_dir = checkpoint_dir;
+  options.checkpoint_every_ops = checkpoint_every_ops;
+  options.resume = resume;
+  options.summary_json = summary_json;
   MatrixResult result = CampaignRunner(options).Run(matrix);
 
   std::printf("\n=== %s on %s (%lld virtual hours, t=%.0f%%, %d campaign%s on "
@@ -159,7 +194,7 @@ int RunFuzz(int argc, char** argv) {
 
   bool any_ok = false;
   TextTable jobs_table({"Seed rep", "Test cases", "Ops", "Coverage", "Distinct",
-                        "FPs", "Wall (s)"});
+                        "FPs", "Digest", "Wall (s)"});
   for (const JobResult& job : result.jobs) {
     if (!job.status.ok()) {
       std::fprintf(stderr, "campaign %d failed: %s\n", job.job.repetition,
@@ -173,6 +208,8 @@ int RunFuzz(int argc, char** argv) {
                        std::to_string(job.result.final_coverage),
                        std::to_string(job.result.DistinctTruePositives()),
                        std::to_string(job.result.false_positives),
+                       Sprintf("%016llx", static_cast<unsigned long long>(
+                                              job.result.Digest())),
                        Sprintf("%.2f", job.wall_seconds)});
   }
   if (!any_ok) {

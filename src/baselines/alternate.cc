@@ -66,6 +66,22 @@ void AlternateStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) 
 }
 
 
+void AlternateStrategy::SaveState(SnapshotWriter& writer) const {
+  request_pool_.SaveState(writer);
+  writer.I64(stale_iterations_);
+  writer.Bool(emit_config_next_);
+  writer.I64(config_epochs_);
+}
+
+Status AlternateStrategy::RestoreState(SnapshotReader& reader) {
+  Status status = request_pool_.RestoreState(reader);
+  if (!status.ok()) return status;
+  stale_iterations_ = static_cast<int>(reader.I64());
+  emit_config_next_ = reader.Bool();
+  config_epochs_ = static_cast<int>(reader.I64());
+  return reader.status();
+}
+
 THEMIS_REGISTER_STRATEGY("Alternate", [](InputModel& model, Rng& rng,
                                          const StrategyOptions& options)
                                           -> std::unique_ptr<Strategy> {

@@ -24,6 +24,8 @@ class AlternateStrategy : public Strategy {
   std::string_view name() const override { return "Alternate"; }
   OpSeq Next() override;
   void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) override;
+  void SaveState(SnapshotWriter& writer) const override;
+  Status RestoreState(SnapshotReader& reader) override;
 
   int config_epochs() const { return config_epochs_; }
 

@@ -54,6 +54,18 @@ void FixConfStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
 }
 
 
+void FixConfStrategy::SaveState(SnapshotWriter& writer) const {
+  request_pool_.SaveState(writer);
+  writer.Bool(prelude_pending_);
+}
+
+Status FixConfStrategy::RestoreState(SnapshotReader& reader) {
+  Status status = request_pool_.RestoreState(reader);
+  if (!status.ok()) return status;
+  prelude_pending_ = reader.Bool();
+  return reader.status();
+}
+
 THEMIS_REGISTER_STRATEGY("Fix_conf", [](InputModel& model, Rng& rng,
                                         const StrategyOptions& options)
                                          -> std::unique_ptr<Strategy> {

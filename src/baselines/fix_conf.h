@@ -19,6 +19,8 @@ class FixConfStrategy : public Strategy {
   std::string_view name() const override { return "Fix_conf"; }
   OpSeq Next() override;
   void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) override;
+  void SaveState(SnapshotWriter& writer) const override;
+  Status RestoreState(SnapshotReader& reader) override;
 
  private:
   OpSeq RequestSeq();

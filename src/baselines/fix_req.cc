@@ -79,6 +79,18 @@ void FixReqStrategy::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
 }
 
 
+void FixReqStrategy::SaveState(SnapshotWriter& writer) const {
+  config_pool_.SaveState(writer);
+  SaveOpSeq(writer, last_config_seq_);
+}
+
+Status FixReqStrategy::RestoreState(SnapshotReader& reader) {
+  Status status = config_pool_.RestoreState(reader);
+  if (!status.ok()) return status;
+  RestoreOpSeq(reader, &last_config_seq_);
+  return reader.status();
+}
+
 THEMIS_REGISTER_STRATEGY("Fix_req", [](InputModel& model, Rng& rng,
                                        const StrategyOptions& options)
                                         -> std::unique_ptr<Strategy> {

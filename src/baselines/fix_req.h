@@ -22,6 +22,8 @@ class FixReqStrategy : public Strategy {
   std::string_view name() const override { return "Fix_req"; }
   OpSeq Next() override;
   void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) override;
+  void SaveState(SnapshotWriter& writer) const override;
+  Status RestoreState(SnapshotReader& reader) override;
 
  private:
   OpSeq FixedRequests(Rng& rng);

@@ -112,6 +112,19 @@ size_t Rng::PickWeighted(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xa02bdbf7bb3c0a7ULL); }
 
+void Rng::SaveState(SnapshotWriter& writer) const {
+  for (uint64_t word : s_) writer.U64(word);
+  writer.Bool(have_gaussian_);
+  writer.F64(spare_gaussian_);
+}
+
+Status Rng::RestoreState(SnapshotReader& reader) {
+  for (uint64_t& word : s_) word = reader.U64();
+  have_gaussian_ = reader.Bool();
+  spare_gaussian_ = reader.F64();
+  return reader.status();
+}
+
 uint64_t Rng::SplitSeed(uint64_t root_seed, uint64_t stream) {
   // Double splitmix64 pass over the (root, stream) pair. A single xor of the
   // raw inputs would make streams of nearby roots collide; mixing the stream

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/snapshot_io.h"
+
 namespace themis {
 
 // splitmix64 step; also useful as a cheap mixing/hash function.
@@ -66,6 +68,12 @@ class Rng {
   static Rng Split(uint64_t root_seed, uint64_t stream) {
     return Rng(SplitSeed(root_seed, stream));
   }
+
+  // Checkpointing (DESIGN.md §11): the full generator state — the xoshiro
+  // word vector plus the Box-Muller spare — so a restored stream continues
+  // exactly where the saved one stopped.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
 
  private:
   uint64_t s_[4];

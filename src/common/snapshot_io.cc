@@ -1,0 +1,105 @@
+#include "src/common/snapshot_io.h"
+
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace themis {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void SnapshotWriter::U32(uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void SnapshotWriter::U64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void SnapshotWriter::Str(std::string_view value) {
+  U64(value.size());
+  buf_.append(value.data(), value.size());
+}
+
+const char* SnapshotReader::Take(size_t n) {
+  if (!ok()) return nullptr;
+  if (n > data_.size() - pos_) {
+    Fail(Sprintf("need %zu bytes, have %zu (truncated snapshot)", n,
+                 data_.size() - pos_));
+    return nullptr;
+  }
+  const char* out = data_.data() + pos_;
+  pos_ += n;
+  return out;
+}
+
+uint8_t SnapshotReader::U8() {
+  const char* p = Take(1);
+  return p == nullptr ? 0 : static_cast<uint8_t>(*p);
+}
+
+uint32_t SnapshotReader::U32() {
+  const char* p = Take(4);
+  if (p == nullptr) return 0;
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t SnapshotReader::U64() {
+  const char* p = Take(8);
+  if (p == nullptr) return 0;
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+std::string SnapshotReader::Str() {
+  uint64_t len = U64();
+  if (ok() && len > data_.size() - pos_) {
+    Fail(Sprintf("string length %llu exceeds remaining %zu bytes",
+                 static_cast<unsigned long long>(len), data_.size() - pos_));
+  }
+  const char* p = Take(static_cast<size_t>(len));
+  return p == nullptr ? std::string() : std::string(p, len);
+}
+
+uint64_t SnapshotReader::Count(size_t min_elem_bytes) {
+  uint64_t count = U64();
+  if (!ok()) return 0;
+  size_t min_bytes = min_elem_bytes == 0 ? 1 : min_elem_bytes;
+  if (count > remaining() / min_bytes) {
+    Fail(Sprintf("element count %llu cannot fit in remaining %zu bytes",
+                 static_cast<unsigned long long>(count), remaining()));
+    return 0;
+  }
+  return count;
+}
+
+void SnapshotReader::Fail(std::string message) {
+  if (!error_.empty()) return;
+  error_ = Sprintf("snapshot read failed at byte %zu: %s", pos_,
+                   message.c_str());
+}
+
+Status SnapshotReader::status() const {
+  if (ok()) return Status::Ok();
+  return Status::DataLoss(error_);
+}
+
+}  // namespace themis

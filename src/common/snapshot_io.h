@@ -1,0 +1,88 @@
+// Binary snapshot serialization substrate (DESIGN.md §11).
+//
+// SnapshotWriter/SnapshotReader implement a little-endian, fixed-width,
+// length-prefixed encoding used by the campaign checkpoint format. The
+// reader is bounds-checked with a sticky error: any out-of-range read fails
+// the whole reader (subsequent reads return zero values) and status()
+// reports the first failure with its byte offset, so deserialization code
+// can read a whole record linearly and check once at the end — a truncated
+// or bit-flipped snapshot can never crash or silently half-load.
+//
+// The encoding is deliberately dumb: no varints, no tags, no reflection.
+// Every field is written and read in one fixed order; the format version in
+// the snapshot header (src/harness/snapshot.h) is the only schema evolution
+// mechanism.
+
+#ifndef SRC_COMMON_SNAPSHOT_IO_H_
+#define SRC_COMMON_SNAPSHOT_IO_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace themis {
+
+// FNV-1a 64-bit checksum over a byte range (the snapshot payload digest).
+uint64_t Fnv1a64(std::string_view data);
+
+class SnapshotWriter {
+ public:
+  void U8(uint8_t value) { buf_.push_back(static_cast<char>(value)); }
+  void U32(uint32_t value);
+  void U64(uint64_t value);
+  void I64(int64_t value) { U64(static_cast<uint64_t>(value)); }
+  void Bool(bool value) { U8(value ? 1 : 0); }
+  void F64(double value) { U64(std::bit_cast<uint64_t>(value)); }
+  void Str(std::string_view value);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  bool Bool() { return U8() != 0; }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str();
+
+  // Reads an element count for a container whose elements occupy at least
+  // `min_elem_bytes` each, and fails unless that many elements can still be
+  // present in the remaining bytes — so corrupt counts can never drive a
+  // multi-gigabyte reserve() or an unbounded loop.
+  uint64_t Count(size_t min_elem_bytes);
+
+  // Marks the reader failed with a semantic (non-bounds) error, e.g. a field
+  // value that cannot be valid. First failure wins.
+  void Fail(std::string message);
+
+  bool ok() const { return error_.empty(); }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  // Ok, or the first failure ("snapshot read failed at byte N: ...").
+  Status status() const;
+
+ private:
+  // Takes `n` bytes or fails; returns nullptr on failure.
+  const char* Take(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_COMMON_SNAPSHOT_IO_H_

@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,        // a bug inside the system under test surfaced as an error
+  kDataLoss,        // persisted state (e.g. a snapshot) is corrupt or truncated
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

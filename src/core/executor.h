@@ -73,6 +73,23 @@ class TestCaseExecutor {
   int confirmed_failures() const { return confirmed_failures_; }
   int candidates_raised() const { return candidates_raised_; }
 
+  // Checkpointing (DESIGN.md §11): the running counters and the previous
+  // variance score (the baseline the next outcome's gain is computed from).
+  // All referenced components are restored separately.
+  void SaveState(SnapshotWriter& writer) const {
+    writer.F64(last_score_);
+    writer.U64(total_ops_);
+    writer.I64(confirmed_failures_);
+    writer.I64(candidates_raised_);
+  }
+  Status RestoreState(SnapshotReader& reader) {
+    last_score_ = reader.F64();
+    total_ops_ = reader.U64();
+    confirmed_failures_ = static_cast<int>(reader.I64());
+    candidates_raised_ = static_cast<int>(reader.I64());
+    return reader.status();
+  }
+
  private:
   // Metadata-only probe burst used by the post-rebalance re-check.
   static constexpr int kProbeOps = 64;

@@ -115,6 +115,26 @@ void ThemisFuzzer::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
 }
 
 
+void ThemisFuzzer::SaveState(SnapshotWriter& writer) const {
+  pool_.SaveState(writer);
+  writer.I64(initial_remaining_);
+  SaveOpSeq(writer, climb_seq_);
+  writer.Bool(climbing_);
+  writer.I64(climb_failures_);
+  writer.I64(climb_length_);
+}
+
+Status ThemisFuzzer::RestoreState(SnapshotReader& reader) {
+  Status status = pool_.RestoreState(reader);
+  if (!status.ok()) return status;
+  initial_remaining_ = static_cast<int>(reader.I64());
+  RestoreOpSeq(reader, &climb_seq_);
+  climbing_ = reader.Bool();
+  climb_failures_ = static_cast<int>(reader.I64());
+  climb_length_ = static_cast<int>(reader.I64());
+  return reader.status();
+}
+
 // "Themis" is the full variance-guided fuzzer; the options control the
 // ablation knobs so registry clients can build Themis variants too.
 THEMIS_REGISTER_STRATEGY("Themis", [](InputModel& model, Rng& rng,

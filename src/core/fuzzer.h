@@ -36,6 +36,8 @@ class ThemisFuzzer : public Strategy {
   std::string_view name() const override { return "Themis"; }
   OpSeq Next() override;
   void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) override;
+  void SaveState(SnapshotWriter& writer) const override;
+  Status RestoreState(SnapshotReader& reader) override;
 
   const SeedPool& pool() const { return pool_; }
   OpSeqGenerator& generator() { return generator_; }

@@ -164,6 +164,61 @@ uint64_t InputModel::GenerateSize(Rng& rng) const {
   return static_cast<uint64_t>(std::exp(lo + rng.NextDouble() * (hi - lo)));
 }
 
+namespace {
+
+void SaveStringVec(SnapshotWriter& writer, const std::vector<std::string>& v) {
+  writer.U64(v.size());
+  for (const std::string& s : v) writer.Str(s);
+}
+
+void RestoreStringVec(SnapshotReader& reader, std::vector<std::string>* v) {
+  uint64_t count = reader.Count(8);
+  v->clear();
+  v->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    v->push_back(reader.Str());
+  }
+}
+
+void SaveIdVec(SnapshotWriter& writer, const std::vector<uint32_t>& v) {
+  writer.U64(v.size());
+  for (uint32_t id : v) writer.U32(id);
+}
+
+void RestoreIdVec(SnapshotReader& reader, std::vector<uint32_t>* v) {
+  uint64_t count = reader.Count(4);
+  v->clear();
+  v->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    v->push_back(reader.U32());
+  }
+}
+
+}  // namespace
+
+void InputModel::SaveState(SnapshotWriter& writer) const {
+  SaveStringVec(writer, files_);
+  SaveStringVec(writer, dirs_);
+  SaveIdVec(writer, list_mn_);
+  SaveIdVec(writer, list_s_);
+  SaveIdVec(writer, bricks_);
+  writer.U64(free_space_);
+  writer.U64(name_counter_);
+}
+
+Status InputModel::RestoreState(SnapshotReader& reader) {
+  RestoreStringVec(reader, &files_);
+  RestoreStringVec(reader, &dirs_);
+  RestoreIdVec(reader, &list_mn_);
+  RestoreIdVec(reader, &list_s_);
+  RestoreIdVec(reader, &bricks_);
+  free_space_ = reader.U64();
+  name_counter_ = reader.U64();
+  file_set_.clear();
+  file_set_.insert(files_.begin(), files_.end());
+  return reader.status();
+}
+
 uint64_t InputModel::GenerateCapacityDelta(Rng& rng) const {
   // Volume expansion/reduction sizes: 10 GiB .. 240 GiB, log-uniform.
   double lo = std::log(static_cast<double>(10 * kGiB));

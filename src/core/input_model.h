@@ -64,6 +64,11 @@ class InputModel {
   size_t dir_count() const { return dirs_.size(); }
   uint64_t free_space() const { return free_space_; }
 
+  // Checkpointing (DESIGN.md §11): every learned list plus the name counter;
+  // file_set_ is rebuilt from files_ on restore.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
+
  private:
   std::vector<std::string> files_;
   std::set<std::string> file_set_;

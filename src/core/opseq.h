@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/snapshot_io.h"
 #include "src/dfs/operation.h"
 
 namespace themis {
@@ -24,6 +25,13 @@ struct OpSeq {
   // One operation per line, timestamp-free (the reproduction-log format).
   std::string ToString() const;
 };
+
+// Checkpoint serializers (DESIGN.md §11). RestoreOperation/RestoreOpSeq
+// validate the operator tag; other operands are data, not invariants.
+void SaveOperation(SnapshotWriter& writer, const Operation& op);
+void RestoreOperation(SnapshotReader& reader, Operation* op);
+void SaveOpSeq(SnapshotWriter& writer, const OpSeq& seq);
+void RestoreOpSeq(SnapshotReader& reader, OpSeq* seq);
 
 }  // namespace themis
 

@@ -10,6 +10,7 @@
 
 #include <string_view>
 
+#include "src/common/snapshot_io.h"
 #include "src/core/executor.h"
 #include "src/core/opseq.h"
 
@@ -26,6 +27,16 @@ class Strategy {
 
   // Feedback from executing the test case returned by Next().
   virtual void OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) = 0;
+
+  // Checkpointing (DESIGN.md §11): strategies with schedule state (seed
+  // pools, climb episodes, alternation counters) override these; stateless
+  // strategies inherit the empty defaults. Save and Restore must agree on
+  // the byte layout within one strategy.
+  virtual void SaveState(SnapshotWriter& writer) const { (void)writer; }
+  virtual Status RestoreState(SnapshotReader& reader) {
+    (void)reader;
+    return Status::Ok();
+  }
 };
 
 }  // namespace themis

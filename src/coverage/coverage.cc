@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/rng.h"
+#include "src/common/strings.h"
 
 namespace themis {
 
@@ -44,6 +45,56 @@ size_t CoverageRecorder::HitState(CovModule module, uint64_t feature_hash,
     h = Mix64(h + 0x9e3779b97f4a7c15ULL);
   }
   return fresh;
+}
+
+namespace {
+
+void SaveBitmap(SnapshotWriter& writer, const std::vector<bool>& bits) {
+  writer.U64(bits.size());
+  uint8_t byte = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) byte |= static_cast<uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      writer.U8(byte);
+      byte = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) writer.U8(byte);
+}
+
+void RestoreBitmap(SnapshotReader& reader, std::vector<bool>* bits,
+                   const char* what) {
+  uint64_t size = reader.U64();
+  if (reader.ok() && size != bits->size()) {
+    reader.Fail(Sprintf("%s bitmap size %llu does not match recorder size %zu",
+                        what, static_cast<unsigned long long>(size),
+                        bits->size()));
+    return;
+  }
+  uint8_t byte = 0;
+  for (size_t i = 0; i < bits->size() && reader.ok(); ++i) {
+    if (i % 8 == 0) byte = reader.U8();
+    (*bits)[i] = (byte >> (i % 8)) & 1;
+  }
+}
+
+}  // namespace
+
+void CoverageRecorder::SaveState(SnapshotWriter& writer) const {
+  SaveBitmap(writer, bits_);
+  SaveBitmap(writer, static_bits_);
+  writer.U64(static_hits_);
+  writer.U64(virtual_hits_);
+  writer.U64(seed_);
+}
+
+Status CoverageRecorder::RestoreState(SnapshotReader& reader) {
+  RestoreBitmap(reader, &bits_, "virtual");
+  RestoreBitmap(reader, &static_bits_, "static");
+  static_hits_ = static_cast<size_t>(reader.U64());
+  virtual_hits_ = static_cast<size_t>(reader.U64());
+  seed_ = reader.U64();
+  return reader.status();
 }
 
 void CoverageRecorder::Reset() {

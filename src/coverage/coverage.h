@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/snapshot_io.h"
+
 namespace themis {
 
 // Coarse module tag for instrumentation sites. Values are stable; they feed
@@ -61,6 +63,12 @@ class CoverageRecorder {
   size_t virtual_space() const { return bits_.size(); }
 
   void Reset();
+
+  // Checkpointing (DESIGN.md §11): both bitmaps (packed 8 bits/byte), the
+  // hit counters, and the hash seed. Restore fails unless the saved bitmap
+  // sizes match this recorder's (i.e. same flavor branch space).
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
 
  private:
   std::vector<bool> bits_;          // virtual branch bitmap

@@ -1872,4 +1872,261 @@ void DfsCluster::RecordOpCoverage(const Operation& op, const OpResult& result) {
   cov_->HitState(CovModule::kRequest, h);
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing (DESIGN.md §11)
+
+namespace {
+
+void SaveLoadCounters(SnapshotWriter& writer, const NodeLoadCounters& load) {
+  writer.U64(load.requests);
+  writer.U64(load.read_ios);
+  writer.U64(load.write_ios);
+  writer.F64(load.cpu_seconds);
+}
+
+void RestoreLoadCounters(SnapshotReader& reader, NodeLoadCounters* load) {
+  load->requests = reader.U64();
+  load->read_ios = reader.U64();
+  load->write_ios = reader.U64();
+  load->cpu_seconds = reader.F64();
+}
+
+void SaveChunkMove(SnapshotWriter& writer, const ChunkMove& move) {
+  writer.U64(move.file);
+  writer.U32(move.chunk_index);
+  writer.U32(move.from);
+  writer.U32(move.to);
+  writer.U64(move.bytes);
+  writer.U8(static_cast<uint8_t>(move.reason));
+  writer.Bool(move.is_linkfile);
+  writer.Bool(move.hash_driven);
+}
+
+void RestoreChunkMove(SnapshotReader& reader, ChunkMove* move) {
+  move->file = reader.U64();
+  move->chunk_index = reader.U32();
+  move->from = reader.U32();
+  move->to = reader.U32();
+  move->bytes = reader.U64();
+  uint8_t reason = reader.U8();
+  if (reader.ok() && reason > static_cast<uint8_t>(MoveReason::kEvacuation)) {
+    reader.Fail(Sprintf("chunk move reason %u out of range", reason));
+    return;
+  }
+  move->reason = static_cast<MoveReason>(reason);
+  move->is_linkfile = reader.Bool();
+  move->hash_driven = reader.Bool();
+}
+
+}  // namespace
+
+void DfsCluster::SaveState(SnapshotWriter& writer) const {
+  writer.I64(clock_.now());
+  rng_.SaveState(writer);
+  tree_.SaveState(writer);
+
+  writer.U64(meta_nodes_.size());
+  for (const auto& [id, node] : meta_nodes_) {
+    writer.U32(id);
+    writer.Bool(node.online);
+    writer.Bool(node.crashed);
+    writer.U64(node.synced_epoch);
+    SaveLoadCounters(writer, node.load);
+  }
+  writer.U64(storage_nodes_.size());
+  for (const auto& [id, node] : storage_nodes_) {
+    writer.U32(id);
+    writer.Bool(node.online);
+    writer.Bool(node.crashed);
+    writer.U64(node.bricks.size());
+    for (BrickId brick : node.bricks) writer.U32(brick);
+    SaveLoadCounters(writer, node.load);
+  }
+  writer.U64(bricks_.size());
+  for (const auto& [id, brick] : bricks_) {
+    writer.U32(id);
+    writer.U32(brick.node);
+    writer.U64(brick.capacity_bytes);
+    writer.U64(brick.used_bytes);
+    writer.Bool(brick.online);
+    writer.U32(brick.linkfiles);
+  }
+  writer.U64(layouts_.size());
+  for (const auto& [file, layout] : layouts_) {
+    writer.U64(file);
+    writer.U64(layout.size);
+    writer.U64(layout.chunks.size());
+    for (const ChunkPlacement& chunk : layout.chunks) {
+      writer.U64(chunk.bytes);
+      writer.U64(chunk.replicas.size());
+      for (BrickId replica : chunk.replicas) writer.U32(replica);
+    }
+  }
+  writer.U64(recent_classes_.size());
+  for (uint8_t cls : recent_classes_) writer.U8(cls);
+  writer.U32(next_node_id_);
+  writer.U32(next_brick_id_);
+
+  writer.U64(move_queue_.size());
+  for (const ChunkMove& move : move_queue_) SaveChunkMove(writer, move);
+  writer.U64(current_move_done_bytes_);
+  writer.Bool(rebalance_active_);
+  writer.U64(current_round_moves_);
+  writer.I64(completed_rebalance_rounds_);
+  writer.U64(rebalance_triggers_);
+  writer.I64(last_balancer_check_);
+
+  writer.U64(total_ops_executed_);
+  writer.U64(lost_bytes_);
+  writer.U64(namespace_epoch_);
+  writer.U64(serving_meta_nodes_.size());
+  for (NodeId id : serving_meta_nodes_) writer.U32(id);
+
+  SaveFlavorState(writer);
+}
+
+Status DfsCluster::RestoreState(SnapshotReader& reader) {
+  // The clock only moves forward; a fresh cluster starts at 0, so a plain
+  // Reset + Advance lands exactly on the saved instant.
+  SimTime now = reader.I64();
+  if (reader.ok() && now < 0) {
+    reader.Fail("negative clock value");
+    return reader.status();
+  }
+  Status status = rng_.RestoreState(reader);
+  if (!status.ok()) return status;
+  status = tree_.RestoreState(reader);
+  if (!status.ok()) return status;
+
+  meta_nodes_.clear();
+  uint64_t meta_count = reader.Count(4 + 2 + 8 + 28);
+  for (uint64_t i = 0; i < meta_count && reader.ok(); ++i) {
+    MetaNode node;
+    node.id = reader.U32();
+    node.online = reader.Bool();
+    node.crashed = reader.Bool();
+    node.synced_epoch = reader.U64();
+    RestoreLoadCounters(reader, &node.load);
+    meta_nodes_[node.id] = node;
+  }
+  storage_nodes_.clear();
+  uint64_t storage_count = reader.Count(4 + 2 + 8 + 28);
+  for (uint64_t i = 0; i < storage_count && reader.ok(); ++i) {
+    StorageNode node;
+    node.id = reader.U32();
+    node.online = reader.Bool();
+    node.crashed = reader.Bool();
+    uint64_t brick_count = reader.Count(4);
+    node.bricks.reserve(static_cast<size_t>(brick_count));
+    for (uint64_t b = 0; b < brick_count && reader.ok(); ++b) {
+      node.bricks.push_back(reader.U32());
+    }
+    RestoreLoadCounters(reader, &node.load);
+    storage_nodes_[node.id] = node;
+  }
+  bricks_.clear();
+  offline_bricks_ = 0;
+  uint64_t brick_count = reader.Count(4 + 4 + 8 + 8 + 1 + 4);
+  for (uint64_t i = 0; i < brick_count && reader.ok(); ++i) {
+    Brick brick;
+    brick.id = reader.U32();
+    brick.node = reader.U32();
+    brick.capacity_bytes = reader.U64();
+    brick.used_bytes = reader.U64();
+    brick.online = reader.Bool();
+    brick.linkfiles = reader.U32();
+    if (!brick.online) ++offline_bricks_;
+    bricks_[brick.id] = brick;
+  }
+  layouts_.clear();
+  brick_chunks_.clear();
+  uint64_t layout_count = reader.Count(8 + 8 + 8);
+  for (uint64_t i = 0; i < layout_count && reader.ok(); ++i) {
+    FileId file = reader.U64();
+    FileLayout layout;
+    layout.size = reader.U64();
+    uint64_t chunk_count = reader.Count(8 + 8);
+    layout.chunks.resize(static_cast<size_t>(chunk_count));
+    for (ChunkPlacement& chunk : layout.chunks) {
+      chunk.bytes = reader.U64();
+      uint64_t replica_count = reader.Count(4);
+      chunk.replicas.reserve(static_cast<size_t>(replica_count));
+      for (uint64_t r = 0; r < replica_count && reader.ok(); ++r) {
+        BrickId replica = reader.U32();
+        if (reader.ok() && bricks_.count(replica) == 0) {
+          reader.Fail(Sprintf("chunk replica references unknown brick %u", replica));
+        }
+        chunk.replicas.push_back(replica);
+      }
+      if (!reader.ok()) break;
+    }
+    if (!reader.ok()) break;
+    // Rebuild the replica index as we go — it is derived, never serialized.
+    for (uint32_t c = 0; c < layout.chunks.size(); ++c) {
+      for (BrickId replica : layout.chunks[c].replicas) {
+        AddReplicaIndex(replica, file, c);
+      }
+    }
+    layouts_[file] = std::move(layout);
+  }
+  recent_classes_.clear();
+  class_counts_[0] = class_counts_[1] = class_counts_[2] = 0;
+  recent_class_mask_ = 0;
+  uint64_t class_count = reader.Count(1);
+  for (uint64_t i = 0; i < class_count && reader.ok(); ++i) {
+    uint8_t cls = reader.U8();
+    if (reader.ok() && cls > 2) {
+      reader.Fail(Sprintf("operation class %u out of range", cls));
+      break;
+    }
+    recent_classes_.push_back(cls);
+    ++class_counts_[cls];
+    recent_class_mask_ |= static_cast<uint8_t>(1u << cls);
+  }
+  next_node_id_ = reader.U32();
+  next_brick_id_ = reader.U32();
+
+  move_queue_.clear();
+  uint64_t move_count = reader.Count(8 + 4 + 4 + 4 + 8 + 1 + 2);
+  for (uint64_t i = 0; i < move_count && reader.ok(); ++i) {
+    ChunkMove move;
+    RestoreChunkMove(reader, &move);
+    move_queue_.push_back(move);
+  }
+  current_move_done_bytes_ = reader.U64();
+  rebalance_active_ = reader.Bool();
+  current_round_moves_ = reader.U64();
+  completed_rebalance_rounds_ = static_cast<int>(reader.I64());
+  rebalance_triggers_ = reader.U64();
+  last_balancer_check_ = reader.I64();
+
+  total_ops_executed_ = reader.U64();
+  lost_bytes_ = reader.U64();
+  namespace_epoch_ = reader.U64();
+  serving_meta_nodes_.clear();
+  uint64_t serving_meta_count = reader.Count(4);
+  for (uint64_t i = 0; i < serving_meta_count && reader.ok(); ++i) {
+    NodeId id = reader.U32();
+    if (reader.ok() && meta_nodes_.count(id) == 0) {
+      reader.Fail(Sprintf("serving meta node %u is not in the node map", id));
+      break;
+    }
+    serving_meta_nodes_.push_back(id);
+  }
+  if (!reader.ok()) return reader.status();
+
+  clock_.Reset();
+  clock_.Advance(now);
+  InvalidateLoadIndex();
+  // Recompute derived flavor structures against the restored topology, then
+  // let the flavor restore its persistent extras. This is deliberately
+  // OnTopologyChangedInternal() and not NotifyTopologyChanged(): the public
+  // notifier also fires coverage and fault hooks, which would corrupt the
+  // separately restored coverage bitmap and fault runtime.
+  OnTopologyChangedInternal();
+  status = RestoreFlavorState(reader);
+  if (!status.ok()) return status;
+  return reader.status();
+}
+
 }  // namespace themis

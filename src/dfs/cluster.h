@@ -254,7 +254,27 @@ class DfsCluster : public DfsInterface {
   VirtualClock& clock() { return clock_; }
   Rng& rng() { return rng_; }
 
+  // ---- checkpointing (DESIGN.md §11) ----
+  // Serializes the full mutable simulator state: clock, RNG, namespace,
+  // topology maps, layouts, migration queue, balancer/rebalance counters and
+  // the flavor's own state (via SaveFlavorState). Derived indexes (replica
+  // index, load aggregates, class-window counters) are rebuilt on restore,
+  // never serialized. Restore must be called on a freshly constructed
+  // cluster with the same ClusterConfig and flavor.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
+
  protected:
+  // Flavor extension of SaveState/RestoreState: persistent flavor state that
+  // cannot be recomputed from topology (Ceph upmaps, Leo ring weights,
+  // Gluster linkfile census). Purely derived flavor state (HDFS cluster map,
+  // Gluster DHT layout, CRUSH weights) is recomputed in RestoreFlavorState
+  // instead.
+  virtual void SaveFlavorState(SnapshotWriter& writer) const { (void)writer; }
+  virtual Status RestoreFlavorState(SnapshotReader& reader) {
+    (void)reader;
+    return Status::Ok();
+  }
   // ---- flavor extension points ----
 
   // Chooses replica bricks for one chunk of `path`. Must return serving

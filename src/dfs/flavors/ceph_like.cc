@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/rng.h"
+#include "src/common/strings.h"
 
 namespace themis {
 
@@ -121,6 +122,32 @@ MigrationPlan CephLikeCluster::BuildRebalancePlan() {
     }
   }
   return PlanLevelingByUsage(config_.native_threshold * 0.5);
+}
+
+void CephLikeCluster::SaveFlavorState(SnapshotWriter& writer) const {
+  writer.U64(crush_.upmaps().size());
+  for (const auto& [pg, target] : crush_.upmaps()) {
+    writer.U32(pg);
+    writer.U32(target);
+  }
+}
+
+Status CephLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
+  // Weights were already recomputed from the restored topology by the base
+  // restore's OnTopologyChangedInternal call; only the pins are history.
+  crush_.ClearAllUpmaps();
+  uint64_t count = reader.Count(4 + 4);
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    uint32_t pg = reader.U32();
+    BrickId target = reader.U32();
+    if (reader.ok() && !crush_.HasTarget(target)) {
+      reader.Fail(Sprintf("upmap pins pg %u to unknown crush target %u", pg,
+                          target));
+      break;
+    }
+    crush_.Upmap(pg, target);
+  }
+  return reader.status();
 }
 
 }  // namespace themis

@@ -27,6 +27,10 @@ class CephLikeCluster : public DfsCluster {
                                   uint64_t bytes) override;
   MigrationPlan BuildRebalancePlan() override;
   void OnTopologyChangedInternal() override;
+  // Checkpointing: upmap pins are balancer history; CRUSH weights are derived
+  // from capacity and recomputed by the base restore.
+  void SaveFlavorState(SnapshotWriter& writer) const override;
+  Status RestoreFlavorState(SnapshotReader& reader) override;
 
  private:
   uint32_t PgForObject(const std::string& path, uint32_t chunk_index) const;

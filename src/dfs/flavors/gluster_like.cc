@@ -212,4 +212,13 @@ void GlusterLikeCluster::OnRebalanceRoundDone() {
   }
 }
 
+void GlusterLikeCluster::SaveFlavorState(SnapshotWriter& writer) const {
+  writer.U32(live_linkfiles_);
+}
+
+Status GlusterLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
+  live_linkfiles_ = reader.U32();
+  return reader.status();
+}
+
 }  // namespace themis

@@ -33,6 +33,10 @@ class GlusterLikeCluster : public DfsCluster {
   void OnFileRenamed(FileId file, const std::string& from, const std::string& to) override;
   void OnRebalanceRoundDone() override;
   bool ChunkPinnedToBrick(FileId file, uint32_t chunk_index, BrickId brick) const override;
+  // Checkpointing: the linkfile census is history (survives fix-layout); the
+  // DHT layout itself is derived and recomputed by the base restore.
+  void SaveFlavorState(SnapshotWriter& writer) const override;
+  Status RestoreFlavorState(SnapshotReader& reader) override;
 
  private:
   // The brick after `primary` in layout order hosts the replica pair.

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/rng.h"
+#include "src/common/strings.h"
 
 namespace themis {
 
@@ -152,6 +153,33 @@ bool LeoLikeCluster::ChunkPinnedToBrick(FileId file, uint32_t chunk_index,
     return false;
   }
   return ring_.Primary(ObjectHash(path, chunk_index)) == brick;
+}
+
+void LeoLikeCluster::SaveFlavorState(SnapshotWriter& writer) const {
+  writer.U64(ring_weights_.size());
+  for (const auto& [id, weight] : ring_weights_) {
+    writer.U32(id);
+    writer.F64(weight);
+  }
+}
+
+Status LeoLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
+  // The planted weights carry hysteresis history, so the ring recomputed by
+  // the base restore is discarded and rebuilt from the saved plantings.
+  ring_ = HashRing(64);
+  ring_weights_.clear();
+  uint64_t count = reader.Count(4 + 8);
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    BrickId id = reader.U32();
+    double weight = reader.F64();
+    if (reader.ok() && FindBrick(id) == nullptr) {
+      reader.Fail(Sprintf("ring weight references unknown brick %u", id));
+      break;
+    }
+    ring_.AddTarget(id, weight);
+    ring_weights_[id] = weight;
+  }
+  return reader.status();
 }
 
 }  // namespace themis

@@ -29,6 +29,11 @@ class LeoLikeCluster : public DfsCluster {
   MigrationPlan BuildRebalancePlan() override;
   void OnTopologyChangedInternal() override;
   bool ChunkPinnedToBrick(FileId file, uint32_t chunk_index, BrickId brick) const override;
+  // Checkpointing: planted ring weights are history-dependent (the ±25%/−20%
+  // hysteresis in OnTopologyChangedInternal), so the ring is rebuilt from the
+  // saved weights, not recomputed from capacity.
+  void SaveFlavorState(SnapshotWriter& writer) const override;
+  Status RestoreFlavorState(SnapshotReader& reader) override;
 
  private:
   static uint64_t ObjectHash(const std::string& path, uint32_t chunk_index);

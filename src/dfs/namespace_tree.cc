@@ -202,4 +202,45 @@ std::string NamespaceTree::PathOf(FileId id) const {
   return it == id_to_path_.end() ? std::string() : it->second;
 }
 
+void NamespaceTree::SaveState(SnapshotWriter& writer) const {
+  writer.U64(entries_.size());
+  for (const auto& [path, entry] : entries_) {
+    writer.Str(path);
+    writer.Bool(entry.is_dir);
+    writer.U64(entry.file_id);
+    writer.U64(entry.size);
+  }
+  writer.U64(next_file_id_);
+}
+
+Status NamespaceTree::RestoreState(SnapshotReader& reader) {
+  uint64_t count = reader.Count(8 + 1 + 8 + 8);
+  entries_.clear();
+  id_to_path_.clear();
+  file_count_ = 0;
+  dir_count_ = 0;
+  total_bytes_ = 0;
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    std::string path = reader.Str();
+    NamespaceEntry entry;
+    entry.is_dir = reader.Bool();
+    entry.file_id = reader.U64();
+    entry.size = reader.U64();
+    if (!reader.ok()) break;
+    if (entry.is_dir) {
+      if (path != "/") ++dir_count_;
+    } else {
+      ++file_count_;
+      total_bytes_ += entry.size;
+      id_to_path_[entry.file_id] = path;
+    }
+    entries_[std::move(path)] = entry;
+  }
+  next_file_id_ = reader.U64();
+  if (reader.ok() && entries_.count("/") == 0) {
+    reader.Fail("namespace snapshot has no root directory entry");
+  }
+  return reader.status();
+}
+
 }  // namespace themis

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/snapshot_io.h"
 #include "src/common/status.h"
 #include "src/dfs/types.h"
 
@@ -57,6 +58,11 @@ class NamespaceTree {
   std::string PathOf(FileId id) const;
 
   void Clear();
+
+  // Checkpointing (DESIGN.md §11): the entry map and the id allocator;
+  // id_to_path_ and the counters are rebuilt on restore.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
 
  private:
   bool HasChildren(const std::string& dir_prefix) const;

@@ -43,6 +43,7 @@ class CrushMap {
   void ClearUpmap(uint32_t pg);
   void ClearAllUpmaps();
   size_t upmap_count() const { return upmaps_.size(); }
+  const std::map<uint32_t, BrickId>& upmaps() const { return upmaps_; }
 
   std::vector<BrickId> Targets() const;
 

@@ -500,4 +500,84 @@ std::vector<std::string> FaultInjector::EverTriggeredIds() const {
   return out;
 }
 
+void FaultInjector::SaveState(SnapshotWriter& writer) const {
+  writer.U64(faults_.size());
+  for (const FaultRuntime& fault : faults_) {
+    writer.Str(fault.spec.id);
+    writer.Bool(fault.active);
+    writer.I64(fault.triggered_at);
+    writer.I64(fault.trigger_count);
+    writer.U32(fault.victim_brick);
+    writer.U32(fault.victim_node);
+    writer.I64(fault.variance_streak);
+    writer.I64(fault.rounds_at_streak_start);
+    writer.U64(fault.satisfied_evals);
+  }
+  writer.U64(recent_ops_.size());
+  for (OpKind op : recent_ops_) writer.U8(static_cast<uint8_t>(op));
+  writer.U64(rounds_at_op_.size());
+  for (int rounds : rounds_at_op_) writer.I64(rounds);
+  writer.U64(imbalance_at_op_.size());
+  for (double imbalance : imbalance_at_op_) writer.F64(imbalance);
+  writer.U64(hot_touch_at_op_.size());
+  for (bool hot : hot_touch_at_op_) writer.Bool(hot);
+  rng_.SaveState(writer);
+}
+
+Status FaultInjector::RestoreState(SnapshotReader& reader) {
+  uint64_t count = reader.U64();
+  if (reader.ok() && count != faults_.size()) {
+    reader.Fail(Sprintf("snapshot has %llu faults but this campaign "
+                        "configures %zu (fault set mismatch)",
+                        static_cast<unsigned long long>(count),
+                        faults_.size()));
+  }
+  for (FaultRuntime& fault : faults_) {
+    if (!reader.ok()) break;
+    std::string id = reader.Str();
+    if (reader.ok() && id != fault.spec.id) {
+      reader.Fail(Sprintf("snapshot fault id \"%s\" does not match "
+                          "configured fault \"%s\"",
+                          id.c_str(), fault.spec.id.c_str()));
+      break;
+    }
+    fault.active = reader.Bool();
+    fault.triggered_at = reader.I64();
+    fault.trigger_count = static_cast<int>(reader.I64());
+    fault.victim_brick = reader.U32();
+    fault.victim_node = reader.U32();
+    fault.variance_streak = static_cast<int>(reader.I64());
+    fault.rounds_at_streak_start = static_cast<int>(reader.I64());
+    fault.satisfied_evals = reader.U64();
+  }
+  uint64_t ops = reader.Count(1);
+  recent_ops_.clear();
+  for (uint64_t i = 0; i < ops && reader.ok(); ++i) {
+    uint8_t op = reader.U8();
+    if (reader.ok() && op >= kOpKindCount) {
+      reader.Fail(Sprintf("history op kind %u out of range", op));
+      break;
+    }
+    recent_ops_.push_back(static_cast<OpKind>(op));
+  }
+  uint64_t rounds = reader.Count(8);
+  rounds_at_op_.clear();
+  for (uint64_t i = 0; i < rounds && reader.ok(); ++i) {
+    rounds_at_op_.push_back(static_cast<int>(reader.I64()));
+  }
+  uint64_t imbalances = reader.Count(8);
+  imbalance_at_op_.clear();
+  for (uint64_t i = 0; i < imbalances && reader.ok(); ++i) {
+    imbalance_at_op_.push_back(reader.F64());
+  }
+  uint64_t hots = reader.Count(1);
+  hot_touch_at_op_.clear();
+  for (uint64_t i = 0; i < hots && reader.ok(); ++i) {
+    hot_touch_at_op_.push_back(reader.Bool());
+  }
+  Status status = rng_.RestoreState(reader);
+  if (!status.ok()) return status;
+  return reader.status();
+}
+
 }  // namespace themis

@@ -63,6 +63,13 @@ class FaultInjector : public FaultHooks {
   // Ids of faults that have triggered at least once over the whole campaign.
   std::vector<std::string> EverTriggeredIds() const;
 
+  // Checkpointing (DESIGN.md §11): per-fault runtime (matched by spec id —
+  // restore fails descriptively if the configured fault set differs), the
+  // rolling execution history windows, and the injector's own RNG stream.
+  // The specs themselves are configuration, rebuilt from the campaign config.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
+
  private:
   void EvaluateTriggers(DfsCluster& dfs);
   void UpdateVarianceStreaks(const DfsCluster& dfs);

@@ -1,10 +1,13 @@
 #include "src/harness/campaign.h"
 
 #include <bit>
+#include <filesystem>
 
 #include "src/common/log.h"
+#include "src/common/strings.h"
 #include "src/core/fuzzer.h"
 #include "src/core/generator.h"
+#include "src/harness/snapshot.h"
 #include "src/monitor/states_monitor.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
@@ -112,6 +115,15 @@ Status CampaignConfig::Validate() const {
     return Status::InvalidArgument(
         "variance weights must be non-negative and sum to a positive value");
   }
+  if (checkpoint_dir.empty() &&
+      (checkpoint_every_ops > 0 || resume || halt_after_checkpoints > 0)) {
+    return Status::InvalidArgument(
+        "checkpoint_every_ops/resume/halt_after_checkpoints require a "
+        "checkpoint_dir");
+  }
+  if (checkpoint_keep < 1) {
+    return Status::InvalidArgument("checkpoint_keep must be at least 1");
+  }
   return Status::Ok();
 }
 
@@ -173,12 +185,147 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
     return strategy.status();
   }
 
-  // Initial data population.
-  OpSeqGenerator init_generator(model);
-  executor.SeedInitialData(init_generator, config_.initial_files);
-
   GroundTruthTally tally;
   SimTime next_coverage_sample = 0;
+  // Mid-campaign snapshot ordinal: continued across resumes so checkpoint
+  // file names never collide with snapshots from an earlier incarnation.
+  uint64_t checkpoints_written = 0;
+  // halt_after_checkpoints counts only checkpoints written by THIS process.
+  int checkpoints_this_process = 0;
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+
+  // The complete mid-campaign state, in one fixed order. Everything else
+  // that exists during a run is either derived (rebuilt inside the
+  // components' RestoreState) or deliberately not snapshotted (DESIGN.md
+  // §11): global metrics, trace spans, and the log stream carry wall-clock
+  // values and never feed back into the campaign.
+  auto save_mid_payload = [&]() {
+    SnapshotWriter writer;
+    WriteSnapshotIdentity(writer, result.strategy_name, config_);
+    writer.U64(checkpoints_written);
+    writer.I64(result.testcases);
+    writer.I64(next_coverage_sample);
+    writer.U64(result.reports.size());
+    for (const FailureReport& report : result.reports) {
+      SaveFailureReport(writer, report);
+    }
+    writer.U64(result.coverage_timeline.size());
+    for (const auto& [at, hits] : result.coverage_timeline) {
+      writer.I64(at);
+      writer.U64(hits);
+    }
+    SaveGroundTruthTally(writer, tally);
+    rng.SaveState(writer);
+    cluster->SaveState(writer);
+    coverage.SaveState(writer);
+    model.SaveState(writer);
+    monitor.SaveState(writer);
+    detector.SaveState(writer);
+    injector.SaveState(writer);
+    event_log.SaveState(writer);
+    executor.SaveState(writer);
+    (*strategy)->SaveState(writer);
+    return writer.Take();
+  };
+
+  // Mirror of save_mid_payload (identity already consumed by the caller).
+  // Every component's RestoreState clears before it populates, so a failed
+  // attempt leaves the components ready for the next (older) candidate.
+  auto restore_mid_payload = [&](SnapshotReader& reader) -> Status {
+    checkpoints_written = reader.U64();
+    result.testcases = static_cast<int>(reader.I64());
+    next_coverage_sample = reader.I64();
+    uint64_t report_count = reader.Count(32);
+    result.reports.clear();
+    result.reports.resize(report_count);
+    for (uint64_t i = 0; i < report_count && reader.ok(); ++i) {
+      RestoreFailureReport(reader, &result.reports[i]);
+    }
+    uint64_t timeline_count = reader.Count(16);
+    result.coverage_timeline.clear();
+    result.coverage_timeline.reserve(timeline_count);
+    for (uint64_t i = 0; i < timeline_count && reader.ok(); ++i) {
+      SimTime at = reader.I64();
+      size_t hits = reader.U64();
+      result.coverage_timeline.emplace_back(at, hits);
+    }
+    RestoreGroundTruthTally(reader, &tally);
+    if (Status s = reader.status(); !s.ok()) return s;
+    if (Status s = rng.RestoreState(reader); !s.ok()) return s;
+    if (Status s = cluster->RestoreState(reader); !s.ok()) return s;
+    if (Status s = coverage.RestoreState(reader); !s.ok()) return s;
+    if (Status s = model.RestoreState(reader); !s.ok()) return s;
+    if (Status s = monitor.RestoreState(reader); !s.ok()) return s;
+    if (Status s = detector.RestoreState(reader); !s.ok()) return s;
+    if (Status s = injector.RestoreState(reader); !s.ok()) return s;
+    if (Status s = event_log.RestoreState(reader); !s.ok()) return s;
+    if (Status s = executor.RestoreState(reader); !s.ok()) return s;
+    if (Status s = (*strategy)->RestoreState(reader); !s.ok()) return s;
+    if (!reader.AtEnd()) {
+      return Status::DataLoss(
+          Sprintf("snapshot has %zu trailing bytes", reader.remaining()));
+    }
+    return Status::Ok();
+  };
+
+  bool resumed = false;
+  if (config_.resume) {
+    // Newest-first scan: the final snapshot, then mid-campaign snapshots by
+    // descending ordinal. A corrupt or mismatched candidate is skipped with
+    // a warning and the next older one is tried — losing the newest
+    // checkpoint costs progress, never correctness.
+    for (const std::string& path :
+         ListJobSnapshotPaths(config_.checkpoint_dir, config_.job_index)) {
+      Result<LoadedSnapshot> loaded = ReadSnapshotFile(path);
+      if (!loaded.ok()) {
+        THEMIS_LOG(kWarn, "resume: skipping %s: %s", path.c_str(),
+                   loaded.status().message().c_str());
+        continue;
+      }
+      SnapshotReader reader(loaded->payload);
+      if (Status s = CheckSnapshotIdentity(reader, result.strategy_name, config_);
+          !s.ok()) {
+        THEMIS_LOG(kWarn, "resume: skipping %s: %s", path.c_str(),
+                   s.message().c_str());
+        continue;
+      }
+      if (loaded->kind == SnapshotKind::kFinal) {
+        CampaignResult final_result;
+        if (Status s = RestoreCampaignResult(reader, &final_result); !s.ok()) {
+          THEMIS_LOG(kWarn, "resume: skipping %s: %s", path.c_str(),
+                     s.message().c_str());
+          continue;
+        }
+        THEMIS_LOG(kInfo, "resume: campaign already complete (%s)", path.c_str());
+        return final_result;
+      }
+      if (Status s = restore_mid_payload(reader); !s.ok()) {
+        THEMIS_LOG(kWarn, "resume: skipping %s: %s", path.c_str(),
+                   s.message().c_str());
+        continue;
+      }
+      THEMIS_LOG(kInfo, "resume: restored %s (%d testcases, %llu ops)",
+                 path.c_str(), result.testcases,
+                 static_cast<unsigned long long>(executor.total_ops()));
+      resumed = true;
+      break;
+    }
+  }
+
+  if (!resumed) {
+    // Initial data population (fresh campaigns only: a restored cluster
+    // already contains the population the interrupted run seeded).
+    OpSeqGenerator init_generator(model);
+    executor.SeedInitialData(init_generator, config_.initial_files);
+  }
+
+  const std::filesystem::path checkpoint_dir(config_.checkpoint_dir);
+  uint64_t next_checkpoint_ops =
+      config_.checkpoint_every_ops > 0
+          ? (executor.total_ops() / config_.checkpoint_every_ops + 1) *
+                config_.checkpoint_every_ops
+          : 0;
+
   while (cluster->Now() < config_.budget) {
     OpSeq testcase = (*strategy)->Next();
     ExecOutcome outcome = executor.Run(testcase);
@@ -199,6 +346,32 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
     while (cluster->Now() >= next_coverage_sample) {
       result.coverage_timeline.emplace_back(next_coverage_sample, coverage.TotalHits());
       next_coverage_sample += config_.coverage_sample_period;
+    }
+    if (checkpointing && config_.checkpoint_every_ops > 0 &&
+        executor.total_ops() >= next_checkpoint_ops) {
+      ++checkpoints_written;
+      const std::string path =
+          (checkpoint_dir /
+           MidSnapshotFileName(config_.job_index, checkpoints_written))
+              .string();
+      if (Status s = WriteSnapshotFile(path, SnapshotKind::kMidCampaign,
+                                       save_mid_payload());
+          !s.ok()) {
+        return s;
+      }
+      PruneMidSnapshots(config_.checkpoint_dir, config_.job_index,
+                        config_.checkpoint_keep);
+      THEMIS_COUNTER_INC("campaign.checkpoints", 1);
+      next_checkpoint_ops =
+          (executor.total_ops() / config_.checkpoint_every_ops + 1) *
+          config_.checkpoint_every_ops;
+      ++checkpoints_this_process;
+      if (config_.halt_after_checkpoints > 0 &&
+          checkpoints_this_process >= config_.halt_after_checkpoints) {
+        return Status::FailedPrecondition(
+            Sprintf("halted after %d checkpoints (crash-test hook); resume from %s",
+                    checkpoints_this_process, path.c_str()));
+      }
     }
   }
 
@@ -223,6 +396,19 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
              result.testcases, static_cast<unsigned long long>(result.total_ops),
              result.DistinctTruePositives(), result.false_positives,
              result.final_coverage);
+  if (checkpointing) {
+    // Final snapshot: the complete result, so a resume after completion
+    // returns it instead of re-running 24 virtual hours.
+    SnapshotWriter writer;
+    WriteSnapshotIdentity(writer, result.strategy_name, config_);
+    SaveCampaignResult(writer, result);
+    const std::string path =
+        (checkpoint_dir / FinalSnapshotFileName(config_.job_index)).string();
+    if (Status s = WriteSnapshotFile(path, SnapshotKind::kFinal, writer.Take());
+        !s.ok()) {
+      return s;
+    }
+  }
   return result;
 }
 

@@ -70,10 +70,33 @@ struct CampaignConfig {
   // flag cannot change any campaign result.
   bool collect_telemetry = false;
 
+  // Checkpointing (DESIGN.md §11). Empty checkpoint_dir disables snapshots
+  // entirely. With a directory set, a final snapshot is written when the
+  // campaign completes; checkpoint_every_ops > 0 additionally writes a
+  // mid-campaign snapshot at the first test-case boundary after each
+  // multiple of that op count. Snapshot writing never draws from the RNG
+  // and mutates no campaign state, so checkpointing cannot change results.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every_ops = 0;
+  // Before running, load the newest valid snapshot for this job from
+  // checkpoint_dir (corrupt or mismatched snapshots are skipped with a
+  // warning). A final snapshot short-circuits to its stored result; a
+  // mid-campaign snapshot continues the interrupted run bit-identically.
+  bool resume = false;
+  // Mid-campaign snapshots retained per job (older ones are pruned).
+  int checkpoint_keep = 3;
+  // Which runner job this campaign is, for snapshot file naming.
+  size_t job_index = 0;
+  // Crash-test hook: abort with FailedPrecondition right after this many
+  // mid-campaign snapshots have been written by THIS process (counts reset
+  // on resume) — the in-process stand-in for SIGKILL-at-a-checkpoint.
+  int halt_after_checkpoints = 0;
+
   // Rejects configurations no campaign can meaningfully run: non-positive
   // budget or sample period, zero nodes, threshold <= 0, negative initial
-  // population, or degenerate variance weights. FaultSet::kNone is valid —
-  // it is the designated false-positive study mode.
+  // population, degenerate variance weights, or checkpoint options without
+  // a checkpoint directory. FaultSet::kNone is valid — it is the designated
+  // false-positive study mode.
   Status Validate() const;
 };
 

@@ -128,7 +128,7 @@ MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
       // vector needs no lock; the pool join is the synchronization point.
       JobResult* slot = &matrix_result.jobs[i];
       const CampaignJob* job = &jobs[i];
-      pool.Submit([slot, job, want_telemetry, &job_seconds] {
+      pool.Submit([this, slot, job, want_telemetry, &job_seconds] {
         auto job_start = std::chrono::steady_clock::now();
         double cpu_start = ThreadCpuSeconds();
         slot->job = *job;
@@ -136,6 +136,15 @@ MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
           // Event recording never draws from the RNG, so flipping this on
           // cannot change the campaign result.
           slot->job.config.collect_telemetry = true;
+        }
+        slot->job.config.job_index = job->index;
+        if (!options_.checkpoint_dir.empty() &&
+            slot->job.config.checkpoint_dir.empty()) {
+          // Snapshot writing never draws from the RNG either; per-job names
+          // keep concurrent jobs from clobbering each other's files.
+          slot->job.config.checkpoint_dir = options_.checkpoint_dir;
+          slot->job.config.checkpoint_every_ops = options_.checkpoint_every_ops;
+          slot->job.config.resume = options_.resume;
         }
         Result<CampaignResult> run =
             Campaign(slot->job.config).Run(slot->job.strategy);
@@ -178,6 +187,14 @@ MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
       THEMIS_LOG(kWarn, "telemetry export failed: %s", write.ToString().c_str());
     } else {
       THEMIS_LOG(kInfo, "telemetry: wrote %s", options_.telemetry_out.c_str());
+    }
+  }
+  if (!options_.summary_json.empty()) {
+    Status write = WriteCampaignSummaryJson(matrix_result, options_.summary_json);
+    if (!write.ok()) {
+      THEMIS_LOG(kWarn, "summary export failed: %s", write.ToString().c_str());
+    } else {
+      THEMIS_LOG(kInfo, "summary: wrote %s", options_.summary_json.c_str());
     }
   }
   THEMIS_LOG(kInfo,

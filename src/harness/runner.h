@@ -105,6 +105,19 @@ struct RunnerOptions {
   // JSONL after the matrix completes (see telemetry_export.h). The event
   // lines are byte-identical for any `jobs` value.
   std::string telemetry_out;
+  // Checkpointing (DESIGN.md §11): when non-empty, every job snapshots into
+  // this directory under its own job-<index>-*.ckpt names, writing a
+  // mid-campaign snapshot every checkpoint_every_ops executed operations
+  // (0 = final snapshot only) and resuming from the newest valid snapshot
+  // when `resume` is set. Applied on top of each job's own config; a job
+  // whose config already carries checkpoint settings keeps them.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every_ops = 0;
+  bool resume = false;
+  // When non-empty, the deterministic campaign summary (per-job digests and
+  // result counters, no wall-clock fields — see RenderCampaignSummaryJson)
+  // is written here after the matrix completes.
+  std::string summary_json;
 };
 
 class CampaignRunner {

@@ -160,4 +160,57 @@ Status WriteMetricsSummaryJson(const std::string& bench_name, double wall_second
   return WriteSummaryWithHead(std::move(head), path);
 }
 
+std::string RenderCampaignSummaryJson(const MatrixResult& result) {
+  std::vector<const JobResult*> jobs = SortedJobs(result);
+  std::string out = "{\n  \"jobs\": [";
+  bool first_job = true;
+  for (const JobResult* job_result : jobs) {
+    const CampaignJob& job = job_result->job;
+    out += Sprintf("%s\n    {\"job\":%llu,\"strategy\":\"%s\",\"flavor\":\"%s\","
+                   "\"repetition\":%d,\"seed\":%llu",
+                   first_job ? "" : ",", static_cast<unsigned long long>(job.index),
+                   JsonEscape(job.strategy).c_str(),
+                   std::string(FlavorName(job.config.flavor)).c_str(),
+                   job.repetition, static_cast<unsigned long long>(job.config.seed));
+    first_job = false;
+    if (!job_result->status.ok()) {
+      out += Sprintf(",\"status\":\"%s\"}",
+                     JsonEscape(job_result->status.ToString()).c_str());
+      continue;
+    }
+    const CampaignResult& r = job_result->result;
+    out += Sprintf(
+        ",\"status\":\"ok\",\"digest\":\"%016llx\",\"testcases\":%d,"
+        "\"total_ops\":%llu,\"candidates\":%d,\"false_positives\":%d,"
+        "\"final_coverage\":%zu,\"telemetry_events\":%zu,\"distinct_failures\":{",
+        static_cast<unsigned long long>(r.Digest()), r.testcases,
+        static_cast<unsigned long long>(r.total_ops), r.candidates,
+        r.false_positives, r.final_coverage, r.telemetry.size());
+    bool first_failure = true;
+    for (const auto& [id, at] : r.distinct_failures) {
+      out += Sprintf("%s\"%s\":%lld", first_failure ? "" : ",",
+                     JsonEscape(id).c_str(), static_cast<long long>(at));
+      first_failure = false;
+    }
+    out += "}}";
+  }
+  int failed = 0;
+  uint64_t total_ops = 0;
+  for (const JobResult* job_result : jobs) {
+    if (!job_result->status.ok()) {
+      ++failed;
+    } else {
+      total_ops += job_result->result.total_ops;
+    }
+  }
+  out += Sprintf("\n  ],\n  \"job_count\": %zu,\n  \"failed_jobs\": %d,\n"
+                 "  \"total_ops\": %llu\n}\n",
+                 jobs.size(), failed, static_cast<unsigned long long>(total_ops));
+  return out;
+}
+
+Status WriteCampaignSummaryJson(const MatrixResult& result, const std::string& path) {
+  return WriteWholeFile(path, RenderCampaignSummaryJson(result));
+}
+
 }  // namespace themis

@@ -42,6 +42,16 @@ Status WriteMetricsSummaryJson(const std::string& bench_name,
 Status WriteMetricsSummaryJson(const std::string& bench_name, double wall_seconds,
                                const std::string& path);
 
+// Deterministic campaign summary: one JSON document with a per-job record
+// (strategy, flavor, seed, result counters and the CampaignResult digest)
+// in ascending job-index order, plus matrix totals. Unlike the metrics
+// summary above it contains NO wall-clock fields and reads NO global
+// registry state, so the rendered bytes are identical for any --jobs count
+// and across kill/resume cycles — the resume-determinism tests diff it
+// byte-for-byte.
+std::string RenderCampaignSummaryJson(const MatrixResult& result);
+Status WriteCampaignSummaryJson(const MatrixResult& result, const std::string& path);
+
 }  // namespace themis
 
 #endif  // SRC_HARNESS_TELEMETRY_EXPORT_H_

@@ -64,6 +64,14 @@ class ImbalanceDetector {
 
   void ResetStreak() { streak_ = 0; }
 
+  // Checkpointing (DESIGN.md §11): only the consecutive-imbalance streak is
+  // state; the config is rebuilt from the campaign configuration.
+  void SaveState(SnapshotWriter& writer) const { writer.I64(streak_); }
+  Status RestoreState(SnapshotReader& reader) {
+    streak_ = static_cast<int>(reader.I64());
+    return reader.status();
+  }
+
   // Campaign event sink for verdict telemetry; null disables recording.
   void set_telemetry(EventLog* telemetry) { telemetry_ = telemetry; }
 

@@ -120,4 +120,82 @@ void LoadVarianceModel::Reset() {
   ema_network_ = 1.0;
 }
 
+namespace {
+
+void SaveLoadSample(SnapshotWriter& writer, const LoadSample& sample) {
+  writer.U32(sample.node);
+  writer.Bool(sample.is_storage);
+  writer.Bool(sample.online);
+  writer.Bool(sample.crashed);
+  writer.U64(sample.used_bytes);
+  writer.U64(sample.capacity_bytes);
+  writer.U64(sample.requests);
+  writer.U64(sample.read_ios);
+  writer.U64(sample.write_ios);
+  writer.F64(sample.cpu_seconds);
+  writer.I64(sample.taken_at);
+}
+
+void RestoreLoadSample(SnapshotReader& reader, LoadSample* sample) {
+  sample->node = reader.U32();
+  sample->is_storage = reader.Bool();
+  sample->online = reader.Bool();
+  sample->crashed = reader.Bool();
+  sample->used_bytes = reader.U64();
+  sample->capacity_bytes = reader.U64();
+  sample->requests = reader.U64();
+  sample->read_ios = reader.U64();
+  sample->write_ios = reader.U64();
+  sample->cpu_seconds = reader.F64();
+  sample->taken_at = reader.I64();
+}
+
+}  // namespace
+
+void SaveLoadVarianceSnapshot(SnapshotWriter& writer,
+                              const LoadVarianceSnapshot& snapshot) {
+  writer.I64(snapshot.taken_at);
+  writer.F64(snapshot.storage_ratio);
+  writer.F64(snapshot.computation_ratio);
+  writer.F64(snapshot.network_ratio);
+  writer.F64(snapshot.instant_computation_ratio);
+  writer.F64(snapshot.instant_network_ratio);
+  writer.Bool(snapshot.any_crashed);
+  writer.I64(snapshot.serving_storage_nodes);
+}
+
+void RestoreLoadVarianceSnapshot(SnapshotReader& reader,
+                                 LoadVarianceSnapshot* snapshot) {
+  snapshot->taken_at = reader.I64();
+  snapshot->storage_ratio = reader.F64();
+  snapshot->computation_ratio = reader.F64();
+  snapshot->network_ratio = reader.F64();
+  snapshot->instant_computation_ratio = reader.F64();
+  snapshot->instant_network_ratio = reader.F64();
+  snapshot->any_crashed = reader.Bool();
+  snapshot->serving_storage_nodes = static_cast<int>(reader.I64());
+}
+
+void LoadVarianceModel::SaveState(SnapshotWriter& writer) const {
+  writer.U64(previous_.size());
+  for (const auto& [node, sample] : previous_) {
+    SaveLoadSample(writer, sample);
+  }
+  writer.F64(ema_computation_);
+  writer.F64(ema_network_);
+}
+
+Status LoadVarianceModel::RestoreState(SnapshotReader& reader) {
+  uint64_t count = reader.Count(4 + 3 + 5 * 8 + 8 + 8);
+  previous_.clear();
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    LoadSample sample;
+    RestoreLoadSample(reader, &sample);
+    previous_[sample.node] = sample;
+  }
+  ema_computation_ = reader.F64();
+  ema_network_ = reader.F64();
+  return reader.status();
+}
+
 }  // namespace themis

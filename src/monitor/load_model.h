@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/snapshot_io.h"
 #include "src/dfs/load_sample.h"
 
 namespace themis {
@@ -65,6 +66,11 @@ class LoadVarianceModel {
   // Forgets the previous window (after a cluster reset).
   void Reset();
 
+  // Checkpointing (DESIGN.md §11): the previous sampling window and the EMA
+  // accumulators — everything the next Update() differences against.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
+
  private:
   std::map<NodeId, LoadSample> previous_;
   double ema_computation_ = 1.0;
@@ -73,6 +79,12 @@ class LoadVarianceModel {
 
 // max/mean helper treating tiny means as "no signal" (ratio 1).
 double RatioWithFloor(const std::vector<double>& values, double min_mean);
+
+// Checkpoint serializers for the snapshot value type.
+void SaveLoadVarianceSnapshot(SnapshotWriter& writer,
+                              const LoadVarianceSnapshot& snapshot);
+void RestoreLoadVarianceSnapshot(SnapshotReader& reader,
+                                 LoadVarianceSnapshot* snapshot);
 
 }  // namespace themis
 

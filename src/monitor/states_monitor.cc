@@ -22,4 +22,16 @@ LoadVarianceSnapshot StatesMonitor::Sample(const DfsInterface& dfs) {
 
 void StatesMonitor::ResetWindow() { model_.Reset(); }
 
+void StatesMonitor::SaveState(SnapshotWriter& writer) const {
+  model_.SaveState(writer);
+  SaveLoadVarianceSnapshot(writer, latest_);
+}
+
+Status StatesMonitor::RestoreState(SnapshotReader& reader) {
+  Status status = model_.RestoreState(reader);
+  if (!status.ok()) return status;
+  RestoreLoadVarianceSnapshot(reader, &latest_);
+  return reader.status();
+}
+
 }  // namespace themis

@@ -26,6 +26,12 @@ class StatesMonitor {
   // Forgets windowed state after a cluster reset.
   void ResetWindow();
 
+  // Checkpointing (DESIGN.md §11): the variance model window and the latest
+  // snapshot. history_ is a write-only diagnostic buffer (nothing reads it
+  // back on the campaign path) and is deliberately NOT snapshotted.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
+
  private:
   LoadVarianceWeights weights_;
   LoadVarianceModel model_;

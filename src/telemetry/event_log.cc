@@ -101,4 +101,54 @@ void EventLog::Record(CampaignEventKind kind, std::string label, double value,
 #endif
 }
 
+void SaveCampaignEvent(SnapshotWriter& writer, const CampaignEvent& event) {
+  writer.U8(static_cast<uint8_t>(event.kind));
+  writer.I64(event.at);
+  writer.Str(event.label);
+  writer.F64(event.value);
+  writer.F64(event.value2);
+  writer.U64(event.count);
+}
+
+void RestoreCampaignEvent(SnapshotReader& reader, CampaignEvent* event) {
+  uint8_t kind = reader.U8();
+  if (reader.ok() && kind > static_cast<uint8_t>(CampaignEventKind::kClusterReset)) {
+    reader.Fail(Sprintf("campaign event kind %u out of range", kind));
+    return;
+  }
+  event->kind = static_cast<CampaignEventKind>(kind);
+  event->at = reader.I64();
+  event->label = reader.Str();
+  event->value = reader.F64();
+  event->value2 = reader.F64();
+  event->count = reader.U64();
+}
+
+void EventLog::SaveState(SnapshotWriter& writer) const {
+  const std::vector<CampaignEvent>& current = events();
+  writer.U64(current.size());
+  for (const CampaignEvent& event : current) {
+    SaveCampaignEvent(writer, event);
+  }
+}
+
+Status EventLog::RestoreState(SnapshotReader& reader) {
+#if !defined(THEMIS_TELEMETRY_DISABLED)
+  uint64_t count = reader.Count(1 + 8 + 8 + 8 + 8 + 8);
+  events_.clear();
+  events_.resize(static_cast<size_t>(count));
+  for (CampaignEvent& event : events_) {
+    RestoreCampaignEvent(reader, &event);
+    if (!reader.ok()) break;
+  }
+#else
+  uint64_t count = reader.U64();
+  if (reader.ok() && count != 0) {
+    reader.Fail("snapshot carries telemetry events but this binary was built "
+                "with THEMIS_TELEMETRY=OFF");
+  }
+#endif
+  return reader.status();
+}
+
 }  // namespace themis

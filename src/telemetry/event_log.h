@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/snapshot_io.h"
 
 namespace themis {
 
@@ -91,12 +92,24 @@ class EventLog {
 #endif
   }
 
+  // Checkpointing (DESIGN.md §11): the recorded events. The clock binding is
+  // re-established by the campaign on restore. In telemetry-disabled builds
+  // the log is always empty, so Save writes a zero count and Restore accepts
+  // only that — a snapshot is never shared across telemetry build modes.
+  void SaveState(SnapshotWriter& writer) const;
+  Status RestoreState(SnapshotReader& reader);
+
  private:
 #if !defined(THEMIS_TELEMETRY_DISABLED)
   const VirtualClock* clock_ = nullptr;
   std::vector<CampaignEvent> events_;
 #endif
 };
+
+// Checkpoint serializers for the event value type (always available, even in
+// telemetry-disabled builds — CampaignResult::telemetry uses them too).
+void SaveCampaignEvent(SnapshotWriter& writer, const CampaignEvent& event);
+void RestoreCampaignEvent(SnapshotReader& reader, CampaignEvent* event);
 
 // Minimal JSON string escaping (quotes, backslashes, control characters).
 std::string JsonEscape(const std::string& text);

@@ -1,0 +1,64 @@
+// Golden-digest regression pins: the CampaignResult digest for a fixed
+// (strategy, flavor, seed, budget) is part of the repo's determinism
+// contract — the checkpoint/resume machinery, the --jobs matrix and this
+// suite all compare against it. If a change to the simulation legitimately
+// shifts behavior, regenerate with tools/digest_probe and update the
+// constants below IN THE SAME COMMIT, calling the behavior change out in
+// the commit message. A silent digest change is a determinism bug.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/harness/campaign.h"
+
+namespace themis {
+namespace {
+
+struct GoldenEntry {
+  Flavor flavor;
+  uint64_t digest;
+  int testcases;
+  uint64_t total_ops;
+};
+
+// seed=1234, budget=2 virtual hours, strategy "Themis", default config.
+constexpr GoldenEntry kGolden[] = {
+    {Flavor::kGluster, 0xa110a8580a13d05cULL, 144, 2211},
+    {Flavor::kHdfs, 0xe0c504cb2af24d83ULL, 159, 4495},
+    {Flavor::kCeph, 0x6c16d974f61dfbeeULL, 104, 2557},
+    {Flavor::kLeo, 0x5595af0143238d44ULL, 134, 2922},
+};
+
+TEST(GoldenDigestTest, PerFlavorDigestsArePinned) {
+  for (const GoldenEntry& golden : kGolden) {
+    CampaignConfig config;
+    config.flavor = golden.flavor;
+    config.seed = 1234;
+    config.budget = Hours(2);
+    Result<CampaignResult> result = Campaign(config).Run("Themis");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::string flavor(FlavorName(golden.flavor));
+    EXPECT_EQ(result->Digest(), golden.digest) << flavor;
+    EXPECT_EQ(result->testcases, golden.testcases) << flavor;
+    EXPECT_EQ(result->total_ops, golden.total_ops) << flavor;
+  }
+}
+
+// The digest itself must be reproducible from an identical result: running
+// the same campaign twice in one process (registry state, metrics and logs
+// all differ between runs) yields the same digest.
+TEST(GoldenDigestTest, DigestIsAPureFunctionOfTheResult) {
+  CampaignConfig config;
+  config.seed = 77;
+  config.budget = Hours(1);
+  Result<CampaignResult> first = Campaign(config).Run("Themis");
+  Result<CampaignResult> second = Campaign(config).Run("Themis");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->Digest(), second->Digest());
+}
+
+}  // namespace
+}  // namespace themis

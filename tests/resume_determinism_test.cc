@@ -1,0 +1,189 @@
+// The tentpole guarantee (ISSUE: checkpointable, crash-tolerant campaigns):
+// a campaign killed at ANY checkpoint and resumed — possibly crashed and
+// resumed repeatedly — produces byte-identical per-flavor digests and
+// telemetry summaries versus a campaign that never stopped, at any --jobs
+// count. Crashes are modeled in-process with the halt_after_checkpoints
+// hook (the CI resume-smoke job does the same with a real SIGKILL).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/harness/campaign.h"
+#include "src/harness/runner.h"
+#include "src/harness/snapshot.h"
+#include "src/harness/telemetry_export.h"
+
+namespace themis {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("resume_det_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+constexpr Flavor kFlavors[] = {Flavor::kGluster, Flavor::kHdfs, Flavor::kCeph,
+                               Flavor::kLeo};
+
+CampaignConfig BaseConfig(Flavor flavor) {
+  CampaignConfig config;
+  config.flavor = flavor;
+  config.seed = 9001;
+  config.budget = Hours(2);
+  return config;
+}
+
+// Crash at checkpoint 1, resume and crash again one checkpoint later,
+// resume to completion: every flavor must land on the uninterrupted digest,
+// whichever checkpoint the run died at.
+TEST(ResumeDeterminismTest, RepeatedCrashesConvergeToUninterruptedDigest) {
+  for (Flavor flavor : kFlavors) {
+    const std::string flavor_name(FlavorName(flavor));
+    Result<CampaignResult> uninterrupted =
+        Campaign(BaseConfig(flavor)).Run("Themis");
+    ASSERT_TRUE(uninterrupted.ok()) << flavor_name;
+
+    const std::string dir = FreshDir("crash_" + flavor_name);
+    CampaignConfig checkpointed = BaseConfig(flavor);
+    checkpointed.checkpoint_dir = dir;
+    checkpointed.checkpoint_every_ops = 400;
+
+    CampaignConfig crash = checkpointed;
+    crash.halt_after_checkpoints = 1;
+    Result<CampaignResult> first = Campaign(crash).Run("Themis");
+    ASSERT_FALSE(first.ok()) << flavor_name;  // died at checkpoint 1
+
+    crash.resume = true;  // crash again, one checkpoint further in
+    Result<CampaignResult> second = Campaign(crash).Run("Themis");
+    ASSERT_FALSE(second.ok()) << flavor_name;
+
+    CampaignConfig finish = checkpointed;
+    finish.resume = true;
+    Result<CampaignResult> resumed = Campaign(finish).Run("Themis");
+    ASSERT_TRUE(resumed.ok()) << flavor_name << ": "
+                              << resumed.status().ToString();
+    EXPECT_EQ(resumed->Digest(), uninterrupted->Digest()) << flavor_name;
+    EXPECT_EQ(resumed->testcases, uninterrupted->testcases) << flavor_name;
+    EXPECT_EQ(resumed->total_ops, uninterrupted->total_ops) << flavor_name;
+    EXPECT_EQ(resumed->final_coverage, uninterrupted->final_coverage)
+        << flavor_name;
+  }
+}
+
+// The checkpoint cadence itself must not influence results: snapshotting
+// draws no randomness and mutates nothing, so two cadences land on the same
+// digest as no checkpointing at all.
+TEST(ResumeDeterminismTest, CheckpointCadenceDoesNotPerturbResults) {
+  Result<CampaignResult> plain = Campaign(BaseConfig(Flavor::kCeph)).Run("Themis");
+  ASSERT_TRUE(plain.ok());
+  for (uint64_t every : {250u, 1000u}) {
+    CampaignConfig config = BaseConfig(Flavor::kCeph);
+    config.checkpoint_dir = FreshDir("cadence_" + std::to_string(every));
+    config.checkpoint_every_ops = every;
+    Result<CampaignResult> checkpointed = Campaign(config).Run("Themis");
+    ASSERT_TRUE(checkpointed.ok());
+    EXPECT_EQ(checkpointed->Digest(), plain->Digest()) << "every " << every;
+  }
+}
+
+// Matrix-level: 4 flavors x 2 seeds, all jobs killed mid-campaign, resumed
+// under --jobs 8 and then --jobs 1. Both resumes must render a summary JSON
+// byte-identical to the uninterrupted matrix's.
+TEST(ResumeDeterminismTest, MatrixResumeIsByteIdenticalAtAnyJobsCount) {
+  CampaignMatrix matrix;
+  matrix.flavors = {Flavor::kGluster, Flavor::kHdfs, Flavor::kCeph, Flavor::kLeo};
+  matrix.strategies = {"Themis"};
+  matrix.seeds = 2;
+  matrix.matrix_seed = 777;
+  matrix.base.budget = Hours(2);
+
+  RunnerOptions uninterrupted_options;
+  uninterrupted_options.jobs = 8;
+  MatrixResult uninterrupted = CampaignRunner(uninterrupted_options).Run(matrix);
+  ASSERT_EQ(uninterrupted.FailedJobs(), 0);
+  const std::string expected = RenderCampaignSummaryJson(uninterrupted);
+
+  const std::string dir = FreshDir("matrix");
+  std::vector<CampaignJob> jobs = CampaignRunner::Expand(matrix);
+  ASSERT_EQ(jobs.size(), 8u);
+  for (CampaignJob& job : jobs) {
+    job.config.checkpoint_dir = dir;
+    job.config.checkpoint_every_ops = 400;
+    job.config.halt_after_checkpoints = 1;
+  }
+  RunnerOptions crash_options;
+  crash_options.jobs = 8;
+  MatrixResult crashed = CampaignRunner(crash_options).RunJobs(jobs);
+  ASSERT_EQ(crashed.FailedJobs(), 8);  // every job died at its checkpoint
+
+  for (CampaignJob& job : jobs) {
+    job.config.halt_after_checkpoints = 0;
+    job.config.resume = true;
+  }
+  MatrixResult resumed8 = CampaignRunner(crash_options).RunJobs(jobs);
+  ASSERT_EQ(resumed8.FailedJobs(), 0);
+  EXPECT_EQ(RenderCampaignSummaryJson(resumed8), expected);
+
+  // A second resume finds every job's final snapshot and short-circuits to
+  // the stored results — still byte-identical, now at --jobs 1.
+  RunnerOptions single;
+  single.jobs = 1;
+  MatrixResult resumed1 = CampaignRunner(single).RunJobs(jobs);
+  ASSERT_EQ(resumed1.FailedJobs(), 0);
+  EXPECT_EQ(RenderCampaignSummaryJson(resumed1), expected);
+}
+
+// The crash hook stops the process right after the snapshot lands on disk,
+// with the snapshot naming scheme the resume scan expects.
+TEST(ResumeDeterminismTest, HaltHookLeavesAResumableSnapshot) {
+  const std::string dir = FreshDir("halt");
+  CampaignConfig config = BaseConfig(Flavor::kGluster);
+  config.checkpoint_dir = dir;
+  config.checkpoint_every_ops = 400;
+  config.halt_after_checkpoints = 2;
+  Result<CampaignResult> crash = Campaign(config).Run("Themis");
+  ASSERT_FALSE(crash.ok());
+  EXPECT_EQ(crash.status().code(), StatusCode::kFailedPrecondition);
+
+  std::vector<std::string> snapshots = ListJobSnapshotPaths(dir, 0);
+  ASSERT_EQ(snapshots.size(), 2u);  // ordinals 2 and 1, newest first
+  EXPECT_NE(snapshots[0].find("job-0-2.ckpt"), std::string::npos);
+  EXPECT_NE(snapshots[1].find("job-0-1.ckpt"), std::string::npos);
+  Result<LoadedSnapshot> newest = ReadSnapshotFile(snapshots[0]);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->kind, SnapshotKind::kMidCampaign);
+}
+
+// Telemetry collection rides through kill/resume: an interrupted+resumed
+// telemetry campaign reproduces the uninterrupted event stream exactly
+// (events are part of the digest, but compare the count explicitly too).
+TEST(ResumeDeterminismTest, TelemetryStreamSurvivesResume) {
+  CampaignConfig config = BaseConfig(Flavor::kLeo);
+  config.collect_telemetry = true;
+  Result<CampaignResult> uninterrupted = Campaign(config).Run("Themis");
+  ASSERT_TRUE(uninterrupted.ok());
+
+  const std::string dir = FreshDir("telemetry");
+  CampaignConfig crash = config;
+  crash.checkpoint_dir = dir;
+  crash.checkpoint_every_ops = 500;
+  crash.halt_after_checkpoints = 2;
+  ASSERT_FALSE(Campaign(crash).Run("Themis").ok());
+
+  CampaignConfig finish = config;
+  finish.checkpoint_dir = dir;
+  finish.checkpoint_every_ops = 500;
+  finish.resume = true;
+  Result<CampaignResult> resumed = Campaign(finish).Run("Themis");
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->telemetry.size(), uninterrupted->telemetry.size());
+  EXPECT_EQ(resumed->Digest(), uninterrupted->Digest());
+}
+
+}  // namespace
+}  // namespace themis

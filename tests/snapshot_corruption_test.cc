@@ -1,0 +1,254 @@
+// Corruption handling (DESIGN.md §11): every way a snapshot file can rot —
+// truncation, bit flips, a wrong magic, an unsupported format version, a
+// mismatched payload size — must be rejected with a descriptive kDataLoss
+// Status, never a crash or a silently wrong restore. A resuming campaign
+// skips corrupt candidates and falls back to the newest valid snapshot, and
+// a snapshot taken under a different configuration is refused with a
+// field-level identity error.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/snapshot_io.h"
+#include "src/harness/campaign.h"
+#include "src/harness/snapshot.h"
+
+namespace themis {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("snap_corrupt_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string MakeValidSnapshot(const std::string& dir, const std::string& name) {
+  const std::string path = dir + "/" + name;
+  std::string payload = "campaign state bytes, definitely load-bearing";
+  EXPECT_TRUE(WriteSnapshotFile(path, SnapshotKind::kMidCampaign, payload).ok());
+  return path;
+}
+
+TEST(SnapshotCorruptionTest, TruncationIsRejectedDescriptively) {
+  const std::string dir = FreshDir("truncate");
+  const std::string path = MakeValidSnapshot(dir, "job-0-1.ckpt");
+  std::string bytes = ReadFileBytes(path);
+  // Truncate at every interesting boundary: inside the header, exactly at
+  // the header end, and inside the payload.
+  for (size_t keep : {size_t{0}, size_t{7}, size_t{20}, size_t{29},
+                      bytes.size() - 1}) {
+    WriteFileBytes(path, bytes.substr(0, keep));
+    Result<LoadedSnapshot> loaded = ReadSnapshotFile(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss) << keep;
+    EXPECT_NE(loaded.status().message().find(path), std::string::npos)
+        << "message should name the file: " << loaded.status().ToString();
+  }
+}
+
+TEST(SnapshotCorruptionTest, EveryPayloadBitFlipIsCaughtByTheChecksum) {
+  const std::string dir = FreshDir("bitflip");
+  const std::string path = MakeValidSnapshot(dir, "job-0-1.ckpt");
+  const std::string original = ReadFileBytes(path);
+  constexpr size_t kHeaderBytes = 29;
+  for (size_t byte = kHeaderBytes; byte < original.size(); ++byte) {
+    std::string corrupt = original;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x40);
+    WriteFileBytes(path, corrupt);
+    Result<LoadedSnapshot> loaded = ReadSnapshotFile(path);
+    ASSERT_FALSE(loaded.ok()) << "flip at byte " << byte;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+  }
+}
+
+TEST(SnapshotCorruptionTest, WrongMagicAndVersionAreRejected) {
+  const std::string dir = FreshDir("header");
+  const std::string path = MakeValidSnapshot(dir, "job-0-1.ckpt");
+  const std::string original = ReadFileBytes(path);
+
+  std::string wrong_magic = original;
+  wrong_magic[0] = 'X';
+  WriteFileBytes(path, wrong_magic);
+  Result<LoadedSnapshot> loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+
+  std::string wrong_version = original;
+  wrong_version[8] = 99;  // version u32 LE starts at offset 8
+  WriteFileBytes(path, wrong_version);
+  loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+
+  std::string wrong_size = original;
+  wrong_size[13] = static_cast<char>(wrong_size[13] + 1);  // payload_size
+  WriteFileBytes(path, wrong_size);
+  loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("size"), std::string::npos);
+}
+
+// A resuming campaign must skip a corrupt newest snapshot and continue from
+// the newest VALID one, still reaching the uninterrupted digest.
+TEST(SnapshotCorruptionTest, ResumeFallsBackToNewestValidSnapshot) {
+  CampaignConfig config;
+  config.flavor = Flavor::kGluster;
+  config.seed = 31415;
+  config.budget = Hours(2);
+  Result<CampaignResult> uninterrupted = Campaign(config).Run("Themis");
+  ASSERT_TRUE(uninterrupted.ok());
+
+  const std::string dir = FreshDir("fallback");
+  CampaignConfig crash = config;
+  crash.checkpoint_dir = dir;
+  crash.checkpoint_every_ops = 300;
+  crash.checkpoint_keep = 10;  // retain every mid snapshot for this test
+  crash.halt_after_checkpoints = 3;
+  ASSERT_FALSE(Campaign(crash).Run("Themis").ok());
+
+  // Corrupt the newest snapshot (ordinal 3) with a payload bit flip.
+  const std::string newest = dir + "/job-0-3.ckpt";
+  std::string bytes = ReadFileBytes(newest);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 0x01);
+  WriteFileBytes(newest, bytes);
+
+  CampaignConfig finish = config;
+  finish.checkpoint_dir = dir;
+  finish.checkpoint_every_ops = 300;
+  finish.checkpoint_keep = 10;
+  finish.resume = true;
+  Result<CampaignResult> resumed = Campaign(finish).Run("Themis");
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->Digest(), uninterrupted->Digest());
+}
+
+// With every snapshot corrupt, resume degrades to a fresh run — correct,
+// just slower — and still produces the uninterrupted digest.
+TEST(SnapshotCorruptionTest, AllSnapshotsCorruptMeansFreshRun) {
+  CampaignConfig config;
+  config.flavor = Flavor::kHdfs;
+  config.seed = 27182;
+  config.budget = Hours(1);
+  Result<CampaignResult> uninterrupted = Campaign(config).Run("Themis");
+  ASSERT_TRUE(uninterrupted.ok());
+
+  const std::string dir = FreshDir("all_corrupt");
+  CampaignConfig crash = config;
+  crash.checkpoint_dir = dir;
+  crash.checkpoint_every_ops = 300;
+  crash.halt_after_checkpoints = 2;
+  ASSERT_FALSE(Campaign(crash).Run("Themis").ok());
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string bytes = ReadFileBytes(entry.path().string());
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xff);
+    WriteFileBytes(entry.path().string(), bytes);
+  }
+
+  CampaignConfig finish = config;
+  finish.checkpoint_dir = dir;
+  finish.checkpoint_every_ops = 300;
+  finish.resume = true;
+  Result<CampaignResult> resumed = Campaign(finish).Run("Themis");
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->Digest(), uninterrupted->Digest());
+}
+
+// A snapshot from a different configuration is refused with a message that
+// names the mismatched field — resuming under the wrong config silently
+// diverging would be the worst possible failure mode.
+TEST(SnapshotCorruptionTest, IdentityMismatchNamesTheField) {
+  CampaignConfig config;
+  config.flavor = Flavor::kCeph;
+  config.seed = 161803;
+  config.budget = Hours(1);
+
+  SnapshotWriter writer;
+  WriteSnapshotIdentity(writer, "Themis", config);
+  const std::string payload = writer.buffer();
+
+  struct Case {
+    const char* field;
+    CampaignConfig changed;
+    std::string strategy = "Themis";
+  };
+  std::vector<Case> cases;
+  cases.push_back({"strategy", config, "Fix_req"});
+  Case seed_case{"seed", config};
+  seed_case.changed.seed = 1;
+  cases.push_back(seed_case);
+  Case budget_case{"budget", config};
+  budget_case.changed.budget = Hours(2);
+  cases.push_back(budget_case);
+  Case threshold_case{"threshold_t", config};
+  threshold_case.changed.threshold_t = 0.5;
+  cases.push_back(threshold_case);
+  Case nodes_case{"storage_nodes", config};
+  nodes_case.changed.storage_nodes = 12;
+  cases.push_back(nodes_case);
+
+  for (const Case& c : cases) {
+    SnapshotReader reader(payload);
+    Status status = CheckSnapshotIdentity(reader, c.strategy, c.changed);
+    ASSERT_FALSE(status.ok()) << c.field;
+    EXPECT_NE(status.message().find(c.field), std::string::npos)
+        << "message should name '" << c.field << "': " << status.ToString();
+  }
+
+  // The unmodified config passes.
+  SnapshotReader reader(payload);
+  EXPECT_TRUE(CheckSnapshotIdentity(reader, "Themis", config).ok());
+}
+
+// End to end through the campaign: a checkpoint directory holding another
+// campaign's snapshot is not silently adopted.
+TEST(SnapshotCorruptionTest, CampaignRefusesForeignSnapshotAndRunsFresh) {
+  const std::string dir = FreshDir("foreign");
+  CampaignConfig other;
+  other.flavor = Flavor::kLeo;
+  other.seed = 555;
+  other.budget = Hours(1);
+  other.checkpoint_dir = dir;
+  other.checkpoint_every_ops = 300;
+  other.halt_after_checkpoints = 1;
+  ASSERT_FALSE(Campaign(other).Run("Themis").ok());
+
+  CampaignConfig mine = other;
+  mine.seed = 556;  // different campaign
+  mine.halt_after_checkpoints = 0;
+  mine.resume = true;
+  Result<CampaignResult> resumed = Campaign(mine).Run("Themis");
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  CampaignConfig plain = mine;
+  plain.checkpoint_dir.clear();
+  plain.checkpoint_every_ops = 0;
+  plain.resume = false;
+  Result<CampaignResult> fresh = Campaign(plain).Run("Themis");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(resumed->Digest(), fresh->Digest());
+}
+
+}  // namespace
+}  // namespace themis

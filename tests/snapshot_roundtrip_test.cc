@@ -1,0 +1,251 @@
+// Snapshot round-trip property tests (DESIGN.md §11): for randomized
+// component states, save -> restore -> save must reproduce the original
+// bytes, and a restored component must continue producing exactly the same
+// stream of behavior as the original. The campaign-level variant checks the
+// headline guarantee end to end: a campaign halted at a checkpoint and
+// resumed yields the same digest as one that never stopped.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/snapshot_io.h"
+#include "src/core/input_model.h"
+#include "src/core/seed_pool.h"
+#include "src/core/strategy_registry.h"
+#include "src/coverage/coverage.h"
+#include "src/dfs/operation.h"
+#include "src/harness/campaign.h"
+#include "src/harness/snapshot.h"
+
+namespace themis {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("snap_roundtrip_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+Operation RandomOperation(Rng& rng) {
+  Operation op;
+  op.kind = OpKindFromIndex(static_cast<int>(rng.NextRange(0, kOpKindCount - 1)));
+  op.path = "/f" + std::to_string(rng.NextBelow(1000));
+  op.path2 = rng.Chance(0.3) ? "/g" + std::to_string(rng.NextBelow(1000)) : "";
+  op.node = static_cast<NodeId>(rng.NextBelow(16));
+  op.brick = static_cast<BrickId>(rng.NextBelow(16));
+  op.size = rng.NextU64() >> static_cast<int>(rng.NextBelow(40));
+  return op;
+}
+
+OpSeq RandomOpSeq(Rng& rng) {
+  OpSeq seq;
+  int len = static_cast<int>(rng.NextRange(1, 8));
+  for (int i = 0; i < len; ++i) {
+    seq.ops.push_back(RandomOperation(rng));
+  }
+  return seq;
+}
+
+TEST(SnapshotRoundTripTest, RngContinuesTheExactStream) {
+  Rng meta(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng original(meta.NextU64());
+    // Random warm-up, deliberately sometimes leaving a Box-Muller spare.
+    int warmup = static_cast<int>(meta.NextRange(0, 200));
+    for (int i = 0; i < warmup; ++i) original.NextU64();
+    if (meta.Chance(0.5)) original.NextGaussian();
+
+    SnapshotWriter writer;
+    original.SaveState(writer);
+    Rng restored(0);
+    SnapshotReader reader(writer.buffer());
+    ASSERT_TRUE(restored.RestoreState(reader).ok());
+
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(original.NextU64(), restored.NextU64()) << "trial " << trial;
+    }
+    ASSERT_DOUBLE_EQ(original.NextGaussian(), restored.NextGaussian());
+  }
+}
+
+TEST(SnapshotRoundTripTest, SeedPoolSaveRestoreSaveIsByteStable) {
+  Rng meta(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    SeedPool pool(64);
+    int seeds = static_cast<int>(meta.NextRange(0, 40));
+    for (int i = 0; i < seeds; ++i) {
+      pool.Add(RandomOpSeq(meta), meta.NextDouble() * 10.0);
+    }
+    Rng select_rng(meta.NextU64());
+    for (int i = 0; i < 5 && !pool.empty(); ++i) pool.Select(select_rng);
+
+    SnapshotWriter first;
+    pool.SaveState(first);
+    SeedPool restored(64);
+    SnapshotReader reader(first.buffer());
+    ASSERT_TRUE(restored.RestoreState(reader).ok());
+    SnapshotWriter second;
+    restored.SaveState(second);
+    ASSERT_EQ(first.buffer(), second.buffer()) << "trial " << trial;
+
+    // Continued selection draws identically from both pools.
+    if (!pool.empty()) {
+      Rng a(42), b(42);
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_EQ(pool.Select(a).ToString(), restored.Select(b).ToString());
+      }
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, CoverageBitmapsSurviveExactly) {
+  Rng meta(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    CoverageRecorder original(4096, meta.NextU64());
+    int hits = static_cast<int>(meta.NextRange(0, 500));
+    for (int i = 0; i < hits; ++i) {
+      CovModule module = static_cast<CovModule>(meta.NextBelow(10));
+      if (meta.Chance(0.3)) {
+        original.HitStatic(module, static_cast<uint32_t>(meta.NextBelow(64)));
+      } else {
+        original.HitState(module, meta.NextU64(),
+                          static_cast<int>(meta.NextRange(1, 16)));
+      }
+    }
+    SnapshotWriter first;
+    original.SaveState(first);
+    CoverageRecorder restored(4096, 0);
+    SnapshotReader reader(first.buffer());
+    ASSERT_TRUE(restored.RestoreState(reader).ok());
+    EXPECT_EQ(original.TotalHits(), restored.TotalHits());
+    EXPECT_EQ(original.StaticHits(), restored.StaticHits());
+    SnapshotWriter second;
+    restored.SaveState(second);
+    ASSERT_EQ(first.buffer(), second.buffer()) << "trial " << trial;
+  }
+}
+
+TEST(SnapshotRoundTripTest, CoverageRejectsWrongBranchSpace) {
+  CoverageRecorder original(4096, 9);
+  original.HitState(CovModule::kBalancer, 123, 4);
+  SnapshotWriter writer;
+  original.SaveState(writer);
+  CoverageRecorder smaller(1024, 9);
+  SnapshotReader reader(writer.buffer());
+  Status status = smaller.RestoreState(reader);
+  ASSERT_FALSE(status.ok());
+}
+
+// The fuzzer (schedule state + seed pool), its input model and its RNG,
+// restored together, continue generating exactly the test cases the
+// original would have generated.
+TEST(SnapshotRoundTripTest, FuzzerContinuesTheExactSchedule) {
+  Rng meta(31337);
+  for (int trial = 0; trial < 5; ++trial) {
+    uint64_t seed = meta.NextU64();
+    Rng rng(seed);
+    InputModel model;
+    Result<std::unique_ptr<Strategy>> fuzzer =
+        StrategyRegistry::Instance().Make("Themis", model, rng);
+    ASSERT_TRUE(fuzzer.ok());
+
+    // Drive the fuzzer through a randomized prefix of synthetic outcomes.
+    int prefix = static_cast<int>(meta.NextRange(5, 60));
+    for (int i = 0; i < prefix; ++i) {
+      OpSeq seq = (*fuzzer)->Next();
+      ExecOutcome outcome;
+      outcome.variance_score = meta.NextDouble();
+      outcome.variance_gain = meta.NextDouble() - 0.3;
+      outcome.new_coverage = static_cast<size_t>(meta.NextRange(0, 5));
+      outcome.ops_executed = static_cast<int>(seq.size());
+      outcome.ops_ok = outcome.ops_executed;
+      (*fuzzer)->OnOutcome(seq, outcome);
+    }
+
+    SnapshotWriter writer;
+    rng.SaveState(writer);
+    model.SaveState(writer);
+    (*fuzzer)->SaveState(writer);
+
+    Rng rng2(0);
+    InputModel model2;
+    Result<std::unique_ptr<Strategy>> fuzzer2 =
+        StrategyRegistry::Instance().Make("Themis", model2, rng2);
+    ASSERT_TRUE(fuzzer2.ok());
+    SnapshotReader reader(writer.buffer());
+    ASSERT_TRUE(rng2.RestoreState(reader).ok());
+    ASSERT_TRUE(model2.RestoreState(reader).ok());
+    ASSERT_TRUE((*fuzzer2)->RestoreState(reader).ok());
+    ASSERT_TRUE(reader.AtEnd());
+
+    for (int i = 0; i < 30; ++i) {
+      OpSeq a = (*fuzzer)->Next();
+      OpSeq b = (*fuzzer2)->Next();
+      ASSERT_EQ(a.ToString(), b.ToString()) << "trial " << trial << " step " << i;
+      ExecOutcome outcome;
+      outcome.variance_gain = 0.1;
+      (*fuzzer)->OnOutcome(a, outcome);
+      (*fuzzer2)->OnOutcome(b, outcome);
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, SnapshotFilePreservesKindAndPayload) {
+  const std::string dir = FreshDir("file");
+  Rng meta(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string payload;
+    size_t len = static_cast<size_t>(meta.NextRange(0, 4096));
+    payload.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(meta.NextBelow(256)));
+    }
+    SnapshotKind kind =
+        meta.Chance(0.5) ? SnapshotKind::kMidCampaign : SnapshotKind::kFinal;
+    const std::string path = dir + "/trial-" + std::to_string(trial) + ".ckpt";
+    ASSERT_TRUE(WriteSnapshotFile(path, kind, payload).ok());
+    Result<LoadedSnapshot> loaded = ReadSnapshotFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->kind, kind);
+    EXPECT_EQ(loaded->payload, payload);
+  }
+}
+
+// The headline property at the smallest useful scale: halt a campaign at
+// its first checkpoint (~1k ops in), resume it, and require the digest of
+// the continued run to equal an uninterrupted run's digest bit for bit.
+TEST(SnapshotRoundTripTest, ContinuedRunMatchesUninterruptedDigest) {
+  CampaignConfig config;
+  config.flavor = Flavor::kGluster;
+  config.seed = 4321;
+  config.budget = Hours(2);
+  Result<CampaignResult> uninterrupted = Campaign(config).Run("Themis");
+  ASSERT_TRUE(uninterrupted.ok());
+
+  const std::string dir = FreshDir("continued");
+  CampaignConfig halted = config;
+  halted.checkpoint_dir = dir;
+  halted.checkpoint_every_ops = 1000;
+  halted.halt_after_checkpoints = 1;
+  Result<CampaignResult> crash = Campaign(halted).Run("Themis");
+  ASSERT_FALSE(crash.ok());  // the crash-test hook aborts the run
+
+  CampaignConfig resumed = config;
+  resumed.checkpoint_dir = dir;
+  resumed.checkpoint_every_ops = 1000;
+  resumed.resume = true;
+  Result<CampaignResult> continued = Campaign(resumed).Run("Themis");
+  ASSERT_TRUE(continued.ok()) << continued.status().ToString();
+  EXPECT_EQ(continued->Digest(), uninterrupted->Digest());
+  EXPECT_EQ(continued->testcases, uninterrupted->testcases);
+  EXPECT_EQ(continued->total_ops, uninterrupted->total_ops);
+}
+
+}  // namespace
+}  // namespace themis
