@@ -1,0 +1,199 @@
+// Microbenchmarks for the interned-path namespace core (DESIGN.md §12) —
+// the layer the per-op hot path leans on for every file operation.
+//
+// Measured surfaces:
+//   * string-keyed resolve   — Intern + hash probe per lookup (the cold/API
+//                              path, and what every op paid pre-interning)
+//   * id-keyed resolve       — the hot path after an op's operands are
+//                              memoized: one dense-array load
+//   * create/delete churn    — entry lifecycle on re-used names
+//   * deep-subtree rename    — edge reparenting vs the pre-refactor
+//                              O(subtree) key rewrite
+//   * mixed fuzzing workload — create/append-size/rename/delete in the ratio
+//                              the generator produces, reported as ops/sec
+//                              gauges in BENCH_namespace.json for trend
+//                              tracking alongside BENCH_throughput.json.
+
+#include "bench/bench_common.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dfs/namespace_tree.h"
+
+namespace themis {
+namespace {
+
+// A three-level working set: /d<i>/d<j>/f<k>.
+std::vector<std::string> BuildPaths(NamespaceTree& tree, int width) {
+  std::vector<std::string> files;
+  for (int i = 0; i < width; ++i) {
+    std::string top = "/d" + std::to_string(i);
+    (void)tree.MakeDir(top);
+    for (int j = 0; j < width; ++j) {
+      std::string mid = top + "/d" + std::to_string(j);
+      (void)tree.MakeDir(mid);
+      for (int k = 0; k < width; ++k) {
+        std::string file = mid + "/f" + std::to_string(k);
+        (void)tree.CreateFile(file, 4096);
+        files.push_back(std::move(file));
+      }
+    }
+  }
+  return files;
+}
+
+void BM_ResolveString(benchmark::State& state) {
+  NamespaceTree tree;
+  std::vector<std::string> files = BuildPaths(tree, 8);
+  size_t i = 0;
+  for (auto _ : state) {
+    const NamespaceEntry* e = tree.Find(files[i]);
+    benchmark::DoNotOptimize(e);
+    i = (i + 1) % files.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResolveString);
+
+void BM_ResolveId(benchmark::State& state) {
+  NamespaceTree tree;
+  std::vector<std::string> files = BuildPaths(tree, 8);
+  std::vector<PathId> ids;
+  ids.reserve(files.size());
+  for (const std::string& f : files) {
+    ids.push_back(tree.Intern(f));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const NamespaceEntry* e = tree.Find(ids[i]);
+    benchmark::DoNotOptimize(e);
+    i = (i + 1) % ids.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResolveId);
+
+void BM_CreateDeleteChurn(benchmark::State& state) {
+  NamespaceTree tree;
+  (void)tree.MakeDir("/d");
+  std::vector<PathId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(tree.Intern("/d/f" + std::to_string(i)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    PathId id = ids[i];
+    benchmark::DoNotOptimize(tree.CreateFile(id, 4096));
+    benchmark::DoNotOptimize(tree.RemoveFile(id));
+    i = (i + 1) % ids.size();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CreateDeleteChurn);
+
+void BM_DeepSubtreeRename(benchmark::State& state) {
+  NamespaceTree tree;
+  // /a/d0/.../d11 with a file per level; rename ping-pongs the whole tree.
+  (void)tree.MakeDir("/a");
+  (void)tree.MakeDir("/b");
+  std::string dir = "/a/r";
+  (void)tree.MakeDir(dir);
+  for (int i = 0; i < 12; ++i) {
+    dir += "/d" + std::to_string(i);
+    (void)tree.MakeDir(dir);
+    (void)tree.CreateFile(dir + "/f", 4096);
+  }
+  bool at_a = true;
+  for (auto _ : state) {
+    Status s = at_a ? tree.Rename("/a/r", "/b/r") : tree.Rename("/b/r", "/a/r");
+    benchmark::DoNotOptimize(s);
+    at_a = !at_a;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeepSubtreeRename);
+
+void BM_ListFiles(benchmark::State& state) {
+  NamespaceTree tree;
+  std::vector<std::string> files = BuildPaths(tree, 8);
+  for (auto _ : state) {
+    std::vector<std::string> listing = tree.ListFiles();
+    benchmark::DoNotOptimize(listing.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ListFiles);
+
+// The full-experiment layer: a mixed workload in roughly the generator's
+// file-op mix, run twice — once through the string API (every op re-resolves
+// its path, the pre-interning cost model) and once through memoized ids (the
+// executor's hot path). Gauges land in BENCH_namespace.json.
+void RunNamespaceExperiment() {
+  PrintHeader("Namespace core (interned paths, DESIGN.md §12)");
+  std::printf("%-24s %14s\n", "series", "ops/sec");
+
+  constexpr int kOps = 400000;
+  auto run_mixed = [&](bool use_ids) {
+    NamespaceTree tree;
+    std::vector<std::string> files = BuildPaths(tree, 8);
+    std::vector<PathId> ids;
+    ids.reserve(files.size());
+    for (const std::string& f : files) {
+      ids.push_back(tree.Intern(f));
+    }
+    Rng rng(7);
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      size_t pick = rng.PickIndex(files.size());
+      uint64_t roll = rng.NextBelow(100);
+      if (use_ids) {
+        PathId id = ids[pick];
+        if (roll < 45) {
+          benchmark::DoNotOptimize(tree.Find(id));
+        } else if (roll < 70) {
+          (void)tree.SetFileSize(id, roll * 1024);
+        } else if (roll < 85) {
+          (void)tree.RemoveFile(id);
+        } else {
+          benchmark::DoNotOptimize(tree.CreateFile(id, 4096));
+        }
+      } else {
+        const std::string& path = files[pick];
+        if (roll < 45) {
+          benchmark::DoNotOptimize(tree.Find(path));
+        } else if (roll < 70) {
+          (void)tree.SetFileSize(path, roll * 1024);
+        } else if (roll < 85) {
+          (void)tree.RemoveFile(path);
+        } else {
+          benchmark::DoNotOptimize(tree.CreateFile(path, 4096));
+        }
+      }
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return static_cast<double>(kOps) / seconds;
+  };
+
+  struct Series {
+    const char* name;
+    bool use_ids;
+  };
+  constexpr Series kSeries[] = {{"string_resolve", false}, {"id_resolve", true}};
+  for (const Series& series : kSeries) {
+    double ops_per_sec = run_mixed(series.use_ids);
+    MetricsRegistry::Global()
+        .GetGauge(Sprintf("namespace.%s.ops_per_sec", series.name))
+        .Add(static_cast<int64_t>(ops_per_sec));
+    std::printf("%-24s %14.0f\n", series.name, ops_per_sec);
+  }
+}
+
+}  // namespace
+}  // namespace themis
+
+THEMIS_BENCH_MAIN(themis::RunNamespaceExperiment)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate CI on throughput regressions.
+
+Compares the `throughput.<flavor>.ops_per_sec` gauges of a freshly measured
+bench summary against the checked-in baseline (BENCH_throughput.json) and
+exits nonzero if any series dropped more than the allowed fraction.
+
+Only the raw-execution ops_per_sec series are gated: they time a 30k-op
+deterministic loop and are stable on shared runners. The campaign_* series
+measure a full campaign whose wall time is milliseconds, so they are
+reported for trend-watching but far too noisy to gate on.
+
+Usage: check_perf_regression.py BASELINE.json CURRENT.json [--max-drop 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_gauges(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("gauges", {})
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-drop", type=float, default=0.20,
+                        help="maximum allowed fractional drop (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = load_gauges(args.baseline)
+    current = load_gauges(args.current)
+
+    gated = sorted(k for k in baseline
+                   if k.startswith("throughput.") and k.endswith(".ops_per_sec")
+                   and not k.endswith(".campaign_ops_per_sec"))
+    if not gated:
+        print(f"error: no throughput.*.ops_per_sec gauges in {args.baseline}")
+        return 2
+
+    failures = []
+    print(f"{'series':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for key in gated:
+        base = float(baseline[key])
+        if key not in current:
+            failures.append(f"{key}: missing from {args.current}")
+            print(f"{key:<40} {base:>12.0f} {'MISSING':>12}")
+            continue
+        cur = float(current[key])
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = ""
+        if delta < -args.max_drop:
+            failures.append(
+                f"{key}: {base:.0f} -> {cur:.0f} ({delta:+.1%}, "
+                f"limit -{args.max_drop:.0%})")
+            flag = "  <-- REGRESSION"
+        print(f"{key:<40} {base:>12.0f} {cur:>12.0f} {delta:>+7.1%}{flag}")
+
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nperf regression gate passed ({len(gated)} series, "
+          f"max allowed drop {args.max_drop:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

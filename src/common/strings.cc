@@ -65,6 +65,21 @@ std::string NormalizePath(std::string_view path) {
   return out;
 }
 
+bool IsNormalizedPath(std::string_view path) {
+  if (path == "/") {
+    return true;
+  }
+  if (path.size() < 2 || path.front() != '/' || path.back() == '/') {
+    return false;
+  }
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/' && path[i - 1] == '/') {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string ParentPath(std::string_view path) {
   if (path.empty() || path == "/") {
     return "/";

@@ -25,6 +25,10 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 // single leading slash, strips a trailing slash (except for the root "/").
 std::string NormalizePath(std::string_view path);
 
+// True iff `path` is byte-identical to NormalizePath(path) — the common case
+// for generated operands, checked without allocating.
+bool IsNormalizedPath(std::string_view path);
+
 // Returns the parent directory of a normalized path ("/a/b" -> "/a",
 // "/a" -> "/", "/" -> "/").
 std::string ParentPath(std::string_view path);

@@ -98,7 +98,6 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
     FailureReport report;
     report.dimension = candidate->dimension;
     report.ratio = candidate->ratio;
-    report.testcase = seq;
     bool confirmed = DoubleCheck(seq, *candidate, report);
     if (telemetry_ != nullptr) {
       telemetry_->Record(CampaignEventKind::kDoubleCheck,
@@ -113,6 +112,9 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
       THEMIS_COUNTER_INC("double_check.refuted", 1);
     }
     if (confirmed) {
+      // The refuted path never reads the opseq, so the copy (reports outlive
+      // the campaign loop) is paid only for real failures.
+      report.testcase = seq;
       HandleConfirmed(report, outcome);
     }
   }

@@ -9,10 +9,19 @@
 namespace themis {
 
 void InputModel::SyncFromDfs(const DfsInterface& dfs) {
+  // Free space moves with every write, and GenerateSize consumes it — always
+  // refresh it so the generated operand stream is independent of how often
+  // membership changes.
+  free_space_ = dfs.FreeSpaceBytes();
+  uint64_t epoch = dfs.MembershipEpoch();
+  if (epoch != DfsInterface::kMembershipEpochUnknown &&
+      epoch == synced_membership_epoch_) {
+    return;  // membership unchanged since the last pull
+  }
   list_mn_ = dfs.ListMetaNodes();
   list_s_ = dfs.ListStorageNodes();
   bricks_ = dfs.ListBricks();
-  free_space_ = dfs.FreeSpaceBytes();
+  synced_membership_epoch_ = epoch;
 }
 
 void InputModel::Reset() {
@@ -23,6 +32,7 @@ void InputModel::Reset() {
   list_s_.clear();
   bricks_.clear();
   free_space_ = 0;
+  synced_membership_epoch_ = DfsInterface::kMembershipEpochUnknown;
   // name_counter_ keeps growing so names stay unique across resets.
 }
 
@@ -216,6 +226,7 @@ Status InputModel::RestoreState(SnapshotReader& reader) {
   name_counter_ = reader.U64();
   file_set_.clear();
   file_set_.insert(files_.begin(), files_.end());
+  synced_membership_epoch_ = DfsInterface::kMembershipEpochUnknown;
   return reader.status();
 }
 

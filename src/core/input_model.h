@@ -9,8 +9,8 @@
 #ifndef SRC_CORE_INPUT_MODEL_H_
 #define SRC_CORE_INPUT_MODEL_H_
 
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -23,7 +23,10 @@ class InputModel {
  public:
   InputModel() = default;
 
-  // Pulls the admin views (node/brick lists, free space).
+  // Pulls the admin views (node/brick lists, free space). Free space is
+  // refreshed on every call; the list pulls are skipped while the cluster's
+  // membership epoch is unchanged since the last sync (the lists are pure
+  // functions of membership, so a stable epoch means stable lists).
   void SyncFromDfs(const DfsInterface& dfs);
 
   // Updates Tree_files / lists from an executed operation.
@@ -71,13 +74,17 @@ class InputModel {
 
  private:
   std::vector<std::string> files_;
-  std::set<std::string> file_set_;
+  std::unordered_set<std::string> file_set_;  // membership only; files_ keeps order
   std::vector<std::string> dirs_{"/"};
   std::vector<NodeId> list_mn_;
   std::vector<NodeId> list_s_;
   std::vector<BrickId> bricks_;
   uint64_t free_space_ = 0;
   uint64_t name_counter_ = 0;
+  // Epoch the lists were last pulled under. Deliberately NOT serialized: a
+  // restored campaign faces a fresh cluster whose epoch counter restarts, so
+  // a stale value could collide and wrongly skip the first pull.
+  uint64_t synced_membership_epoch_ = DfsInterface::kMembershipEpochUnknown;
 };
 
 }  // namespace themis

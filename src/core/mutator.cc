@@ -97,6 +97,8 @@ void OpSeqMutator::Repair(OpSeq& seq, Rng& rng) {
       case OpKind::kRename:
         if (!model_.HasFile(op.path) && rng.Chance(0.9)) {
           op.path = model_.ExistingFile(rng);
+          // The memoized PathId still names the old operand — drop it.
+          op.path_cache = {};
         }
         break;
       case OpKind::kRemoveMetaNode:

@@ -42,8 +42,10 @@ DfsCluster::~DfsCluster() = default;
 void DfsCluster::BuildInitialTopology() {
   tree_.Clear();
   storage_nodes_.clear();
+  storage_node_index_.clear();
   meta_nodes_.clear();
   bricks_.clear();
+  brick_index_.clear();
   layouts_.clear();
   brick_chunks_.clear();
   move_queue_.clear();
@@ -85,25 +87,8 @@ void DfsCluster::ResetToInitial() {
 // ---------------------------------------------------------------------------
 // Lookup helpers
 
-Brick* DfsCluster::FindBrick(BrickId id) {
-  auto it = bricks_.find(id);
-  return it == bricks_.end() ? nullptr : &it->second;
-}
-
-const Brick* DfsCluster::FindBrick(BrickId id) const {
-  auto it = bricks_.find(id);
-  return it == bricks_.end() ? nullptr : &it->second;
-}
-
-StorageNode* DfsCluster::FindStorageNode(NodeId id) {
-  auto it = storage_nodes_.find(id);
-  return it == storage_nodes_.end() ? nullptr : &it->second;
-}
-
-const StorageNode* DfsCluster::FindStorageNode(NodeId id) const {
-  auto it = storage_nodes_.find(id);
-  return it == storage_nodes_.end() ? nullptr : &it->second;
-}
+// FindBrick / FindStorageNode are inline in cluster.h, backed by the flat
+// brick_index_ / storage_node_index_ pointer vectors maintained below.
 
 // ---------------------------------------------------------------------------
 // Incremental load index
@@ -121,6 +106,7 @@ const StorageNode* DfsCluster::FindStorageNode(NodeId id) const {
 void DfsCluster::InvalidateLoadIndex() {
   load_index_dirty_ = true;
   ++load_epoch_;
+  ++membership_epoch_;
 }
 
 void DfsCluster::RebuildLoadIndex() const {
@@ -217,6 +203,7 @@ void DfsCluster::ReleaseBrickBytes(Brick* brick, uint64_t bytes) {
 
 void DfsCluster::OnStorageNodeAdded(NodeId id) {
   ++load_epoch_;
+  ++membership_epoch_;
   if (load_index_dirty_) {
     return;
   }
@@ -229,6 +216,7 @@ void DfsCluster::OnStorageNodeAdded(NodeId id) {
 
 void DfsCluster::OnBrickAdded(const Brick& brick) {
   ++load_epoch_;
+  ++membership_epoch_;
   if (load_index_dirty_) {
     return;
   }
@@ -255,6 +243,7 @@ void DfsCluster::OnBrickAdded(const Brick& brick) {
 
 void DfsCluster::OnStorageNodeUnserving(NodeId id) {
   ++load_epoch_;
+  ++membership_epoch_;
   if (load_index_dirty_) {
     return;
   }
@@ -294,6 +283,7 @@ void DfsCluster::OnStorageNodeUnserving(NodeId id) {
 
 void DfsCluster::OnBrickOffline(const Brick& brick) {
   ++load_epoch_;
+  ++membership_epoch_;
   if (load_index_dirty_) {
     return;
   }
@@ -630,6 +620,7 @@ void DfsCluster::CrashNode(NodeId node) {
       if (pos != serving_meta_nodes_.end() && *pos == node) {
         serving_meta_nodes_.erase(pos);
       }
+      ++membership_epoch_;
     }
   }
 }
@@ -645,32 +636,56 @@ uint64_t DfsCluster::SkewBytes(BrickId from, BrickId to, uint64_t bytes) {
   if (idx_it == brick_chunks_.end()) {
     return 0;
   }
-  // Copy keys up front: ExecuteMove-style mutation invalidates iterators.
-  std::vector<std::pair<FileId, uint32_t>> candidates(idx_it->second.begin(),
-                                                      idx_it->second.end());
-  for (const auto& [file, chunk_index] : candidates) {
+  // This runs on the continuous-fault path (every op while a storage fault
+  // is active), so iterate the live vector instead of snapshotting it: only
+  // the current element is ever erased (erase returns the next iterator), and
+  // inserts go to `to`'s entry (from != to), so the visit order matches a
+  // snapshot walk exactly. Entries are sorted by file, so the layout lookup
+  // is cached across consecutive chunks of the same file.
+  std::vector<std::pair<FileId, uint32_t>>& from_set = idx_it->second;
+  auto layout_it = layouts_.end();
+  FileId layout_file = 0;
+  bool layout_cached = false;
+  auto it = from_set.begin();
+  while (it != from_set.end()) {
     if (moved >= bytes || dst->FreeBytes() == 0) {
       break;
     }
-    auto layout_it = layouts_.find(file);
+    const auto [file, chunk_index] = *it;
+    if (!layout_cached || layout_file != file) {
+      layout_it = layouts_.find(file);
+      layout_file = file;
+      layout_cached = true;
+    }
     if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+      ++it;
       continue;
     }
     ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
     if (chunk.HasReplicaOn(to) || chunk.bytes > dst->FreeBytes()) {
+      ++it;
       continue;
     }
+    bool swapped = false;
     for (BrickId& replica : chunk.replicas) {
       if (replica == from) {
         replica = to;
         ReleaseBrickBytes(src, chunk.bytes);
         AccreteBrickBytes(dst, chunk.bytes);
-        RemoveReplicaIndex(from, file, chunk_index);
         AddReplicaIndex(to, file, chunk_index);
         moved += chunk.bytes;
+        swapped = true;
         break;
       }
     }
+    if (swapped) {
+      it = from_set.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (from_set.empty()) {
+    brick_chunks_.erase(idx_it);
   }
   return moved;
 }
@@ -685,28 +700,43 @@ uint64_t DfsCluster::DestroyBytes(BrickId brick, uint64_t bytes) {
   if (idx_it == brick_chunks_.end()) {
     return 0;
   }
-  std::vector<std::pair<FileId, uint32_t>> candidates(idx_it->second.begin(),
-                                                      idx_it->second.end());
-  for (const auto& [file, chunk_index] : candidates) {
+  // Same live iteration as SkewBytes: only the current element is ever
+  // erased, so this visits exactly what a snapshot copy would.
+  std::vector<std::pair<FileId, uint32_t>>& brick_set = idx_it->second;
+  auto layout_it = layouts_.end();
+  FileId layout_file = 0;
+  bool layout_cached = false;
+  auto it = brick_set.begin();
+  while (it != brick_set.end()) {
     if (destroyed >= bytes) {
       break;
     }
-    auto layout_it = layouts_.find(file);
+    const auto [file, chunk_index] = *it;
+    if (!layout_cached || layout_file != file) {
+      layout_it = layouts_.find(file);
+      layout_file = file;
+      layout_cached = true;
+    }
     if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
+      ++it;
       continue;
     }
     ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
     auto replica_it = std::find(chunk.replicas.begin(), chunk.replicas.end(), brick);
     if (replica_it == chunk.replicas.end()) {
+      ++it;
       continue;
     }
     chunk.replicas.erase(replica_it);
     ReleaseBrickBytes(target, chunk.bytes);
-    RemoveReplicaIndex(brick, file, chunk_index);
+    it = brick_set.erase(it);
     destroyed += chunk.bytes;
     if (chunk.replicas.empty()) {
       lost_bytes_ += chunk.bytes;  // last replica gone: user data lost
     }
+  }
+  if (brick_set.empty()) {
+    brick_chunks_.erase(idx_it);
   }
   return destroyed;
 }
@@ -715,7 +745,16 @@ uint64_t DfsCluster::DestroyBytes(BrickId brick, uint64_t bytes) {
 // Replica index
 
 void DfsCluster::AddReplicaIndex(BrickId brick, FileId file, uint32_t chunk) {
-  brick_chunks_[brick].insert({file, chunk});
+  auto& vec = brick_chunks_[brick];
+  const std::pair<FileId, uint32_t> key{file, chunk};
+  if (vec.empty() || vec.back() < key) {
+    vec.push_back(key);  // monotonic file ids make append the common case
+    return;
+  }
+  auto pos = std::lower_bound(vec.begin(), vec.end(), key);
+  if (pos == vec.end() || *pos != key) {
+    vec.insert(pos, key);
+  }
 }
 
 void DfsCluster::RemoveReplicaIndex(BrickId brick, FileId file, uint32_t chunk) {
@@ -723,8 +762,13 @@ void DfsCluster::RemoveReplicaIndex(BrickId brick, FileId file, uint32_t chunk) 
   if (it == brick_chunks_.end()) {
     return;
   }
-  it->second.erase({file, chunk});
-  if (it->second.empty()) {
+  auto& vec = it->second;
+  const std::pair<FileId, uint32_t> key{file, chunk};
+  auto pos = std::lower_bound(vec.begin(), vec.end(), key);
+  if (pos != vec.end() && *pos == key) {
+    vec.erase(pos);
+  }
+  if (vec.empty()) {
     brick_chunks_.erase(it);
   }
 }
@@ -734,12 +778,12 @@ std::vector<std::pair<FileId, uint32_t>> DfsCluster::ChunksOnBrick(BrickId brick
   if (it == brick_chunks_.end()) {
     return {};
   }
-  return {it->second.begin(), it->second.end()};
+  return it->second;
 }
 
-const std::set<std::pair<FileId, uint32_t>>& DfsCluster::ChunksOnBrickRef(
+const std::vector<std::pair<FileId, uint32_t>>& DfsCluster::ChunksOnBrickRef(
     BrickId brick) const {
-  static const std::set<std::pair<FileId, uint32_t>> kEmpty;
+  static const std::vector<std::pair<FileId, uint32_t>> kEmpty;
   auto it = brick_chunks_.find(brick);
   return it == brick_chunks_.end() ? kEmpty : it->second;
 }
@@ -753,9 +797,11 @@ BrickId DfsCluster::NewBrickOnNode(NodeId node, uint64_t capacity) {
     return kInvalidBrick;
   }
   BrickId id = next_brick_id_++;
-  bricks_[id] = Brick{.id = id, .node = node, .capacity_bytes = capacity};
+  Brick& brick = bricks_[id];
+  brick = Brick{.id = id, .node = node, .capacity_bytes = capacity};
+  IndexBrickPtr(id, &brick);
   sn->bricks.push_back(id);
-  OnBrickAdded(bricks_[id]);
+  OnBrickAdded(brick);
   return id;
 }
 
@@ -763,7 +809,9 @@ NodeId DfsCluster::AddStorageNodeInternal(uint64_t brick_capacity) {
   NodeId id = next_node_id_++;
   StorageNode node;
   node.id = id;
-  storage_nodes_[id] = node;
+  StorageNode& stored = storage_nodes_[id];
+  stored = node;
+  IndexStorageNodePtr(id, &stored);
   OnStorageNodeAdded(id);
   NewBrickOnNode(id, brick_capacity);
   return id;
@@ -969,6 +1017,9 @@ void DfsCluster::ReleaseLayout(FileId file, const FileLayout& layout) {
 void DfsCluster::IndexLayout(FileId file, const FileLayout& layout) {
   for (uint32_t i = 0; i < layout.chunks.size(); ++i) {
     for (BrickId b : layout.chunks[i].replicas) {
+      // A freshly indexed file carries the largest (file, chunk) keys the
+      // brick has seen, so AddReplicaIndex's append fast path makes this
+      // amortized O(1).
       AddReplicaIndex(b, file, i);
     }
   }
@@ -976,36 +1027,50 @@ void DfsCluster::IndexLayout(FileId file, const FileLayout& layout) {
 
 void DfsCluster::ChargeLayoutIo(const FileLayout& layout, bool is_write) {
   for (const ChunkPlacement& chunk : layout.chunks) {
+    // The charge is identical for every replica of the chunk.
+    const double cpu = kStorageCpuPerGiB * static_cast<double>(chunk.bytes) /
+                       static_cast<double>(kGiB);
+    const uint64_t ios = IoCount(chunk.bytes);
     for (BrickId b : chunk.replicas) {
       const Brick* brick = FindBrick(b);
       if (brick == nullptr) {
         continue;
       }
-      double cpu = kStorageCpuPerGiB * static_cast<double>(chunk.bytes) /
-                   static_cast<double>(kGiB);
       if (is_write) {
-        ChargeStorage(brick->node, 0, IoCount(chunk.bytes), cpu);
+        ChargeStorage(brick->node, 0, ios, cpu);
       } else {
-        ChargeStorage(brick->node, IoCount(chunk.bytes), 0, cpu * 0.5);
+        ChargeStorage(brick->node, ios, 0, cpu * 0.5);
       }
     }
   }
 }
 
+// Placement policies hash the normalized path *string*; in the common case
+// the generated operand is already normalized, so this is a no-alloc
+// pass-through (the scratch buffer covers the rest).
+const std::string& DfsCluster::NormalizedOpPath(const Operation& op) {
+  if (IsNormalizedPath(op.path)) {
+    return op.path;
+  }
+  norm_scratch_ = NormalizePath(op.path);
+  return norm_scratch_;
+}
+
 OpResult DfsCluster::DoCreate(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kRequest, 0);
-  if (tree_.Find(op.path) != nullptr) {
+  PathId rid = tree_.ResolveOpPath(op);
+  if (tree_.Find(rid) != nullptr) {
     result.status = Status::AlreadyExists(op.path);
     return result;
   }
-  Result<FileLayout> placed = PlaceFile(NormalizePath(op.path), op.size);
+  Result<FileLayout> placed = PlaceFile(NormalizedOpPath(op), op.size);
   if (!placed.ok()) {
     COV_BRANCH(cov_, CovModule::kPlacement, 1);
     result.status = placed.status();
     return result;
   }
-  Result<FileId> created = tree_.CreateFile(op.path, op.size);
+  Result<FileId> created = tree_.CreateFile(rid, op.size);
   if (!created.ok()) {
     ReleaseLayout(0, *placed);  // not yet indexed; brick bytes roll back only
     result.status = created.status();
@@ -1023,9 +1088,10 @@ OpResult DfsCluster::DoCreate(const Operation& op) {
 OpResult DfsCluster::DoDelete(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kRequest, 2);
-  Result<FileId> id = tree_.FileIdOf(op.path);
+  PathId rid = tree_.ResolveOpPath(op);
+  Result<FileId> id = tree_.FileIdOf(rid);
   if (!id.ok()) {
-    result.status = id.status();
+    result.status = Status::NotFound(op.path);  // raw operand, as clients see
     return result;
   }
   auto layout_it = layouts_.find(*id);
@@ -1033,16 +1099,17 @@ OpResult DfsCluster::DoDelete(const Operation& op) {
     ReleaseLayout(*id, layout_it->second);
     layouts_.erase(layout_it);
   }
-  result.status = tree_.RemoveFile(op.path);
+  result.status = tree_.RemoveFile(rid);
   return result;
 }
 
 OpResult DfsCluster::DoAppend(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kRequest, 3);
-  Result<FileId> id = tree_.FileIdOf(op.path);
+  PathId rid = tree_.ResolveOpPath(op);
+  Result<FileId> id = tree_.FileIdOf(rid);
   if (!id.ok()) {
-    result.status = id.status();
+    result.status = Status::NotFound(op.path);  // raw operand, as clients see
     return result;
   }
   FileLayout& layout = layouts_[*id];
@@ -1068,7 +1135,7 @@ OpResult DfsCluster::DoAppend(const Operation& op) {
                       kStorageCpuPerGiB * static_cast<double>(bytes) / kGiB);
       }
       layout.size += bytes;
-      result.status = tree_.SetFileSize(op.path, layout.size);
+      result.status = tree_.SetFileSize(rid, layout.size);
       result.bytes_moved = bytes * config_.replication;
       result.cost = TransferCost(result.bytes_moved);
       return result;
@@ -1080,7 +1147,7 @@ OpResult DfsCluster::DoAppend(const Operation& op) {
   while (remaining > 0) {
     uint64_t piece = std::min(remaining, config_.chunk_size);
     std::vector<BrickId> replicas = PlaceChunk(
-        NormalizePath(op.path), static_cast<uint32_t>(layout.chunks.size()), piece);
+        NormalizedOpPath(op), static_cast<uint32_t>(layout.chunks.size()), piece);
     if (replicas.empty()) {
       COV_BRANCH(cov_, CovModule::kPlacement, 4);
       break;  // partial append: the write hit ENOSPC mid-stream
@@ -1102,10 +1169,10 @@ OpResult DfsCluster::DoAppend(const Operation& op) {
     remaining -= piece;
   }
   result.status = appended == bytes
-                      ? tree_.SetFileSize(op.path, layout.size)
+                      ? tree_.SetFileSize(rid, layout.size)
                       : Status::OutOfSpace("append: no placement");
   if (appended > 0 && !result.status.ok()) {
-    (void)tree_.SetFileSize(op.path, layout.size);
+    (void)tree_.SetFileSize(rid, layout.size);
   }
   result.bytes_moved = appended * config_.replication;
   result.cost = TransferCost(std::min<uint64_t>(appended, config_.chunk_size) *
@@ -1116,9 +1183,10 @@ OpResult DfsCluster::DoAppend(const Operation& op) {
 OpResult DfsCluster::DoOverwrite(const Operation& op, bool truncate_first) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kRequest, truncate_first ? 6 : 5);
-  Result<FileId> id = tree_.FileIdOf(op.path);
+  PathId rid = tree_.ResolveOpPath(op);
+  Result<FileId> id = tree_.FileIdOf(rid);
   if (!id.ok()) {
-    result.status = id.status();
+    result.status = Status::NotFound(op.path);  // raw operand, as clients see
     return result;
   }
   auto layout_it = layouts_.find(*id);
@@ -1127,11 +1195,11 @@ OpResult DfsCluster::DoOverwrite(const Operation& op, bool truncate_first) {
     layouts_.erase(layout_it);
   }
   uint64_t new_size = op.size;
-  Result<FileLayout> placed = PlaceFile(NormalizePath(op.path), new_size);
+  Result<FileLayout> placed = PlaceFile(NormalizedOpPath(op), new_size);
   if (!placed.ok()) {
     // The file now exists with no data (the truncate landed, the write
     // failed) — exactly what happens on a full real system.
-    (void)tree_.SetFileSize(op.path, 0);
+    (void)tree_.SetFileSize(rid, 0);
     layouts_[*id] = FileLayout{};
     result.status = placed.status();
     return result;
@@ -1139,7 +1207,7 @@ OpResult DfsCluster::DoOverwrite(const Operation& op, bool truncate_first) {
   layouts_[*id] = placed.take();
   IndexLayout(*id, layouts_[*id]);
   ChargeLayoutIo(layouts_[*id], /*is_write=*/true);
-  result.status = tree_.SetFileSize(op.path, new_size);
+  result.status = tree_.SetFileSize(rid, new_size);
   result.bytes_moved = new_size * config_.replication;
   result.cost = ParallelTransferCost(layouts_[*id]);
   return result;
@@ -1148,9 +1216,9 @@ OpResult DfsCluster::DoOverwrite(const Operation& op, bool truncate_first) {
 OpResult DfsCluster::DoOpen(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kRequest, 7);
-  Result<FileId> id = tree_.FileIdOf(op.path);
+  Result<FileId> id = tree_.FileIdOf(tree_.ResolveOpPath(op));
   if (!id.ok()) {
-    result.status = id.status();
+    result.status = Status::NotFound(op.path);  // raw operand, as clients see
     return result;
   }
   auto layout_it = layouts_.find(*id);
@@ -1166,22 +1234,24 @@ OpResult DfsCluster::DoOpen(const Operation& op) {
 OpResult DfsCluster::DoMkdir(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kNamespace, 8);
-  result.status = tree_.MakeDir(op.path);
+  result.status = tree_.MakeDir(tree_.ResolveOpPath(op));
   return result;
 }
 
 OpResult DfsCluster::DoRmdir(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kNamespace, 9);
-  result.status = tree_.RemoveDir(op.path);
+  result.status = tree_.RemoveDir(tree_.ResolveOpPath(op));
   return result;
 }
 
 OpResult DfsCluster::DoRename(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kNamespace, 10);
-  Result<FileId> id = tree_.FileIdOf(op.path);
-  result.status = tree_.Rename(op.path, op.path2);
+  PathId src = tree_.ResolveOpPath(op);
+  PathId dst = tree_.ResolveOpPath2(op);
+  Result<FileId> id = tree_.FileIdOf(src);
+  result.status = tree_.Rename(src, dst);
   if (result.status.ok() && id.ok()) {
     OnFileRenamed(*id, NormalizePath(op.path), NormalizePath(op.path2));
   }
@@ -1204,6 +1274,7 @@ OpResult DfsCluster::DoAddMetaNode(const Operation& op) {
     node.id = id;
     meta_nodes_[id] = node;
   serving_meta_nodes_.push_back(id);  // node ids are monotonic: stays sorted
+  ++membership_epoch_;
   result.cost = Seconds(5);
   NotifyTopologyChanged();
   result.status = Status::Ok();
@@ -1229,6 +1300,7 @@ OpResult DfsCluster::DoRemoveMetaNode(const Operation& op) {
   if (pos != serving_meta_nodes_.end() && *pos == target) {
     serving_meta_nodes_.erase(pos);
   }
+  ++membership_epoch_;
   result.cost = Seconds(3);
   NotifyTopologyChanged();
   result.status = Status::Ok();
@@ -1452,27 +1524,65 @@ void DfsCluster::NotifyTopologyChanged() {
 // ---------------------------------------------------------------------------
 // Recovery / evacuation / migration
 
-BrickId DfsCluster::PickRecoveryTarget(const ChunkPlacement& chunk, uint64_t bytes) {
-  BrickId best = kInvalidBrick;
-  double best_used = 2.0;
+// Snapshots the serving bricks once per scheduling pass, sorted by
+// utilization (ties by serving order). Nothing in a scheduling pass mutates
+// brick bytes or membership, so one snapshot serves every chunk of the pass.
+void DfsCluster::BuildRecoveryCandidates(
+    std::vector<RecoveryCandidate>& out) const {
+  out.clear();
+  uint32_t order = 0;
   for (BrickId id : ServingBricks()) {
     const Brick* brick = FindBrick(id);
-    if (brick->FreeBytes() < bytes || chunk.HasReplicaOn(id)) {
+    out.push_back(
+        RecoveryCandidate{brick->UsedFraction(), order++, id, brick});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecoveryCandidate& a, const RecoveryCandidate& b) {
+              return a.used_fraction != b.used_fraction
+                         ? a.used_fraction < b.used_fraction
+                         : a.order < b.order;
+            });
+}
+
+// Equivalent to the historical full scan (least-used serving brick, +0.5
+// penalty for co-locating with an existing replica's node, first in serving
+// order on ties) but over the pre-sorted candidate list, so it can stop as
+// soon as no later candidate can beat the incumbent: a candidate's key is at
+// least its used_fraction, and used_fractions only grow from here.
+BrickId DfsCluster::PickRecoveryTarget(
+    const std::vector<RecoveryCandidate>& candidates,
+    const ChunkPlacement& chunk, uint64_t bytes) const {
+  BrickId best = kInvalidBrick;
+  double best_used = 2.0;
+  uint32_t best_order = 0xffffffffu;
+  // The replica node set is per chunk, not per candidate — resolve it once.
+  replica_nodes_scratch_.clear();
+  for (BrickId other : chunk.replicas) {
+    const Brick* other_brick = FindBrick(other);
+    if (other_brick != nullptr) {
+      replica_nodes_scratch_.push_back(other_brick->node);
+    }
+  }
+  for (const RecoveryCandidate& cand : candidates) {
+    if (cand.used_fraction > best_used) {
+      break;
+    }
+    if (cand.brick->FreeBytes() < bytes || chunk.HasReplicaOn(cand.id)) {
       continue;
     }
     // Keep replicas on distinct nodes when possible.
     bool same_node = false;
-    for (BrickId other : chunk.replicas) {
-      const Brick* other_brick = FindBrick(other);
-      if (other_brick != nullptr && other_brick->node == brick->node) {
+    for (NodeId other_node : replica_nodes_scratch_) {
+      if (other_node == cand.brick->node) {
         same_node = true;
         break;
       }
     }
-    double used = brick->UsedFraction() + (same_node ? 0.5 : 0.0);
-    if (used < best_used) {
+    double used = cand.used_fraction + (same_node ? 0.5 : 0.0);
+    if (used < best_used || (used == best_used && cand.order < best_order)) {
       best_used = used;
-      best = id;
+      best_order = cand.order;
+      best = cand.id;
     }
   }
   return best;
@@ -1484,6 +1594,7 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
   if (sn == nullptr) {
     return;
   }
+  BuildRecoveryCandidates(recovery_candidates_);
   for (BrickId b : sn->bricks) {
     for (const auto& [file, chunk_index] : ChunksOnBrickRef(b)) {
       auto layout_it = layouts_.find(file);
@@ -1491,7 +1602,7 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
         continue;
       }
       const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
-      BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
+      BrickId target = PickRecoveryTarget(recovery_candidates_, chunk, chunk.bytes);
       if (target == kInvalidBrick) {
         COV_BRANCH(cov_, CovModule::kRecovery, 21);
         continue;  // under-replicated until space appears
@@ -1508,13 +1619,14 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
 
 void DfsCluster::ScheduleEvacuation(BrickId brick) {
   COV_BRANCH(cov_, CovModule::kMigration, 22);
+  BuildRecoveryCandidates(recovery_candidates_);
   for (const auto& [file, chunk_index] : ChunksOnBrickRef(brick)) {
     auto layout_it = layouts_.find(file);
     if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
       continue;
     }
     const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
-    BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
+    BrickId target = PickRecoveryTarget(recovery_candidates_, chunk, chunk.bytes);
     if (target == kInvalidBrick) {
       continue;
     }
@@ -1529,6 +1641,7 @@ void DfsCluster::ScheduleEvacuation(BrickId brick) {
 
 void DfsCluster::ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes) {
   uint64_t scheduled = 0;
+  BuildRecoveryCandidates(recovery_candidates_);
   for (const auto& [file, chunk_index] : ChunksOnBrickRef(brick)) {
     if (scheduled >= bytes) {
       break;
@@ -1538,7 +1651,7 @@ void DfsCluster::ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes) {
       continue;
     }
     const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
-    BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
+    BrickId target = PickRecoveryTarget(recovery_candidates_, chunk, chunk.bytes);
     if (target == kInvalidBrick) {
       continue;
     }
@@ -1566,10 +1679,13 @@ Status DfsCluster::TriggerRebalance() {
   if (hooks_ != nullptr) {
     hooks_->OnRebalancePlanned(*this, plan);
   }
-  // Charge the balancer's own computation to a metadata node.
-  std::vector<NodeId> mns = ListMetaNodes();
-  if (!mns.empty()) {
-    ChargeMeta(mns[rng_.PickIndex(mns.size())], 0, kBalancerCpuPerPlan);
+  // Charge the balancer's own computation to a metadata node. Reads the
+  // serving list in place — same contents and order as ListMetaNodes(), and
+  // PickIndex fires iff the list is non-empty, so the RNG stream is
+  // unchanged.
+  if (!serving_meta_nodes_.empty()) {
+    ChargeMeta(serving_meta_nodes_[rng_.PickIndex(serving_meta_nodes_.size())],
+               0, kBalancerCpuPerPlan);
   }
   if (cov_ != nullptr) {
     uint64_t features = HashCombine(plan.size() / 4, static_cast<uint64_t>(
@@ -1602,8 +1718,6 @@ Status DfsCluster::TriggerRebalance() {
   rebalance_active_ = true;
   return Status::Ok();
 }
-
-bool DfsCluster::RebalanceDone() const { return !rebalance_active_ && move_queue_.empty(); }
 
 void DfsCluster::MaybeTriggerBalancer() {
   bool due = config_.continuous_balancing ||
@@ -1770,6 +1884,7 @@ void DfsCluster::FinishRebalanceIfDrained() {
       // No aggregate updates: a drained offline brick contributes zero to
       // every maintained sum (offline => not in the online/fleet sums,
       // used_bytes == 0 => nothing in the used-all sums).
+      brick_index_[it->first] = nullptr;
       it = bricks_.erase(it);
       --offline_bricks_;
     } else {
@@ -1781,9 +1896,9 @@ void DfsCluster::FinishRebalanceIfDrained() {
 // ---------------------------------------------------------------------------
 // Load sampling / coverage
 
-std::vector<LoadSample> DfsCluster::SampleLoad() const {
+void DfsCluster::SampleLoadInto(std::vector<LoadSample>& out) const {
   EnsureLoadIndex();
-  std::vector<LoadSample> out;
+  out.clear();
   out.reserve(storage_nodes_.size() + meta_nodes_.size());
   for (const auto& [id, node] : storage_nodes_) {
     LoadSample sample;
@@ -1819,6 +1934,11 @@ std::vector<LoadSample> DfsCluster::SampleLoad() const {
     sample.taken_at = clock_.now();
     out.push_back(sample);
   }
+}
+
+std::vector<LoadSample> DfsCluster::SampleLoad() const {
+  std::vector<LoadSample> out;
+  SampleLoadInto(out);
   return out;
 }
 
@@ -2010,6 +2130,7 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
     meta_nodes_[node.id] = node;
   }
   storage_nodes_.clear();
+  storage_node_index_.clear();
   uint64_t storage_count = reader.Count(4 + 2 + 8 + 28);
   for (uint64_t i = 0; i < storage_count && reader.ok(); ++i) {
     StorageNode node;
@@ -2022,9 +2143,12 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
       node.bricks.push_back(reader.U32());
     }
     RestoreLoadCounters(reader, &node.load);
-    storage_nodes_[node.id] = node;
+    StorageNode& stored = storage_nodes_[node.id];
+    stored = node;
+    IndexStorageNodePtr(node.id, &stored);
   }
   bricks_.clear();
+  brick_index_.clear();
   offline_bricks_ = 0;
   uint64_t brick_count = reader.Count(4 + 4 + 8 + 8 + 1 + 4);
   for (uint64_t i = 0; i < brick_count && reader.ok(); ++i) {
@@ -2036,7 +2160,9 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
     brick.online = reader.Bool();
     brick.linkfiles = reader.U32();
     if (!brick.online) ++offline_bricks_;
-    bricks_[brick.id] = brick;
+    Brick& stored = bricks_[brick.id];
+    stored = brick;
+    IndexBrickPtr(brick.id, &stored);
   }
   layouts_.clear();
   brick_chunks_.clear();

@@ -105,6 +105,12 @@ class DfsInterface {
 
   virtual OpResult Execute(const Operation& op) = 0;
   virtual std::vector<LoadSample> SampleLoad() const = 0;
+  // Allocation-reusing variant of SampleLoad: clears and refills `out`.
+  // Samplers that run per test case (the states monitor) use this so the
+  // per-sample vector + string churn disappears from the hot loop.
+  virtual void SampleLoadInto(std::vector<LoadSample>& out) const {
+    out = SampleLoad();
+  }
 
   // Admin APIs (paper §4.3: most DFSes provide rebalance / rebalance-state).
   virtual Status TriggerRebalance() = 0;
@@ -116,6 +122,13 @@ class DfsInterface {
   virtual std::vector<NodeId> ListStorageNodes() const = 0;
   virtual std::vector<BrickId> ListBricks() const = 0;
   virtual uint64_t FreeSpaceBytes() const = 0;
+
+  // Monotonic counter that advances whenever the admin list views above may
+  // have changed membership. Consumers (InputModel::SyncFromDfs) skip the
+  // list copies while the epoch is unchanged. kMembershipEpochUnknown means
+  // the implementation does not track membership; re-pull every time.
+  static constexpr uint64_t kMembershipEpochUnknown = ~0ull;
+  virtual uint64_t MembershipEpoch() const { return kMembershipEpochUnknown; }
 
   virtual SimTime Now() const = 0;
   // Lets a tester wait (background migration keeps progressing).
@@ -159,12 +172,16 @@ class DfsCluster : public DfsInterface {
   // ---- DfsInterface ----
   OpResult Execute(const Operation& op) override;
   std::vector<LoadSample> SampleLoad() const override;
+  void SampleLoadInto(std::vector<LoadSample>& out) const override;
   Status TriggerRebalance() override;
-  bool RebalanceDone() const override;
+  bool RebalanceDone() const override {
+    return !rebalance_active_ && move_queue_.empty();
+  }
   std::vector<NodeId> ListMetaNodes() const override;
   std::vector<NodeId> ListStorageNodes() const override;
   std::vector<BrickId> ListBricks() const override;
   uint64_t FreeSpaceBytes() const override;
+  uint64_t MembershipEpoch() const override { return membership_epoch_; }
   SimTime Now() const override { return clock_.now(); }
   void AdvanceTime(SimDuration delta) override;
   void ResetToInitial() override;
@@ -187,10 +204,22 @@ class DfsCluster : public DfsInterface {
   const std::map<NodeId, MetaNode>& meta_nodes() const { return meta_nodes_; }
   const std::map<FileId, FileLayout>& file_layouts() const { return layouts_; }
 
-  Brick* FindBrick(BrickId id);
-  const Brick* FindBrick(BrickId id) const;
-  StorageNode* FindStorageNode(NodeId id);
-  const StorageNode* FindStorageNode(NodeId id) const;
+  // O(1): ids are small and monotonic, so a flat pointer vector shadows the
+  // owning maps (map nodes have stable addresses; erased slots hold null).
+  // These sit on the placement/migration hot path at millions of calls per
+  // campaign — keep them inline.
+  Brick* FindBrick(BrickId id) {
+    return id < brick_index_.size() ? brick_index_[id] : nullptr;
+  }
+  const Brick* FindBrick(BrickId id) const {
+    return id < brick_index_.size() ? brick_index_[id] : nullptr;
+  }
+  StorageNode* FindStorageNode(NodeId id) {
+    return id < storage_node_index_.size() ? storage_node_index_[id] : nullptr;
+  }
+  const StorageNode* FindStorageNode(NodeId id) const {
+    return id < storage_node_index_.size() ? storage_node_index_[id] : nullptr;
+  }
 
   // Serving (online, not crashed, not draining) bricks. The returned
   // reference points at the maintained load index and stays valid until the
@@ -236,7 +265,7 @@ class DfsCluster : public DfsInterface {
   std::vector<std::pair<FileId, uint32_t>> ChunksOnBrick(BrickId brick) const;
   // Allocation-free view of the same index; the reference stays valid until
   // a replica is added to or removed from `brick`.
-  const std::set<std::pair<FileId, uint32_t>>& ChunksOnBrickRef(BrickId brick) const;
+  const std::vector<std::pair<FileId, uint32_t>>& ChunksOnBrickRef(BrickId brick) const;
 
   // ---- fault-effect mutators (used only by src/faults) ----
   void InjectCpuLoad(NodeId node, double cpu_seconds);
@@ -384,9 +413,27 @@ class DfsCluster : public DfsInterface {
   void AddReplicaIndex(BrickId brick, FileId file, uint32_t chunk);
   void RemoveReplicaIndex(BrickId brick, FileId file, uint32_t chunk);
 
+  // Candidate snapshot for recovery/evacuation target picking: the serving
+  // bricks sorted by utilization, built once per Schedule* call so each
+  // per-chunk pick scans only the least-used prefix instead of the fleet.
+  struct RecoveryCandidate {
+    double used_fraction;
+    uint32_t order;  // index in ServingBricks() — the first-wins tie-break
+    BrickId id;
+    const Brick* brick;
+  };
+  void BuildRecoveryCandidates(std::vector<RecoveryCandidate>& out) const;
   // Picks a serving replacement brick for a chunk replica (placement-neutral
-  // recovery used by evacuation / re-replication).
-  BrickId PickRecoveryTarget(const ChunkPlacement& chunk, uint64_t bytes);
+  // recovery used by evacuation / re-replication). Selects exactly the brick
+  // the serving-order scan over UsedFraction() + same-node penalty would.
+  BrickId PickRecoveryTarget(const std::vector<RecoveryCandidate>& candidates,
+                             const ChunkPlacement& chunk, uint64_t bytes) const;
+
+  // Returns op.path normalized, reusing op.path itself when it is already in
+  // normalized form (the common case for generated operands) and a scratch
+  // buffer otherwise — the flavor placement hashes consume these bytes, so
+  // they must match NormalizePath(op.path) exactly.
+  const std::string& NormalizedOpPath(const Operation& op);
 
   void RecordOpCoverage(const Operation& op, const OpResult& result);
   // 1..10: how many branches a state tuple unlocks at the current imbalance.
@@ -424,13 +471,31 @@ class DfsCluster : public DfsInterface {
   VirtualClock clock_;
   Rng rng_;
 
+  // Flat id -> map-node side indexes behind the inline Find* accessors.
+  void IndexBrickPtr(BrickId id, Brick* brick) {
+    if (brick_index_.size() <= id) {
+      brick_index_.resize(id + 1, nullptr);
+    }
+    brick_index_[id] = brick;
+  }
+  void IndexStorageNodePtr(NodeId id, StorageNode* node) {
+    if (storage_node_index_.size() <= id) {
+      storage_node_index_.resize(id + 1, nullptr);
+    }
+    storage_node_index_[id] = node;
+  }
+
   NamespaceTree tree_;
   std::map<NodeId, StorageNode> storage_nodes_;
   std::map<NodeId, MetaNode> meta_nodes_;
   std::map<BrickId, Brick> bricks_;
+  std::vector<Brick*> brick_index_;              // shadows bricks_
+  std::vector<StorageNode*> storage_node_index_;  // shadows storage_nodes_
   std::map<FileId, FileLayout> layouts_;
   // Reverse index: brick -> chunks with a replica there.
-  std::map<BrickId, std::set<std::pair<FileId, uint32_t>>> brick_chunks_;
+  // Sorted by (file, chunk): flat vectors iterate in std::set order but keep
+  // the hot SkewBytes/Schedule* scans contiguous in memory.
+  std::map<BrickId, std::vector<std::pair<FileId, uint32_t>>> brick_chunks_;
   // Classes of the last 8 operations (coverage feature).
   std::deque<uint8_t> recent_classes_;
 
@@ -483,6 +548,15 @@ class DfsCluster : public DfsInterface {
   // Online-flag bookkeeping so the per-op drained-brick GC can skip its
   // whole-map scan when nothing is offline (the common case).
   int offline_bricks_ = 0;
+  // Bumped whenever the admin list views (serving meta/storage/brick lists)
+  // may change membership; see DfsInterface::MembershipEpoch().
+  uint64_t membership_epoch_ = 1;
+  // Scratch for NormalizedOpPath (valid until the next call).
+  std::string norm_scratch_;
+  // Scratch candidate buffer for the Schedule* recovery loops.
+  std::vector<RecoveryCandidate> recovery_candidates_;
+  // Scratch for PickRecoveryTarget's per-chunk replica-node set.
+  mutable std::vector<NodeId> replica_nodes_scratch_;
   // Running view of the last-8-op class window (coverage feature).
   uint32_t class_counts_[3] = {0, 0, 0};
   uint8_t recent_class_mask_ = 0;

@@ -1,5 +1,8 @@
 #include "src/dfs/namespace_tree.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/common/strings.h"
 
 namespace themis {
@@ -7,165 +10,277 @@ namespace themis {
 NamespaceTree::NamespaceTree() { Clear(); }
 
 void NamespaceTree::Clear() {
-  entries_.clear();
+  // Resetting the table starts a new generation, which invalidates every
+  // PathId cached in Operations — and lets the interner's memory be
+  // reclaimed instead of accreting names across cluster resets.
+  table_.Reset();
+  states_.clear();
   id_to_path_.clear();
   next_file_id_ = 1;
   file_count_ = 0;
   dir_count_ = 0;
   total_bytes_ = 0;
-  entries_["/"] = NamespaceEntry{.is_dir = true};
+  EnsureStates();
+  states_[kRootPathId].present = true;
+  states_[kRootPathId].entry = NamespaceEntry{.is_dir = true};
 }
 
-bool NamespaceTree::HasChildren(const std::string& dir_prefix) const {
-  // dir_prefix must end with '/'. Any key strictly greater than the prefix
-  // that still starts with it is a child.
-  auto it = entries_.upper_bound(dir_prefix);
-  return it != entries_.end() && StartsWith(it->first, dir_prefix);
+void NamespaceTree::LinkChild(PathId id) {
+  PathId parent = table_.Parent(id);
+  NodeState& s = states_[id];
+  NodeState& p = states_[parent];
+  s.prev_sibling = kInvalidPathId;
+  s.next_sibling = p.first_child;
+  if (p.first_child != kInvalidPathId) {
+    states_[p.first_child].prev_sibling = id;
+  }
+  p.first_child = id;
+  ++p.child_count;
 }
 
-Status NamespaceTree::MakeDir(std::string_view path) {
-  std::string norm = NormalizePath(path);
-  if (norm == "/") {
+void NamespaceTree::UnlinkChild(PathId id) {
+  PathId parent = table_.Parent(id);
+  NodeState& s = states_[id];
+  if (s.prev_sibling != kInvalidPathId) {
+    states_[s.prev_sibling].next_sibling = s.next_sibling;
+  } else {
+    states_[parent].first_child = s.next_sibling;
+  }
+  if (s.next_sibling != kInvalidPathId) {
+    states_[s.next_sibling].prev_sibling = s.prev_sibling;
+  }
+  s.prev_sibling = kInvalidPathId;
+  s.next_sibling = kInvalidPathId;
+  --states_[parent].child_count;
+}
+
+PathId NamespaceTree::ResolveOpPath(const Operation& op) {
+  Operation::PathCache& cache = op.path_cache;
+  if (cache.generation != table_.generation()) {
+    cache.generation = table_.generation();
+    cache.id = kInvalidPathId;
+    cache.id2 = kInvalidPathId;
+  }
+  if (cache.id == kInvalidPathId) {
+    cache.id = table_.Intern(op.path);
+    EnsureStates();
+  }
+  return cache.id;
+}
+
+PathId NamespaceTree::ResolveOpPath2(const Operation& op) {
+  Operation::PathCache& cache = op.path_cache;
+  if (cache.generation != table_.generation()) {
+    cache.generation = table_.generation();
+    cache.id = kInvalidPathId;
+    cache.id2 = kInvalidPathId;
+  }
+  if (cache.id2 == kInvalidPathId) {
+    cache.id2 = table_.Intern(op.path2);
+    EnsureStates();
+  }
+  return cache.id2;
+}
+
+Status NamespaceTree::MakeDir(PathId id) {
+  if (id == kRootPathId) {
     return Status::AlreadyExists("root always exists");
   }
-  if (entries_.count(norm) != 0) {
-    return Status::AlreadyExists(norm);
+  NodeState& s = states_[id];
+  if (s.present) {
+    return Status::AlreadyExists(table_.PathString(id));
   }
-  std::string parent = ParentPath(norm);
-  auto parent_it = entries_.find(parent);
-  if (parent_it == entries_.end() || !parent_it->second.is_dir) {
-    return Status::NotFound("parent " + parent);
+  PathId parent = table_.Parent(id);
+  const NodeState& p = states_[parent];
+  if (!p.present || !p.entry.is_dir) {
+    return Status::NotFound("parent " + table_.PathString(parent));
   }
-  entries_[norm] = NamespaceEntry{.is_dir = true};
+  s.present = true;
+  s.entry = NamespaceEntry{.is_dir = true};
+  LinkChild(id);
   ++dir_count_;
   return Status::Ok();
 }
 
-Status NamespaceTree::RemoveDir(std::string_view path) {
-  std::string norm = NormalizePath(path);
-  if (norm == "/") {
+Status NamespaceTree::RemoveDir(PathId id) {
+  if (id == kRootPathId) {
     return Status::InvalidArgument("cannot remove root");
   }
-  auto it = entries_.find(norm);
-  if (it == entries_.end() || !it->second.is_dir) {
-    return Status::NotFound(norm);
+  NodeState& s = states_[id];
+  if (!s.present || !s.entry.is_dir) {
+    return Status::NotFound(table_.PathString(id));
   }
-  if (HasChildren(norm + "/")) {
-    return Status::FailedPrecondition("directory not empty: " + norm);
+  if (s.child_count != 0) {
+    return Status::FailedPrecondition("directory not empty: " +
+                                      table_.PathString(id));
   }
-  entries_.erase(it);
+  UnlinkChild(id);
+  s.present = false;
   --dir_count_;
   return Status::Ok();
 }
 
-Result<FileId> NamespaceTree::CreateFile(std::string_view path, uint64_t size) {
-  std::string norm = NormalizePath(path);
-  if (norm == "/") {
+Result<FileId> NamespaceTree::CreateFile(PathId id, uint64_t size) {
+  if (id == kRootPathId) {
     return Status::InvalidArgument("cannot create file at root path");
   }
-  if (entries_.count(norm) != 0) {
-    return Status::AlreadyExists(norm);
+  NodeState& s = states_[id];
+  if (s.present) {
+    return Status::AlreadyExists(table_.PathString(id));
   }
-  std::string parent = ParentPath(norm);
-  auto parent_it = entries_.find(parent);
-  if (parent_it == entries_.end() || !parent_it->second.is_dir) {
-    return Status::NotFound("parent " + parent);
+  PathId parent = table_.Parent(id);
+  const NodeState& p = states_[parent];
+  if (!p.present || !p.entry.is_dir) {
+    return Status::NotFound("parent " + table_.PathString(parent));
   }
-  FileId id = next_file_id_++;
-  entries_[norm] = NamespaceEntry{.is_dir = false, .file_id = id, .size = size};
-  id_to_path_[id] = norm;
+  FileId file_id = next_file_id_++;
+  s.present = true;
+  s.entry = NamespaceEntry{.is_dir = false, .file_id = file_id, .size = size};
+  LinkChild(id);
+  id_to_path_[file_id] = id;
   ++file_count_;
   total_bytes_ += size;
-  return id;
+  return file_id;
 }
 
-Status NamespaceTree::RemoveFile(std::string_view path) {
-  std::string norm = NormalizePath(path);
-  auto it = entries_.find(norm);
-  if (it == entries_.end() || it->second.is_dir) {
-    return Status::NotFound(norm);
+Status NamespaceTree::RemoveFile(PathId id) {
+  NodeState& s = states_[id];
+  if (!s.present || s.entry.is_dir) {
+    return Status::NotFound(table_.PathString(id));
   }
-  total_bytes_ -= it->second.size;
-  id_to_path_.erase(it->second.file_id);
-  entries_.erase(it);
+  total_bytes_ -= s.entry.size;
+  id_to_path_.erase(s.entry.file_id);
+  UnlinkChild(id);
+  s.present = false;
   --file_count_;
   return Status::Ok();
 }
 
-Status NamespaceTree::SetFileSize(std::string_view path, uint64_t size) {
-  std::string norm = NormalizePath(path);
-  auto it = entries_.find(norm);
-  if (it == entries_.end() || it->second.is_dir) {
-    return Status::NotFound(norm);
+Status NamespaceTree::SetFileSize(PathId id, uint64_t size) {
+  NodeState& s = states_[id];
+  if (!s.present || s.entry.is_dir) {
+    return Status::NotFound(table_.PathString(id));
   }
-  total_bytes_ -= it->second.size;
-  it->second.size = size;
+  total_bytes_ -= s.entry.size;
+  s.entry.size = size;
   total_bytes_ += size;
   return Status::Ok();
 }
 
-Status NamespaceTree::Rename(std::string_view from, std::string_view to) {
-  std::string src = NormalizePath(from);
-  std::string dst = NormalizePath(to);
-  if (src == "/" || dst == "/") {
+void NamespaceTree::MoveSubtree(PathId src, PathId dst) {
+  struct Move {
+    PathId from;
+    PathId to;
+  };
+  std::vector<Move> stack;
+  stack.push_back(Move{src, dst});
+  while (!stack.empty()) {
+    Move m = stack.back();
+    stack.pop_back();
+    // Queue live children first: InternChild may grow the table (and the
+    // states_ array), so all state access below goes through fresh indexing.
+    if (states_[m.from].entry.is_dir) {
+      for (PathId c = states_[m.from].first_child; c != kInvalidPathId;
+           c = states_[c].next_sibling) {
+        PathId nc = table_.InternChild(m.to, table_.Component(c));
+        EnsureStates();
+        stack.push_back(Move{c, nc});
+      }
+    }
+    NamespaceEntry entry = states_[m.from].entry;
+    UnlinkChild(m.from);
+    states_[m.from].present = false;
+    states_[m.to].entry = entry;
+    states_[m.to].present = true;
+    LinkChild(m.to);
+    if (!entry.is_dir) {
+      id_to_path_[entry.file_id] = m.to;
+    }
+  }
+}
+
+Status NamespaceTree::Rename(PathId src, PathId dst) {
+  if (src == kRootPathId || dst == kRootPathId) {
     return Status::InvalidArgument("cannot rename root");
   }
   if (src == dst) {
     return Status::InvalidArgument("rename onto itself");
   }
-  auto src_it = entries_.find(src);
-  if (src_it == entries_.end()) {
-    return Status::NotFound(src);
+  if (!states_[src].present) {
+    return Status::NotFound(table_.PathString(src));
   }
-  if (entries_.count(dst) != 0) {
-    return Status::AlreadyExists(dst);
+  if (states_[dst].present) {
+    return Status::AlreadyExists(table_.PathString(dst));
   }
-  std::string dst_parent = ParentPath(dst);
-  auto parent_it = entries_.find(dst_parent);
-  if (parent_it == entries_.end() || !parent_it->second.is_dir) {
-    return Status::NotFound("destination parent " + dst_parent);
+  PathId dst_parent = table_.Parent(dst);
+  const NodeState& dp = states_[dst_parent];
+  if (!dp.present || !dp.entry.is_dir) {
+    return Status::NotFound("destination parent " +
+                            table_.PathString(dst_parent));
   }
-  if (src_it->second.is_dir) {
+  if (states_[src].entry.is_dir && table_.IsAncestor(src, dst)) {
     // Moving a directory under itself would orphan the subtree.
-    if (StartsWith(dst, src + "/")) {
-      return Status::InvalidArgument("cannot move a directory under itself");
-    }
-    // Rewrite the whole subtree.
-    std::string prefix = src + "/";
-    std::vector<std::pair<std::string, NamespaceEntry>> moved;
-    moved.emplace_back(dst, src_it->second);
-    for (auto it = entries_.upper_bound(prefix);
-         it != entries_.end() && StartsWith(it->first, prefix); ++it) {
-      moved.emplace_back(dst + "/" + it->first.substr(prefix.size()), it->second);
-    }
-    // Erase old keys (subtree + the directory itself).
-    auto begin = entries_.lower_bound(src);
-    auto end = entries_.upper_bound(prefix + "\xff");
-    for (auto it = begin; it != end;) {
-      if (it->first == src || StartsWith(it->first, prefix)) {
-        it = entries_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    for (auto& [key, entry] : moved) {
-      if (!entry.is_dir) {
-        id_to_path_[entry.file_id] = key;
-      }
-      entries_[key] = entry;
-    }
-    return Status::Ok();
+    return Status::InvalidArgument("cannot move a directory under itself");
   }
-  NamespaceEntry entry = src_it->second;
-  entries_.erase(src_it);
-  entries_[dst] = entry;
-  id_to_path_[entry.file_id] = dst;
+  MoveSubtree(src, dst);
   return Status::Ok();
 }
 
+const NamespaceEntry* NamespaceTree::Find(PathId id) const {
+  const NodeState* s = StateOf(id);
+  return (s != nullptr && s->present) ? &s->entry : nullptr;
+}
+
+Result<FileId> NamespaceTree::FileIdOf(PathId id) const {
+  const NamespaceEntry* e = Find(id);
+  if (e == nullptr || e->is_dir) {
+    return Status::NotFound(table_.PathString(id));
+  }
+  return e->file_id;
+}
+
+// ---- string-keyed API: resolve through the interner, then delegate ----
+
+Status NamespaceTree::MakeDir(std::string_view path) {
+  PathId id = table_.Intern(path);
+  EnsureStates();
+  return MakeDir(id);
+}
+
+Status NamespaceTree::RemoveDir(std::string_view path) {
+  PathId id = table_.Intern(path);
+  EnsureStates();
+  return RemoveDir(id);
+}
+
+Result<FileId> NamespaceTree::CreateFile(std::string_view path, uint64_t size) {
+  PathId id = table_.Intern(path);
+  EnsureStates();
+  return CreateFile(id, size);
+}
+
+Status NamespaceTree::RemoveFile(std::string_view path) {
+  PathId id = table_.Intern(path);
+  EnsureStates();
+  return RemoveFile(id);
+}
+
+Status NamespaceTree::SetFileSize(std::string_view path, uint64_t size) {
+  PathId id = table_.Intern(path);
+  EnsureStates();
+  return SetFileSize(id, size);
+}
+
+Status NamespaceTree::Rename(std::string_view from, std::string_view to) {
+  PathId src = table_.Intern(from);
+  PathId dst = table_.Intern(to);
+  EnsureStates();
+  return Rename(src, dst);
+}
+
 const NamespaceEntry* NamespaceTree::Find(std::string_view path) const {
-  auto it = entries_.find(NormalizePath(path));
-  return it == entries_.end() ? nullptr : &it->second;
+  PathId id = table_.Lookup(path);
+  return id == kInvalidPathId ? nullptr : Find(id);
 }
 
 bool NamespaceTree::IsFile(std::string_view path) const {
@@ -189,37 +304,49 @@ Result<FileId> NamespaceTree::FileIdOf(std::string_view path) const {
 std::vector<std::string> NamespaceTree::ListFiles() const {
   std::vector<std::string> out;
   out.reserve(file_count_);
-  for (const auto& [path, entry] : entries_) {
-    if (!entry.is_dir) {
-      out.push_back(path);
+  for (PathId id = 0; id < states_.size(); ++id) {
+    if (states_[id].present && !states_[id].entry.is_dir) {
+      out.push_back(table_.PathString(id));
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::string NamespaceTree::PathOf(FileId id) const {
   auto it = id_to_path_.find(id);
-  return it == id_to_path_.end() ? std::string() : it->second;
+  return it == id_to_path_.end() ? std::string() : table_.PathString(it->second);
 }
 
 void NamespaceTree::SaveState(SnapshotWriter& writer) const {
-  writer.U64(entries_.size());
-  for (const auto& [path, entry] : entries_) {
+  std::vector<std::pair<std::string, const NamespaceEntry*>> rows;
+  rows.reserve(file_count_ + dir_count_ + 1);
+  for (PathId id = 0; id < states_.size(); ++id) {
+    if (states_[id].present) {
+      rows.emplace_back(table_.PathString(id), &states_[id].entry);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer.U64(rows.size());
+  for (const auto& [path, entry] : rows) {
     writer.Str(path);
-    writer.Bool(entry.is_dir);
-    writer.U64(entry.file_id);
-    writer.U64(entry.size);
+    writer.Bool(entry->is_dir);
+    writer.U64(entry->file_id);
+    writer.U64(entry->size);
   }
   writer.U64(next_file_id_);
 }
 
 Status NamespaceTree::RestoreState(SnapshotReader& reader) {
   uint64_t count = reader.Count(8 + 1 + 8 + 8);
-  entries_.clear();
+  table_.Reset();
+  states_.clear();
   id_to_path_.clear();
   file_count_ = 0;
   dir_count_ = 0;
   total_bytes_ = 0;
+  EnsureStates();
   for (uint64_t i = 0; i < count && reader.ok(); ++i) {
     std::string path = reader.Str();
     NamespaceEntry entry;
@@ -227,17 +354,26 @@ Status NamespaceTree::RestoreState(SnapshotReader& reader) {
     entry.file_id = reader.U64();
     entry.size = reader.U64();
     if (!reader.ok()) break;
+    PathId id = table_.Intern(path);
+    EnsureStates();
     if (entry.is_dir) {
-      if (path != "/") ++dir_count_;
+      if (id != kRootPathId) ++dir_count_;
     } else {
       ++file_count_;
       total_bytes_ += entry.size;
-      id_to_path_[entry.file_id] = path;
+      id_to_path_[entry.file_id] = id;
     }
-    entries_[std::move(path)] = entry;
+    NodeState& s = states_[id];
+    bool was_present = s.present;
+    s.entry = entry;
+    s.present = true;
+    if (!was_present && id != kRootPathId) {
+      LinkChild(id);
+    }
   }
   next_file_id_ = reader.U64();
-  if (reader.ok() && entries_.count("/") == 0) {
+  if (reader.ok() &&
+      (states_.empty() || !states_[kRootPathId].present)) {
     reader.Fail("namespace snapshot has no root directory entry");
   }
   return reader.status();

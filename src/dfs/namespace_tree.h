@@ -2,18 +2,28 @@
 // to files (with ids and sizes) and directories. This is the authoritative
 // namespace; Themis keeps its own black-box model (core/input_model.h) that
 // may drift, as it would against a real deployment.
+//
+// Paths are interned through a PathTable (DESIGN.md §12): entry state lives
+// in a dense per-PathId array with intrusive live-children lists, so
+// directory emptiness is an O(1) child-count check, subtree renames reparent
+// edges instead of rewriting descendant keys, and the hot path (the id
+// overloads below) never allocates or compares path strings. The string
+// overloads resolve through the interner and remain the API for tests and
+// cold paths.
 
 #ifndef SRC_DFS_NAMESPACE_TREE_H_
 #define SRC_DFS_NAMESPACE_TREE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/snapshot_io.h"
 #include "src/common/status.h"
+#include "src/dfs/operation.h"
+#include "src/dfs/path_table.h"
 #include "src/dfs/types.h"
 
 namespace themis {
@@ -47,11 +57,38 @@ class NamespaceTree {
   bool IsDir(std::string_view path) const;
   Result<FileId> FileIdOf(std::string_view path) const;
 
+  // ---- id-keyed API (the per-op hot path: resolve once, then integer ops)
+  Status MakeDir(PathId id);
+  Status RemoveDir(PathId id);
+  Result<FileId> CreateFile(PathId id, uint64_t size);
+  Status RemoveFile(PathId id);
+  Status SetFileSize(PathId id, uint64_t size);
+  Status Rename(PathId src, PathId dst);
+  const NamespaceEntry* Find(PathId id) const;
+  Result<FileId> FileIdOf(PathId id) const;
+
+  // Interns `path` into this tree's table (creating name nodes only — no
+  // namespace entries).
+  PathId Intern(std::string_view path) {
+    PathId id = table_.Intern(path);
+    EnsureStates();
+    return id;
+  }
+  const PathTable& table() const { return table_; }
+
+  // Memoized resolution of an operation's path operands: the first call
+  // interns and stamps the op's PathCache; later calls (re-executions,
+  // double-checks, mutated copies) are a generation compare. The cache
+  // auto-invalidates when Clear()/RestoreState() reset the table.
+  PathId ResolveOpPath(const Operation& op);
+  PathId ResolveOpPath2(const Operation& op);
+
   size_t file_count() const { return file_count_; }
   size_t dir_count() const { return dir_count_; }
   uint64_t total_bytes() const { return total_bytes_; }
 
-  // Enumerates all file paths (test / detector helpers; O(n)).
+  // Enumerates all file paths in lexicographic order (test / detector
+  // helpers; O(n log n)).
   std::vector<std::string> ListFiles() const;
 
   // Returns the path for a live file id, or empty if unknown.
@@ -59,17 +96,41 @@ class NamespaceTree {
 
   void Clear();
 
-  // Checkpointing (DESIGN.md §11): the entry map and the id allocator;
-  // id_to_path_ and the counters are rebuilt on restore.
+  // Checkpointing (DESIGN.md §11): live entries in lexicographic path order
+  // (the same wire image the std::map representation produced) plus the id
+  // allocator; the interner, children lists and counters are rebuilt on
+  // restore.
   void SaveState(SnapshotWriter& writer) const;
   Status RestoreState(SnapshotReader& reader);
 
  private:
-  bool HasChildren(const std::string& dir_prefix) const;
+  // Per-PathId entry state. Children lists are intrusive (head + sibling
+  // links) and track *live* entries only; by the parent-must-exist
+  // invariant, child_count == 0 is exactly "directory empty".
+  struct NodeState {
+    NamespaceEntry entry;
+    bool present = false;
+    PathId first_child = kInvalidPathId;
+    PathId next_sibling = kInvalidPathId;
+    PathId prev_sibling = kInvalidPathId;
+    uint32_t child_count = 0;
+  };
 
-  // Sorted map enables prefix scans for directory emptiness and renames.
-  std::map<std::string, NamespaceEntry> entries_;
-  std::map<FileId, std::string> id_to_path_;
+  void EnsureStates() {
+    if (states_.size() < table_.size()) states_.resize(table_.size());
+  }
+  const NodeState* StateOf(PathId id) const {
+    return id < states_.size() ? &states_[id] : nullptr;
+  }
+  void LinkChild(PathId id);
+  void UnlinkChild(PathId id);
+  // Relocates the live entry at `src` (and, for directories, its whole live
+  // subtree) onto the name nodes under `dst`.
+  void MoveSubtree(PathId src, PathId dst);
+
+  PathTable table_;
+  std::vector<NodeState> states_;  // index == PathId; grows with the table
+  std::unordered_map<FileId, PathId> id_to_path_;
   FileId next_file_id_ = 1;
   size_t file_count_ = 0;
   size_t dir_count_ = 0;       // excludes root

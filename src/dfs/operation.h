@@ -74,6 +74,20 @@ struct Operation {
   BrickId brick = kInvalidBrick; // volume ops target brick
   uint64_t size = 0;   // size operand (bytes)
 
+  // Memoized interned-path resolution (dfs/path_table.h): `generation`
+  // names the PathTable id space the ids were minted against; ids are
+  // re-resolved on mismatch. Stamped lazily by NamespaceTree::ResolveOpPath*
+  // on first execution, carried along by copies (mutation, seed pool,
+  // double-check re-execution), and never serialized. Any code that rewrites
+  // `path`/`path2` on an op that may already have executed must reset this
+  // to {} — the ids would otherwise keep naming the old operands.
+  struct PathCache {
+    uint64_t generation = 0;
+    PathId id = kInvalidPathId;
+    PathId id2 = kInvalidPathId;
+  };
+  mutable PathCache path_cache;
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,183 @@
+#include "src/dfs/path_table.h"
+
+#include <atomic>
+
+namespace themis {
+
+namespace {
+
+// Generations are only compared for equality, so a process-global counter
+// is enough to make every table (and every Reset) distinct — including a
+// new table constructed at a freed table's address.
+std::atomic<uint64_t> g_next_generation{1};
+
+constexpr size_t kInitialEdgeCapacity = 64;
+
+}  // namespace
+
+PathTable::PathTable() { Reset(); }
+
+void PathTable::Reset() {
+  nodes_.clear();
+  component_names_.clear();
+  component_ids_.clear();
+  edges_.assign(kInitialEdgeCapacity, EdgeSlot{0, kInvalidPathId});
+  edge_count_ = 0;
+  nodes_.push_back(Node{kRootPathId, 0xffffffffu});  // the root "/"
+  generation_ = g_next_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t PathTable::Mix(uint64_t key) {
+  // splitmix64 finalizer: full avalanche over the packed (parent, component)
+  // pair so sequential ids spread across the table.
+  key += 0x9e3779b97f4a7c15ull;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+  return key ^ (key >> 31);
+}
+
+uint32_t PathTable::InternComponent(std::string_view name) {
+  auto it = component_ids_.find(name);
+  if (it != component_ids_.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(component_names_.size());
+  component_names_.emplace_back(name);
+  component_ids_.emplace(component_names_.back(), id);
+  return id;
+}
+
+PathId PathTable::FindChild(PathId parent, uint32_t component) const {
+  uint64_t key = EdgeKey(parent, component);
+  size_t mask = edges_.size() - 1;
+  for (size_t i = Mix(key) & mask;; i = (i + 1) & mask) {
+    const EdgeSlot& slot = edges_[i];
+    if (slot.child == kInvalidPathId) {
+      return kInvalidPathId;
+    }
+    if (slot.key == key) {
+      return slot.child;
+    }
+  }
+}
+
+void PathTable::InsertEdge(uint64_t key, PathId child) {
+  size_t mask = edges_.size() - 1;
+  size_t i = Mix(key) & mask;
+  while (edges_[i].child != kInvalidPathId) {
+    i = (i + 1) & mask;
+  }
+  edges_[i] = EdgeSlot{key, child};
+  ++edge_count_;
+}
+
+void PathTable::GrowEdges() {
+  std::vector<EdgeSlot> old = std::move(edges_);
+  edges_.assign(old.size() * 2, EdgeSlot{0, kInvalidPathId});
+  size_t mask = edges_.size() - 1;
+  for (const EdgeSlot& slot : old) {
+    if (slot.child == kInvalidPathId) {
+      continue;
+    }
+    size_t i = Mix(slot.key) & mask;
+    while (edges_[i].child != kInvalidPathId) {
+      i = (i + 1) & mask;
+    }
+    edges_[i] = slot;
+  }
+}
+
+PathId PathTable::InternChild(PathId parent, uint32_t component) {
+  PathId existing = FindChild(parent, component);
+  if (existing != kInvalidPathId) {
+    return existing;
+  }
+  if ((edge_count_ + 1) * 10 >= edges_.size() * 7) {  // load factor 0.7
+    GrowEdges();
+  }
+  PathId id = static_cast<PathId>(nodes_.size());
+  nodes_.push_back(Node{parent, component});
+  InsertEdge(EdgeKey(parent, component), id);
+  return id;
+}
+
+PathId PathTable::Intern(std::string_view path) {
+  PathId cur = kRootPathId;
+  size_t i = 0;
+  const size_t n = path.size();
+  while (i < n) {
+    while (i < n && path[i] == '/') ++i;
+    size_t start = i;
+    while (i < n && path[i] != '/') ++i;
+    if (i > start) {
+      cur = InternChild(cur, InternComponent(path.substr(start, i - start)));
+    }
+  }
+  return cur;
+}
+
+PathId PathTable::Lookup(std::string_view path) const {
+  PathId cur = kRootPathId;
+  size_t i = 0;
+  const size_t n = path.size();
+  while (i < n) {
+    while (i < n && path[i] == '/') ++i;
+    size_t start = i;
+    while (i < n && path[i] != '/') ++i;
+    if (i > start) {
+      auto it = component_ids_.find(path.substr(start, i - start));
+      if (it == component_ids_.end()) {
+        return kInvalidPathId;
+      }
+      cur = FindChild(cur, it->second);
+      if (cur == kInvalidPathId) {
+        return kInvalidPathId;
+      }
+    }
+  }
+  return cur;
+}
+
+bool PathTable::IsAncestor(PathId ancestor, PathId id) const {
+  while (id != kRootPathId) {
+    id = nodes_[id].parent;
+    if (id == ancestor) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PathTable::AppendPath(PathId id, std::string* out) const {
+  if (id == kRootPathId) {
+    out->push_back('/');
+    return;
+  }
+  // Collect the component chain root-ward, then emit it in path order.
+  uint32_t chain[64];
+  std::vector<uint32_t> deep;
+  size_t depth = 0;
+  for (PathId cur = id; cur != kRootPathId; cur = nodes_[cur].parent) {
+    if (depth < 64) {
+      chain[depth++] = nodes_[cur].component;
+    } else {
+      deep.push_back(nodes_[cur].component);
+    }
+  }
+  for (size_t i = deep.size(); i > 0; --i) {
+    out->push_back('/');
+    out->append(component_names_[deep[i - 1]]);
+  }
+  for (size_t i = depth; i > 0; --i) {
+    out->push_back('/');
+    out->append(component_names_[chain[i - 1]]);
+  }
+}
+
+std::string PathTable::PathString(PathId id) const {
+  std::string out;
+  AppendPath(id, &out);
+  return out;
+}
+
+}  // namespace themis

@@ -1,0 +1,104 @@
+// Interned-path table: the namespace core's name store (DESIGN.md §12).
+//
+// Every normalized path the system ever touches is interned once into a
+// trie of (parent PathId, component id) edges held in an open-addressing
+// flat hash. Resolving "/d3/f17" costs two component-map probes and two
+// edge probes — no allocation, no O(log n) string compares — and yields a
+// small dense integer that all hot-path namespace bookkeeping keys on.
+// Ids are append-only within a generation: a path maps to the same PathId
+// for the lifetime of the table, so callers may cache resolutions (see
+// Operation::PathCache) and validate them with generation() alone. Reset()
+// drops every name and starts a new generation, invalidating all caches.
+
+#ifndef SRC_DFS_PATH_TABLE_H_
+#define SRC_DFS_PATH_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dfs/types.h"
+
+namespace themis {
+
+class PathTable {
+ public:
+  PathTable();
+
+  // Resolves `path` (normalizing exactly like NormalizePath: empty
+  // components collapse, leading slash implied), creating any missing
+  // nodes. Always succeeds; "" and "/" resolve to kRootPathId.
+  PathId Intern(std::string_view path);
+  // Resolution without creation: kInvalidPathId if any component of the
+  // normalized path was never interned.
+  PathId Lookup(std::string_view path) const;
+  // Child edge under an already-interned parent (used by subtree moves).
+  PathId InternChild(PathId parent, uint32_t component);
+
+  PathId Parent(PathId id) const { return nodes_[id].parent; }
+  // Component id of the node's own name (meaningless for the root).
+  uint32_t Component(PathId id) const { return nodes_[id].component; }
+  const std::string& ComponentName(uint32_t component) const {
+    return component_names_[component];
+  }
+  // True when `ancestor` lies strictly on `id`'s parent chain.
+  bool IsAncestor(PathId ancestor, PathId id) const;
+
+  // Materializes the normalized path string ("/" for the root). Appends to
+  // `out` without clearing it.
+  void AppendPath(PathId id, std::string* out) const;
+  std::string PathString(PathId id) const;
+
+  // Number of interned nodes (including the root).
+  size_t size() const { return nodes_.size(); }
+
+  // Drops every interned name and starts a fresh generation. All PathIds
+  // and cached resolutions minted against the old generation are invalid.
+  void Reset();
+
+  // Process-unique token naming the current id space; changes on Reset().
+  uint64_t generation() const { return generation_; }
+
+ private:
+  struct Node {
+    PathId parent;
+    uint32_t component;
+  };
+  struct EdgeSlot {
+    uint64_t key;   // (parent << 32) | component
+    PathId child;   // kInvalidPathId marks an empty slot
+  };
+
+  static uint64_t EdgeKey(PathId parent, uint32_t component) {
+    return (static_cast<uint64_t>(parent) << 32) | component;
+  }
+  static uint64_t Mix(uint64_t key);
+
+  uint32_t InternComponent(std::string_view name);
+  PathId FindChild(PathId parent, uint32_t component) const;
+  void InsertEdge(uint64_t key, PathId child);
+  void GrowEdges();
+
+  // Heterogeneous-lookup hash so component probes take string_view without
+  // materializing a std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::vector<Node> nodes_;                    // index == PathId
+  std::vector<std::string> component_names_;   // index == component id
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+      component_ids_;
+  std::vector<EdgeSlot> edges_;  // open addressing, power-of-two capacity
+  size_t edge_count_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_PATH_TABLE_H_

@@ -1,6 +1,7 @@
 #include "src/faults/injector.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/bytes.h"
 #include "src/common/log.h"
@@ -158,10 +159,12 @@ bool FaultInjector::TriggerSatisfied(const FaultRuntime& fault,
     return false;
   }
   size_t start = recent_ops_.size() - window;
+  // One bit per OpKind (t = 17 < 32) — the window scan runs for every
+  // inactive fault on every op, so it must not allocate.
   bool has_request = false;
   bool has_node = false;
   bool has_volume = false;
-  std::vector<OpKind> seen;
+  uint32_t seen_mask = 0;
   for (size_t i = start; i < recent_ops_.size(); ++i) {
     OpKind kind = recent_ops_[i];
     switch (ClassOf(kind)) {
@@ -175,9 +178,7 @@ bool FaultInjector::TriggerSatisfied(const FaultRuntime& fault,
         has_volume = true;
         break;
     }
-    if (std::find(seen.begin(), seen.end(), kind) == seen.end()) {
-      seen.push_back(kind);
-    }
+    seen_mask |= 1u << static_cast<unsigned>(kind);
   }
   if (trigger.needs_requests && !has_request) {
     return false;
@@ -188,18 +189,11 @@ bool FaultInjector::TriggerSatisfied(const FaultRuntime& fault,
   if (trigger.needs_volume_ops && !has_volume) {
     return false;
   }
-  if (static_cast<int>(seen.size()) < trigger.min_distinct_kinds) {
+  if (std::popcount(seen_mask) < trigger.min_distinct_kinds) {
     return false;
   }
   for (OpKind required : trigger.required_kinds) {
-    bool found = false;
-    for (size_t i = start; i < recent_ops_.size(); ++i) {
-      if (recent_ops_[i] == required) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
+    if ((seen_mask & (1u << static_cast<unsigned>(required))) == 0) {
       return false;
     }
   }

@@ -6,7 +6,8 @@ StatesMonitor::StatesMonitor(LoadVarianceWeights weights, size_t history_limit)
     : weights_(weights), history_limit_(history_limit) {}
 
 LoadVarianceSnapshot StatesMonitor::Sample(const DfsInterface& dfs) {
-  latest_ = model_.Update(dfs.SampleLoad());
+  dfs.SampleLoadInto(sample_scratch_);
+  latest_ = model_.Update(sample_scratch_);
   if (history_.size() >= history_limit_) {
     // Decimate: drop every other entry to keep long campaigns bounded.
     std::vector<LoadVarianceSnapshot> kept;

@@ -38,6 +38,7 @@ class StatesMonitor {
   std::vector<LoadVarianceSnapshot> history_;
   size_t history_limit_;
   LoadVarianceSnapshot latest_;
+  std::vector<LoadSample> sample_scratch_;  // reused across Sample() calls
 };
 
 }  // namespace themis
