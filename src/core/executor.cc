@@ -90,6 +90,7 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
       RunProbeWorkload();
       LoadVarianceSnapshot settled = monitor_.Sample(dfs_);
       candidate = detector_.CheckOnce(settled);
+      CleanupProbeDirs();
     }
   }
   if (candidate.has_value()) {
@@ -144,14 +145,36 @@ void TestCaseExecutor::RunProbeWorkload() {
   // system, so the sampled window isolates *persistent* skew (a CPU or
   // network fault keeps loading its victim on every request) from the
   // transient skew the candidate's own heavy writes produced.
+  // Probe operands are deliberately NOT observed into the input model: the
+  // dirs are scaffolding that CleanupProbeDirs removes, so letting the
+  // generator learn (and nest later files under) them would both leak names
+  // into test cases and make the re-check protocol perturb the campaign's
+  // operand distribution.
   for (int i = 0; i < kProbeOps; ++i) {
     Operation op;
     op.kind = OpKind::kMkdir;
     op.path = model_.NewDirName(rng_);
     OpResult result = dfs_.Execute(op);
-    model_.Observe(op, result);
+    ++total_ops_;
+    if (result.status.ok()) {
+      probe_dirs_.push_back(op.path);
+    }
+  }
+}
+
+void TestCaseExecutor::CleanupProbeDirs() {
+  // Reverse creation order: a probe dir may have been created inside an
+  // earlier one, and rmdir requires empty directories. The bursts create
+  // only directories and the generator never learns their names, so reverse
+  // order always leaves each dir empty by the time its rmdir runs.
+  for (auto it = probe_dirs_.rbegin(); it != probe_dirs_.rend(); ++it) {
+    Operation op;
+    op.kind = OpKind::kRmdir;
+    op.path = *it;
+    (void)dfs_.Execute(op);
     ++total_ops_;
   }
+  probe_dirs_.clear();
 }
 
 bool TestCaseExecutor::RebalanceAndWait() {
@@ -206,8 +229,20 @@ bool TestCaseExecutor::DoubleCheck(const OpSeq& seq, const ImbalanceCandidate& c
   }
   LoadVarianceSnapshot snapshot = monitor_.Sample(dfs_);
   std::optional<ImbalanceCandidate> recheck = detector_.CheckOnce(snapshot);
+  CleanupProbeDirs();
   if (!recheck.has_value()) {
     return false;  // the balancer recovered the system: transient imbalance
+  }
+  if (recheck->dimension == ImbalanceDimension::kStorage) {
+    // A storage skew the balancer had no room to act on is capacity
+    // exhaustion, not an imbalance failure: with every target brick full,
+    // even a perfect balancer cannot return the system to LBS. Refute unless
+    // the cluster still had space to move data into (capacity 0 = adapter
+    // does not report space; never refute on unknown).
+    uint64_t capacity = dfs_.TotalCapacityBytes();
+    if (capacity > 0 && dfs_.FreeSpaceBytes() < capacity / 100) {
+      return false;
+    }
   }
   report.dimension = recheck->dimension;
   report.ratio = recheck->ratio;
@@ -235,6 +270,9 @@ void TestCaseExecutor::HandleConfirmed(FailureReport& report, ExecOutcome& outco
                                           : report.active_faults.front().c_str(),
              report.detail.c_str());
   outcome.failures.push_back(report);
+  // Any probe dirs from a hung-rebalance confirmation are wiped with the
+  // rest of the namespace by the reset below — drop them without executing.
+  probe_dirs_.clear();
   // Reset the DFS to its initial state and restart testing (Fig. 6).
   dfs_.ResetToInitial();
   model_.Reset();

@@ -104,6 +104,9 @@ class TestCaseExecutor {
   // Drains in-flight migration, issues a fresh rebalance, waits again.
   bool RebalanceAndWait();
   void RunProbeWorkload();
+  // Removes the probe burst's directories once the settled window has been
+  // sampled, so repeated re-checks don't grow the namespace without bound.
+  void CleanupProbeDirs();
   void ExecuteOps(const OpSeq& seq, ExecOutcome* outcome);
   void HandleConfirmed(FailureReport& report, ExecOutcome& outcome);
 
@@ -117,6 +120,10 @@ class TestCaseExecutor {
   EventLog* telemetry_;          // may be null (no event collection)
 
   double last_score_ = 0.0;
+  // Probe dirs successfully created since the last cleanup, in creation
+  // order (later entries may nest under earlier ones). Always drained before
+  // the next test case executes, so never serialized.
+  std::vector<std::string> probe_dirs_;
   uint64_t total_ops_ = 0;
   int confirmed_failures_ = 0;
   int candidates_raised_ = 0;

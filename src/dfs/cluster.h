@@ -122,6 +122,9 @@ class DfsInterface {
   virtual std::vector<NodeId> ListStorageNodes() const = 0;
   virtual std::vector<BrickId> ListBricks() const = 0;
   virtual uint64_t FreeSpaceBytes() const = 0;
+  // Sum of serving brick capacities. 0 means "unknown" (adapters that do not
+  // track capacity); consumers treat unknown as "do not reason about space".
+  virtual uint64_t TotalCapacityBytes() const { return 0; }
 
   // Monotonic counter that advances whenever the admin list views above may
   // have changed membership. Consumers (InputModel::SyncFromDfs) skip the
@@ -228,7 +231,7 @@ class DfsCluster : public DfsInterface {
   const std::vector<BrickId>& ServingBricks() const;
   const std::vector<NodeId>& ServingStorageNodeIds() const;
 
-  uint64_t TotalCapacityBytes() const;
+  uint64_t TotalCapacityBytes() const override;
   uint64_t TotalUsedBytes() const;
   // Used bytes summed over serving bricks only (the balancers' view of fleet
   // utilization); TotalUsedBytes also counts draining/offline bricks.

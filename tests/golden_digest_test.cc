@@ -25,10 +25,10 @@ struct GoldenEntry {
 
 // seed=1234, budget=2 virtual hours, strategy "Themis", default config.
 constexpr GoldenEntry kGolden[] = {
-    {Flavor::kGluster, 0xa110a8580a13d05cULL, 144, 2211},
-    {Flavor::kHdfs, 0xe0c504cb2af24d83ULL, 159, 4495},
-    {Flavor::kCeph, 0x6c16d974f61dfbeeULL, 104, 2557},
-    {Flavor::kLeo, 0x5595af0143238d44ULL, 134, 2922},
+    {Flavor::kGluster, 0xd7f0af71ded96a27ULL, 143, 3575},
+    {Flavor::kHdfs, 0x6f0dca68c74aa2f0ULL, 150, 5886},
+    {Flavor::kCeph, 0x197d2b721543e2c5ULL, 133, 6081},
+    {Flavor::kLeo, 0xb073289e30566ec7ULL, 130, 5754},
 };
 
 TEST(GoldenDigestTest, PerFlavorDigestsArePinned) {
