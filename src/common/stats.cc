@@ -54,6 +54,47 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
+uint64_t QuantizeLoadDelta(double delta, double quantum) {
+  if (delta <= 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(std::llround(delta * quantum));
+}
+
+double LoadDimAggregate::Mean() const {
+  if (count == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double LoadDimAggregate::VarianceNumerator() const {
+  if (count == 0) {
+    return 0.0;
+  }
+  double s = static_cast<double>(sum);
+  return static_cast<double>(sum_sq) - s * s / static_cast<double>(count);
+}
+
+double LoadDimAggregate::Variance() const {
+  if (count == 0) {
+    return 0.0;
+  }
+  return VarianceNumerator() / static_cast<double>(count);
+}
+
+double LoadDimAggregate::MaxOverMeanWithFloor(double min_mean_ticks) const {
+  if (count < 2) {
+    return 1.0;
+  }
+  double mean = Mean();
+  if (mean < min_mean_ticks) {
+    return 1.0;
+  }
+  double ratio = static_cast<double>(max_delta) / mean;
+  return ratio < 1.0 ? 1.0 : ratio;
+}
+
 void ConcurrentRunningStat::Add(double x) {
   std::lock_guard<std::mutex> lock(mu_);
   stat_.Add(x);

@@ -36,8 +36,10 @@ void TestCaseExecutor::SeedInitialData(OpSeqGenerator& generator, int files) {
     ++total_ops_;
   }
   model_.SyncFromDfs(dfs_);
-  // Settle: establish the sampling baseline so the first test case sees
-  // windowed deltas, not lifetime counters.
+  // Settle: close the seeding window so the first test case sees its own
+  // deltas, not lifetime counters. Kept deliberately: besides re-basing, the
+  // discarded sample folds one reading into the model's EMA (part of the
+  // pinned campaign trajectory), and since the push API it costs O(1).
   (void)monitor_.Sample(dfs_);
   detector_.ResetStreak();
 }
@@ -84,7 +86,9 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
   if (candidate.has_value() && !dfs_.RebalanceDone()) {
     // The balancer is mid-flight: the system is *converging*, not failed.
     // Give it its chance, then re-check on a settled window; a timeout keeps
-    // the candidate (that is what a hang looks like).
+    // the candidate (that is what a hang looks like). The discarded O(1)
+    // sample closes the window over the migration traffic so the probe is
+    // measured alone (and advances the EMA, as the pinned digests expect).
     if (WaitForRebalanceDone()) {
       (void)monitor_.Sample(dfs_);
       RunProbeWorkload();
@@ -214,7 +218,9 @@ bool TestCaseExecutor::DoubleCheck(const OpSeq& seq, const ImbalanceCandidate& c
   // Step 3: re-baseline the sampling window (absorbs the re-execution's own
   // transient load), probe, and re-check the load state. If background
   // migration restarted underneath the probe, its transfer load would be
-  // mistaken for request skew — wait it out and probe again.
+  // mistaken for request skew — wait it out and probe again. Both discarded
+  // samples are kept: each is an O(1) window close whose EMA fold is part of
+  // the pinned campaign trajectory.
   (void)monitor_.Sample(dfs_);
   RunProbeWorkload();
   if (!dfs_.RebalanceDone()) {

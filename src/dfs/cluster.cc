@@ -58,6 +58,13 @@ void DfsCluster::BuildInitialTopology() {
   recent_class_mask_ = 0;
   offline_bricks_ = 0;
   serving_meta_nodes_.clear();
+  rate_windows_.clear();
+  window_epoch_ = 1;
+  cpu_storage_agg_ = RateDimAgg{};
+  cpu_meta_agg_ = RateDimAgg{};
+  net_storage_agg_ = RateDimAgg{};
+  net_meta_agg_ = RateDimAgg{};
+  crashed_nodes_ = 0;
   InvalidateLoadIndex();
 
   for (int i = 0; i < config_.initial_meta_nodes; ++i) {
@@ -151,7 +158,130 @@ void DfsCluster::RebuildLoadIndex() const {
       }
     }
   }
+  // The rate aggregates were frozen while the index was dirty (the per-node
+  // windows kept tracking unconditionally); reconstitute them from the
+  // windows of the now-current serving sets.
+  RebuildRateAggs();
   load_index_dirty_ = false;
+}
+
+uint64_t DfsCluster::WindowDelta(NodeId id, bool cpu_dim) const {
+  if (id >= rate_windows_.size() || rate_windows_[id].epoch != window_epoch_) {
+    return 0;  // not charged this window: the base is the current counters
+  }
+  return cpu_dim ? rate_windows_[id].cpu_ticks : rate_windows_[id].net_delta;
+}
+
+void DfsCluster::RebuildRateAggs() const {
+  cpu_storage_agg_ = RateDimAgg{};
+  cpu_meta_agg_ = RateDimAgg{};
+  net_storage_agg_ = RateDimAgg{};
+  net_meta_agg_ = RateDimAgg{};
+  auto accumulate = [this](const std::vector<NodeId>& members, RateDimAgg& cpu_agg,
+                           RateDimAgg& net_agg) {
+    for (NodeId id : members) {
+      uint64_t cpu = WindowDelta(id, /*cpu_dim=*/true);
+      uint64_t net = WindowDelta(id, /*cpu_dim=*/false);
+      cpu_agg.sum += cpu;
+      cpu_agg.sum_sq += static_cast<Uint128>(cpu) * cpu;
+      cpu_agg.max_delta = std::max(cpu_agg.max_delta, cpu);
+      net_agg.sum += net;
+      net_agg.sum_sq += static_cast<Uint128>(net) * net;
+      net_agg.max_delta = std::max(net_agg.max_delta, net);
+    }
+  };
+  accumulate(serving_storage_nodes_, cpu_storage_agg_, net_storage_agg_);
+  accumulate(serving_meta_nodes_, cpu_meta_agg_, net_meta_agg_);
+}
+
+void DfsCluster::BeginNodeChargeWindow(NodeId id, const NodeLoadCounters& load) {
+  if (rate_windows_.size() <= id) {
+    rate_windows_.resize(id + 1);
+  }
+  NodeRateWindow& window = rate_windows_[id];
+  if (window.epoch != window_epoch_) {
+    window.epoch = window_epoch_;
+    window.base_cpu = load.cpu_seconds;
+    window.last_cpu = load.cpu_seconds;
+    window.base_net = load.requests + load.read_ios + load.write_ios;
+    window.cpu_ticks = 0;
+    window.net_delta = 0;
+  }
+}
+
+void DfsCluster::CommitNodeCharge(NodeId id, const NodeLoadCounters& load,
+                                  bool is_storage, bool serving) {
+  NodeRateWindow& window = rate_windows_[id];
+  // A clean group aggregate already reflects this window's current deltas
+  // (folded by an earlier commit or by RebuildRateAggs), so an unchanged
+  // dimension needs no work at all — not even the max fold. That lets the
+  // common partial charges (net-only injections, sub-quantum CPU nudges)
+  // skip the quantization and the 128-bit square updates entirely.
+  const bool live = serving && !load_index_dirty_;
+  uint64_t net_delta =
+      load.requests + load.read_ios + load.write_ios - window.base_net;
+  if (net_delta != window.net_delta) {
+    if (live) {
+      RateDimAgg& net_agg = is_storage ? net_storage_agg_ : net_meta_agg_;
+      net_agg.sum += net_delta - window.net_delta;
+      net_agg.sum_sq += static_cast<Uint128>(net_delta) * net_delta -
+                        static_cast<Uint128>(window.net_delta) * window.net_delta;
+      net_agg.max_delta = std::max(net_agg.max_delta, net_delta);
+    }
+    window.net_delta = net_delta;
+  }
+  if (load.cpu_seconds != window.last_cpu) {
+    window.last_cpu = load.cpu_seconds;
+    uint64_t cpu_ticks =
+        QuantizeLoadDelta(load.cpu_seconds - window.base_cpu, kCpuLoadQuantum);
+    if (cpu_ticks != window.cpu_ticks) {
+      if (live) {
+        RateDimAgg& cpu_agg = is_storage ? cpu_storage_agg_ : cpu_meta_agg_;
+        cpu_agg.sum += cpu_ticks - window.cpu_ticks;
+        cpu_agg.sum_sq += static_cast<Uint128>(cpu_ticks) * cpu_ticks -
+                          static_cast<Uint128>(window.cpu_ticks) * window.cpu_ticks;
+        cpu_agg.max_delta = std::max(cpu_agg.max_delta, cpu_ticks);
+      }
+      window.cpu_ticks = cpu_ticks;
+    }
+  }
+}
+
+void DfsCluster::RecomputeRateMax(RateDimAgg& agg, bool is_storage,
+                                  bool cpu_dim) const {
+  const std::vector<NodeId>& members =
+      is_storage ? serving_storage_nodes_ : serving_meta_nodes_;
+  uint64_t max_delta = 0;
+  for (NodeId id : members) {
+    max_delta = std::max(max_delta, WindowDelta(id, cpu_dim));
+  }
+  agg.max_delta = max_delta;
+}
+
+void DfsCluster::RemoveNodeFromRateAggs(NodeId id, bool is_storage) {
+  if (load_index_dirty_) {
+    return;  // the pending rebuild reads the updated serving sets
+  }
+  uint64_t cpu = WindowDelta(id, /*cpu_dim=*/true);
+  uint64_t net = WindowDelta(id, /*cpu_dim=*/false);
+  RateDimAgg& cpu_agg = is_storage ? cpu_storage_agg_ : cpu_meta_agg_;
+  RateDimAgg& net_agg = is_storage ? net_storage_agg_ : net_meta_agg_;
+  cpu_agg.sum -= cpu;
+  cpu_agg.sum_sq -= static_cast<Uint128>(cpu) * cpu;
+  net_agg.sum -= net;
+  net_agg.sum_sq -= static_cast<Uint128>(net) * net;
+  // Only a departing maximum can lower the high-water mark; rescan the
+  // remaining members (the caller has already removed `id` from the list).
+  if (cpu != 0 && cpu == cpu_agg.max_delta) {
+    RecomputeRateMax(cpu_agg, is_storage, /*cpu_dim=*/true);
+  }
+  if (net != 0 && net == net_agg.max_delta) {
+    RecomputeRateMax(net_agg, is_storage, /*cpu_dim=*/false);
+  }
+}
+
+void DfsCluster::OnMetaNodeUnserving(NodeId id) {
+  RemoveNodeFromRateAggs(id, /*is_storage=*/false);
 }
 
 void DfsCluster::ApplyUsedBytesDelta(const Brick& brick, uint64_t old_used) {
@@ -257,6 +387,9 @@ void DfsCluster::OnStorageNodeUnserving(NodeId id) {
   if (pos != serving_storage_nodes_.end() && *pos == id) {
     serving_storage_nodes_.erase(pos);
   }
+  // The departing node's rate-window deltas leave the storage-group
+  // streaming aggregates too (the monitor only compares serving nodes).
+  RemoveNodeFromRateAggs(id, /*is_storage=*/true);
   // The node's online bricks leave the fleet (they are no longer serving)
   // but stay in the per-node sums: SampleLoad still reports a crashed
   // node's mounted bricks.
@@ -389,6 +522,41 @@ std::vector<double> DfsCluster::PerNodeUsedFraction() const {
   return out;
 }
 
+const DfsCluster::FractionStats& DfsCluster::EnsureFractionStats() const {
+  // One memoized scan feeds both the balancer-threshold spread and the
+  // storage dimension of the streaming LoadStatsSnapshot: per-op balance
+  // checks keep the memo warm, so the monitor's storage numbers are O(1).
+  EnsureLoadIndex();
+  if (imbalance_epoch_ == load_epoch_) {
+    return fraction_memo_;
+  }
+  FractionStats stats;
+  for (NodeId id : serving_storage_nodes_) {
+    auto it = node_agg_.find(id);
+    if (it != node_agg_.end() && it->second.cap_online > 0) {
+      ++stats.nodes;
+      double fraction = static_cast<double>(it->second.used_online) /
+                        static_cast<double>(it->second.cap_online);
+      if (stats.nodes == 1 || fraction > stats.max_fraction) {
+        stats.max_fraction = fraction;
+      }
+      stats.used += it->second.used_online;
+      stats.cap += it->second.cap_online;
+      uint64_t ticks = QuantizeLoadDelta(fraction, kUtilizationQuantum);
+      stats.frac_sum += ticks;
+      stats.frac_sum_sq += static_cast<Uint128>(ticks) * ticks;
+    }
+  }
+  if (stats.nodes >= 2 && fleet_cap_ > 0) {
+    double fleet =
+        static_cast<double>(fleet_used_) / static_cast<double>(fleet_cap_);
+    stats.spread = std::max(0.0, stats.max_fraction - fleet);
+  }
+  imbalance_epoch_ = load_epoch_;
+  fraction_memo_ = stats;
+  return fraction_memo_;
+}
+
 double DfsCluster::StorageImbalance() const {
   // Utilization *spread* in fraction points: hottest node vs the
   // capacity-weighted fleet utilization — the exact quantity real balancers
@@ -396,32 +564,7 @@ double DfsCluster::StorageImbalance() const {
   // average utilization by more than N%"). An unweighted node mean would
   // diverge from what the balancer can actually guarantee on
   // heterogeneous-capacity clusters.
-  EnsureLoadIndex();
-  if (imbalance_epoch_ == load_epoch_) {
-    return imbalance_memo_;
-  }
-  double spread = 0.0;
-  size_t fraction_nodes = 0;
-  double max_fraction = 0.0;
-  for (NodeId id : serving_storage_nodes_) {
-    auto it = node_agg_.find(id);
-    if (it != node_agg_.end() && it->second.cap_online > 0) {
-      ++fraction_nodes;
-      double fraction = static_cast<double>(it->second.used_online) /
-                        static_cast<double>(it->second.cap_online);
-      if (fraction_nodes == 1 || fraction > max_fraction) {
-        max_fraction = fraction;
-      }
-    }
-  }
-  if (fraction_nodes >= 2 && fleet_cap_ > 0) {
-    double fleet =
-        static_cast<double>(fleet_used_) / static_cast<double>(fleet_cap_);
-    spread = std::max(0.0, max_fraction - fleet);
-  }
-  imbalance_epoch_ = load_epoch_;
-  imbalance_memo_ = spread;
-  return spread;
+  return EnsureFractionStats().spread;
 }
 
 MigrationPlan DfsCluster::PlanLevelingByUsage(
@@ -554,15 +697,22 @@ std::vector<BrickId> DfsCluster::ListBricks() const { return ServingBricks(); }
 // ---------------------------------------------------------------------------
 // Load accounting
 
+// Every counter mutation is bracketed by BeginNodeChargeWindow (captures the
+// rate-window base on the node's first charge of the window) and
+// CommitNodeCharge (pushes the new window delta into the streaming group
+// aggregates) — the push-based equivalent of the old scan-and-difference.
+
 void DfsCluster::ChargeStorage(NodeId node, uint64_t reads, uint64_t writes,
                                double cpu_seconds) {
   StorageNode* sn = FindStorageNode(node);
   if (sn == nullptr) {
     return;
   }
+  BeginNodeChargeWindow(node, sn->load);
   sn->load.read_ios += reads;
   sn->load.write_ios += writes;
   sn->load.cpu_seconds += cpu_seconds;
+  CommitNodeCharge(node, sn->load, /*is_storage=*/true, sn->Serving());
 }
 
 void DfsCluster::ChargeMeta(NodeId node, uint64_t requests, double cpu_seconds) {
@@ -570,40 +720,56 @@ void DfsCluster::ChargeMeta(NodeId node, uint64_t requests, double cpu_seconds) 
   if (it == meta_nodes_.end()) {
     return;
   }
+  BeginNodeChargeWindow(node, it->second.load);
   it->second.load.requests += requests;
   it->second.load.cpu_seconds += cpu_seconds;
+  CommitNodeCharge(node, it->second.load, /*is_storage=*/false,
+                   it->second.Serving());
 }
 
 void DfsCluster::InjectCpuLoad(NodeId node, double cpu_seconds) {
   if (StorageNode* sn = FindStorageNode(node)) {
+    BeginNodeChargeWindow(node, sn->load);
     sn->load.cpu_seconds += cpu_seconds;
+    CommitNodeCharge(node, sn->load, /*is_storage=*/true, sn->Serving());
     return;
   }
   auto it = meta_nodes_.find(node);
   if (it != meta_nodes_.end()) {
+    BeginNodeChargeWindow(node, it->second.load);
     it->second.load.cpu_seconds += cpu_seconds;
+    CommitNodeCharge(node, it->second.load, /*is_storage=*/false,
+                     it->second.Serving());
   }
 }
 
 void DfsCluster::InjectNetLoad(NodeId node, uint64_t reads, uint64_t writes,
                                uint64_t requests) {
   if (StorageNode* sn = FindStorageNode(node)) {
+    BeginNodeChargeWindow(node, sn->load);
     sn->load.read_ios += reads;
     sn->load.write_ios += writes;
     sn->load.requests += requests;
+    CommitNodeCharge(node, sn->load, /*is_storage=*/true, sn->Serving());
     return;
   }
   auto it = meta_nodes_.find(node);
   if (it != meta_nodes_.end()) {
+    BeginNodeChargeWindow(node, it->second.load);
     it->second.load.read_ios += reads;
     it->second.load.write_ios += writes;
     it->second.load.requests += requests;
+    CommitNodeCharge(node, it->second.load, /*is_storage=*/false,
+                     it->second.Serving());
   }
 }
 
 void DfsCluster::CrashNode(NodeId node) {
   if (StorageNode* sn = FindStorageNode(node)) {
     bool was_serving = sn->Serving();
+    if (!sn->crashed) {
+      ++crashed_nodes_;
+    }
     sn->crashed = true;
     if (was_serving) {
       OnStorageNodeUnserving(node);
@@ -613,6 +779,9 @@ void DfsCluster::CrashNode(NodeId node) {
   auto it = meta_nodes_.find(node);
   if (it != meta_nodes_.end()) {
     bool was_serving = it->second.Serving();
+    if (!it->second.crashed) {
+      ++crashed_nodes_;
+    }
     it->second.crashed = true;
     if (was_serving) {
       auto pos = std::lower_bound(serving_meta_nodes_.begin(),
@@ -621,6 +790,7 @@ void DfsCluster::CrashNode(NodeId node) {
         serving_meta_nodes_.erase(pos);
       }
       ++membership_epoch_;
+      OnMetaNodeUnserving(node);
     }
   }
 }
@@ -1301,6 +1471,7 @@ OpResult DfsCluster::DoRemoveMetaNode(const Operation& op) {
     serving_meta_nodes_.erase(pos);
   }
   ++membership_epoch_;
+  OnMetaNodeUnserving(target);
   result.cost = Seconds(3);
   NotifyTopologyChanged();
   result.status = Status::Ok();
@@ -1936,10 +2107,41 @@ void DfsCluster::SampleLoadInto(std::vector<LoadSample>& out) const {
   }
 }
 
-std::vector<LoadSample> DfsCluster::SampleLoad() const {
-  std::vector<LoadSample> out;
-  SampleLoadInto(out);
-  return out;
+bool DfsCluster::SnapshotLoadStats(LoadStatsSnapshot& out) const {
+  EnsureLoadIndex();
+  const FractionStats& frac = EnsureFractionStats();
+  out = LoadStatsSnapshot{};
+  out.taken_at = clock_.now();
+  uint32_t storage_count = static_cast<uint32_t>(serving_storage_nodes_.size());
+  uint32_t meta_count = static_cast<uint32_t>(serving_meta_nodes_.size());
+  out.cpu_storage = {cpu_storage_agg_.sum, cpu_storage_agg_.sum_sq,
+                     cpu_storage_agg_.max_delta, storage_count};
+  out.cpu_meta = {cpu_meta_agg_.sum, cpu_meta_agg_.sum_sq,
+                  cpu_meta_agg_.max_delta, meta_count};
+  out.net_storage = {net_storage_agg_.sum, net_storage_agg_.sum_sq,
+                     net_storage_agg_.max_delta, storage_count};
+  out.net_meta = {net_meta_agg_.sum, net_meta_agg_.sum_sq,
+                  net_meta_agg_.max_delta, meta_count};
+  out.fraction_nodes = frac.nodes;
+  out.max_fraction = frac.max_fraction;
+  out.storage_used = frac.used;
+  out.storage_cap = frac.cap;
+  out.frac_sum = frac.frac_sum;
+  out.frac_sum_sq = frac.frac_sum_sq;
+  out.serving_storage_nodes = storage_count;
+  out.any_crashed = crashed_nodes_ > 0;
+  return true;
+}
+
+void DfsCluster::AdvanceLoadWindow() {
+  // O(1) close of the rate window: bumping the epoch invalidates every
+  // per-node base lazily (the next charge rebases), and the group aggregates
+  // of the now-empty window are all zero.
+  ++window_epoch_;
+  cpu_storage_agg_ = RateDimAgg{};
+  cpu_meta_agg_ = RateDimAgg{};
+  net_storage_agg_ = RateDimAgg{};
+  net_meta_agg_ = RateDimAgg{};
 }
 
 std::string DfsCluster::DescribeState() const {
@@ -2102,6 +2304,28 @@ void DfsCluster::SaveState(SnapshotWriter& writer) const {
   writer.U64(serving_meta_nodes_.size());
   for (NodeId id : serving_meta_nodes_) writer.U32(id);
 
+  // v3: streaming rate-window bases (DESIGN.md §13). Only nodes active in
+  // the current window carry state — a node with a stale epoch behaves
+  // exactly like a default-constructed window (rebased at its next charge),
+  // so saving it would be redundant. The quantized deltas and the group
+  // aggregates are derived (recomputed from base + counters on restore).
+  uint64_t active_windows = 0;
+  for (const NodeRateWindow& window : rate_windows_) {
+    if (window.epoch == window_epoch_) {
+      ++active_windows;
+    }
+  }
+  writer.U64(active_windows);
+  for (NodeId id = 0; id < rate_windows_.size(); ++id) {
+    const NodeRateWindow& window = rate_windows_[id];
+    if (window.epoch != window_epoch_) {
+      continue;
+    }
+    writer.U32(id);
+    writer.F64(window.base_cpu);
+    writer.U64(window.base_net);
+  }
+
   SaveFlavorState(writer);
 }
 
@@ -2240,6 +2464,56 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
     serving_meta_nodes_.push_back(id);
   }
   if (!reader.ok()) return reader.status();
+
+  // v3: streaming rate-window bases. Deltas are recomputed from the restored
+  // cumulative counters, and the group aggregates are rebuilt lazily with
+  // the rest of the load index — so the streaming state resumes bit-exactly
+  // (fixed-point sums are order-independent).
+  rate_windows_.clear();
+  window_epoch_ = 1;
+  uint64_t window_count = reader.Count(4 + 8 + 8);
+  for (uint64_t i = 0; i < window_count && reader.ok(); ++i) {
+    NodeId id = reader.U32();
+    double base_cpu = reader.F64();
+    uint64_t base_net = reader.U64();
+    if (!reader.ok()) break;
+    const NodeLoadCounters* load = nullptr;
+    if (const StorageNode* sn = FindStorageNode(id)) {
+      load = &sn->load;
+    } else if (auto node_it = meta_nodes_.find(id); node_it != meta_nodes_.end()) {
+      load = &node_it->second.load;
+    }
+    if (load == nullptr) {
+      reader.Fail(Sprintf("rate window references unknown node %u", id));
+      break;
+    }
+    uint64_t net_total = load->requests + load->read_ios + load->write_ios;
+    if (base_net > net_total) {
+      reader.Fail(Sprintf("rate window base exceeds counters for node %u", id));
+      break;
+    }
+    if (rate_windows_.size() <= id) {
+      rate_windows_.resize(id + 1);
+    }
+    NodeRateWindow& window = rate_windows_[id];
+    window.epoch = window_epoch_;
+    window.base_cpu = base_cpu;
+    window.last_cpu = load->cpu_seconds;
+    window.base_net = base_net;
+    window.cpu_ticks =
+        QuantizeLoadDelta(load->cpu_seconds - base_cpu, kCpuLoadQuantum);
+    window.net_delta = net_total - base_net;
+  }
+  if (!reader.ok()) return reader.status();
+  crashed_nodes_ = 0;
+  for (const auto& [id, node] : storage_nodes_) {
+    (void)id;
+    if (node.crashed) ++crashed_nodes_;
+  }
+  for (const auto& [id, node] : meta_nodes_) {
+    (void)id;
+    if (node.crashed) ++crashed_nodes_;
+  }
 
   clock_.Reset();
   clock_.Advance(now);

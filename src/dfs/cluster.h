@@ -24,6 +24,7 @@
 #include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/coverage/coverage.h"
 #include "src/dfs/brick.h"
@@ -104,12 +105,33 @@ class DfsInterface {
   virtual ~DfsInterface() = default;
 
   virtual OpResult Execute(const Operation& op) = 0;
-  virtual std::vector<LoadSample> SampleLoad() const = 0;
-  // Allocation-reusing variant of SampleLoad: clears and refills `out`.
-  // Samplers that run per test case (the states monitor) use this so the
-  // per-sample vector + string churn disappears from the hot loop.
-  virtual void SampleLoadInto(std::vector<LoadSample>& out) const {
-    out = SampleLoad();
+
+  // ---- load observation (DESIGN.md §13) ----
+  // The primary observation surface is push/streaming: the cluster maintains
+  // windowed per-dimension aggregates incrementally at every load mutation,
+  // and SnapshotLoadStats reads them in O(1) — no per-node scan, no
+  // allocation. AdvanceLoadWindow closes the current rate window (the states
+  // monitor calls it after folding a snapshot into the variance model, the
+  // push-era equivalent of remembering the previous cumulative sample).
+  // Adapters that do not stream keep the defaults; consumers then fall back
+  // to the SampleLoadInto scan path.
+  virtual bool SnapshotLoadStats(LoadStatsSnapshot& out) const {
+    (void)out;
+    return false;
+  }
+  virtual void AdvanceLoadWindow() {}
+
+  // Debug/oracle pull path: a full per-node scan of cumulative counters.
+  // The streaming aggregates must match what the variance model derives
+  // from this scan bit-for-bit (tests/streaming_stats_test.cc); failure
+  // reports and ground-truth checks also read it for per-node detail.
+  virtual void SampleLoadInto(std::vector<LoadSample>& out) const = 0;
+  // Copying convenience wrapper over SampleLoadInto for cold callers
+  // (reports, tests); deliberately non-virtual.
+  std::vector<LoadSample> SampleLoad() const {
+    std::vector<LoadSample> out;
+    SampleLoadInto(out);
+    return out;
   }
 
   // Admin APIs (paper §4.3: most DFSes provide rebalance / rebalance-state).
@@ -174,7 +196,8 @@ class DfsCluster : public DfsInterface {
 
   // ---- DfsInterface ----
   OpResult Execute(const Operation& op) override;
-  std::vector<LoadSample> SampleLoad() const override;
+  bool SnapshotLoadStats(LoadStatsSnapshot& out) const override;
+  void AdvanceLoadWindow() override;
   void SampleLoadInto(std::vector<LoadSample>& out) const override;
   Status TriggerRebalance() override;
   bool RebalanceDone() const override {
@@ -459,6 +482,9 @@ class DfsCluster : public DfsInterface {
   // the fleet aggregates but stay in the per-node ones (SampleLoad reports
   // crashed nodes' still-online bricks).
   void OnStorageNodeUnserving(NodeId id);
+  // The metadata node stopped serving (crashed or removed); its current
+  // window deltas leave the meta-group rate aggregates.
+  void OnMetaNodeUnserving(NodeId id);
   // Called after a brick's online flag flipped to false.
   void OnBrickOffline(const Brick& brick);
   // Called after a brick's capacity changed while online.
@@ -542,8 +568,23 @@ class DfsCluster : public DfsInterface {
   mutable uint64_t fleet_cap_ = 0;       // over serving bricks
   mutable uint64_t fleet_overflow_ = 0;  // sum of max(0, used-cap), serving
   mutable uint64_t total_used_all_ = 0;  // over every brick
+  // Storage-dimension statistics over serving nodes with online capacity,
+  // memoized per load_epoch_: the imbalance spread (the balancer threshold
+  // quantity) plus everything the streaming LoadStatsSnapshot reports for
+  // the storage dimension. One scan feeds both, so the per-op balancer
+  // check and the monitor read the same numbers for free.
+  struct FractionStats {
+    uint32_t nodes = 0;
+    double max_fraction = 0.0;
+    uint64_t used = 0;         // Σ used_online over `nodes`
+    uint64_t cap = 0;          // Σ cap_online over `nodes`
+    uint64_t frac_sum = 0;     // Σ quantized fraction, ticks
+    Uint128 frac_sum_sq = 0;   // Σ quantized fraction², ticks²
+    double spread = 0.0;       // max(0, max_fraction - fleet utilization)
+  };
+  const FractionStats& EnsureFractionStats() const;
   mutable uint64_t imbalance_epoch_ = UINT64_MAX;  // load_epoch_ of the memo
-  mutable double imbalance_memo_ = 0.0;
+  mutable FractionStats fraction_memo_;
   // Serving metadata nodes, maintained at the (rare) membership changes so
   // per-op request routing / anti-entropy need not scan the ever-growing
   // meta_nodes_ map (removed nodes stay in it as tombstones).
@@ -563,6 +604,60 @@ class DfsCluster : public DfsInterface {
   // Running view of the last-8-op class window (coverage feature).
   uint32_t class_counts_[3] = {0, 0, 0};
   uint8_t recent_class_mask_ = 0;
+
+  // ---- streaming load-stats state (DESIGN.md §13) ----
+  // Windowed rate tracking for the cumulative compute/network counters: per
+  // node, the counter values at the start of the current rate window and the
+  // quantized deltas accumulated since. Bases are captured lazily — bumping
+  // window_epoch_ invalidates every base in O(1), and the first charge of a
+  // node in the new window rebases it — so closing a window never scans the
+  // fleet. Deltas are fixed-point integers (src/common/stats.h) so the
+  // incrementally maintained group sums below are bit-identical to the
+  // full-scan oracle's.
+  struct NodeRateWindow {
+    uint64_t epoch = 0;      // window_epoch_ the base belongs to
+    double base_cpu = 0.0;   // cumulative cpu_seconds at window start
+    double last_cpu = 0.0;   // cumulative cpu_seconds at last commit
+    uint64_t base_net = 0;   // cumulative requests+read_ios+write_ios
+    uint64_t cpu_ticks = 0;  // current window delta, quantized
+    uint64_t net_delta = 0;  // current window delta
+  };
+  // Per (node group × dimension) window aggregate. Within a window a node's
+  // delta only grows (the counters are cumulative), so the instant max is a
+  // plain monotone high-water mark — no ordered index, no allocation; only
+  // the rare removal of a group member (crash / decommission) can lower it
+  // and triggers a rescan of the group's serving list.
+  struct RateDimAgg {
+    uint64_t sum = 0;        // Σ delta, ticks
+    Uint128 sum_sq = 0;      // Σ delta², ticks²
+    uint64_t max_delta = 0;  // max over current group members, ticks
+  };
+  // Captures the window base for `id` if this is its first charge in the
+  // current window; call before mutating the node's counters.
+  void BeginNodeChargeWindow(NodeId id, const NodeLoadCounters& load);
+  // Recomputes the node's window deltas from the (just mutated) counters and
+  // applies the change to its group aggregates. Base capture above is
+  // unconditional; the aggregate update is skipped for non-serving nodes and
+  // while the load index is dirty (the rebuild recomputes from the windows).
+  void CommitNodeCharge(NodeId id, const NodeLoadCounters& load, bool is_storage,
+                        bool serving);
+  // Removes an unserving node's current window deltas from its group.
+  void RemoveNodeFromRateAggs(NodeId id, bool is_storage);
+  uint64_t WindowDelta(NodeId id, bool cpu_dim) const;
+  void RecomputeRateMax(RateDimAgg& agg, bool is_storage, bool cpu_dim) const;
+  // From-scratch reconstruction out of the per-node windows + serving lists
+  // (tail of RebuildLoadIndex).
+  void RebuildRateAggs() const;
+
+  std::vector<NodeRateWindow> rate_windows_;  // dense by NodeId
+  uint64_t window_epoch_ = 1;
+  mutable RateDimAgg cpu_storage_agg_;
+  mutable RateDimAgg cpu_meta_agg_;
+  mutable RateDimAgg net_storage_agg_;
+  mutable RateDimAgg net_meta_agg_;
+  // Count of nodes with crashed=true (permanent until a topology reset):
+  // the O(1) source of the snapshot's any_crashed flag.
+  int crashed_nodes_ = 0;
 };
 
 }  // namespace themis

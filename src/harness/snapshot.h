@@ -4,7 +4,9 @@
 //
 //   offset  size  field
 //   0       8     magic "THMSNP01"
-//   8       4     format version (u32 LE, currently 2 — see DESIGN.md §12)
+//   8       4     format version (u32 LE, currently 3 — see DESIGN.md §12;
+//                 v3 added the cluster's rate-window bases and the model's
+//                 dense previous-window counters, DESIGN.md §13)
 //   12      1     kind (0 = mid-campaign, 1 = final)
 //   13      8     payload size in bytes (u64 LE)
 //   21      8     FNV-1a 64 checksum of the payload (u64 LE)
@@ -34,7 +36,7 @@
 
 namespace themis {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 enum class SnapshotKind : uint8_t {
   kMidCampaign = 0,  // loop state; resuming continues the campaign

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 
-#include "src/common/stats.h"
+#include "src/common/strings.h"
 
 namespace themis {
 
 namespace {
 // Below these per-window totals the component carries no signal; comparing
-// noise-level rates would flood the detector with spurious ratios.
-constexpr double kMinCpuMean = 0.5;  // virtual seconds per window
+// noise-level rates would flood the detector with spurious ratios. The
+// floors are in natural units; the aggregates are fixed-point ticks, so the
+// comparisons scale by the matching quantum.
+constexpr double kMinCpuMean = 0.5;   // virtual seconds per window
 constexpr double kMinNetMean = 16.0;  // requests+ios per window
 }  // namespace
 
@@ -37,81 +39,120 @@ double RatioWithFloor(const std::vector<double>& values, double min_mean) {
   return ratio < 1.0 ? 1.0 : ratio;
 }
 
-LoadVarianceSnapshot LoadVarianceModel::Update(const std::vector<LoadSample>& samples) {
+LoadVarianceSnapshot FinalizeLoadStats(const LoadStatsSnapshot& stats) {
   LoadVarianceSnapshot snapshot;
-  std::vector<double> storage_fractions;
-  std::vector<double> cpu_meta;
-  std::vector<double> cpu_storage;
-  std::vector<double> net_meta;
-  std::vector<double> net_storage;
-  uint64_t total_used = 0;
-  uint64_t total_capacity = 0;
-
-  for (const LoadSample& sample : samples) {
-    snapshot.taken_at = sample.taken_at;
-    if (sample.crashed) {
-      snapshot.any_crashed = true;
-    }
-    if (!sample.online || sample.crashed) {
-      continue;
-    }
-    if (sample.is_storage) {
-      ++snapshot.serving_storage_nodes;
-      if (sample.capacity_bytes > 0) {
-        storage_fractions.push_back(static_cast<double>(sample.used_bytes) /
-                                    static_cast<double>(sample.capacity_bytes));
-        total_used += sample.used_bytes;
-        total_capacity += sample.capacity_bytes;
-      }
-    }
-    auto prev_it = previous_.find(sample.node);
-    double cpu_delta = sample.cpu_seconds;
-    double net_delta = static_cast<double>(sample.requests + sample.read_ios +
-                                           sample.write_ios);
-    if (prev_it != previous_.end()) {
-      const LoadSample& prev = prev_it->second;
-      cpu_delta = std::max(0.0, sample.cpu_seconds - prev.cpu_seconds);
-      net_delta = std::max(0.0, net_delta - static_cast<double>(prev.requests +
-                                                                prev.read_ios +
-                                                                prev.write_ios));
-    }
-    if (sample.is_storage) {
-      cpu_storage.push_back(cpu_delta);
-      net_storage.push_back(net_delta);
-    } else {
-      cpu_meta.push_back(cpu_delta);
-      net_meta.push_back(net_delta);
-    }
-  }
+  snapshot.taken_at = stats.taken_at;
+  snapshot.any_crashed = stats.any_crashed;
+  snapshot.serving_storage_nodes = static_cast<int>(stats.serving_storage_nodes);
 
   // Storage: utilization spread in fraction points between the hottest node
   // and the capacity-weighted fleet utilization, expressed as 1 + spread so
   // the detector's "ratio > 1 + t" test reads t as percentage points — the
   // semantics of real balancer thresholds (and the only spread a balancer
   // can drive to zero on heterogeneous-capacity clusters).
-  if (storage_fractions.size() >= 2 && total_capacity > 0) {
-    double fleet = static_cast<double>(total_used) / static_cast<double>(total_capacity);
-    double max = *std::max_element(storage_fractions.begin(), storage_fractions.end());
-    snapshot.storage_ratio = 1.0 + std::max(0.0, max - fleet);
+  if (stats.fraction_nodes >= 2 && stats.storage_cap > 0) {
+    double fleet = static_cast<double>(stats.storage_used) /
+                   static_cast<double>(stats.storage_cap);
+    snapshot.storage_ratio = 1.0 + std::max(0.0, stats.max_fraction - fleet);
   } else {
     snapshot.storage_ratio = 1.0;
   }
-  snapshot.instant_computation_ratio = std::max(RatioWithFloor(cpu_meta, kMinCpuMean),
-                                                RatioWithFloor(cpu_storage, kMinCpuMean));
-  snapshot.instant_network_ratio = std::max(RatioWithFloor(net_meta, kMinNetMean),
-                                            RatioWithFloor(net_storage, kMinNetMean));
+  snapshot.instant_computation_ratio = std::max(
+      stats.cpu_meta.MaxOverMeanWithFloor(kMinCpuMean * kCpuLoadQuantum),
+      stats.cpu_storage.MaxOverMeanWithFloor(kMinCpuMean * kCpuLoadQuantum));
+  snapshot.instant_network_ratio =
+      std::max(stats.net_meta.MaxOverMeanWithFloor(kMinNetMean),
+               stats.net_storage.MaxOverMeanWithFloor(kMinNetMean));
+  return snapshot;
+}
+
+LoadVarianceSnapshot LoadVarianceModel::UpdateFromStats(const LoadStatsSnapshot& stats) {
+  LoadVarianceSnapshot snapshot = FinalizeLoadStats(stats);
   constexpr double kAlpha = 0.3;
   ema_computation_ = (1.0 - kAlpha) * ema_computation_ +
                      kAlpha * snapshot.instant_computation_ratio;
   ema_network_ = (1.0 - kAlpha) * ema_network_ + kAlpha * snapshot.instant_network_ratio;
   snapshot.computation_ratio = ema_computation_;
   snapshot.network_ratio = ema_network_;
-
-  previous_.clear();
-  for (const LoadSample& sample : samples) {
-    previous_[sample.node] = sample;
-  }
   return snapshot;
+}
+
+LoadVarianceSnapshot LoadVarianceModel::PreviewFromStats(
+    const LoadStatsSnapshot& stats) const {
+  LoadVarianceSnapshot snapshot = FinalizeLoadStats(stats);
+  constexpr double kAlpha = 0.3;
+  snapshot.computation_ratio = (1.0 - kAlpha) * ema_computation_ +
+                               kAlpha * snapshot.instant_computation_ratio;
+  snapshot.network_ratio =
+      (1.0 - kAlpha) * ema_network_ + kAlpha * snapshot.instant_network_ratio;
+  return snapshot;
+}
+
+LoadStatsSnapshot LoadVarianceModel::OracleStats(const std::vector<LoadSample>& samples) {
+  LoadStatsSnapshot stats;
+  for (const LoadSample& sample : samples) {
+    stats.taken_at = sample.taken_at;
+    if (sample.crashed) {
+      stats.any_crashed = true;
+    }
+    if (!sample.online || sample.crashed) {
+      continue;
+    }
+    if (sample.is_storage) {
+      ++stats.serving_storage_nodes;
+      if (sample.capacity_bytes > 0) {
+        double fraction = static_cast<double>(sample.used_bytes) /
+                          static_cast<double>(sample.capacity_bytes);
+        ++stats.fraction_nodes;
+        if (stats.fraction_nodes == 1 || fraction > stats.max_fraction) {
+          stats.max_fraction = fraction;
+        }
+        stats.storage_used += sample.used_bytes;
+        stats.storage_cap += sample.capacity_bytes;
+        uint64_t ticks = QuantizeLoadDelta(fraction, kUtilizationQuantum);
+        stats.frac_sum += ticks;
+        stats.frac_sum_sq += static_cast<Uint128>(ticks) * ticks;
+      }
+    }
+    uint64_t net_total = sample.requests + sample.read_ios + sample.write_ios;
+    double cpu_delta = sample.cpu_seconds;
+    uint64_t net_delta = net_total;
+    if (sample.node < previous_.size() && previous_[sample.node].valid) {
+      const PrevCounters& prev = previous_[sample.node];
+      cpu_delta = sample.cpu_seconds - prev.cpu_seconds;
+      net_delta = net_total >= prev.net ? net_total - prev.net : 0;
+    }
+    uint64_t cpu_ticks = QuantizeLoadDelta(cpu_delta, kCpuLoadQuantum);
+    LoadDimAggregate& cpu_agg = sample.is_storage ? stats.cpu_storage : stats.cpu_meta;
+    LoadDimAggregate& net_agg = sample.is_storage ? stats.net_storage : stats.net_meta;
+    cpu_agg.sum += cpu_ticks;
+    cpu_agg.sum_sq += static_cast<Uint128>(cpu_ticks) * cpu_ticks;
+    cpu_agg.max_delta = std::max(cpu_agg.max_delta, cpu_ticks);
+    ++cpu_agg.count;
+    net_agg.sum += net_delta;
+    net_agg.sum_sq += static_cast<Uint128>(net_delta) * net_delta;
+    net_agg.max_delta = std::max(net_agg.max_delta, net_delta);
+    ++net_agg.count;
+  }
+
+  // Rebase the remembered window for every sampled node (crashed and offline
+  // ones included): this mirrors the streaming side's AdvanceLoadWindow.
+  // Node ids are monotonic and never reused, so entries for nodes absent
+  // from `samples` can only belong to erased tombstones — harmless.
+  for (const LoadSample& sample : samples) {
+    if (previous_.size() <= sample.node) {
+      previous_.resize(sample.node + 1);
+    }
+    PrevCounters& prev = previous_[sample.node];
+    prev.cpu_seconds = sample.cpu_seconds;
+    prev.net = sample.requests + sample.read_ios + sample.write_ios;
+    prev.valid = true;
+  }
+  return stats;
+}
+
+LoadVarianceSnapshot LoadVarianceModel::Update(const std::vector<LoadSample>& samples) {
+  return UpdateFromStats(OracleStats(samples));
 }
 
 void LoadVarianceModel::Reset() {
@@ -119,38 +160,6 @@ void LoadVarianceModel::Reset() {
   ema_computation_ = 1.0;
   ema_network_ = 1.0;
 }
-
-namespace {
-
-void SaveLoadSample(SnapshotWriter& writer, const LoadSample& sample) {
-  writer.U32(sample.node);
-  writer.Bool(sample.is_storage);
-  writer.Bool(sample.online);
-  writer.Bool(sample.crashed);
-  writer.U64(sample.used_bytes);
-  writer.U64(sample.capacity_bytes);
-  writer.U64(sample.requests);
-  writer.U64(sample.read_ios);
-  writer.U64(sample.write_ios);
-  writer.F64(sample.cpu_seconds);
-  writer.I64(sample.taken_at);
-}
-
-void RestoreLoadSample(SnapshotReader& reader, LoadSample* sample) {
-  sample->node = reader.U32();
-  sample->is_storage = reader.Bool();
-  sample->online = reader.Bool();
-  sample->crashed = reader.Bool();
-  sample->used_bytes = reader.U64();
-  sample->capacity_bytes = reader.U64();
-  sample->requests = reader.U64();
-  sample->read_ios = reader.U64();
-  sample->write_ios = reader.U64();
-  sample->cpu_seconds = reader.F64();
-  sample->taken_at = reader.I64();
-}
-
-}  // namespace
 
 void SaveLoadVarianceSnapshot(SnapshotWriter& writer,
                               const LoadVarianceSnapshot& snapshot) {
@@ -177,21 +186,46 @@ void RestoreLoadVarianceSnapshot(SnapshotReader& reader,
 }
 
 void LoadVarianceModel::SaveState(SnapshotWriter& writer) const {
-  writer.U64(previous_.size());
-  for (const auto& [node, sample] : previous_) {
-    SaveLoadSample(writer, sample);
+  uint64_t count = 0;
+  for (const PrevCounters& prev : previous_) {
+    if (prev.valid) {
+      ++count;
+    }
+  }
+  writer.U64(count);
+  for (NodeId id = 0; id < previous_.size(); ++id) {
+    const PrevCounters& prev = previous_[id];
+    if (!prev.valid) {
+      continue;
+    }
+    writer.U32(id);
+    writer.F64(prev.cpu_seconds);
+    writer.U64(prev.net);
   }
   writer.F64(ema_computation_);
   writer.F64(ema_network_);
 }
 
 Status LoadVarianceModel::RestoreState(SnapshotReader& reader) {
-  uint64_t count = reader.Count(4 + 3 + 5 * 8 + 8 + 8);
+  uint64_t count = reader.Count(4 + 8 + 8);
   previous_.clear();
   for (uint64_t i = 0; i < count && reader.ok(); ++i) {
-    LoadSample sample;
-    RestoreLoadSample(reader, &sample);
-    previous_[sample.node] = sample;
+    NodeId node = reader.U32();
+    PrevCounters prev;
+    prev.cpu_seconds = reader.F64();
+    prev.net = reader.U64();
+    prev.valid = true;
+    if (!reader.ok()) {
+      break;
+    }
+    if (node > (1u << 24)) {  // dense index: a corrupt id must not OOM us
+      reader.Fail(Sprintf("previous-window node id %u out of range", node));
+      break;
+    }
+    if (previous_.size() <= node) {
+      previous_.resize(node + 1);
+    }
+    previous_[node] = prev;
   }
   ema_computation_ = reader.F64();
   ema_network_ = reader.F64();

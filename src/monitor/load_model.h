@@ -1,20 +1,27 @@
 // The Load Variance Model (paper Fig. 8).
 //
 // Node load data has three components: computation (CPU), network (requests
-// + read/write IOs) and storage. Cumulative counters from LoadSample are
-// differenced against the previous sampling window to obtain rates; each
-// component's imbalance is summarized as max/mean across the relevant node
-// group (the LBS quantity of §2.2), and the weighted combination is the
-// variance score that guides the fuzzer.
+// + read/write IOs) and storage. Cumulative counters are differenced against
+// the previous sampling window to obtain rates; each component's imbalance
+// is summarized as max/mean across the relevant node group (the LBS quantity
+// of §2.2), and the weighted combination is the variance score that guides
+// the fuzzer.
+//
+// Since the push-based streaming API (DESIGN.md §13) the model consumes a
+// LoadStatsSnapshot — an O(1) aggregate reading the cluster maintains
+// incrementally. The full-scan path (OracleStats over LoadSample vectors)
+// survives as the differential oracle: it must produce bit-identical
+// aggregates, which is why both paths share FinalizeLoadStats and all sums
+// are fixed-point integers.
 
 #ifndef SRC_MONITOR_LOAD_MODEL_H_
 #define SRC_MONITOR_LOAD_MODEL_H_
 
-#include <map>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/snapshot_io.h"
+#include "src/common/stats.h"
 #include "src/dfs/load_sample.h"
 
 namespace themis {
@@ -55,12 +62,31 @@ struct LoadVarianceSnapshot {
   double MaxRatio() const;
 };
 
+// Derives the per-component instant ratios from one aggregate reading. The
+// single place ratio math lives: the streaming path and the scan oracle both
+// feed it, so their LoadVarianceSnapshots can only differ if the aggregates
+// differ. EMA fields are left at their defaults — the model folds those in.
+LoadVarianceSnapshot FinalizeLoadStats(const LoadStatsSnapshot& stats);
+
 class LoadVarianceModel {
  public:
   LoadVarianceModel() = default;
 
-  // Consumes a new set of cumulative samples, differences them against the
-  // previous call, and produces the current snapshot.
+  // Streaming path: folds one O(1) aggregate reading into the EMA state and
+  // produces the current snapshot.
+  LoadVarianceSnapshot UpdateFromStats(const LoadStatsSnapshot& stats);
+
+  // Read-only variant for mid-window peeks (per-op feedback): returns what
+  // UpdateFromStats would, without committing the EMA fold or the window.
+  LoadVarianceSnapshot PreviewFromStats(const LoadStatsSnapshot& stats) const;
+
+  // Debug/oracle scan path: rebuilds the aggregate reading from cumulative
+  // samples, differencing against the previous call (and rebasing the
+  // remembered window, mirroring DfsCluster::AdvanceLoadWindow).
+  LoadStatsSnapshot OracleStats(const std::vector<LoadSample>& samples);
+
+  // Scan-path convenience: OracleStats + UpdateFromStats. Adapters that do
+  // not stream (SnapshotLoadStats returns false) land here.
   LoadVarianceSnapshot Update(const std::vector<LoadSample>& samples);
 
   // Forgets the previous window (after a cluster reset).
@@ -72,7 +98,14 @@ class LoadVarianceModel {
   Status RestoreState(SnapshotReader& reader);
 
  private:
-  std::map<NodeId, LoadSample> previous_;
+  // Previous-window cumulative counters, dense by NodeId (ids are small and
+  // monotonic — the same flat-index idiom as the cluster's node indexes).
+  struct PrevCounters {
+    double cpu_seconds = 0.0;
+    uint64_t net = 0;  // requests + read_ios + write_ios
+    bool valid = false;
+  };
+  std::vector<PrevCounters> previous_;
   double ema_computation_ = 1.0;
   double ema_network_ = 1.0;
 };

@@ -10,12 +10,17 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/snapshot_io.h"
+#include "src/core/generator.h"
+#include "src/core/input_model.h"
+#include "src/dfs/flavors/factory.h"
 #include "src/harness/campaign.h"
 #include "src/harness/snapshot.h"
+#include "src/monitor/load_model.h"
 
 namespace themis {
 namespace {
@@ -248,6 +253,106 @@ TEST(SnapshotCorruptionTest, CampaignRefusesForeignSnapshotAndRunsFresh) {
   Result<CampaignResult> fresh = Campaign(plain).Run("Themis");
   ASSERT_TRUE(fresh.ok());
   EXPECT_EQ(resumed->Digest(), fresh->Digest());
+}
+
+// Format v3 field-level validation: the cluster's rate-window section and
+// the model's dense previous-window table are restored into indexed
+// structures, so a corrupt entry must be rejected descriptively — never
+// silently adopted (wrong deltas forever after) or allowed to drive an
+// allocation off a hostile index.
+TEST(SnapshotCorruptionTest, ClusterRateWindowCorruptionIsRejected) {
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kGluster, 909);
+  // Accumulate distinctive cumulative counters, close the window, then open
+  // exactly one fresh window so the saved section is a single, byte-wise
+  // predictable entry we can locate inside the payload.
+  Rng rng(909);
+  InputModel model;
+  model.SyncFromDfs(*dfs);
+  OpSeqGenerator generator(model);
+  for (int i = 0; i < 300; ++i) {
+    Operation op = generator.GenerateOp(rng);
+    model.Observe(op, dfs->Execute(op));
+  }
+  dfs->AdvanceLoadWindow();
+  NodeId target = kInvalidNode;
+  double base_cpu = 0.0;
+  uint64_t base_net = 0;
+  for (const LoadSample& sample : dfs->SampleLoad()) {
+    if (sample.is_storage && sample.online && !sample.crashed &&
+        sample.requests + sample.read_ios + sample.write_ios > base_net) {
+      target = sample.node;
+      base_cpu = sample.cpu_seconds;
+      base_net = sample.requests + sample.read_ios + sample.write_ios;
+    }
+  }
+  ASSERT_NE(target, kInvalidNode);
+  ASSERT_GT(base_net, 0u);
+  dfs->InjectCpuLoad(target, 1.75);
+
+  SnapshotWriter writer;
+  dfs->SaveState(writer);
+  SnapshotWriter needle;
+  needle.U64(1);  // one active window
+  needle.U32(target);
+  needle.F64(base_cpu);
+  needle.U64(base_net);
+  size_t pos = writer.buffer().find(needle.buffer());
+  ASSERT_NE(pos, std::string::npos) << "window section not found in payload";
+  ASSERT_EQ(writer.buffer().find(needle.buffer(), pos + 1), std::string::npos)
+      << "window section bytes must be unique for targeted corruption";
+
+  auto patch_u32 = [](std::string& bytes, size_t at, uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      bytes[at + static_cast<size_t>(i)] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+  };
+  auto patch_u64 = [](std::string& bytes, size_t at, uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      bytes[at + static_cast<size_t>(i)] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+  };
+
+  // Case 1: the window names a node the topology does not contain.
+  std::string unknown_node = writer.buffer();
+  patch_u32(unknown_node, pos + 8, 999999);
+  std::unique_ptr<DfsCluster> fresh = MakeCluster(Flavor::kGluster, 909);
+  SnapshotReader unknown_reader(unknown_node);
+  Status status = fresh->RestoreState(unknown_reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown node"), std::string::npos)
+      << status.ToString();
+
+  // Case 2: the base claims more traffic than the node's cumulative
+  // counters — an impossible (negative) window.
+  std::string bad_base = writer.buffer();
+  patch_u64(bad_base, pos + 8 + 4 + 8, ~uint64_t{0});
+  fresh = MakeCluster(Flavor::kGluster, 909);
+  SnapshotReader bad_base_reader(bad_base);
+  status = fresh->RestoreState(bad_base_reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exceeds counters"), std::string::npos)
+      << status.ToString();
+
+  // The unmodified payload restores cleanly.
+  fresh = MakeCluster(Flavor::kGluster, 909);
+  SnapshotReader ok_reader(writer.buffer());
+  EXPECT_TRUE(fresh->RestoreState(ok_reader).ok());
+}
+
+TEST(SnapshotCorruptionTest, ModelRejectsOutOfRangePreviousWindowNode) {
+  SnapshotWriter writer;
+  writer.U64(1);                // one previous-window entry
+  writer.U32((1u << 24) + 1);   // hostile dense index
+  writer.F64(1.0);
+  writer.U64(5);
+  writer.F64(1.0);              // EMA computation
+  writer.F64(1.0);              // EMA network
+  LoadVarianceModel model;
+  SnapshotReader reader(writer.buffer());
+  Status status = model.RestoreState(reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("out of range"), std::string::npos)
+      << status.ToString();
 }
 
 }  // namespace

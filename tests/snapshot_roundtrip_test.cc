@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/snapshot_io.h"
+#include "src/core/generator.h"
 #include "src/core/input_model.h"
+#include "src/dfs/flavors/factory.h"
 #include "src/core/seed_pool.h"
 #include "src/core/strategy_registry.h"
 #include "src/coverage/coverage.h"
@@ -214,6 +217,55 @@ TEST(SnapshotRoundTripTest, SnapshotFilePreservesKindAndPayload) {
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
     EXPECT_EQ(loaded->kind, kind);
     EXPECT_EQ(loaded->payload, payload);
+  }
+}
+
+// Format v3: the cluster's streaming rate-window bases (DESIGN.md §13) are
+// part of the snapshot. Save mid-window -> restore -> save must be byte
+// stable, and the restored cluster's O(1) load aggregates must track the
+// original exactly through further mid-window mutations.
+TEST(SnapshotRoundTripTest, ClusterRateWindowsSurviveExactly) {
+  for (Flavor flavor : {Flavor::kGluster, Flavor::kHdfs, Flavor::kCeph, Flavor::kLeo}) {
+    std::unique_ptr<DfsCluster> dfs = MakeCluster(flavor, 2027);
+    Rng rng(2027);
+    InputModel model;
+    model.SyncFromDfs(*dfs);
+    OpSeqGenerator generator(model);
+    for (int i = 0; i < 200; ++i) {
+      Operation op = generator.GenerateOp(rng);
+      model.Observe(op, dfs->Execute(op));
+    }
+    dfs->AdvanceLoadWindow();  // leave stale windows behind...
+    for (int i = 0; i < 100; ++i) {
+      Operation op = generator.GenerateOp(rng);
+      model.Observe(op, dfs->Execute(op));
+    }  // ...and a half-open window on the nodes these ops touched
+
+    SnapshotWriter first;
+    dfs->SaveState(first);
+    std::unique_ptr<DfsCluster> restored = MakeCluster(flavor, 2027);
+    SnapshotReader reader(first.buffer());
+    ASSERT_TRUE(restored->RestoreState(reader).ok()) << FlavorName(flavor);
+    SnapshotWriter second;
+    restored->SaveState(second);
+    EXPECT_EQ(first.buffer(), second.buffer()) << FlavorName(flavor);
+
+    LoadStatsSnapshot a, b;
+    ASSERT_TRUE(dfs->SnapshotLoadStats(a));
+    ASSERT_TRUE(restored->SnapshotLoadStats(b));
+    EXPECT_TRUE(a == b) << FlavorName(flavor) << " diverged at restore";
+
+    // Continue the same mid-window mutations on both sides: deltas keep
+    // differencing against the restored bases, so aggregates must stay equal.
+    for (NodeId node : dfs->ServingStorageNodeIds()) {
+      dfs->InjectCpuLoad(node, 0.25 + 0.125 * static_cast<double>(node));
+      restored->InjectCpuLoad(node, 0.25 + 0.125 * static_cast<double>(node));
+      dfs->InjectNetLoad(node, 3, 1, 7);
+      restored->InjectNetLoad(node, 3, 1, 7);
+    }
+    ASSERT_TRUE(dfs->SnapshotLoadStats(a));
+    ASSERT_TRUE(restored->SnapshotLoadStats(b));
+    EXPECT_TRUE(a == b) << FlavorName(flavor) << " diverged mid-window";
   }
 }
 

@@ -1,0 +1,178 @@
+// Differential oracle for the push-based streaming load-stats API
+// (DESIGN.md §13): two monitors observe the same cluster at the same
+// checkpoints — one through the O(1) SnapshotLoadStats streaming path, one
+// forced onto the full-scan SampleLoadInto oracle — and every field of both
+// the raw LoadStatsSnapshot aggregates and the finalized
+// LoadVarianceSnapshot must match exactly, not approximately. All shared
+// sums are fixed-point integers precisely so this bit-identity holds; any
+// tolerance here would hide a divergence between the per-op incremental
+// accounting and the ground truth.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/generator.h"
+#include "src/core/input_model.h"
+#include "src/dfs/flavors/factory.h"
+#include "src/faults/fault_registry.h"
+#include "src/faults/historical_corpus.h"
+#include "src/faults/injector.h"
+#include "src/monitor/states_monitor.h"
+
+namespace themis {
+namespace {
+
+void ExpectStatsEqual(const LoadStatsSnapshot& stream, const LoadStatsSnapshot& scan,
+                      int step, const char* context) {
+  auto check_dim = [&](const LoadDimAggregate& s, const LoadDimAggregate& o,
+                       const char* dim) {
+    EXPECT_EQ(s.sum, o.sum) << context << " step " << step << " " << dim;
+    EXPECT_EQ(s.max_delta, o.max_delta) << context << " step " << step << " " << dim;
+    EXPECT_EQ(s.count, o.count) << context << " step " << step << " " << dim;
+    EXPECT_TRUE(s.sum_sq == o.sum_sq)
+        << context << " step " << step << " " << dim << " sum_sq: "
+        << static_cast<uint64_t>(s.sum_sq) << " vs " << static_cast<uint64_t>(o.sum_sq);
+  };
+  check_dim(stream.cpu_storage, scan.cpu_storage, "cpu_storage");
+  check_dim(stream.cpu_meta, scan.cpu_meta, "cpu_meta");
+  check_dim(stream.net_storage, scan.net_storage, "net_storage");
+  check_dim(stream.net_meta, scan.net_meta, "net_meta");
+  EXPECT_EQ(stream.taken_at, scan.taken_at) << context << " step " << step;
+  EXPECT_EQ(stream.fraction_nodes, scan.fraction_nodes) << context << " step " << step;
+  EXPECT_EQ(stream.max_fraction, scan.max_fraction) << context << " step " << step;
+  EXPECT_EQ(stream.storage_used, scan.storage_used) << context << " step " << step;
+  EXPECT_EQ(stream.storage_cap, scan.storage_cap) << context << " step " << step;
+  EXPECT_EQ(stream.frac_sum, scan.frac_sum) << context << " step " << step;
+  EXPECT_TRUE(stream.frac_sum_sq == scan.frac_sum_sq) << context << " step " << step;
+  EXPECT_EQ(stream.serving_storage_nodes, scan.serving_storage_nodes)
+      << context << " step " << step;
+  EXPECT_EQ(stream.any_crashed, scan.any_crashed) << context << " step " << step;
+  // Belt and braces: the aggregate structs are regular, so whole-value
+  // equality must agree with the per-field checks above.
+  EXPECT_TRUE(stream == scan) << context << " step " << step;
+}
+
+void ExpectSnapshotsEqual(const LoadVarianceSnapshot& stream,
+                          const LoadVarianceSnapshot& scan, int step,
+                          const char* context) {
+  // Exact double equality: both paths feed identical integer aggregates
+  // through the same FinalizeLoadStats + EMA fold, so the derived doubles
+  // must be bit-identical.
+  EXPECT_EQ(stream.taken_at, scan.taken_at) << context << " step " << step;
+  EXPECT_EQ(stream.storage_ratio, scan.storage_ratio) << context << " step " << step;
+  EXPECT_EQ(stream.computation_ratio, scan.computation_ratio)
+      << context << " step " << step;
+  EXPECT_EQ(stream.network_ratio, scan.network_ratio) << context << " step " << step;
+  EXPECT_EQ(stream.instant_computation_ratio, scan.instant_computation_ratio)
+      << context << " step " << step;
+  EXPECT_EQ(stream.instant_network_ratio, scan.instant_network_ratio)
+      << context << " step " << step;
+  EXPECT_EQ(stream.any_crashed, scan.any_crashed) << context << " step " << step;
+  EXPECT_EQ(stream.serving_storage_nodes, scan.serving_storage_nodes)
+      << context << " step " << step;
+}
+
+struct StreamCase {
+  Flavor flavor;
+  bool with_faults;
+  uint64_t seed;
+  int steps;
+};
+
+class StreamingStatsTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(StreamingStatsTest, StreamingMatchesScanOracle) {
+  const StreamCase& param = GetParam();
+  std::unique_ptr<DfsCluster> dfs = MakeCluster(param.flavor, param.seed);
+  std::vector<FaultSpec> faults;
+  if (param.with_faults) {
+    faults = NewBugsFor(param.flavor);
+    std::vector<FaultSpec> historical = HistoricalFaultsFor(param.flavor);
+    faults.insert(faults.end(), historical.begin(), historical.end());
+  }
+  FaultInjector injector(faults, param.seed);
+  dfs->set_fault_hooks(&injector);
+
+  LoadVarianceWeights weights;
+  StatesMonitor streaming(weights);
+  StatesMonitor oracle(weights);
+  oracle.set_force_scan(true);
+
+  Rng rng(param.seed);
+  InputModel model;
+  model.SyncFromDfs(*dfs);
+  OpSeqGenerator generator(model);
+
+  auto check = [&](int step, const char* context) {
+    // Peek first: a side-effect-free preview that must equal the committed
+    // sample taken an instant later.
+    LoadVarianceSnapshot peek = streaming.Peek(*dfs);
+    // Oracle first: the scan path reads counters without closing the
+    // cluster's rate window, so the streaming sample still sees it intact.
+    LoadVarianceSnapshot scan_snap = oracle.Sample(*dfs);
+    LoadVarianceSnapshot stream_snap = streaming.Sample(*dfs);
+    ASSERT_TRUE(streaming.last_sample_streamed()) << context << " step " << step;
+    ASSERT_FALSE(oracle.last_sample_streamed()) << context << " step " << step;
+    ExpectStatsEqual(streaming.latest_stats(), oracle.latest_stats(), step, context);
+    ExpectSnapshotsEqual(stream_snap, scan_snap, step, context);
+    ExpectSnapshotsEqual(peek, stream_snap, step, context);
+  };
+
+  check(-1, "initial");
+  for (int step = 0; step < param.steps; ++step) {
+    Operation op = generator.GenerateOp(rng);
+    OpResult result = dfs->Execute(op);
+    model.Observe(op, result);
+    if (step % 50 == 0) {
+      model.SyncFromDfs(*dfs);
+    }
+    // Interleave the non-op mutation sources the way a campaign does:
+    // explicit rebalance triggers and background (migration/GC) time.
+    if (step % 97 == 96) {
+      (void)dfs->TriggerRebalance();
+    }
+    if (step % 13 == 12) {
+      dfs->AdvanceTime(Seconds(30));
+    }
+    // Sample on a stride so windows span several ops (per-op deltas would
+    // never exercise the lazy window-rebase path), plus every op early on.
+    if (step < 100 || step % 7 == 0) {
+      check(step, "mid-stream");
+    }
+    if (HasFailure()) {
+      ADD_FAILURE() << "diverged at step " << step << " op " << op.ToString();
+      return;
+    }
+  }
+  // Drain all background work, then re-check the settled state.
+  (void)dfs->TriggerRebalance();
+  for (int i = 0; i < 2000 && !dfs->RebalanceDone(); ++i) {
+    dfs->AdvanceTime(Seconds(10));
+  }
+  check(param.steps, "drained");
+}
+
+// 4 flavors x {healthy, faulty} x 1500 mutation steps = 12000 mixed ops,
+// checked at ~260 checkpoints per case plus dense per-op checks early on.
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavors, StreamingStatsTest,
+    ::testing::Values(StreamCase{Flavor::kGluster, false, 51, 1500},
+                      StreamCase{Flavor::kGluster, true, 52, 1500},
+                      StreamCase{Flavor::kHdfs, false, 61, 1500},
+                      StreamCase{Flavor::kHdfs, true, 62, 1500},
+                      StreamCase{Flavor::kCeph, false, 71, 1500},
+                      StreamCase{Flavor::kCeph, true, 72, 1500},
+                      StreamCase{Flavor::kLeo, false, 81, 1500},
+                      StreamCase{Flavor::kLeo, true, 82, 1500}),
+    [](const ::testing::TestParamInfo<StreamCase>& param_info) {
+      std::string name(FlavorName(param_info.param.flavor));
+      name += param_info.param.with_faults ? "_faulty" : "_healthy";
+      name += "_s" + std::to_string(param_info.param.seed);
+      return name;
+    });
+
+}  // namespace
+}  // namespace themis
