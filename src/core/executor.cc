@@ -181,6 +181,26 @@ void TestCaseExecutor::CleanupProbeDirs() {
   probe_dirs_.clear();
 }
 
+bool TestCaseExecutor::WaitForEnvRecovery() {
+  if (!dfs_.EnvRecoveryPending()) {
+    return false;
+  }
+  const DetectorConfig& config = detector_.config();
+  SimTime deadline = dfs_.Now() + config.rebalance_timeout;
+  uint64_t polls = 0;
+  while (dfs_.EnvRecoveryPending() && dfs_.Now() < deadline) {
+    dfs_.AdvanceTime(config.poll_interval);
+    ++polls;
+  }
+  if (telemetry_ != nullptr && polls > 0) {
+    telemetry_->Record(CampaignEventKind::kRebalanceWait,
+                       dfs_.EnvRecoveryPending() ? "recovery_timeout"
+                                                 : "recovered",
+                       0.0, 0.0, polls);
+  }
+  return true;
+}
+
 bool TestCaseExecutor::RebalanceAndWait() {
   // A rebalance triggered while one is already running is a no-op, so drain
   // any in-flight round first and only then issue the explicit command —
@@ -194,6 +214,15 @@ bool TestCaseExecutor::RebalanceAndWait() {
 
 bool TestCaseExecutor::DoubleCheck(const OpSeq& seq, const ImbalanceCandidate& candidate,
                                    FailureReport& report) {
+  // Step 0 (env faults only): if a crash+restart is still in flight, the
+  // candidate was raised against a degraded cluster. Wait the recovery out
+  // (restart delays are bounded at one virtual hour, well inside the
+  // rebalance timeout) and run the standard protocol against the recovered
+  // system. A candidate that survives is the crash-recovery failure kind:
+  // the system came back up, re-ran its interrupted round, and still could
+  // not settle into LBS.
+  bool recovered_from_crash = WaitForEnvRecovery();
+
   // Step 1: explicitly call the rebalance API, then poll the 'rebalance
   // state' API until 'rebalance done'.
   if (!RebalanceAndWait()) {
@@ -250,7 +279,8 @@ bool TestCaseExecutor::DoubleCheck(const OpSeq& seq, const ImbalanceCandidate& c
       return false;
     }
   }
-  report.dimension = recheck->dimension;
+  report.dimension = recovered_from_crash ? ImbalanceDimension::kCrashRecovery
+                                          : recheck->dimension;
   report.ratio = recheck->ratio;
   report.confirmed_at = dfs_.Now();
   for (const LoadSample& sample : dfs_.SampleLoad()) {

@@ -101,6 +101,11 @@ class TestCaseExecutor {
   // Polls until 'rebalance done' or timeout; records the convergence
   // iteration count as a telemetry event.
   bool WaitForRebalanceDone();
+  // Crash-recovery double-check (DESIGN.md §14): waits out any pending
+  // environment crash+restart (scheduled restarts are bounded well inside
+  // the rebalance timeout). Returns true iff there was a recovery to wait
+  // for — the signal that a surviving candidate is a kCrashRecovery failure.
+  bool WaitForEnvRecovery();
   // Drains in-flight migration, issues a fresh rebalance, waits again.
   bool RebalanceAndWait();
   void RunProbeWorkload();

@@ -13,6 +13,7 @@ ThemisFuzzer::ThemisFuzzer(InputModel& model, Rng& rng, FuzzerConfig config)
       mutator_(model, generator_, config.max_len), pool_(config.pool_capacity),
       initial_remaining_(config.initial_seeds) {
   mutator_.set_telemetry(config_.telemetry);
+  generator_.set_env_fault_share(config_.env_fault_share);
 }
 
 OpSeq ThemisFuzzer::Next() {
@@ -143,6 +144,7 @@ THEMIS_REGISTER_STRATEGY("Themis", [](InputModel& model, Rng& rng,
   FuzzerConfig config;
   config.max_len = options.max_len;
   config.variance_guidance = options.variance_guidance;
+  config.env_fault_share = options.env_fault_share;
   config.telemetry = options.telemetry;
   return std::make_unique<ThemisFuzzer>(model, rng, config);
 });

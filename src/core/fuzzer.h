@@ -25,6 +25,9 @@ struct FuzzerConfig {
   // Whether variance feedback guides seed retention. Disabled for the
   // Themis⁻ ablation (§6.3).
   bool variance_guidance = true;
+  // Per-op probability of drawing an environment-fault operator; 0.0 (the
+  // default) leaves the fault-free grammar untouched.
+  double env_fault_share = 0.0;
   // Campaign event sink (seed accepted/rejected, mutation kinds); may be null.
   EventLog* telemetry = nullptr;
 };

@@ -21,6 +21,23 @@ const OpKind kVolumeKinds[] = {
     OpKind::kExpandVolume,
     OpKind::kReduceVolume,
 };
+const OpKind kEnvKinds[] = {
+    OpKind::kEnvMsgLoss,   OpKind::kEnvMsgReorder, OpKind::kEnvMsgDuplicate,
+    OpKind::kEnvMsgCorrupt, OpKind::kEnvSlowDisk,  OpKind::kEnvCrashNode,
+    OpKind::kEnvClearFaults,
+};
+
+// Environment-fault operand bounds; mirrored by EnvFaultInjector's clamps
+// and by OpSeqMutator's repair pass (src/faults/env_fault.h).
+constexpr int64_t kMinRatePermille = 1;
+constexpr int64_t kMaxRatePermille = 500;
+constexpr int64_t kMinSlowFactorPercent = 110;
+constexpr int64_t kMaxSlowFactorPercent = 1000;
+// Generated crash delays start at 30s so the crashed window is long enough
+// for the balancer to be exercised while the node is away; the grammar bound
+// the injector accepts is [1, 3600].
+constexpr int64_t kMinCrashDelaySeconds = 30;
+constexpr int64_t kMaxCrashDelaySeconds = 3600;
 
 }  // namespace
 
@@ -40,6 +57,11 @@ OpSeq OpSeqGenerator::Generate(Rng& rng, int len) {
 }
 
 Operation OpSeqGenerator::GenerateOp(Rng& rng) {
+  // The share guard must short-circuit before Chance(): Chance(0.0) still
+  // consumes a draw, which would shift every fault-free RNG stream.
+  if (env_fault_share_ > 0.0 && rng.Chance(env_fault_share_)) {
+    return GenerateOpOfClass(OpClass::kEnvFault, rng);
+  }
   // Uniform probability 1/t over all t = 17 operators.
   return GenerateOpOfKind(OpKindFromIndex(static_cast<int>(rng.NextBelow(kOpKindCount))),
                           rng);
@@ -53,6 +75,8 @@ Operation OpSeqGenerator::GenerateOpOfClass(OpClass op_class, Rng& rng) {
       return GenerateOpOfKind(kNodeKinds[rng.PickIndex(4)], rng);
     case OpClass::kVolume:
       return GenerateOpOfKind(kVolumeKinds[rng.PickIndex(4)], rng);
+    case OpClass::kEnvFault:
+      return GenerateOpOfKind(kEnvKinds[rng.PickIndex(kEnvFaultKindCount)], rng);
   }
   return GenerateOp(rng);
 }
@@ -109,6 +133,29 @@ Operation OpSeqGenerator::GenerateOpOfKind(OpKind kind, Rng& rng) {
       op.brick = model_.RandomBrick(rng);
       op.size = model_.GenerateCapacityDelta(rng);
       break;
+    case OpKind::kEnvMsgLoss:
+    case OpKind::kEnvMsgReorder:
+    case OpKind::kEnvMsgDuplicate:
+    case OpKind::kEnvMsgCorrupt:
+      op.size = static_cast<uint64_t>(
+          rng.NextRange(kMinRatePermille, kMaxRatePermille));
+      break;
+    case OpKind::kEnvSlowDisk:
+      op.node = model_.RandomStorageNode(rng);
+      op.size = static_cast<uint64_t>(
+          rng.NextRange(kMinSlowFactorPercent, kMaxSlowFactorPercent));
+      break;
+    case OpKind::kEnvCrashNode:
+      // Crashing a metadata node halts the balancer mid-round (the
+      // interesting schedule); weight the victim draw toward storage nodes
+      // so plain data-unavailability windows stay represented too.
+      op.node = rng.Chance(0.3) ? model_.RandomMetaNode(rng)
+                                : model_.RandomStorageNode(rng);
+      op.size = static_cast<uint64_t>(
+          rng.NextRange(kMinCrashDelaySeconds, kMaxCrashDelaySeconds));
+      break;
+    case OpKind::kEnvClearFaults:
+      break;  // no operands
   }
   return op;
 }

@@ -18,6 +18,13 @@ class OpSeqGenerator {
 
   int max_len() const { return max_len_; }
 
+  // Probability that a generated operation is an environment-fault operator
+  // (DESIGN.md §14) instead of one of the 17 load-related operators. Exactly
+  // 0.0 — the default — skips the extra RNG draw entirely, so fault-free
+  // campaigns keep the PR-6 draw sequence bit-for-bit.
+  void set_env_fault_share(double share) { env_fault_share_ = share; }
+  double env_fault_share() const { return env_fault_share_; }
+
   // A sequence of `len` operations (len <= 0: random in [1, max_len]).
   OpSeq Generate(Rng& rng, int len = 0);
 
@@ -33,6 +40,7 @@ class OpSeqGenerator {
  private:
   InputModel& model_;
   int max_len_;
+  double env_fault_share_ = 0.0;
 };
 
 }  // namespace themis

@@ -118,6 +118,29 @@ void OpSeqMutator::Repair(OpSeq& seq, Rng& rng) {
           op.brick = model_.RandomBrick(rng);
         }
         break;
+      // Env-fault operands: clamp rates/factors/delays back into the grammar
+      // bounds (a stale bound never survives a mutation round) and rebind
+      // vanished nodes like the node/volume operators above.
+      case OpKind::kEnvMsgLoss:
+      case OpKind::kEnvMsgReorder:
+      case OpKind::kEnvMsgDuplicate:
+      case OpKind::kEnvMsgCorrupt:
+        op.size = std::clamp(op.size, kEnvMinRatePermille, kEnvMaxRatePermille);
+        break;
+      case OpKind::kEnvSlowDisk:
+        if (!model_.HasStorageNode(op.node)) {
+          op.node = model_.RandomStorageNode(rng);
+        }
+        op.size = std::clamp(op.size, kEnvMinSlowFactorPercent,
+                             kEnvMaxSlowFactorPercent);
+        break;
+      case OpKind::kEnvCrashNode:
+        if (!model_.HasMetaNode(op.node) && !model_.HasStorageNode(op.node)) {
+          op.node = model_.RandomStorageNode(rng);
+        }
+        op.size = std::clamp(op.size, kEnvMinCrashDelaySeconds,
+                             kEnvMaxCrashDelaySeconds);
+        break;
       default:
         break;
     }

@@ -22,6 +22,15 @@ bool OpSeq::HasConfigOps() const {
   return false;
 }
 
+bool OpSeq::HasEnvFaultOps() const {
+  for (const Operation& op : ops) {
+    if (IsEnvFaultOp(op.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void SaveOperation(SnapshotWriter& writer, const Operation& op) {
   writer.U8(static_cast<uint8_t>(op.kind));
   writer.Str(op.path);
@@ -33,7 +42,7 @@ void SaveOperation(SnapshotWriter& writer, const Operation& op) {
 
 void RestoreOperation(SnapshotReader& reader, Operation* op) {
   uint8_t kind = reader.U8();
-  if (reader.ok() && kind >= kOpKindCount) {
+  if (reader.ok() && kind >= kTotalOpKindCount) {
     reader.Fail(Sprintf("operation kind %u out of range", kind));
     return;
   }

@@ -21,6 +21,7 @@ struct OpSeq {
 
   bool HasRequestOps() const;
   bool HasConfigOps() const;
+  bool HasEnvFaultOps() const;
 
   // One operation per line, timestamp-free (the reproduction-log format).
   std::string ToString() const;

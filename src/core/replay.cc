@@ -12,8 +12,8 @@ namespace {
 // Machine-readable operator tokens (OpKindName uses 'truncate-overwrite'
 // etc., which are already token-safe).
 Result<OpKind> KindFromToken(std::string_view token) {
-  for (int i = 0; i < kOpKindCount; ++i) {
-    OpKind kind = OpKindFromIndex(i);
+  for (int i = 0; i < kTotalOpKindCount; ++i) {
+    OpKind kind = OpKindFromTotalIndex(i);
     if (OpKindName(kind) == token) {
       return kind;
     }
@@ -80,6 +80,22 @@ std::string FormatOperation(const Operation& op) {
       out += Sprintf(" brick=%u size=%llu", op.brick,
                      static_cast<unsigned long long>(op.size));
       break;
+    case OpKind::kEnvMsgLoss:
+    case OpKind::kEnvMsgReorder:
+    case OpKind::kEnvMsgDuplicate:
+    case OpKind::kEnvMsgCorrupt:
+      out += Sprintf(" rate=%llu", static_cast<unsigned long long>(op.size));
+      break;
+    case OpKind::kEnvSlowDisk:
+      out += Sprintf(" node=%u factor=%llu", op.node,
+                     static_cast<unsigned long long>(op.size));
+      break;
+    case OpKind::kEnvCrashNode:
+      out += Sprintf(" node=%u delay=%llu", op.node,
+                     static_cast<unsigned long long>(op.size));
+      break;
+    case OpKind::kEnvClearFaults:
+      break;  // no operands
   }
   return out;
 }
@@ -211,6 +227,58 @@ Result<Operation> ParseOperation(const std::string& line) {
       }
       op.brick = static_cast<BrickId>(*brick);
       op.size = *size;
+      break;
+    }
+    case OpKind::kEnvMsgLoss:
+    case OpKind::kEnvMsgReorder:
+    case OpKind::kEnvMsgDuplicate:
+    case OpKind::kEnvMsgCorrupt: {
+      if (Status status = need(1); !status.ok()) {
+        return status;
+      }
+      Result<uint64_t> rate = ParseKeyedU64(tokens[1], "rate");
+      if (!rate.ok()) {
+        return rate.status();
+      }
+      op.size = *rate;
+      break;
+    }
+    case OpKind::kEnvSlowDisk: {
+      if (Status status = need(2); !status.ok()) {
+        return status;
+      }
+      Result<uint64_t> node = ParseKeyedU64(tokens[1], "node");
+      Result<uint64_t> factor = ParseKeyedU64(tokens[2], "factor");
+      if (!node.ok()) {
+        return node.status();
+      }
+      if (!factor.ok()) {
+        return factor.status();
+      }
+      op.node = static_cast<NodeId>(*node);
+      op.size = *factor;
+      break;
+    }
+    case OpKind::kEnvCrashNode: {
+      if (Status status = need(2); !status.ok()) {
+        return status;
+      }
+      Result<uint64_t> node = ParseKeyedU64(tokens[1], "node");
+      Result<uint64_t> delay = ParseKeyedU64(tokens[2], "delay");
+      if (!node.ok()) {
+        return node.status();
+      }
+      if (!delay.ok()) {
+        return delay.status();
+      }
+      op.node = static_cast<NodeId>(*node);
+      op.size = *delay;
+      break;
+    }
+    case OpKind::kEnvClearFaults: {
+      if (Status status = need(0); !status.ok()) {
+        return status;
+      }
       break;
     }
   }

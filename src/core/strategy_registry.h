@@ -33,6 +33,11 @@ namespace themis {
 struct StrategyOptions {
   int max_len = 8;               // max_n of Finding 5
   bool variance_guidance = true; // load-variance feedback (Themis only)
+  // Probability of drawing an environment-fault operator per generated op
+  // (DESIGN.md §14). 0.0 keeps the fault-free grammar and its RNG draw
+  // sequence untouched; campaigns with env faults enabled pass a nonzero
+  // share through to the generator.
+  double env_fault_share = 0.0;
   // Campaign event sink (owned by the campaign); strategies that record
   // telemetry write here. Null = no event collection.
   EventLog* telemetry = nullptr;

@@ -54,7 +54,9 @@ void DfsCluster::BuildInitialTopology() {
   current_round_moves_ = 0;
   last_balancer_check_ = clock_.now();
   recent_classes_.clear();
-  class_counts_[0] = class_counts_[1] = class_counts_[2] = 0;
+  class_counts_[0] = class_counts_[1] = class_counts_[2] = class_counts_[3] = 0;
+  balancer_crashed_ = false;
+  balancer_resume_pending_ = false;
   recent_class_mask_ = 0;
   offline_bricks_ = 0;
   serving_meta_nodes_.clear();
@@ -88,6 +90,9 @@ void DfsCluster::ResetToInitial() {
   lost_bytes_ = 0;
   if (hooks_ != nullptr) {
     hooks_->OnClusterReset(*this);
+  }
+  if (env_ != nullptr) {
+    env_->OnClusterReset(*this);
   }
 }
 
@@ -795,6 +800,87 @@ void DfsCluster::CrashNode(NodeId node) {
   }
 }
 
+void DfsCluster::CrashNodeForEnvFault(NodeId node) {
+  bool is_meta = meta_nodes_.count(node) != 0;
+  CrashNode(node);
+  if (!is_meta || balancer_crashed_) {
+    return;
+  }
+  // The balancer runs on the metadata tier, so an env crash of any meta
+  // node takes the balancer process down with it. A round in flight loses
+  // its queued rebalance moves (they lived in the dead process's memory);
+  // replication-repair moves survive — storage daemons drive those.
+  COV_BRANCH(cov_, CovModule::kRecovery, 30);
+  balancer_crashed_ = true;
+  if (rebalance_active_) {
+    COV_BRANCH(cov_, CovModule::kRecovery, 31);
+    balancer_resume_pending_ = true;
+  }
+  rebalance_active_ = false;
+  bool front_dropped = !move_queue_.empty() &&
+                       move_queue_.front().reason == MoveReason::kRebalance;
+  move_queue_.erase(std::remove_if(move_queue_.begin(), move_queue_.end(),
+                                   [](const ChunkMove& move) {
+                                     return move.reason == MoveReason::kRebalance;
+                                   }),
+                    move_queue_.end());
+  if (front_dropped) {
+    current_move_done_bytes_ = 0;  // the partial transfer died with the round
+  }
+  current_round_moves_ = 0;
+  OnBalancerCrashed();
+}
+
+void DfsCluster::RestartNode(NodeId node) {
+  if (StorageNode* sn = FindStorageNode(node)) {
+    if (sn->crashed) {
+      COV_BRANCH(cov_, CovModule::kRecovery, 32);
+      sn->crashed = false;
+      --crashed_nodes_;
+      // Rejoining the serving set re-admits the node's bricks to the fleet
+      // aggregates; the full rebuild is the only path that re-adds members.
+      InvalidateLoadIndex();
+    }
+    return;
+  }
+  auto it = meta_nodes_.find(node);
+  if (it == meta_nodes_.end() || !it->second.crashed) {
+    return;
+  }
+  COV_BRANCH(cov_, CovModule::kRecovery, 33);
+  it->second.crashed = false;
+  --crashed_nodes_;
+  if (it->second.Serving()) {
+    auto pos = std::lower_bound(serving_meta_nodes_.begin(),
+                                serving_meta_nodes_.end(), node);
+    if (pos == serving_meta_nodes_.end() || *pos != node) {
+      serving_meta_nodes_.insert(pos, node);
+    }
+    // The node's still-current rate-window deltas must rejoin the meta
+    // streaming aggregates; the full rebuild is the only re-adding path.
+    InvalidateLoadIndex();
+  }
+  if (balancer_crashed_) {
+    // First recovered meta node brings the balancer process back up; it
+    // reloads its persisted flavor state and re-runs the interrupted round
+    // from scratch against the current layout.
+    balancer_crashed_ = false;
+    OnBalancerRestarted();
+    if (balancer_resume_pending_) {
+      COV_BRANCH(cov_, CovModule::kRecovery, 34);
+      balancer_resume_pending_ = false;
+      (void)TriggerRebalance();
+    }
+  }
+}
+
+bool DfsCluster::EnvRecoveryPending() const {
+  if (balancer_crashed_ || balancer_resume_pending_) {
+    return true;
+  }
+  return env_ != nullptr && env_->RecoveryPending(*this);
+}
+
 uint64_t DfsCluster::SkewBytes(BrickId from, BrickId to, uint64_t bytes) {
   Brick* src = FindBrick(from);
   Brick* dst = FindBrick(to);
@@ -1023,6 +1109,45 @@ NodeId DfsCluster::RouteToMetaNode(const Operation& op) {
 
 OpResult DfsCluster::Execute(const Operation& op) {
   OpResult result;
+  if (IsEnvFaultOp(op.kind)) {
+    // Environment ops bypass metadata routing: they model the test harness
+    // (or the world) acting on the cluster from outside, so they succeed
+    // even while every metadata node is down. Without an attached runtime
+    // they are rejected — the fault-free grammar never generates them, so
+    // this arm stays cold in every fault-free campaign.
+    if (env_ == nullptr) {
+      result.status =
+          Status::Unavailable("no environment-fault runtime attached");
+      result.cost = config_.base_op_latency;
+    } else {
+      result = env_->ExecuteEnvOp(*this, op);
+      result.cost += config_.base_op_latency;
+    }
+    ++total_ops_executed_;
+    SyncMetadataReplicas();
+    uint8_t env_class = static_cast<uint8_t>(OpClass::kEnvFault);
+    recent_classes_.push_back(env_class);
+    ++class_counts_[env_class];
+    recent_class_mask_ |= static_cast<uint8_t>(1u << env_class);
+    if (recent_classes_.size() > 8) {
+      uint8_t dropped = recent_classes_.front();
+      recent_classes_.pop_front();
+      if (--class_counts_[dropped] == 0) {
+        recent_class_mask_ &= static_cast<uint8_t>(~(1u << dropped));
+      }
+    }
+    clock_.Advance(result.cost);
+    if (env_ != nullptr) {
+      env_->OnClockAdvanced(*this, clock_.now());
+    }
+    AdvanceBackground(result.cost);
+    MaybeTriggerBalancer();
+    RecordOpCoverage(op, result);
+    if (hooks_ != nullptr) {
+      hooks_->OnOperationExecuted(*this, op, result);
+    }
+    return result;
+  }
   NodeId mn = RouteToMetaNode(op);
   if (mn == kInvalidNode) {
     result.status = Status::Unavailable("no metadata node is serving");
@@ -1080,6 +1205,16 @@ OpResult DfsCluster::Execute(const Operation& op) {
       case OpKind::kReduceVolume:
         result = DoReduceVolume(op);
         break;
+      case OpKind::kEnvMsgLoss:
+      case OpKind::kEnvMsgReorder:
+      case OpKind::kEnvMsgDuplicate:
+      case OpKind::kEnvMsgCorrupt:
+      case OpKind::kEnvSlowDisk:
+      case OpKind::kEnvCrashNode:
+      case OpKind::kEnvClearFaults:
+        // Unreachable: env ops are dispatched before metadata routing.
+        result.status = Status::Internal("env op reached the request switch");
+        break;
     }
     result.cost += config_.base_op_latency;
   }
@@ -1103,6 +1238,9 @@ OpResult DfsCluster::Execute(const Operation& op) {
   }
 
   clock_.Advance(result.cost);
+  if (env_ != nullptr) {
+    env_->OnClockAdvanced(*this, clock_.now());
+  }
   AdvanceBackground(result.cost);
   MaybeTriggerBalancer();
   RecordOpCoverage(op, result);
@@ -1121,6 +1259,13 @@ void DfsCluster::SyncMetadataReplicas() {
     if (hooks_ != nullptr && hooks_->SuppressMetadataSync(*this, id)) {
       continue;
     }
+    if (env_ != nullptr && env_->DropHeartbeat(*this, id)) {
+      // The replication heartbeat for this epoch was lost in transit; the
+      // replica catches up at the next sync (same recovery path the fault
+      // hook's kMetadataDesync exercises, but transient).
+      COV_BRANCH(cov_, CovModule::kReplication, 30);
+      continue;
+    }
     it->second.synced_epoch = namespace_epoch_;
   }
 }
@@ -1132,6 +1277,9 @@ void DfsCluster::AdvanceTime(SimDuration delta) {
   while (delta > 0) {
     SimDuration step = std::min(delta, config_.balancer_period);
     clock_.Advance(step);
+    if (env_ != nullptr) {
+      env_->OnClockAdvanced(*this, clock_.now());
+    }
     AdvanceBackground(step);
     MaybeTriggerBalancer();
     delta -= step;
@@ -1837,6 +1985,12 @@ void DfsCluster::ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes) {
 }
 
 Status DfsCluster::TriggerRebalance() {
+  if (balancer_crashed_) {
+    // The balancer process is down (env crash of its host): the command has
+    // nobody to talk to. The round resumes when the node restarts.
+    balancer_resume_pending_ = true;
+    return Status::Unavailable("balancer process is down");
+  }
   COV_BRANCH(cov_, CovModule::kAdmin, 23);
   ++rebalance_triggers_;
   if (hooks_ != nullptr && hooks_->SuppressRebalance(*this)) {
@@ -1897,6 +2051,9 @@ void DfsCluster::MaybeTriggerBalancer() {
     return;
   }
   last_balancer_check_ = clock_.now();
+  if (balancer_crashed_) {
+    return;  // nobody is running the periodic check
+  }
   if (hooks_ != nullptr && hooks_->SuppressRebalance(*this)) {
     return;
   }
@@ -1967,6 +2124,11 @@ void DfsCluster::AdvanceBackground(SimDuration dt) {
   }
   uint64_t budget = static_cast<uint64_t>(
       static_cast<double>(dt) / 1e6 * static_cast<double>(config_.migration_bandwidth_per_s));
+  // Each reorder verdict rotates the head message to the back of the queue;
+  // budgeting the rotations to the queue length bounds one pass, so a
+  // reorder-everything schedule degrades to delivery in arrival order
+  // instead of livelocking.
+  size_t reorder_budget = move_queue_.size();
   while (!move_queue_.empty() && budget > 0) {
     ChunkMove move = move_queue_.front();
     FaultHooks::MigrateVerdict verdict =
@@ -1985,15 +2147,74 @@ void DfsCluster::AdvanceBackground(SimDuration dt) {
       current_move_done_bytes_ = 0;
       continue;
     }
+    // Environment message verdicts fire once per transfer, at the message
+    // boundary — a partially transferred chunk already survived its draw.
+    if (env_ != nullptr && current_move_done_bytes_ == 0) {
+      EnvFaultRuntime::MessageVerdict mv = env_->OnMigrationMessage(*this, move);
+      if (mv == EnvFaultRuntime::MessageVerdict::kDrop) {
+        // Lost in transit: the source keeps its replica (copy-then-delete
+        // migration is idempotent), the balancer just never completes this
+        // move in the round.
+        COV_BRANCH(cov_, CovModule::kMigration, 30);
+        move_queue_.pop_front();
+        continue;
+      }
+      if (mv == EnvFaultRuntime::MessageVerdict::kReorder &&
+          move_queue_.size() > 1 && reorder_budget > 0) {
+        COV_BRANCH(cov_, CovModule::kMigration, 31);
+        move_queue_.pop_front();
+        move_queue_.push_back(move);
+        --reorder_budget;
+        continue;
+      }
+      if (mv == EnvFaultRuntime::MessageVerdict::kDuplicate) {
+        // The retransmitted copy lands at the back of the queue; by the
+        // time it is serviced the chunk has already moved, so ExecuteMove
+        // treats it as an already-moved no-op — it only wastes bandwidth.
+        COV_BRANCH(cov_, CovModule::kMigration, 32);
+        move_queue_.push_back(move);
+      } else if (mv == EnvFaultRuntime::MessageVerdict::kCorrupt) {
+        // Checksum failure on arrival: the transfer's bandwidth is burned,
+        // the source re-reads the chunk (IO charge), and the move is
+        // abandoned for this round.
+        COV_BRANCH(cov_, CovModule::kMigration, 33);
+        uint64_t burned = std::min(budget, move.bytes);
+        budget -= burned;
+        if (Brick* src = FindBrick(move.from)) {
+          ChargeStorage(src->node, IoCount(move.bytes), 0, 0.0);
+        }
+        move_queue_.pop_front();
+        continue;
+      }
+    }
+    // A degraded disk on either endpoint stretches the transfer: the same
+    // bytes consume `slow`x the bandwidth budget. Factor 1.0 (no fault
+    // runtime, or no slow-disk window covering these nodes) takes the
+    // integer-only path, bit-identical to the fault-free arithmetic.
+    double slow = 1.0;
+    if (env_ != nullptr) {
+      if (const Brick* src = FindBrick(move.from)) {
+        slow = std::max(slow, env_->DiskSlowdown(*this, src->node));
+      }
+      if (const Brick* dst = FindBrick(move.to)) {
+        slow = std::max(slow, env_->DiskSlowdown(*this, dst->node));
+      }
+    }
     uint64_t remaining = move.bytes > current_move_done_bytes_
                              ? move.bytes - current_move_done_bytes_
                              : 0;
-    if (remaining > budget) {
-      current_move_done_bytes_ += budget;
+    uint64_t effective = slow > 1.0 ? static_cast<uint64_t>(
+                                          static_cast<double>(remaining) * slow)
+                                    : remaining;
+    if (effective > budget) {
+      uint64_t progress = slow > 1.0 ? static_cast<uint64_t>(
+                                           static_cast<double>(budget) / slow)
+                                     : budget;
+      current_move_done_bytes_ += progress;
       budget = 0;
       break;
     }
-    budget -= remaining;
+    budget -= effective;
     ExecuteMove(move);
     move_queue_.pop_front();
     current_move_done_bytes_ = 0;
@@ -2293,6 +2514,10 @@ void DfsCluster::SaveState(SnapshotWriter& writer) const {
   for (const ChunkMove& move : move_queue_) SaveChunkMove(writer, move);
   writer.U64(current_move_done_bytes_);
   writer.Bool(rebalance_active_);
+  // v4: balancer crash/resume state — a checkpoint taken between an env
+  // crash and its scheduled restart must resume with the round suspended.
+  writer.Bool(balancer_crashed_);
+  writer.Bool(balancer_resume_pending_);
   writer.U64(current_round_moves_);
   writer.I64(completed_rebalance_rounds_);
   writer.U64(rebalance_triggers_);
@@ -2420,12 +2645,12 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
     layouts_[file] = std::move(layout);
   }
   recent_classes_.clear();
-  class_counts_[0] = class_counts_[1] = class_counts_[2] = 0;
+  class_counts_[0] = class_counts_[1] = class_counts_[2] = class_counts_[3] = 0;
   recent_class_mask_ = 0;
   uint64_t class_count = reader.Count(1);
   for (uint64_t i = 0; i < class_count && reader.ok(); ++i) {
     uint8_t cls = reader.U8();
-    if (reader.ok() && cls > 2) {
+    if (reader.ok() && cls > 3) {
       reader.Fail(Sprintf("operation class %u out of range", cls));
       break;
     }
@@ -2445,6 +2670,12 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
   }
   current_move_done_bytes_ = reader.U64();
   rebalance_active_ = reader.Bool();
+  balancer_crashed_ = reader.Bool();
+  balancer_resume_pending_ = reader.Bool();
+  if (reader.ok() && balancer_crashed_ && rebalance_active_) {
+    reader.Fail("balancer recorded as both crashed and actively rebalancing");
+    return reader.status();
+  }
   current_round_moves_ = reader.U64();
   completed_rebalance_rounds_ = static_cast<int>(reader.I64());
   rebalance_triggers_ = reader.U64();

@@ -98,6 +98,71 @@ class FaultHooks {
   virtual void OnClusterReset(DfsCluster& dfs) { (void)dfs; }
 };
 
+// Environment-fault runtime (DESIGN.md §14). FaultHooks plant *bugs* —
+// latent defects in balancer logic; this models the *environment* turning
+// hostile: lossy/reordering networks, slow disks, node crashes followed by
+// scheduled restarts. The cluster consults it at its message, disk and clock
+// touch points. A null runtime (the default, and every fault-free campaign)
+// leaves every path byte-identical, so wiring the hooks in cannot perturb
+// fault-free digests.
+class EnvFaultRuntime {
+ public:
+  virtual ~EnvFaultRuntime() = default;
+
+  // Executes one env_fault grammar operation (Execute dispatches kEnv* ops
+  // here instead of routing them to a metadata node — they are environment
+  // controls, not client requests).
+  virtual OpResult ExecuteEnvOp(DfsCluster& dfs, const Operation& op) = 0;
+
+  // Verdict for one queued migration message (a chunk-move RPC) as it
+  // reaches the head of the transfer queue.
+  enum class MessageVerdict : uint8_t {
+    kDeliver = 0,  // normal delivery
+    kDrop,         // message lost: the move silently disappears
+    kReorder,      // delivery deferred: the move rotates to the queue tail
+    kDuplicate,    // delivered now, and a stale copy arrives again later
+    kCorrupt,      // payload corrupt: bandwidth burned, nothing written
+  };
+  virtual MessageVerdict OnMigrationMessage(DfsCluster& dfs, const ChunkMove& move) {
+    (void)dfs;
+    (void)move;
+    return MessageVerdict::kDeliver;
+  }
+
+  // Should this round's anti-entropy heartbeat toward `node` be lost?
+  virtual bool DropHeartbeat(DfsCluster& dfs, NodeId node) {
+    (void)dfs;
+    (void)node;
+    return false;
+  }
+
+  // Migration-throughput divisor for `node`'s disks (1.0 = healthy; a slow
+  // disk makes every byte moved through the node cost `factor` budget bytes).
+  virtual double DiskSlowdown(const DfsCluster& dfs, NodeId node) const {
+    (void)dfs;
+    (void)node;
+    return 1.0;
+  }
+
+  // Virtual time advanced to `now`: fire scheduled events (crash restarts,
+  // slow-disk window expiries).
+  virtual void OnClockAdvanced(DfsCluster& dfs, SimTime now) {
+    (void)dfs;
+    (void)now;
+  }
+
+  // True while a scheduled crash-restart has not fired yet — the executor's
+  // crash-recovery double-check waits this out before judging LBS.
+  virtual bool RecoveryPending(const DfsCluster& dfs) const {
+    (void)dfs;
+    return false;
+  }
+
+  // The cluster was reset to its initial state: drop all injected fault
+  // state (message rates, slow disks, pending restarts).
+  virtual void OnClusterReset(DfsCluster& dfs) { (void)dfs; }
+};
+
 // What the testing tools see. Kept intentionally narrow: real deployments
 // expose exactly this via FUSE + admin CLIs.
 class DfsInterface {
@@ -159,6 +224,11 @@ class DfsInterface {
   // Lets a tester wait (background migration keeps progressing).
   virtual void AdvanceTime(SimDuration delta) = 0;
 
+  // Environment-fault recovery: true while a scheduled crash-restart (or the
+  // balancer resume it gates) has not completed. Fault-free adapters keep
+  // the default — the crash-recovery double-check then never waits.
+  virtual bool EnvRecoveryPending() const { return false; }
+
   virtual void ResetToInitial() = 0;
   virtual Flavor flavor() const = 0;
   virtual std::string_view name() const = 0;
@@ -200,8 +270,11 @@ class DfsCluster : public DfsInterface {
   void AdvanceLoadWindow() override;
   void SampleLoadInto(std::vector<LoadSample>& out) const override;
   Status TriggerRebalance() override;
+  // A crashed balancer (env fault) is "not done": the round it was running
+  // is suspended until its node restarts and the resume re-triggers it.
   bool RebalanceDone() const override {
-    return !rebalance_active_ && move_queue_.empty();
+    return !rebalance_active_ && move_queue_.empty() && !balancer_crashed_ &&
+           !balancer_resume_pending_;
   }
   std::vector<NodeId> ListMetaNodes() const override;
   std::vector<NodeId> ListStorageNodes() const override;
@@ -215,8 +288,12 @@ class DfsCluster : public DfsInterface {
   std::string_view name() const override { return name_; }
   std::string DescribeState() const override;
 
+  bool EnvRecoveryPending() const override;
+
   // ---- wiring ----
   void set_fault_hooks(FaultHooks* hooks) { hooks_ = hooks; }
+  void set_env_faults(EnvFaultRuntime* env) { env_ = env; }
+  EnvFaultRuntime* env_faults() const { return env_; }
   void set_coverage(CoverageRecorder* cov) { cov_ = cov; }
   CoverageRecorder* coverage() const { return cov_; }
   // Campaign event sink for rebalance-round telemetry; null disables it.
@@ -305,6 +382,19 @@ class DfsCluster : public DfsInterface {
   // Deletes one replica without copying it anywhere (destructive unlink).
   void DestroyChunkReplica(FileId file, uint32_t chunk_index, BrickId brick);
 
+  // ---- environment-fault mutators (used only by EnvFaultRuntime) ----
+  // CrashNode plus balancer-halt semantics: an env crash of a metadata node
+  // kills the balancer process mid-round — the round's queued rebalance
+  // moves die with it, and the round resumes (from the flavor's persisted
+  // state) only after RestartNode revives the node.
+  void CrashNodeForEnvFault(NodeId node);
+  // Reverses a crash: the node rejoins the serving set; a crashed balancer
+  // restarts, reloads its persisted flavor state and re-triggers the
+  // interrupted round.
+  void RestartNode(NodeId node);
+  bool balancer_crashed() const { return balancer_crashed_; }
+  bool balancer_resume_pending() const { return balancer_resume_pending_; }
+
   // Virtual-time clock (shared with the campaign).
   VirtualClock& clock() { return clock_; }
   Rng& rng() { return rng_; }
@@ -353,6 +443,15 @@ class DfsCluster : public DfsInterface {
 
   // Flavor hook when a rebalance round drains.
   virtual void OnRebalanceRoundDone() {}
+
+  // The balancer process crashed mid-round (env crash of a metadata node).
+  // Flavors persist whatever the real balancer writes to disk before dying
+  // (upmap tables, layout census, ring weights); the base cluster keeps the
+  // flavor state maps intact, so the default has nothing extra to save.
+  virtual void OnBalancerCrashed() {}
+  // The balancer restarted after a crash; flavors reload / revalidate their
+  // persisted state here, before the interrupted round is re-triggered.
+  virtual void OnBalancerRestarted() {}
 
   // True when this replica is exactly where the flavor's deterministic
   // placement (DHT range, hash ring) says it belongs; the generic leveler
@@ -545,8 +644,14 @@ class DfsCluster : public DfsInterface {
   uint64_t namespace_epoch_ = 0;
 
   FaultHooks* hooks_ = nullptr;
+  EnvFaultRuntime* env_ = nullptr;
   CoverageRecorder* cov_ = nullptr;
   EventLog* telemetry_ = nullptr;
+
+  // Balancer crash/resume state (env faults; DESIGN.md §14). Both are false
+  // in every fault-free campaign — only CrashNodeForEnvFault sets them.
+  bool balancer_crashed_ = false;
+  bool balancer_resume_pending_ = false;
 
   // ---- incremental load accounting state ----
   // Integer running sums; every derived double (utilization fractions, the
@@ -601,8 +706,9 @@ class DfsCluster : public DfsInterface {
   std::vector<RecoveryCandidate> recovery_candidates_;
   // Scratch for PickRecoveryTarget's per-chunk replica-node set.
   mutable std::vector<NodeId> replica_nodes_scratch_;
-  // Running view of the last-8-op class window (coverage feature).
-  uint32_t class_counts_[3] = {0, 0, 0};
+  // Running view of the last-8-op class window (coverage feature); one slot
+  // per OpClass (file, node, volume, env_fault).
+  uint32_t class_counts_[4] = {0, 0, 0, 0};
   uint8_t recent_class_mask_ = 0;
 
   // ---- streaming load-stats state (DESIGN.md §13) ----
@@ -655,8 +761,9 @@ class DfsCluster : public DfsInterface {
   mutable RateDimAgg cpu_meta_agg_;
   mutable RateDimAgg net_storage_agg_;
   mutable RateDimAgg net_meta_agg_;
-  // Count of nodes with crashed=true (permanent until a topology reset):
-  // the O(1) source of the snapshot's any_crashed flag.
+  // Count of nodes with crashed=true: the O(1) source of the snapshot's
+  // any_crashed flag. Decremented only by RestartNode (env faults) and the
+  // topology reset; fault-effect crashes (CrashNode) are permanent.
   int crashed_nodes_ = 0;
 };
 

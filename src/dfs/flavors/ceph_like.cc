@@ -124,12 +124,34 @@ MigrationPlan CephLikeCluster::BuildRebalancePlan() {
   return PlanLevelingByUsage(config_.native_threshold * 0.5);
 }
 
+void CephLikeCluster::OnBalancerCrashed() {
+  // Upmap pins are OSDMap state, not mgr state: they survive the crash
+  // untouched. Only the census advances.
+  ++balancer_crashes_;
+}
+
+void CephLikeCluster::OnBalancerRestarted() {
+  // mgr startup sanity pass: drop pins whose target device is gone or down,
+  // so the resumed balancer never backfills toward a dead OSD.
+  std::vector<uint32_t> stale;
+  for (const auto& [pg, target] : crush_.upmaps()) {
+    const Brick* brick = FindBrick(target);
+    if (brick == nullptr || !brick->online) {
+      stale.push_back(pg);
+    }
+  }
+  for (uint32_t pg : stale) {
+    crush_.ClearUpmap(pg);
+  }
+}
+
 void CephLikeCluster::SaveFlavorState(SnapshotWriter& writer) const {
   writer.U64(crush_.upmaps().size());
   for (const auto& [pg, target] : crush_.upmaps()) {
     writer.U32(pg);
     writer.U32(target);
   }
+  writer.U32(balancer_crashes_);
 }
 
 Status CephLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
@@ -147,6 +169,7 @@ Status CephLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
     }
     crush_.Upmap(pg, target);
   }
+  balancer_crashes_ = reader.U32();
   return reader.status();
 }
 

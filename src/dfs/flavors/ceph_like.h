@@ -21,12 +21,18 @@ class CephLikeCluster : public DfsCluster {
   static ClusterConfig DefaultConfig();
 
   const CrushMap& crush() const { return crush_; }
+  uint32_t balancer_crashes() const { return balancer_crashes_; }
 
  protected:
   std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
                                   uint64_t bytes) override;
   MigrationPlan BuildRebalancePlan() override;
   void OnTopologyChangedInternal() override;
+  // Env-fault crash model (DESIGN.md §14): upmap pins live in the OSDMap and
+  // survive a mgr death; the restarted mgr's first act is a sanity pass that
+  // drops pins whose target device is gone or down.
+  void OnBalancerCrashed() override;
+  void OnBalancerRestarted() override;
   // Checkpointing: upmap pins are balancer history; CRUSH weights are derived
   // from capacity and recomputed by the base restore.
   void SaveFlavorState(SnapshotWriter& writer) const override;
@@ -36,6 +42,7 @@ class CephLikeCluster : public DfsCluster {
   uint32_t PgForObject(const std::string& path, uint32_t chunk_index) const;
 
   CrushMap crush_;
+  uint32_t balancer_crashes_ = 0;  // env-fault crash census (persisted)
 };
 
 }  // namespace themis

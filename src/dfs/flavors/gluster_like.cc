@@ -212,12 +212,26 @@ void GlusterLikeCluster::OnRebalanceRoundDone() {
   }
 }
 
+void GlusterLikeCluster::OnBalancerCrashed() {
+  // The rebalance daemon died: stale linkfiles stay on their bricks until a
+  // future completed round reconciles them. Only the census advances.
+  ++balancer_crashes_;
+}
+
+void GlusterLikeCluster::OnBalancerRestarted() {
+  // Rebalance restart performs fix-layout first: hash ranges are recomputed
+  // from the current topology before migrate-data resumes.
+  OnTopologyChangedInternal();
+}
+
 void GlusterLikeCluster::SaveFlavorState(SnapshotWriter& writer) const {
   writer.U32(live_linkfiles_);
+  writer.U32(balancer_crashes_);
 }
 
 Status GlusterLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
   live_linkfiles_ = reader.U32();
+  balancer_crashes_ = reader.U32();
   return reader.status();
 }
 

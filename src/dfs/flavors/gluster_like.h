@@ -24,6 +24,7 @@ class GlusterLikeCluster : public DfsCluster {
 
   const DhtLayout& layout() const { return layout_; }
   uint32_t live_linkfiles() const { return live_linkfiles_; }
+  uint32_t balancer_crashes() const { return balancer_crashes_; }
 
  protected:
   std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
@@ -32,6 +33,12 @@ class GlusterLikeCluster : public DfsCluster {
   void OnTopologyChangedInternal() override;
   void OnFileRenamed(FileId file, const std::string& from, const std::string& to) override;
   void OnRebalanceRoundDone() override;
+  // Env-fault crash model (DESIGN.md §14): a crash mid-rebalance leaves the
+  // stale linkfiles on disk (the reconcile of OnRebalanceRoundDone never
+  // ran); the restarted rebalance begins with a fresh fix-layout, exactly
+  // like `gluster volume rebalance start` after a daemon death.
+  void OnBalancerCrashed() override;
+  void OnBalancerRestarted() override;
   bool ChunkPinnedToBrick(FileId file, uint32_t chunk_index, BrickId brick) const override;
   // Checkpointing: the linkfile census is history (survives fix-layout); the
   // DHT layout itself is derived and recomputed by the base restore.
@@ -44,6 +51,7 @@ class GlusterLikeCluster : public DfsCluster {
 
   DhtLayout layout_;
   uint32_t live_linkfiles_ = 0;
+  uint32_t balancer_crashes_ = 0;  // env-fault crash census (persisted)
 };
 
 }  // namespace themis

@@ -77,4 +77,25 @@ MigrationPlan HdfsLikeCluster::BuildRebalancePlan() {
   return PlanLevelingByUsage(config_.native_threshold * 0.5);
 }
 
+void HdfsLikeCluster::OnBalancerCrashed() {
+  // The Balancer is a stateless client tool; its death loses only the
+  // in-flight iteration (the base class already dropped the queued moves).
+  ++balancer_crashes_;
+}
+
+void HdfsLikeCluster::OnBalancerRestarted() {
+  // A restarted Balancer starts from a fresh NameNode DataNode report, so
+  // any registrations it missed while down are picked up here.
+  cluster_map_ = ServingBricks();
+}
+
+void HdfsLikeCluster::SaveFlavorState(SnapshotWriter& writer) const {
+  writer.U32(balancer_crashes_);
+}
+
+Status HdfsLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
+  balancer_crashes_ = reader.U32();
+  return reader.status();
+}
+
 }  // namespace themis

@@ -155,12 +155,33 @@ bool LeoLikeCluster::ChunkPinnedToBrick(FileId file, uint32_t chunk_index,
   return ring_.Primary(ObjectHash(path, chunk_index)) == brick;
 }
 
+void LeoLikeCluster::OnBalancerCrashed() {
+  // The ring and its plantings are persisted state; the crash loses only the
+  // in-flight rebalance-list (already dropped by the base class).
+  ++balancer_crashes_;
+}
+
+void LeoLikeCluster::OnBalancerRestarted() {
+  // Takeover: reload the ring from the persisted plantings, dropping targets
+  // that disappeared while the manager was down.
+  ring_ = HashRing(64);
+  for (auto it = ring_weights_.begin(); it != ring_weights_.end();) {
+    if (FindBrick(it->first) == nullptr) {
+      it = ring_weights_.erase(it);
+      continue;
+    }
+    ring_.AddTarget(it->first, it->second);
+    ++it;
+  }
+}
+
 void LeoLikeCluster::SaveFlavorState(SnapshotWriter& writer) const {
   writer.U64(ring_weights_.size());
   for (const auto& [id, weight] : ring_weights_) {
     writer.U32(id);
     writer.F64(weight);
   }
+  writer.U32(balancer_crashes_);
 }
 
 Status LeoLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
@@ -179,6 +200,7 @@ Status LeoLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
     ring_.AddTarget(id, weight);
     ring_weights_[id] = weight;
   }
+  balancer_crashes_ = reader.U32();
   return reader.status();
 }
 

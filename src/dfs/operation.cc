@@ -27,11 +27,24 @@ OpClass ClassOf(OpKind kind) {
     case OpKind::kExpandVolume:
     case OpKind::kReduceVolume:
       return OpClass::kVolume;
+    case OpKind::kEnvMsgLoss:
+    case OpKind::kEnvMsgReorder:
+    case OpKind::kEnvMsgDuplicate:
+    case OpKind::kEnvMsgCorrupt:
+    case OpKind::kEnvSlowDisk:
+    case OpKind::kEnvCrashNode:
+    case OpKind::kEnvClearFaults:
+      return OpClass::kEnvFault;
   }
   return OpClass::kFile;
 }
 
-bool IsConfigOp(OpKind kind) { return ClassOf(kind) != OpClass::kFile; }
+bool IsConfigOp(OpKind kind) {
+  OpClass cls = ClassOf(kind);
+  return cls == OpClass::kNode || cls == OpClass::kVolume;
+}
+
+bool IsEnvFaultOp(OpKind kind) { return ClassOf(kind) == OpClass::kEnvFault; }
 
 std::string_view OpKindName(OpKind kind) {
   switch (kind) {
@@ -69,12 +82,30 @@ std::string_view OpKindName(OpKind kind) {
       return "expand_volume";
     case OpKind::kReduceVolume:
       return "reduce_volume";
+    case OpKind::kEnvMsgLoss:
+      return "env_msg_loss";
+    case OpKind::kEnvMsgReorder:
+      return "env_msg_reorder";
+    case OpKind::kEnvMsgDuplicate:
+      return "env_msg_duplicate";
+    case OpKind::kEnvMsgCorrupt:
+      return "env_msg_corrupt";
+    case OpKind::kEnvSlowDisk:
+      return "env_slow_disk";
+    case OpKind::kEnvCrashNode:
+      return "env_crash_node";
+    case OpKind::kEnvClearFaults:
+      return "env_clear_faults";
   }
   return "?";
 }
 
 OpKind OpKindFromIndex(int index) {
   return static_cast<OpKind>(index % kOpKindCount);
+}
+
+OpKind OpKindFromTotalIndex(int index) {
+  return static_cast<OpKind>(index % kTotalOpKindCount);
 }
 
 std::string Operation::ToString() const {
@@ -103,6 +134,28 @@ std::string Operation::ToString() const {
       if (kind == OpKind::kAddVolume || kind == OpKind::kExpandVolume ||
           kind == OpKind::kReduceVolume) {
         out += " " + FormatBytes(size);
+      }
+      break;
+    case OpClass::kEnvFault:
+      switch (kind) {
+        case OpKind::kEnvMsgLoss:
+        case OpKind::kEnvMsgReorder:
+        case OpKind::kEnvMsgDuplicate:
+        case OpKind::kEnvMsgCorrupt:
+          out += Sprintf(" %llu/1000", static_cast<unsigned long long>(size));
+          break;
+        case OpKind::kEnvSlowDisk:
+          out += Sprintf(" node%u x%llu%%", node,
+                         static_cast<unsigned long long>(size));
+          break;
+        case OpKind::kEnvCrashNode:
+          out += Sprintf(" node%u restart+%llus", node,
+                         static_cast<unsigned long long>(size));
+          break;
+        case OpKind::kEnvClearFaults:
+          break;
+        default:
+          break;
       }
       break;
   }

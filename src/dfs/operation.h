@@ -2,16 +2,22 @@
 //
 //   testcase:  operation+            // operation sequence opSeq
 //   operation: opt opd+              // operator + operands
-//   opt:       file_op | node_op | volume_op
+//   opt:       file_op | node_op | volume_op | env_fault
 //   file_op:   create | delete | append | overwrite | open
 //            | truncate-overwrite | mkdir | rmdir | rename
 //   node_op:   add_MN | remove_MN | add_storage | remove_storage
 //   volume_op: add_volume | remove_volume | expand_volume | reduce_volume
+//   env_fault: msg_loss | msg_reorder | msg_duplicate | msg_corrupt
+//            | slow_disk | crash_node | clear_faults
 //   opd:       fileName | nodeId | size
 //
 // Both client requests (file_op) and system configuration changes (node_op,
 // volume_op) are expressed in this single vocabulary — the key modeling move
-// of Themis.
+// of Themis. env_fault extends the vocabulary with environment faults
+// (DESIGN.md §14): the operators are opt-in (never drawn by the fault-free
+// grammar, whose uniform 1/t draw is over the original 17) and are executed
+// by routing them into the campaign's EnvFaultInjector schedule rather than
+// the cluster namespace.
 
 #ifndef SRC_DFS_OPERATION_H_
 #define SRC_DFS_OPERATION_H_
@@ -47,21 +53,54 @@ enum class OpKind : uint8_t {
   kRemoveVolume,
   kExpandVolume,
   kReduceVolume,
+  // env_fault (environment faults — the third input class, appended after
+  // the paper's 17 operators so every serialized index of the original
+  // grammar is unchanged). Message faults carry a per-mille rate in `size`;
+  // slow-disk carries the target node and a slowdown percent; crash carries
+  // the victim node and a restart delay in virtual seconds.
+  kEnvMsgLoss,
+  kEnvMsgReorder,
+  kEnvMsgDuplicate,
+  kEnvMsgCorrupt,
+  kEnvSlowDisk,
+  kEnvCrashNode,
+  kEnvClearFaults,
 };
 
-// Total number of distinct load-related operators (t = 17 in the paper).
+// Number of distinct load-related operators (t = 17 in the paper). The
+// uniform 1/t draw of the fault-free grammar is over exactly these.
 constexpr int kOpKindCount = 17;
+// Environment-fault operators appended behind the paper grammar.
+constexpr int kEnvFaultKindCount = 7;
+// Every operator, env faults included. Must stay < 32: the fault injector's
+// trigger windows track seen operators in a uint32_t bit mask.
+constexpr int kTotalOpKindCount = kOpKindCount + kEnvFaultKindCount;
+static_assert(kTotalOpKindCount < 32, "injector seen_mask is a uint32_t");
+
+// Environment-fault operand grammar bounds (DESIGN.md §14). The generator
+// draws inside them, the mutator's repair pass clamps stale operands back to
+// them, and the EnvFaultInjector clamps hand-written replay logs the same
+// way — so an in-grammar opSeq stays in-grammar under any mutation chain.
+inline constexpr uint64_t kEnvMinRatePermille = 1;
+inline constexpr uint64_t kEnvMaxRatePermille = 500;
+inline constexpr uint64_t kEnvMinSlowFactorPercent = 110;
+inline constexpr uint64_t kEnvMaxSlowFactorPercent = 1000;
+inline constexpr uint64_t kEnvMinCrashDelaySeconds = 1;
+inline constexpr uint64_t kEnvMaxCrashDelaySeconds = 3600;
 
 enum class OpClass : uint8_t {
-  kFile = 0,    // client request input space
-  kNode = 1,    // configuration input space (membership)
-  kVolume = 2,  // configuration input space (volumes)
+  kFile = 0,      // client request input space
+  kNode = 1,      // configuration input space (membership)
+  kVolume = 2,    // configuration input space (volumes)
+  kEnvFault = 3,  // environment-fault input space (faults, crashes)
 };
 
 OpClass ClassOf(OpKind kind);
-bool IsConfigOp(OpKind kind);  // node_op or volume_op
+bool IsConfigOp(OpKind kind);   // node_op or volume_op
+bool IsEnvFaultOp(OpKind kind); // env_fault
 std::string_view OpKindName(OpKind kind);
-OpKind OpKindFromIndex(int index);  // index in [0, kOpKindCount)
+OpKind OpKindFromIndex(int index);     // index in [0, kOpKindCount)
+OpKind OpKindFromTotalIndex(int index);  // index in [0, kTotalOpKindCount)
 
 // A fully instantiated operation. Which fields are meaningful depends on the
 // operator, mirroring "the number and contents of operands opd are determined

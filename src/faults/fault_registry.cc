@@ -268,6 +268,104 @@ std::vector<FaultSpec> BuildNewBugs() {
   return bugs;
 }
 
+// Environment-gated bugs: each trigger sets needs_env_faults, so the spec is
+// unsatisfiable without kEnv* operators in the window — the reachability
+// argument tests/env_fault_test.cc checks. Windows are kept wide and the
+// remaining conditions loose: the experiment these support is "fault
+// schedule reaches code no workload can", not trigger-depth calibration.
+std::vector<FaultSpec> BuildEnvFaultBugs() {
+  std::vector<FaultSpec> bugs;
+
+  {
+    // GlusterFS: the rebalance crash-recovery path replays its journal of
+    // completed moves; entries recorded after the last sync are re-applied
+    // onto the original donor, re-concentrating data it had already shed.
+    FaultSpec spec;
+    spec.id = "Bug#ENV-G1";
+    spec.platform = Flavor::kGluster;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "rebalance journal replay after a mid-round crash re-applies "
+        "unsynced moves onto the donor, re-growing the hotspot";
+    spec.trigger.window = 16;
+    spec.trigger.min_window_ops = 3;
+    spec.trigger.needs_env_faults = true;
+    spec.trigger.required_kinds = {OpKind::kEnvCrashNode};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.probability = 0.45;
+    spec.effect = EffectKind::kHotspotAccumulation;
+    spec.severity = 0.50;
+    bugs.push_back(spec);
+  }
+  {
+    // HDFS: the balancer's datanode report RPCs ride a lossy link; a lost
+    // report makes getLiveDatanodeStorageReport omit the hotspot, so every
+    // plan built during the loss window skips its intended victim.
+    FaultSpec spec;
+    spec.id = "Bug#ENV-H1";
+    spec.platform = Flavor::kHdfs;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kStateCollection;
+    spec.description =
+        "lost datanode storage reports drop the hotspot from the balancer's "
+        "view; plans built during the loss window never drain it";
+    spec.trigger.window = 16;
+    spec.trigger.min_window_ops = 3;
+    spec.trigger.needs_env_faults = true;
+    spec.trigger.required_kinds = {OpKind::kEnvMsgLoss};
+    spec.trigger.probability = 0.40;
+    spec.effect = EffectKind::kPlanSkipsVictim;
+    spec.severity = 0.45;
+    bugs.push_back(spec);
+  }
+  {
+    // CephFS: dev_perf-based target scoring inverts under a degraded disk —
+    // the throttled OSD reports a shorter commit queue, scores as idle, and
+    // the balancer steers data onto the slowest device.
+    FaultSpec spec;
+    spec.id = "Bug#ENV-C1";
+    spec.platform = Flavor::kCeph;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kLoadCalculation;
+    spec.description =
+        "degraded-disk throttling shrinks the OSD's reported queue depth; "
+        "perf-weighted target selection migrates data onto the slow device";
+    spec.trigger.window = 16;
+    spec.trigger.min_window_ops = 3;
+    spec.trigger.needs_env_faults = true;
+    spec.trigger.required_kinds = {OpKind::kEnvSlowDisk};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.probability = 0.40;
+    spec.effect = EffectKind::kWrongTargetMigration;
+    spec.severity = 0.50;
+    bugs.push_back(spec);
+  }
+  {
+    // LeoFS: duplicated queue messages double-count a gateway's request
+    // tally in the ring-weight exchange, so the consistent-hash weights skew
+    // the request stream toward one gateway.
+    FaultSpec spec;
+    spec.id = "Bug#ENV-L1";
+    spec.platform = Flavor::kLeo;
+    spec.type = FailureType::kImbalancedNetwork;
+    spec.cause = StudyRootCause::kStateCollection;
+    spec.description =
+        "duplicated ring-weight messages double-count request tallies, "
+        "skewing the gateway hash weights toward one node";
+    spec.trigger.window = 16;
+    spec.trigger.min_window_ops = 3;
+    spec.trigger.needs_env_faults = true;
+    spec.trigger.required_kinds = {OpKind::kEnvMsgDuplicate};
+    spec.trigger.probability = 0.40;
+    spec.effect = EffectKind::kNetworkSkew;
+    spec.severity = 0.60;
+    bugs.push_back(spec);
+  }
+
+  return bugs;
+}
+
 }  // namespace
 
 std::vector<FaultSpec> NewBugRegistry() {
@@ -278,6 +376,21 @@ std::vector<FaultSpec> NewBugRegistry() {
 std::vector<FaultSpec> NewBugsFor(Flavor flavor) {
   std::vector<FaultSpec> out;
   for (const FaultSpec& spec : NewBugRegistry()) {
+    if (spec.platform == flavor) {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+std::vector<FaultSpec> EnvFaultBugRegistry() {
+  static const std::vector<FaultSpec> kBugs = BuildEnvFaultBugs();
+  return kBugs;
+}
+
+std::vector<FaultSpec> EnvFaultBugsFor(Flavor flavor) {
+  std::vector<FaultSpec> out;
+  for (const FaultSpec& spec : EnvFaultBugRegistry()) {
     if (spec.platform == flavor) {
       out.push_back(spec);
     }

@@ -20,6 +20,16 @@ std::vector<FaultSpec> NewBugsFor(Flavor flavor);
 // Looks up one new-bug spec by id (empty id -> nullptr semantics via found).
 const FaultSpec* FindNewBug(const std::string& id);
 
+// Environment-gated bugs (DESIGN.md §14): imbalance failures whose trigger
+// requires env_fault operators in the recent window. Loaded only when a
+// campaign enables environment faults — since the fault-free grammar cannot
+// produce env_fault operators, these bugs provably cannot trigger in a
+// fault-free campaign.
+std::vector<FaultSpec> EnvFaultBugRegistry();
+
+// Subset of EnvFaultBugRegistry for one platform.
+std::vector<FaultSpec> EnvFaultBugsFor(Flavor flavor);
+
 }  // namespace themis
 
 #endif  // SRC_FAULTS_FAULT_REGISTRY_H_

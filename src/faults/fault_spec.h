@@ -88,6 +88,13 @@ struct TriggerRequirement {
   // steered by variance feedback (retained seeds keep naming the files that
   // grew the skew), not of uniformly random operand choice.
   int min_hotspot_touches = 0;
+  // Environment-fault gate (DESIGN.md §14): an env_fault operator must
+  // appear in the window. Combine with `required_kinds` naming specific
+  // kEnv* operators to demand a particular fault schedule. Specs with this
+  // set can never trigger in a fault-free campaign (the fault-free grammar
+  // cannot produce env_fault ops), which is what makes the env-gated
+  // registry bugs a clean reachability experiment.
+  bool needs_env_faults = false;
   double probability = 1.0;            // per-op chance once satisfied
 };
 

@@ -118,7 +118,7 @@ double FaultInjector::Steadiness() const {
     return 0.0;
   }
   // Multiset overlap between the two most recent 8-op windows.
-  int counts[kOpKindCount] = {0};
+  int counts[kTotalOpKindCount] = {0};
   size_t start = recent_ops_.size() - 2 * kSteadinessWindow;
   for (size_t i = 0; i < kSteadinessWindow; ++i) {
     ++counts[static_cast<int>(recent_ops_[start + i])];
@@ -159,11 +159,12 @@ bool FaultInjector::TriggerSatisfied(const FaultRuntime& fault,
     return false;
   }
   size_t start = recent_ops_.size() - window;
-  // One bit per OpKind (t = 17 < 32) — the window scan runs for every
-  // inactive fault on every op, so it must not allocate.
+  // One bit per OpKind (kTotalOpKindCount = 24 < 32) — the window scan runs
+  // for every inactive fault on every op, so it must not allocate.
   bool has_request = false;
   bool has_node = false;
   bool has_volume = false;
+  bool has_env = false;
   uint32_t seen_mask = 0;
   for (size_t i = start; i < recent_ops_.size(); ++i) {
     OpKind kind = recent_ops_[i];
@@ -177,6 +178,9 @@ bool FaultInjector::TriggerSatisfied(const FaultRuntime& fault,
       case OpClass::kVolume:
         has_volume = true;
         break;
+      case OpClass::kEnvFault:
+        has_env = true;
+        break;
     }
     seen_mask |= 1u << static_cast<unsigned>(kind);
   }
@@ -187,6 +191,12 @@ bool FaultInjector::TriggerSatisfied(const FaultRuntime& fault,
     return false;
   }
   if (trigger.needs_volume_ops && !has_volume) {
+    return false;
+  }
+  // Env-gated bugs (DESIGN.md §14): a fault-free campaign can never satisfy
+  // this — kEnvFault ops are only ever generated when the campaign enables
+  // environment faults — so these specs provably cannot trigger without them.
+  if (trigger.needs_env_faults && !has_env) {
     return false;
   }
   if (std::popcount(seen_mask) < trigger.min_distinct_kinds) {
@@ -548,7 +558,7 @@ Status FaultInjector::RestoreState(SnapshotReader& reader) {
   recent_ops_.clear();
   for (uint64_t i = 0; i < ops && reader.ok(); ++i) {
     uint8_t op = reader.U8();
-    if (reader.ok() && op >= kOpKindCount) {
+    if (reader.ok() && op >= kTotalOpKindCount) {
       reader.Fail(Sprintf("history op kind %u out of range", op));
       break;
     }

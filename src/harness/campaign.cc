@@ -7,6 +7,7 @@
 #include "src/common/strings.h"
 #include "src/core/fuzzer.h"
 #include "src/core/generator.h"
+#include "src/faults/env_fault.h"
 #include "src/harness/snapshot.h"
 #include "src/monitor/states_monitor.h"
 #include "src/telemetry/metrics.h"
@@ -27,6 +28,12 @@ uint64_t HashString(uint64_t h, const std::string& text) {
 uint64_t HashDouble(uint64_t h, double value) {
   return HashCombine(h, std::bit_cast<uint64_t>(value));
 }
+
+// Share of generated ops drawn from the env-fault operator class when
+// CampaignConfig::env_faults is on (DESIGN.md §14). High enough that every
+// campaign exercises the fault schedule, low enough that request/config ops
+// still dominate and the variance guidance has load to steer.
+constexpr double kEnvFaultShare = 0.2;
 
 }  // namespace
 
@@ -130,15 +137,26 @@ Status CampaignConfig::Validate() const {
 Campaign::Campaign(CampaignConfig config) : config_(config) {}
 
 std::vector<FaultSpec> Campaign::FaultsForConfig() const {
+  std::vector<FaultSpec> faults;
   switch (config_.fault_set) {
     case FaultSet::kNewBugs:
-      return NewBugsFor(config_.flavor);
+      faults = NewBugsFor(config_.flavor);
+      break;
     case FaultSet::kHistorical:
-      return HistoricalFaultsFor(config_.flavor);
+      faults = HistoricalFaultsFor(config_.flavor);
+      break;
     case FaultSet::kNone:
+      // Healthy system (false-positive studies): no bugs, env-gated or not.
       return {};
   }
-  return {};
+  if (config_.env_faults) {
+    // Env-gated bugs ride along only when the grammar can actually produce
+    // their trigger operators; in a fault-free campaign they would be dead
+    // weight in the trigger-evaluation loop.
+    std::vector<FaultSpec> env_bugs = EnvFaultBugsFor(config_.flavor);
+    faults.insert(faults.end(), env_bugs.begin(), env_bugs.end());
+  }
+  return faults;
 }
 
 Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
@@ -168,6 +186,15 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
   FaultInjector injector(FaultsForConfig(), config_.seed ^ 0xfa0175ULL);
   cluster->set_fault_hooks(&injector);
 
+  // Constructed unconditionally so the mid-campaign snapshot layout does not
+  // depend on the flag, but attached to the cluster only when env faults are
+  // enabled: a detached injector draws no RNG and touches no cluster state,
+  // keeping fault-free digests bit-identical to pre-fault-dimension builds.
+  EnvFaultInjector env_injector(config_.seed ^ 0xe4fa17ULL);
+  if (config_.env_faults) {
+    cluster->set_env_faults(&env_injector);
+  }
+
   Rng rng(config_.seed ^ 0x7e5715ULL);
   InputModel model;
   StatesMonitor monitor(config_.weights);
@@ -179,6 +206,7 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
                             rng, telemetry);
   StrategyOptions strategy_options;
   strategy_options.telemetry = telemetry;
+  strategy_options.env_fault_share = config_.env_faults ? kEnvFaultShare : 0.0;
   Result<std::unique_ptr<Strategy>> strategy =
       StrategyRegistry::Instance().Make(strategy_name, model, rng, strategy_options);
   if (!strategy.ok()) {
@@ -222,6 +250,7 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
     monitor.SaveState(writer);
     detector.SaveState(writer);
     injector.SaveState(writer);
+    env_injector.SaveState(writer);
     event_log.SaveState(writer);
     executor.SaveState(writer);
     (*strategy)->SaveState(writer);
@@ -258,6 +287,7 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
     if (Status s = monitor.RestoreState(reader); !s.ok()) return s;
     if (Status s = detector.RestoreState(reader); !s.ok()) return s;
     if (Status s = injector.RestoreState(reader); !s.ok()) return s;
+    if (Status s = env_injector.RestoreState(reader); !s.ok()) return s;
     if (Status s = event_log.RestoreState(reader); !s.ok()) return s;
     if (Status s = executor.RestoreState(reader); !s.ok()) return s;
     if (Status s = (*strategy)->RestoreState(reader); !s.ok()) return s;

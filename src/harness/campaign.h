@@ -64,6 +64,12 @@ struct CampaignConfig {
   SimDuration coverage_sample_period = Minutes(1);
   int storage_nodes = 8;               // 10 nodes total, like the paper
   int meta_nodes = 2;
+  // Environment-fault dimension (DESIGN.md §14). When true, the generator
+  // draws env_fault operators (kEnvFaultShare of ops), an EnvFaultInjector
+  // is attached to the cluster, and the env-gated bug registry joins the
+  // fault set. False keeps the fault-free grammar, RNG draw sequence and
+  // digests bit-identical to campaigns that predate the fault dimension.
+  bool env_faults = false;
   // Collect per-campaign telemetry events into CampaignResult::telemetry.
   // Off by default: long matrices would otherwise hold every job's event
   // stream in memory at once. Recording never draws from the RNG, so this

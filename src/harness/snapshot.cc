@@ -212,6 +212,7 @@ void WriteSnapshotIdentity(SnapshotWriter& writer, std::string_view strategy,
   writer.I64(config.coverage_sample_period);
   writer.I64(config.storage_nodes);
   writer.I64(config.meta_nodes);
+  writer.Bool(config.env_faults);
   writer.Bool(config.collect_telemetry);
 }
 
@@ -243,6 +244,7 @@ Status CheckSnapshotIdentity(SnapshotReader& reader, std::string_view strategy,
   int64_t saved_sample_period = reader.I64();
   int64_t saved_storage_nodes = reader.I64();
   int64_t saved_meta_nodes = reader.I64();
+  bool saved_env_faults = reader.Bool();
   bool saved_telemetry = reader.Bool();
   if (Status status = reader.status(); !status.ok()) return status;
 
@@ -302,6 +304,10 @@ Status CheckSnapshotIdentity(SnapshotReader& reader, std::string_view strategy,
         "meta_nodes", Sprintf("%lld", static_cast<long long>(saved_meta_nodes)),
         Sprintf("%d", config.meta_nodes));
   }
+  if (saved_env_faults != config.env_faults) {
+    return IdentityMismatch("env_faults", saved_env_faults ? "true" : "false",
+                            config.env_faults ? "true" : "false");
+  }
   if (saved_telemetry != config.collect_telemetry) {
     return IdentityMismatch("collect_telemetry", saved_telemetry ? "true" : "false",
                             config.collect_telemetry ? "true" : "false");
@@ -322,7 +328,7 @@ void SaveFailureReport(SnapshotWriter& writer, const FailureReport& report) {
 
 void RestoreFailureReport(SnapshotReader& reader, FailureReport* report) {
   uint8_t dimension = reader.U8();
-  if (dimension > static_cast<uint8_t>(ImbalanceDimension::kNodeHealth)) {
+  if (dimension > static_cast<uint8_t>(ImbalanceDimension::kCrashRecovery)) {
     reader.Fail(Sprintf("failure report has unknown imbalance dimension %u",
                         dimension));
     return;

@@ -14,6 +14,8 @@ const char* ImbalanceDimensionName(ImbalanceDimension dimension) {
       return "network";
     case ImbalanceDimension::kNodeHealth:
       return "node-health";
+    case ImbalanceDimension::kCrashRecovery:
+      return "crash-recovery";
   }
   return "?";
 }

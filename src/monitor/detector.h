@@ -25,6 +25,13 @@ enum class ImbalanceDimension : uint8_t {
   kComputation,
   kNetwork,
   kNodeHealth,  // crash signal
+  // Crash-recovery double-check (DESIGN.md §14): the cluster recovered from
+  // an environment crash+restart — every node back up, interrupted round
+  // re-run — and still settled outside LBS. The detector never emits this;
+  // the executor rewrites a confirmed candidate's dimension after waiting
+  // out the recovery window, marking "recovers to non-LBS" as its own
+  // failure kind.
+  kCrashRecovery,
 };
 
 const char* ImbalanceDimensionName(ImbalanceDimension dimension);

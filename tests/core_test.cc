@@ -32,8 +32,9 @@ TEST(Operation, ClassPartition) {
   int file_ops = 0;
   int node_ops = 0;
   int volume_ops = 0;
-  for (int i = 0; i < kOpKindCount; ++i) {
-    switch (ClassOf(OpKindFromIndex(i))) {
+  int env_ops = 0;
+  for (int i = 0; i < kTotalOpKindCount; ++i) {
+    switch (ClassOf(OpKindFromTotalIndex(i))) {
       case OpClass::kFile:
         ++file_ops;
         break;
@@ -43,11 +44,15 @@ TEST(Operation, ClassPartition) {
       case OpClass::kVolume:
         ++volume_ops;
         break;
+      case OpClass::kEnvFault:
+        ++env_ops;
+        break;
     }
   }
   EXPECT_EQ(file_ops, 9);
   EXPECT_EQ(node_ops, 4);
   EXPECT_EQ(volume_ops, 4);
+  EXPECT_EQ(env_ops, kEnvFaultKindCount);
 }
 
 TEST(Operation, ConfigClassification) {

@@ -69,6 +69,41 @@ testing::AssertionResult GrammarValid(const Operation& op) {
                << OpKindName(op.kind) << " without a brick operand";
       }
       return testing::AssertionSuccess();
+    case OpKind::kEnvMsgLoss:
+    case OpKind::kEnvMsgReorder:
+    case OpKind::kEnvMsgDuplicate:
+    case OpKind::kEnvMsgCorrupt:
+      if (op.size < kEnvMinRatePermille || op.size > kEnvMaxRatePermille) {
+        return testing::AssertionFailure()
+               << OpKindName(op.kind) << " rate outside ["
+               << kEnvMinRatePermille << ", " << kEnvMaxRatePermille
+               << "] permille: " << op.ToString();
+      }
+      return testing::AssertionSuccess();
+    case OpKind::kEnvSlowDisk:
+      if (op.node == kInvalidNode) {
+        return testing::AssertionFailure() << "slow_disk without a nodeId operand";
+      }
+      if (op.size < kEnvMinSlowFactorPercent || op.size > kEnvMaxSlowFactorPercent) {
+        return testing::AssertionFailure()
+               << "slow_disk factor outside [" << kEnvMinSlowFactorPercent
+               << ", " << kEnvMaxSlowFactorPercent << "] percent: "
+               << op.ToString();
+      }
+      return testing::AssertionSuccess();
+    case OpKind::kEnvCrashNode:
+      if (op.node == kInvalidNode) {
+        return testing::AssertionFailure() << "crash_node without a nodeId operand";
+      }
+      if (op.size < kEnvMinCrashDelaySeconds || op.size > kEnvMaxCrashDelaySeconds) {
+        return testing::AssertionFailure()
+               << "crash_node restart delay outside [" << kEnvMinCrashDelaySeconds
+               << ", " << kEnvMaxCrashDelaySeconds << "] seconds: "
+               << op.ToString();
+      }
+      return testing::AssertionSuccess();
+    case OpKind::kEnvClearFaults:
+      return testing::AssertionSuccess();  // no operands
   }
   return testing::AssertionFailure() << "unknown operator";
 }

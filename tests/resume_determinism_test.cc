@@ -159,6 +159,39 @@ TEST(ResumeDeterminismTest, HaltHookLeavesAResumableSnapshot) {
   EXPECT_EQ(newest->kind, SnapshotKind::kMidCampaign);
 }
 
+// Env-faulted campaigns resume bit-identically too (snapshot format v4):
+// the checkpoint can land between a kEnvCrashNode and its scheduled restart,
+// so the armed rates, slow-disk windows and the restart schedule must all
+// ride through the EnvFaultInjector record in the mid-campaign snapshot.
+TEST(ResumeDeterminismTest, EnvFaultedCampaignResumesToUninterruptedDigest) {
+  for (Flavor flavor : {Flavor::kGluster, Flavor::kHdfs}) {
+    const std::string flavor_name(FlavorName(flavor));
+    CampaignConfig config = BaseConfig(flavor);
+    config.env_faults = true;
+    Result<CampaignResult> uninterrupted = Campaign(config).Run("Themis");
+    ASSERT_TRUE(uninterrupted.ok()) << flavor_name;
+
+    const std::string dir = FreshDir("env_" + flavor_name);
+    CampaignConfig crash = config;
+    crash.checkpoint_dir = dir;
+    // A tight cadence: many checkpoints land inside armed fault schedules
+    // (including between a crash and its restart) rather than between them.
+    crash.checkpoint_every_ops = 200;
+    crash.halt_after_checkpoints = 2;
+    ASSERT_FALSE(Campaign(crash).Run("Themis").ok()) << flavor_name;
+
+    CampaignConfig finish = config;
+    finish.checkpoint_dir = dir;
+    finish.checkpoint_every_ops = 200;
+    finish.resume = true;
+    Result<CampaignResult> resumed = Campaign(finish).Run("Themis");
+    ASSERT_TRUE(resumed.ok()) << flavor_name << ": "
+                              << resumed.status().ToString();
+    EXPECT_EQ(resumed->Digest(), uninterrupted->Digest()) << flavor_name;
+    EXPECT_EQ(resumed->total_ops, uninterrupted->total_ops) << flavor_name;
+  }
+}
+
 // Telemetry collection rides through kill/resume: an interrupted+resumed
 // telemetry campaign reproduces the uninterrupted event stream exactly
 // (events are part of the digest, but compare the count explicitly too).

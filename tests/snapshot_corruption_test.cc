@@ -18,6 +18,7 @@
 #include "src/core/generator.h"
 #include "src/core/input_model.h"
 #include "src/dfs/flavors/factory.h"
+#include "src/faults/env_fault.h"
 #include "src/harness/campaign.h"
 #include "src/harness/snapshot.h"
 #include "src/monitor/load_model.h"
@@ -212,6 +213,11 @@ TEST(SnapshotCorruptionTest, IdentityMismatchNamesTheField) {
   Case nodes_case{"storage_nodes", config};
   nodes_case.changed.storage_nodes = 12;
   cases.push_back(nodes_case);
+  // v4: an env-faulted campaign must not adopt a fault-free snapshot (or
+  // vice versa) — the grammars, registries and RNG draw sequences differ.
+  Case env_case{"env_faults", config};
+  env_case.changed.env_faults = true;
+  cases.push_back(env_case);
 
   for (const Case& c : cases) {
     SnapshotReader reader(payload);
@@ -337,6 +343,81 @@ TEST(SnapshotCorruptionTest, ClusterRateWindowCorruptionIsRejected) {
   fresh = MakeCluster(Flavor::kGluster, 909);
   SnapshotReader ok_reader(writer.buffer());
   EXPECT_TRUE(fresh->RestoreState(ok_reader).ok());
+}
+
+// Format v4 field-level validation: the EnvFaultInjector record arms live
+// fault machinery on restore, so every malformed record — a rate beyond the
+// grammar bound, an impossible slow-disk factor, a duplicate or unsorted
+// entry, a restart sequence number the injector never issued — must fail
+// the snapshot instead of arming an out-of-grammar schedule.
+TEST(SnapshotCorruptionTest, MalformedEnvFaultRecordsAreRejected) {
+  auto rates = [](SnapshotWriter& writer, uint64_t loss) {
+    writer.U64(loss);
+    writer.U64(0);  // reorder
+    writer.U64(0);  // duplicate
+    writer.U64(0);  // corrupt
+  };
+  auto expect_rejected = [](const SnapshotWriter& writer, const char* needle) {
+    EnvFaultInjector injector(/*seed=*/1);
+    SnapshotReader reader(writer.buffer());
+    Status status = injector.RestoreState(reader);
+    ASSERT_FALSE(status.ok()) << needle;
+    EXPECT_NE(status.message().find("malformed env fault record"),
+              std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.message().find(needle), std::string::npos)
+        << status.ToString();
+  };
+
+  {  // A message-fault rate beyond the 500 permille grammar bound.
+    SnapshotWriter writer;
+    rates(writer, 600);
+    expect_rejected(writer, "message-loss rate 600 out of range");
+  }
+  {  // A slow-disk factor below the 110% floor.
+    SnapshotWriter writer;
+    rates(writer, 0);
+    writer.U64(1);   // one slow-disk entry
+    writer.U32(3);   // node
+    writer.U64(50);  // percent: out of [110, 1000]
+    writer.I64(10);  // until
+    expect_rejected(writer, "slow-disk factor 50 out of range");
+  }
+  {  // The same node degraded twice in one record.
+    SnapshotWriter writer;
+    rates(writer, 0);
+    writer.U64(2);
+    for (int i = 0; i < 2; ++i) {
+      writer.U32(3);
+      writer.U64(200);
+      writer.I64(10);
+    }
+    expect_rejected(writer, "duplicate slow-disk entry for node 3");
+  }
+  {  // A restart schedule that is not sorted by (time, sequence).
+    SnapshotWriter writer;
+    rates(writer, 0);
+    writer.U64(0);  // no slow disks
+    writer.U64(2);  // two scheduled restarts
+    writer.I64(100);
+    writer.U32(1);
+    writer.U64(1);
+    writer.I64(50);  // earlier than its predecessor
+    writer.U32(2);
+    writer.U64(2);
+    expect_rejected(writer, "restart schedule not sorted");
+  }
+  {  // A restart carrying a sequence number the injector never issued.
+    SnapshotWriter writer;
+    rates(writer, 0);
+    writer.U64(0);
+    writer.U64(1);
+    writer.I64(100);
+    writer.U32(1);
+    writer.U64(5);  // seq 5 ...
+    writer.U64(2);  // ... but next_restart_seq claims only 2 were issued
+    expect_rejected(writer, "restart sequence from the future");
+  }
 }
 
 TEST(SnapshotCorruptionTest, ModelRejectsOutOfRangePreviousWindowNode) {
