@@ -17,7 +17,12 @@
 // A third axis measures monitor cadence (DESIGN.md §13): the hot loop with a
 // StatesMonitor checking every 1 / 10 / 100 ops through the O(1) streaming
 // path, plus the full-scan oracle at per-op cadence for contrast. Gauges land
-// under monitor_cadence.<flavor>.* — informational, outside the CI perf gate.
+// under monitor_cadence.<flavor>.n<N>.* — informational, outside the CI perf
+// gate, with the topology size baked into the key.
+//
+// A fourth axis sweeps GeoFS across node counts (10/100/1k/10k) to show the
+// sparse hierarchical aggregates keep the per-op cost flat at production
+// scale; see RunScaleSweepExperiment below and DESIGN.md §15.
 
 #include "bench/bench_common.h"
 
@@ -36,7 +41,7 @@ namespace themis {
 namespace {
 
 constexpr Flavor kFlavors[] = {Flavor::kGluster, Flavor::kHdfs, Flavor::kCeph,
-                               Flavor::kLeo};
+                               Flavor::kLeo, Flavor::kGeo};
 
 // One op off the same generation path the fuzzer uses; the model re-syncs
 // its admin views periodically, like the campaign's executor does.
@@ -75,7 +80,7 @@ void BM_ClusterExecute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.SetLabel(std::string(FlavorName(flavor)));
 }
-BENCHMARK(BM_ClusterExecute)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClusterExecute)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
 
 void BM_SampleLoad(benchmark::State& state) {
   Flavor flavor = kFlavors[state.range(0)];
@@ -90,7 +95,7 @@ void BM_SampleLoad(benchmark::State& state) {
   }
   state.SetLabel(std::string(FlavorName(flavor)));
 }
-BENCHMARK(BM_SampleLoad)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SampleLoad)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
 
 void BM_MonitorSampleStream(benchmark::State& state) {
   Flavor flavor = kFlavors[state.range(0)];
@@ -106,7 +111,7 @@ void BM_MonitorSampleStream(benchmark::State& state) {
   }
   state.SetLabel(std::string(FlavorName(flavor)));
 }
-BENCHMARK(BM_MonitorSampleStream)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MonitorSampleStream)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
 
 void BM_MonitorSampleScan(benchmark::State& state) {
   Flavor flavor = kFlavors[state.range(0)];
@@ -123,7 +128,7 @@ void BM_MonitorSampleScan(benchmark::State& state) {
   }
   state.SetLabel(std::string(FlavorName(flavor)));
 }
-BENCHMARK(BM_MonitorSampleScan)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MonitorSampleScan)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -157,8 +162,10 @@ void RunMonitorCadenceExperiment() {
                    {10, false, "every10"},
                    {100, false, "every100"},
                    {1, true, "every1_scan"}};
+    size_t node_count = 0;
     for (int s = 0; s < 4; ++s) {
       std::unique_ptr<DfsCluster> dfs = MakeCluster(flavor, /*seed=*/7);
+      node_count = dfs->ListStorageNodes().size() + dfs->ListMetaNodes().size();
       CoverageRecorder coverage(FlavorBranchSpace(flavor), /*seed=*/7);
       dfs->set_coverage(&coverage);
       OpSource source(*dfs, /*seed=*/7);
@@ -174,14 +181,75 @@ void RunMonitorCadenceExperiment() {
       }
       double seconds = SecondsSince(start);
       per_series[s] = static_cast<double>(kCadenceOps) / seconds;
-      // Distinct prefix from throughput.*: informational, not CI-gated.
+      // Distinct prefix from throughput.*: informational, not CI-gated. The
+      // n<N> component records the topology size the series was measured on,
+      // so a default-size change reads as a new series, not a regression.
       MetricsRegistry::Global()
-          .GetGauge(Sprintf("monitor_cadence.%s.%s", flavor_name.c_str(),
-                            kSeries[s].series))
+          .GetGauge(Sprintf("monitor_cadence.%s.n%zu.%s", flavor_name.c_str(),
+                            node_count, kSeries[s].series))
           .Add(static_cast<int64_t>(per_series[s]));
     }
     std::printf("%-12s %14.0f %14.0f %14.0f %16.0f\n", flavor_name.c_str(),
                 per_series[0], per_series[1], per_series[2], per_series[3]);
+  }
+}
+
+// Production-scale sweep (DESIGN.md §15): GeoFS at 10 / 100 / 1k / 10k
+// storage nodes. The sparse per-group aggregates make the per-op cost O(1)
+// in total node count, so ops/sec should hold roughly flat across three
+// orders of magnitude; campaigns run at every size except 10k, which stays
+// hot-loop-only (a 10k-node campaign belongs in an overnight run, not a CI
+// bench). Gauges land under scale.GeoFS.n<N>.* — skipped by the perf gate's
+// series filter, tracked for trend.
+void RunScaleSweepExperiment() {
+  PrintHeader("GeoFS node-count sweep (sparse hierarchical aggregates)");
+  std::printf("%-10s %14s %18s\n", "nodes", "ops/sec", "campaign ops/sec");
+
+  const int kSweepNodes[] = {10, 100, 1000, 10000};
+  for (int nodes : kSweepNodes) {
+    // Hot loop: same op source as the 10-node series, topology scaled up.
+    const int hot_ops = nodes >= 10000 ? 10000 : 30000;
+    std::unique_ptr<DfsCluster> dfs = MakeCluster(Flavor::kGeo, /*seed=*/7, nodes);
+    CoverageRecorder coverage(FlavorBranchSpace(Flavor::kGeo), /*seed=*/7);
+    dfs->set_coverage(&coverage);
+    OpSource source(*dfs, /*seed=*/7);
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < hot_ops; ++i) {
+      (void)dfs->Execute(source.Next());
+    }
+    double ops_per_sec = static_cast<double>(hot_ops) / SecondsSince(start);
+    MetricsRegistry::Global()
+        .GetGauge(Sprintf("scale.GeoFS.n%d.ops_per_sec", nodes))
+        .Add(static_cast<int64_t>(ops_per_sec));
+
+    double campaign_ops_per_sec = 0.0;
+    if (nodes < 10000) {
+      CampaignConfig config;
+      config.flavor = Flavor::kGeo;
+      config.seed = 7;
+      // Default 24 virtual hours (THEMIS_BENCH_HOURS overrides): a campaign
+      // this short would mostly measure cluster construction, not the
+      // steady-state per-op cost the sweep is after.
+      config.budget = BenchBudget().campaign;
+      config.storage_nodes = nodes;
+      start = std::chrono::steady_clock::now();
+      Result<CampaignResult> result = Campaign(config).Run("Themis");
+      double seconds = SecondsSince(start);
+      if (result.ok()) {
+        campaign_ops_per_sec = static_cast<double>(result->total_ops) / seconds;
+        MetricsRegistry::Global()
+            .GetGauge(Sprintf("scale.GeoFS.n%d.campaign_ops_per_sec", nodes))
+            .Add(static_cast<int64_t>(campaign_ops_per_sec));
+      } else {
+        std::printf("scale campaign failed at %d nodes: %s\n", nodes,
+                    result.status().ToString().c_str());
+      }
+    }
+    if (nodes < 10000) {
+      std::printf("%-10d %14.0f %18.0f\n", nodes, ops_per_sec, campaign_ops_per_sec);
+    } else {
+      std::printf("%-10d %14.0f %18s\n", nodes, ops_per_sec, "(bench-only)");
+    }
   }
 }
 
@@ -234,6 +302,7 @@ void RunThroughputExperiment() {
   }
 
   RunMonitorCadenceExperiment();
+  RunScaleSweepExperiment();
 }
 
 }  // namespace

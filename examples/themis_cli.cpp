@@ -1,8 +1,8 @@
 // Command-line front end for the framework: run fuzzing campaigns and replay
 // reproduction logs without writing any C++.
 //
-//   themis_cli fuzz   <hdfs|ceph|gluster|leo> [options]
-//   themis_cli replay <hdfs|ceph|gluster|leo> <logfile> [--repeat N] [--bugs]
+//   themis_cli fuzz   <hdfs|ceph|gluster|leo|geo> [options]
+//   themis_cli replay <hdfs|ceph|gluster|leo|geo> <logfile> [--repeat N] [--bugs]
 //
 // Options for `fuzz` (runs a CampaignMatrix through the parallel runner):
 //   --hours H       virtual campaign budget (default 24)
@@ -49,14 +49,14 @@ using namespace themis;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  themis_cli fuzz <hdfs|ceph|gluster|leo> [--hours H] [--seed S]\n"
+               "  themis_cli fuzz <hdfs|ceph|gluster|leo|geo> [--hours H] [--seed S]\n"
                "             [--seeds N] [--jobs N]\n"
                "             [--strategy themis|themis-|fixreq|fixconf|alternate|\n"
                "              concurrent] [--threshold T] [--historical] [--healthy]\n"
                "             [--logs] [--telemetry-out=PATH] [--metrics-summary]\n"
                "             [--checkpoint-dir=DIR] [--checkpoint-every-ops N]\n"
                "             [--resume] [--summary-json=PATH]\n"
-               "  themis_cli replay <hdfs|ceph|gluster|leo> <logfile> [--repeat N] [--bugs]\n"
+               "  themis_cli replay <hdfs|ceph|gluster|leo|geo> <logfile> [--repeat N] [--bugs]\n"
                "          (--bugs re-injects the Table 2 faults: reproduction against\n"
                "           the buggy system, as in the paper's replay step)\n");
   return 2;
@@ -71,6 +71,8 @@ bool ParseFlavor(const char* text, Flavor* out) {
     *out = Flavor::kGluster;
   } else if (std::strcmp(text, "leo") == 0) {
     *out = Flavor::kLeo;
+  } else if (std::strcmp(text, "geo") == 0) {
+    *out = Flavor::kGeo;
   } else {
     return false;
   }

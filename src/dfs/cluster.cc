@@ -59,6 +59,7 @@ void DfsCluster::BuildInitialTopology() {
   balancer_resume_pending_ = false;
   recent_class_mask_ = 0;
   offline_bricks_ = 0;
+  offline_brick_list_.clear();
   serving_meta_nodes_.clear();
   rate_windows_.clear();
   window_epoch_ = 1;
@@ -67,7 +68,18 @@ void DfsCluster::BuildInitialTopology() {
   net_storage_agg_ = RateDimAgg{};
   net_meta_agg_ = RateDimAgg{};
   crashed_nodes_ = 0;
+  node_load_group_.clear();
+  load_group_count_ = 0;
+  group_serving_.clear();
+  group_frac_.clear();
+  group_frac_dirty_.clear();
+  dirty_groups_.clear();
+  group_hot_.clear();
+  group_hot_dirty_.clear();
+  hot_dirty_groups_.clear();
+  group_rate_max_.clear();
   InvalidateLoadIndex();
+  OnTopologyCleared();
 
   for (int i = 0; i < config_.initial_meta_nodes; ++i) {
     NodeId id = next_node_id_++;
@@ -77,7 +89,7 @@ void DfsCluster::BuildInitialTopology() {
     serving_meta_nodes_.push_back(id);
   }
   for (int i = 0; i < config_.initial_storage_nodes; ++i) {
-    AddStorageNodeInternal(config_.brick_capacity);
+    AddStorageNodeInternal(BrickCapacityFor(next_node_id_));
   }
   OnTopologyChangedInternal();
 }
@@ -124,7 +136,19 @@ void DfsCluster::InvalidateLoadIndex() {
 void DfsCluster::RebuildLoadIndex() const {
   serving_bricks_.clear();
   serving_storage_nodes_.clear();
-  node_agg_.clear();
+  node_agg_.assign(next_node_id_, NodeLoadAgg{});
+  group_serving_.assign(load_group_count_, {});
+  group_frac_.assign(load_group_count_, GroupFracAgg{});
+  group_frac_dirty_.assign(load_group_count_, 1);
+  group_hot_.assign(load_group_count_, GroupHotBrick{});
+  group_hot_dirty_.assign(load_group_count_, 1);
+  group_rate_max_.assign(load_group_count_, GroupRateMax{});
+  dirty_groups_.clear();
+  hot_dirty_groups_.clear();
+  for (uint32_t g = 0; g < load_group_count_; ++g) {
+    dirty_groups_.push_back(g);
+    hot_dirty_groups_.push_back(g);
+  }
   fleet_used_ = 0;
   fleet_cap_ = 0;
   fleet_overflow_ = 0;
@@ -134,6 +158,10 @@ void DfsCluster::RebuildLoadIndex() const {
     agg.serving = node.Serving();
     if (agg.serving) {
       serving_storage_nodes_.push_back(id);
+      uint32_t group = LoadGroupOf(id);
+      if (group != kInvalidLoadGroup) {
+        group_serving_[group].push_back(id);
+      }
     }
     for (BrickId b : node.bricks) {
       const Brick* brick = FindBrick(b);
@@ -153,8 +181,7 @@ void DfsCluster::RebuildLoadIndex() const {
     if (!brick.online) {
       continue;
     }
-    auto it = node_agg_.find(brick.node);
-    if (it != node_agg_.end() && it->second.serving) {
+    if (brick.node < node_agg_.size() && node_agg_[brick.node].serving) {
       serving_bricks_.push_back(id);
       fleet_used_ += brick.used_bytes;
       fleet_cap_ += brick.capacity_bytes;
@@ -197,6 +224,225 @@ void DfsCluster::RebuildRateAggs() const {
   };
   accumulate(serving_storage_nodes_, cpu_storage_agg_, net_storage_agg_);
   accumulate(serving_meta_nodes_, cpu_meta_agg_, net_meta_agg_);
+  // Re-seed the per-group high-water marks from the same windows so the
+  // departure rescan path stays group-local after a rebuild.
+  for (NodeId id : serving_storage_nodes_) {
+    uint32_t group = LoadGroupOf(id);
+    if (group == kInvalidLoadGroup) {
+      continue;
+    }
+    GroupRateMax& gm = group_rate_max_[group];
+    gm.epoch = window_epoch_;
+    gm.cpu = std::max(gm.cpu, WindowDelta(id, /*cpu_dim=*/true));
+    gm.net = std::max(gm.net, WindowDelta(id, /*cpu_dim=*/false));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical load groups (DESIGN.md §15)
+//
+// Storage nodes are partitioned into load groups (id-range spans by default;
+// GeoFS aligns them with scheduling groups via PickLoadGroup). Fraction
+// stats keep one sub-aggregate per group, refreshed only when a member
+// mutated (dirty-group queue) and rolled up over O(#groups); rate windows
+// keep one epoch-stamped high-water mark per group so a departing maximum
+// rescans one group plus the group marks instead of the whole fleet. All
+// sums are integers, so the rollup is bit-identical to the flat scan.
+
+void DfsCluster::AssignLoadGroup(NodeId id) {
+  uint32_t group = PickLoadGroup(id);
+  if (group == kInvalidLoadGroup) {
+    group = 0;
+  }
+  if (node_load_group_.size() <= id) {
+    node_load_group_.resize(id + 1, kInvalidLoadGroup);
+  }
+  node_load_group_[id] = group;
+  if (group >= load_group_count_) {
+    load_group_count_ = group + 1;
+  }
+}
+
+void DfsCluster::EnsureGroupSlots(uint32_t group) const {
+  size_t need = std::max<size_t>(load_group_count_, group + 1);
+  if (group_serving_.size() < need) {
+    group_serving_.resize(need);
+  }
+  if (group_frac_.size() < need) {
+    group_frac_.resize(need);
+  }
+  if (group_frac_dirty_.size() < need) {
+    group_frac_dirty_.resize(need, 0);
+  }
+  if (group_hot_.size() < need) {
+    group_hot_.resize(need);
+  }
+  if (group_hot_dirty_.size() < need) {
+    group_hot_dirty_.resize(need, 0);
+  }
+  if (group_rate_max_.size() < need) {
+    group_rate_max_.resize(need);
+  }
+}
+
+void DfsCluster::MarkGroupDirty(NodeId node) const {
+  uint32_t group = LoadGroupOf(node);
+  if (group == kInvalidLoadGroup) {
+    return;
+  }
+  EnsureGroupSlots(group);
+  if (!group_frac_dirty_[group]) {
+    group_frac_dirty_[group] = 1;
+    dirty_groups_.push_back(group);
+  }
+  if (!group_hot_dirty_[group]) {
+    group_hot_dirty_[group] = 1;
+    hot_dirty_groups_.push_back(group);
+  }
+}
+
+void DfsCluster::RefreshGroupFrac(uint32_t group) const {
+  GroupFracAgg agg;
+  for (NodeId id : group_serving_[group]) {
+    const NodeLoadAgg& node = node_agg_[id];
+    if (node.cap_online == 0) {
+      continue;
+    }
+    ++agg.nodes;
+    double fraction = static_cast<double>(node.used_online) /
+                      static_cast<double>(node.cap_online);
+    if (agg.nodes == 1 || fraction > agg.max_fraction) {
+      agg.max_fraction = fraction;
+    }
+    agg.used += node.used_online;
+    agg.cap += node.cap_online;
+    uint64_t ticks = QuantizeLoadDelta(fraction, kUtilizationQuantum);
+    agg.frac_sum += ticks;
+    agg.frac_sum_sq += static_cast<Uint128>(ticks) * ticks;
+  }
+  group_frac_[group] = agg;
+}
+
+void DfsCluster::RefreshGroupHotBrick(uint32_t group) const {
+  GroupHotBrick hot;
+  for (NodeId id : group_serving_[group]) {
+    const StorageNode* node = FindStorageNode(id);
+    if (node == nullptr) {
+      continue;
+    }
+    for (BrickId b : node->bricks) {
+      const Brick* brick = FindBrick(b);
+      if (brick == nullptr || !brick->online) {
+        continue;
+      }
+      double fraction = brick_fraction_[b];
+      if (fraction > hot.fraction ||
+          (fraction == hot.fraction && b < hot.id)) {
+        hot.fraction = fraction;
+        hot.id = b;
+      }
+    }
+  }
+  group_hot_[group] = hot;
+}
+
+BrickId DfsCluster::HottestServingBrick() const {
+  EnsureLoadIndex();
+  for (uint32_t group : hot_dirty_groups_) {
+    if (group_hot_dirty_[group]) {
+      RefreshGroupHotBrick(group);
+      group_hot_dirty_[group] = 0;
+    }
+  }
+  hot_dirty_groups_.clear();
+  // Every serving storage node carries a valid load group (AssignLoadGroup
+  // maps kInvalidLoadGroup to 0 and restore re-validates coverage), so the
+  // group maxima partition ServingBricks() exactly. Smallest brick id wins
+  // fraction ties, matching a strict-max scan in brick-id order.
+  BrickId best = kInvalidBrick;
+  double best_fraction = -1.0;
+  for (const GroupHotBrick& hot : group_hot_) {
+    if (hot.id == kInvalidBrick) {
+      continue;
+    }
+    if (hot.fraction > best_fraction ||
+        (hot.fraction == best_fraction && hot.id < best)) {
+      best_fraction = hot.fraction;
+      best = hot.id;
+    }
+  }
+  return best;
+}
+
+std::pair<uint64_t, uint64_t> DfsCluster::LoadGroupUsedCap(uint32_t group) const {
+  EnsureLoadIndex();
+  if (group >= load_group_count_) {
+    return {0, 0};
+  }
+  EnsureGroupSlots(group);
+  if (group_frac_dirty_[group]) {
+    RefreshGroupFrac(group);
+    // Leave the queue entry in place; the rollup re-refresh is idempotent.
+    group_frac_dirty_[group] = 0;
+  }
+  return {group_frac_[group].used, group_frac_[group].cap};
+}
+
+const std::vector<NodeId>& DfsCluster::LoadGroupServingNodes(uint32_t group) const {
+  EnsureLoadIndex();
+  static const std::vector<NodeId> kEmpty;
+  if (group >= group_serving_.size()) {
+    return kEmpty;
+  }
+  return group_serving_[group];
+}
+
+DfsCluster::GroupRateMax& DfsCluster::GroupRateMaxSlot(NodeId id) const {
+  uint32_t group = LoadGroupOf(id);
+  if (group == kInvalidLoadGroup) {
+    group = 0;
+  }
+  EnsureGroupSlots(group);
+  GroupRateMax& gm = group_rate_max_[group];
+  if (gm.epoch != window_epoch_) {
+    gm = GroupRateMax{};
+    gm.epoch = window_epoch_;
+  }
+  return gm;
+}
+
+uint64_t DfsCluster::GroupRateMaxValue(uint32_t group, bool cpu_dim) const {
+  if (group >= group_rate_max_.size() ||
+      group_rate_max_[group].epoch != window_epoch_) {
+    return 0;
+  }
+  return cpu_dim ? group_rate_max_[group].cpu : group_rate_max_[group].net;
+}
+
+void DfsCluster::RecomputeGroupRateMax(uint32_t group) const {
+  EnsureGroupSlots(group);
+  GroupRateMax& gm = group_rate_max_[group];
+  gm.epoch = window_epoch_;
+  gm.cpu = 0;
+  gm.net = 0;
+  if (group >= group_serving_.size()) {
+    return;
+  }
+  for (NodeId id : group_serving_[group]) {
+    gm.cpu = std::max(gm.cpu, WindowDelta(id, /*cpu_dim=*/true));
+    gm.net = std::max(gm.net, WindowDelta(id, /*cpu_dim=*/false));
+  }
+}
+
+uint64_t DfsCluster::MaxOverGroupRateMax(bool cpu_dim) const {
+  uint64_t max_delta = 0;
+  for (const GroupRateMax& gm : group_rate_max_) {
+    if (gm.epoch != window_epoch_) {
+      continue;
+    }
+    max_delta = std::max(max_delta, cpu_dim ? gm.cpu : gm.net);
+  }
+  return max_delta;
 }
 
 void DfsCluster::BeginNodeChargeWindow(NodeId id, const NodeLoadCounters& load) {
@@ -232,6 +478,10 @@ void DfsCluster::CommitNodeCharge(NodeId id, const NodeLoadCounters& load,
       net_agg.sum_sq += static_cast<Uint128>(net_delta) * net_delta -
                         static_cast<Uint128>(window.net_delta) * window.net_delta;
       net_agg.max_delta = std::max(net_agg.max_delta, net_delta);
+      if (is_storage) {
+        GroupRateMax& gm = GroupRateMaxSlot(id);
+        gm.net = std::max(gm.net, net_delta);
+      }
     }
     window.net_delta = net_delta;
   }
@@ -246,6 +496,10 @@ void DfsCluster::CommitNodeCharge(NodeId id, const NodeLoadCounters& load,
         cpu_agg.sum_sq += static_cast<Uint128>(cpu_ticks) * cpu_ticks -
                           static_cast<Uint128>(window.cpu_ticks) * window.cpu_ticks;
         cpu_agg.max_delta = std::max(cpu_agg.max_delta, cpu_ticks);
+        if (is_storage) {
+          GroupRateMax& gm = GroupRateMaxSlot(id);
+          gm.cpu = std::max(gm.cpu, cpu_ticks);
+        }
       }
       window.cpu_ticks = cpu_ticks;
     }
@@ -276,7 +530,24 @@ void DfsCluster::RemoveNodeFromRateAggs(NodeId id, bool is_storage) {
   net_agg.sum -= net;
   net_agg.sum_sq -= static_cast<Uint128>(net) * net;
   // Only a departing maximum can lower the high-water mark; rescan the
-  // remaining members (the caller has already removed `id` from the list).
+  // remaining members (the caller has already removed `id` from the lists).
+  // Storage departures rescan only the departed node's load group and then
+  // take the max over the per-group marks — O(group + #groups), not O(fleet).
+  if (is_storage) {
+    uint32_t group = LoadGroupOf(id);
+    if (group != kInvalidLoadGroup &&
+        ((cpu != 0 && cpu == GroupRateMaxValue(group, /*cpu_dim=*/true)) ||
+         (net != 0 && net == GroupRateMaxValue(group, /*cpu_dim=*/false)))) {
+      RecomputeGroupRateMax(group);
+    }
+    if (cpu != 0 && cpu == cpu_agg.max_delta) {
+      cpu_agg.max_delta = MaxOverGroupRateMax(/*cpu_dim=*/true);
+    }
+    if (net != 0 && net == net_agg.max_delta) {
+      net_agg.max_delta = MaxOverGroupRateMax(/*cpu_dim=*/false);
+    }
+    return;
+  }
   if (cpu != 0 && cpu == cpu_agg.max_delta) {
     RecomputeRateMax(cpu_agg, is_storage, /*cpu_dim=*/true);
   }
@@ -296,16 +567,17 @@ void DfsCluster::ApplyUsedBytesDelta(const Brick& brick, uint64_t old_used) {
   }
   uint64_t delta = brick.used_bytes - old_used;  // two's complement: may wrap
   total_used_all_ += delta;
-  auto it = node_agg_.find(brick.node);
-  if (it == node_agg_.end()) {
+  if (brick.node >= node_agg_.size()) {
     return;
   }
-  it->second.used_all += delta;
+  NodeLoadAgg& agg = node_agg_[brick.node];
+  agg.used_all += delta;
   if (!brick.online) {
     return;
   }
-  it->second.used_online += delta;
-  if (it->second.serving) {
+  agg.used_online += delta;
+  if (agg.serving) {
+    MarkGroupDirty(brick.node);
     fleet_used_ += delta;
     uint64_t old_over =
         old_used > brick.capacity_bytes ? old_used - brick.capacity_bytes : 0;
@@ -316,12 +588,20 @@ void DfsCluster::ApplyUsedBytesDelta(const Brick& brick, uint64_t old_used) {
   }
 }
 
+void DfsCluster::UpdateBrickFraction(const Brick& brick) {
+  if (brick_fraction_.size() <= brick.id) {
+    brick_fraction_.resize(brick.id + 1, 0.0);
+  }
+  brick_fraction_[brick.id] = brick.UsedFraction();
+}
+
 void DfsCluster::AccreteBrickBytes(Brick* brick, uint64_t bytes) {
   if (brick == nullptr || bytes == 0) {
     return;
   }
   uint64_t old_used = brick->used_bytes;
   brick->used_bytes += bytes;
+  UpdateBrickFraction(*brick);
   ApplyUsedBytesDelta(*brick, old_used);
 }
 
@@ -332,6 +612,7 @@ void DfsCluster::ReleaseBrickBytes(Brick* brick, uint64_t bytes) {
   uint64_t old_used = brick->used_bytes;
   brick->used_bytes -= std::min(old_used, bytes);
   if (brick->used_bytes != old_used) {
+    UpdateBrickFraction(*brick);
     ApplyUsedBytesDelta(*brick, old_used);
   }
 }
@@ -342,11 +623,21 @@ void DfsCluster::OnStorageNodeAdded(NodeId id) {
   if (load_index_dirty_) {
     return;
   }
+  if (node_agg_.size() <= id) {
+    node_agg_.resize(id + 1);
+  }
   NodeLoadAgg agg;
   agg.serving = true;
   node_agg_[id] = agg;
-  // Node ids are monotonic, so appending preserves storage_nodes_ map order.
+  // Node ids are monotonic, so appending preserves storage_nodes_ map order
+  // (and the per-group serving lists inherit the same sortedness).
   serving_storage_nodes_.push_back(id);
+  uint32_t group = LoadGroupOf(id);
+  if (group != kInvalidLoadGroup) {
+    EnsureGroupSlots(group);
+    group_serving_[group].push_back(id);
+  }
+  MarkGroupDirty(id);
 }
 
 void DfsCluster::OnBrickAdded(const Brick& brick) {
@@ -355,17 +646,18 @@ void DfsCluster::OnBrickAdded(const Brick& brick) {
   if (load_index_dirty_) {
     return;
   }
-  auto it = node_agg_.find(brick.node);
-  if (it == node_agg_.end()) {
+  if (brick.node >= node_agg_.size()) {
     return;
   }
-  it->second.used_all += brick.used_bytes;
+  NodeLoadAgg& agg = node_agg_[brick.node];
+  agg.used_all += brick.used_bytes;
   if (!brick.online) {
     return;
   }
-  it->second.used_online += brick.used_bytes;
-  it->second.cap_online += brick.capacity_bytes;
-  if (it->second.serving) {
+  agg.used_online += brick.used_bytes;
+  agg.cap_online += brick.capacity_bytes;
+  if (agg.serving) {
+    MarkGroupDirty(brick.node);
     // Brick ids are monotonic, so appending preserves bricks_ map order.
     serving_bricks_.push_back(brick.id);
     fleet_used_ += brick.used_bytes;
@@ -382,16 +674,24 @@ void DfsCluster::OnStorageNodeUnserving(NodeId id) {
   if (load_index_dirty_) {
     return;
   }
-  auto it = node_agg_.find(id);
-  if (it == node_agg_.end() || !it->second.serving) {
+  if (id >= node_agg_.size() || !node_agg_[id].serving) {
     return;
   }
-  it->second.serving = false;
+  node_agg_[id].serving = false;
   auto pos = std::lower_bound(serving_storage_nodes_.begin(),
                               serving_storage_nodes_.end(), id);
   if (pos != serving_storage_nodes_.end() && *pos == id) {
     serving_storage_nodes_.erase(pos);
   }
+  uint32_t group = LoadGroupOf(id);
+  if (group != kInvalidLoadGroup && group < group_serving_.size()) {
+    auto gpos = std::lower_bound(group_serving_[group].begin(),
+                                 group_serving_[group].end(), id);
+    if (gpos != group_serving_[group].end() && *gpos == id) {
+      group_serving_[group].erase(gpos);
+    }
+  }
+  MarkGroupDirty(id);
   // The departing node's rate-window deltas leave the storage-group
   // streaming aggregates too (the monitor only compares serving nodes).
   RemoveNodeFromRateAggs(id, /*is_storage=*/true);
@@ -425,13 +725,14 @@ void DfsCluster::OnBrickOffline(const Brick& brick) {
   if (load_index_dirty_) {
     return;
   }
-  auto it = node_agg_.find(brick.node);
-  if (it == node_agg_.end()) {
+  if (brick.node >= node_agg_.size()) {
     return;
   }
-  it->second.used_online -= brick.used_bytes;
-  it->second.cap_online -= brick.capacity_bytes;
-  if (it->second.serving) {
+  NodeLoadAgg& agg = node_agg_[brick.node];
+  agg.used_online -= brick.used_bytes;
+  agg.cap_online -= brick.capacity_bytes;
+  if (agg.serving) {
+    MarkGroupDirty(brick.node);
     fleet_used_ -= brick.used_bytes;
     fleet_cap_ -= brick.capacity_bytes;
     if (brick.used_bytes > brick.capacity_bytes) {
@@ -451,12 +752,13 @@ void DfsCluster::OnBrickCapacityChanged(const Brick& brick, uint64_t old_capacit
     return;
   }
   uint64_t delta = brick.capacity_bytes - old_capacity;  // may wrap; sums re-wrap
-  auto it = node_agg_.find(brick.node);
-  if (it == node_agg_.end()) {
+  if (brick.node >= node_agg_.size()) {
     return;
   }
-  it->second.cap_online += delta;
-  if (it->second.serving) {
+  NodeLoadAgg& agg = node_agg_[brick.node];
+  agg.cap_online += delta;
+  if (agg.serving) {
+    MarkGroupDirty(brick.node);
     fleet_cap_ += delta;
     uint64_t old_over =
         brick.used_bytes > old_capacity ? brick.used_bytes - old_capacity : 0;
@@ -505,10 +807,7 @@ std::vector<double> DfsCluster::PerNodeUsedBytes() const {
   std::vector<double> out;
   out.reserve(serving_storage_nodes_.size());
   for (NodeId id : serving_storage_nodes_) {
-    auto it = node_agg_.find(id);
-    if (it != node_agg_.end()) {
-      out.push_back(static_cast<double>(it->second.used_all));
-    }
+    out.push_back(static_cast<double>(node_agg_[id].used_all));
   }
   return out;
 }
@@ -518,10 +817,9 @@ std::vector<double> DfsCluster::PerNodeUsedFraction() const {
   std::vector<double> out;
   out.reserve(serving_storage_nodes_.size());
   for (NodeId id : serving_storage_nodes_) {
-    auto it = node_agg_.find(id);
-    if (it != node_agg_.end() && it->second.cap_online > 0) {
-      out.push_back(static_cast<double>(it->second.used_online) /
-                    static_cast<double>(it->second.cap_online));
+    if (node_agg_[id].cap_online > 0) {
+      out.push_back(static_cast<double>(node_agg_[id].used_online) /
+                    static_cast<double>(node_agg_[id].cap_online));
     }
   }
   return out;
@@ -535,22 +833,30 @@ const DfsCluster::FractionStats& DfsCluster::EnsureFractionStats() const {
   if (imbalance_epoch_ == load_epoch_) {
     return fraction_memo_;
   }
+  // Refresh only the groups ops have dirtied since the last read, then roll
+  // the per-group sub-aggregates up. Integer sums, the per-group first-wins
+  // max, and the left-to-right group order (groups are visited in index
+  // order, members in node-id order) make the rollup bit-identical to the
+  // flat fleet scan it replaced — the streaming-variance contract of
+  // DESIGN.md §13 holds unchanged at 10k nodes.
+  for (uint32_t group : dirty_groups_) {
+    RefreshGroupFrac(group);
+    group_frac_dirty_[group] = 0;
+  }
+  dirty_groups_.clear();
   FractionStats stats;
-  for (NodeId id : serving_storage_nodes_) {
-    auto it = node_agg_.find(id);
-    if (it != node_agg_.end() && it->second.cap_online > 0) {
-      ++stats.nodes;
-      double fraction = static_cast<double>(it->second.used_online) /
-                        static_cast<double>(it->second.cap_online);
-      if (stats.nodes == 1 || fraction > stats.max_fraction) {
-        stats.max_fraction = fraction;
-      }
-      stats.used += it->second.used_online;
-      stats.cap += it->second.cap_online;
-      uint64_t ticks = QuantizeLoadDelta(fraction, kUtilizationQuantum);
-      stats.frac_sum += ticks;
-      stats.frac_sum_sq += static_cast<Uint128>(ticks) * ticks;
+  for (const GroupFracAgg& agg : group_frac_) {
+    if (agg.nodes == 0) {
+      continue;
     }
+    if (stats.nodes == 0 || agg.max_fraction > stats.max_fraction) {
+      stats.max_fraction = agg.max_fraction;
+    }
+    stats.nodes += agg.nodes;
+    stats.used += agg.used;
+    stats.cap += agg.cap;
+    stats.frac_sum += agg.frac_sum;
+    stats.frac_sum_sq += agg.frac_sum_sq;
   }
   if (stats.nodes >= 2 && fleet_cap_ > 0) {
     double fleet =
@@ -1055,6 +1361,7 @@ BrickId DfsCluster::NewBrickOnNode(NodeId node, uint64_t capacity) {
   BrickId id = next_brick_id_++;
   Brick& brick = bricks_[id];
   brick = Brick{.id = id, .node = node, .capacity_bytes = capacity};
+  UpdateBrickFraction(brick);
   IndexBrickPtr(id, &brick);
   sn->bricks.push_back(id);
   OnBrickAdded(brick);
@@ -1068,6 +1375,10 @@ NodeId DfsCluster::AddStorageNodeInternal(uint64_t brick_capacity) {
   StorageNode& stored = storage_nodes_[id];
   stored = node;
   IndexStorageNodePtr(id, &stored);
+  // Group membership is fixed at admission (GeoFS's fewest-members policy is
+  // add-order-dependent, so the assignment is real state — snapshot v5
+  // persists it) and must exist before the serving-list hooks run.
+  AssignLoadGroup(id);
   OnStorageNodeAdded(id);
   NewBrickOnNode(id, brick_capacity);
   return id;
@@ -1382,6 +1693,15 @@ OpResult DfsCluster::DoCreate(const Operation& op) {
     result.status = Status::AlreadyExists(op.path);
     return result;
   }
+  if (config_.max_file_size != 0 && op.size > config_.max_file_size) {
+    // EFBIG: rejected at admission, before any placement work.
+    COV_BRANCH(cov_, CovModule::kRequest, 35);
+    result.status = Status::InvalidArgument(
+        Sprintf("file size exceeds max_file_size (%llu > %llu)",
+                static_cast<unsigned long long>(op.size),
+                static_cast<unsigned long long>(config_.max_file_size)));
+    return result;
+  }
   Result<FileLayout> placed = PlaceFile(NormalizedOpPath(op), op.size);
   if (!placed.ok()) {
     COV_BRANCH(cov_, CovModule::kPlacement, 1);
@@ -1432,6 +1752,15 @@ OpResult DfsCluster::DoAppend(const Operation& op) {
   }
   FileLayout& layout = layouts_[*id];
   uint64_t bytes = op.size;
+  if (config_.max_file_size != 0 && layout.size + bytes > config_.max_file_size) {
+    COV_BRANCH(cov_, CovModule::kRequest, 35);
+    result.status = Status::InvalidArgument(
+        Sprintf("append would exceed max_file_size (%llu + %llu > %llu)",
+                static_cast<unsigned long long>(layout.size),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(config_.max_file_size)));
+    return result;
+  }
   // Extend the last chunk while it stays within the stripe unit (chunks must
   // remain individually migratable); otherwise place a new chunk.
   if (!layout.chunks.empty() && layout.chunks.back().bytes + bytes <= config_.chunk_size) {
@@ -1507,6 +1836,15 @@ OpResult DfsCluster::DoOverwrite(const Operation& op, bool truncate_first) {
     result.status = Status::NotFound(op.path);  // raw operand, as clients see
     return result;
   }
+  if (config_.max_file_size != 0 && op.size > config_.max_file_size) {
+    // EFBIG before the truncate: the existing data stays untouched.
+    COV_BRANCH(cov_, CovModule::kRequest, 35);
+    result.status = Status::InvalidArgument(
+        Sprintf("overwrite size exceeds max_file_size (%llu > %llu)",
+                static_cast<unsigned long long>(op.size),
+                static_cast<unsigned long long>(config_.max_file_size)));
+    return result;
+  }
   auto layout_it = layouts_.find(*id);
   if (layout_it != layouts_.end()) {
     ReleaseLayout(*id, layout_it->second);
@@ -1570,8 +1908,11 @@ OpResult DfsCluster::DoRename(const Operation& op) {
   PathId dst = tree_.ResolveOpPath2(op);
   Result<FileId> id = tree_.FileIdOf(src);
   result.status = tree_.Rename(src, dst);
-  if (result.status.ok() && id.ok()) {
-    OnFileRenamed(*id, NormalizePath(op.path), NormalizePath(op.path2));
+  if (result.status.ok()) {
+    OnNamespaceRenamed();
+    if (id.ok()) {
+      OnFileRenamed(*id, NormalizePath(op.path), NormalizePath(op.path2));
+    }
   }
   return result;
 }
@@ -1635,7 +1976,7 @@ OpResult DfsCluster::DoAddStorageNode(const Operation& op) {
     result.status = Status::FailedPrecondition("storage node limit reached");
     return result;
   }
-  AddStorageNodeInternal(config_.brick_capacity);
+  AddStorageNodeInternal(BrickCapacityFor(next_node_id_));
   result.cost = Seconds(20);
   NotifyTopologyChanged();
   result.status = Status::Ok();
@@ -1645,8 +1986,7 @@ OpResult DfsCluster::DoAddStorageNode(const Operation& op) {
 OpResult DfsCluster::DoRemoveStorageNode(const Operation& op) {
   OpResult result;
   COV_BRANCH(cov_, CovModule::kMembership, 14);
-  std::vector<NodeId> serving = ServingStorageNodeIds();
-  if (static_cast<int>(serving.size()) <= config_.min_storage_nodes) {
+  if (static_cast<int>(ServingStorageNodeIds().size()) <= config_.min_storage_nodes) {
     result.status = Status::FailedPrecondition("storage node minimum reached");
     return result;
   }
@@ -1655,12 +1995,16 @@ OpResult DfsCluster::DoRemoveStorageNode(const Operation& op) {
     result.status = Status::NotFound(Sprintf("storage node %u", op.node));
     return result;
   }
-  size_t bricks_elsewhere = 0;
-  for (BrickId b : ServingBricks()) {
-    if (FindBrick(b)->node != op.node) {
-      ++bricks_elsewhere;
+  // The node is serving, so exactly its online bricks sit in the serving
+  // list — count the rest by subtraction instead of a fleet walk.
+  size_t own_serving = 0;
+  for (BrickId b : node->bricks) {
+    const Brick* brick = FindBrick(b);
+    if (brick != nullptr && brick->online) {
+      ++own_serving;
     }
   }
+  size_t bricks_elsewhere = ServingBricks().size() - own_serving;
   if (bricks_elsewhere < kMinServingBricks) {
     result.status = Status::FailedPrecondition("too few bricks would remain");
     return result;
@@ -1675,11 +2019,13 @@ OpResult DfsCluster::DoRemoveStorageNode(const Operation& op) {
     if (brick != nullptr) {
       if (brick->online) {
         ++offline_bricks_;
+        offline_brick_list_.push_back(b);
         brick->online = false;
         OnBrickOffline(*brick);
       }
     }
   }
+  OnStorageNodeDecommissioned(op.node);
   ScheduleRecovery(op.node);
   result.cost = Seconds(10);
   NotifyTopologyChanged();
@@ -1737,12 +2083,14 @@ OpResult DfsCluster::DoRemoveVolume(const Operation& op) {
     result.status = Status::NotFound(Sprintf("brick %u", op.brick));
     return result;
   }
-  // Refuse if the remaining bricks cannot absorb the data.
-  uint64_t remaining_free = 0;
-  for (BrickId id : ServingBricks()) {
-    if (id != op.brick) {
-      remaining_free += FindBrick(id)->FreeBytes();
-    }
+  // Refuse if the remaining bricks cannot absorb the data. The fleet free
+  // aggregate is exactly the sum of per-brick clamped FreeBytes over serving
+  // bricks, so subtracting this brick's share gives the same value as the
+  // old fleet walk, in O(1).
+  const StorageNode* owner = FindStorageNode(brick->node);
+  uint64_t remaining_free = FreeSpaceBytes();
+  if (owner != nullptr && owner->Serving()) {
+    remaining_free -= brick->FreeBytes();
   }
   if (ServingBricks().size() <= kMinServingBricks || remaining_free < brick->used_bytes) {
     result.status = Status::FailedPrecondition("insufficient space to evacuate brick");
@@ -1750,6 +2098,7 @@ OpResult DfsCluster::DoRemoveVolume(const Operation& op) {
   }
   brick->online = false;  // draining: no new placements
   ++offline_bricks_;
+  offline_brick_list_.push_back(op.brick);
   OnBrickOffline(*brick);
   ScheduleEvacuation(op.brick);
   result.cost = Seconds(10);
@@ -1776,6 +2125,7 @@ OpResult DfsCluster::DoExpandVolume(const Operation& op) {
   }
   uint64_t old_capacity = brick->capacity_bytes;
   brick->capacity_bytes = std::min(brick->capacity_bytes + delta, cap_limit);
+  UpdateBrickFraction(*brick);
   OnBrickCapacityChanged(*brick, old_capacity);
   result.cost = Seconds(8);
   NotifyTopologyChanged();
@@ -1802,11 +2152,12 @@ OpResult DfsCluster::DoReduceVolume(const Operation& op) {
     // the cluster can absorb the overflow (what lvreduce/remove-brick
     // preflights enforce).
     uint64_t overflow = brick->used_bytes - new_capacity;
-    uint64_t remaining_free = 0;
-    for (BrickId id : ServingBricks()) {
-      if (id != op.brick) {
-        remaining_free += FindBrick(id)->FreeBytes();
-      }
+    // Same O(1) subtraction as DoRemoveVolume: fleet free minus this
+    // brick's clamped share equals the old per-brick walk exactly.
+    const StorageNode* owner = FindStorageNode(brick->node);
+    uint64_t remaining_free = FreeSpaceBytes();
+    if (owner != nullptr && owner->Serving()) {
+      remaining_free -= brick->FreeBytes();
     }
     if (remaining_free < overflow) {
       COV_BRANCH(cov_, CovModule::kVolume, 19);
@@ -1815,11 +2166,13 @@ OpResult DfsCluster::DoReduceVolume(const Operation& op) {
     }
     uint64_t old_capacity = brick->capacity_bytes;
     brick->capacity_bytes = new_capacity;
+    UpdateBrickFraction(*brick);
     OnBrickCapacityChanged(*brick, old_capacity);
     ScheduleOverflowEvacuation(op.brick, overflow);
   } else {
     uint64_t old_capacity = brick->capacity_bytes;
     brick->capacity_bytes = new_capacity;
+    UpdateBrickFraction(*brick);
     OnBrickCapacityChanged(*brick, old_capacity);
   }
   result.cost = Seconds(8);
@@ -1843,24 +2196,53 @@ void DfsCluster::NotifyTopologyChanged() {
 // ---------------------------------------------------------------------------
 // Recovery / evacuation / migration
 
-// Snapshots the serving bricks once per scheduling pass, sorted by
-// utilization (ties by serving order). Nothing in a scheduling pass mutates
+// Snapshots the serving bricks once per scheduling pass as a min-heap keyed
+// by (utilization, serving order). Nothing in a scheduling pass mutates
 // brick bytes or membership, so one snapshot serves every chunk of the pass.
-void DfsCluster::BuildRecoveryCandidates(
-    std::vector<RecoveryCandidate>& out) const {
-  out.clear();
+// Each pick consumes only an ascending prefix (it stops once no later
+// candidate can win), so candidates are popped lazily instead of paying a
+// full O(B log B) sort for a handful of inspected entries.
+bool DfsCluster::RecoveryCandidateAfter(const RecoveryCandidate& a,
+                                        const RecoveryCandidate& b) {
+  return a.used_fraction != b.used_fraction
+             ? b.used_fraction < a.used_fraction
+             : b.order < a.order;
+}
+
+void DfsCluster::BeginRecoveryPass() const {
+  recovery_heap_.clear();
+  recovery_sorted_.clear();
+  recovery_pass_built_ = false;
+}
+
+void DfsCluster::BuildRecoveryPassNow() const {
+  recovery_pass_built_ = true;
   uint32_t order = 0;
   for (BrickId id : ServingBricks()) {
-    const Brick* brick = FindBrick(id);
-    out.push_back(
-        RecoveryCandidate{brick->UsedFraction(), order++, id, brick});
+    recovery_heap_.push_back(
+        RecoveryCandidate{brick_fraction_[id], order++, id});
   }
-  std::sort(out.begin(), out.end(),
-            [](const RecoveryCandidate& a, const RecoveryCandidate& b) {
-              return a.used_fraction != b.used_fraction
-                         ? a.used_fraction < b.used_fraction
-                         : a.order < b.order;
-            });
+  std::make_heap(recovery_heap_.begin(), recovery_heap_.end(),
+                 RecoveryCandidateAfter);
+}
+
+// The (fraction, order) key is a unique total order, so the pop sequence is
+// exactly the fully sorted order the historical sort produced.
+const DfsCluster::RecoveryCandidate* DfsCluster::RecoveryCandidateAt(
+    size_t rank) const {
+  if (!recovery_pass_built_) {
+    BuildRecoveryPassNow();
+  }
+  while (recovery_sorted_.size() <= rank) {
+    if (recovery_heap_.empty()) {
+      return nullptr;
+    }
+    std::pop_heap(recovery_heap_.begin(), recovery_heap_.end(),
+                  RecoveryCandidateAfter);
+    recovery_sorted_.push_back(recovery_heap_.back());
+    recovery_heap_.pop_back();
+  }
+  return &recovery_sorted_[rank];
 }
 
 // Equivalent to the historical full scan (least-used serving brick, +0.5
@@ -1868,9 +2250,8 @@ void DfsCluster::BuildRecoveryCandidates(
 // order on ties) but over the pre-sorted candidate list, so it can stop as
 // soon as no later candidate can beat the incumbent: a candidate's key is at
 // least its used_fraction, and used_fractions only grow from here.
-BrickId DfsCluster::PickRecoveryTarget(
-    const std::vector<RecoveryCandidate>& candidates,
-    const ChunkPlacement& chunk, uint64_t bytes) const {
+BrickId DfsCluster::PickRecoveryTarget(const ChunkPlacement& chunk,
+                                       uint64_t bytes) const {
   BrickId best = kInvalidBrick;
   double best_used = 2.0;
   uint32_t best_order = 0xffffffffu;
@@ -1882,26 +2263,28 @@ BrickId DfsCluster::PickRecoveryTarget(
       replica_nodes_scratch_.push_back(other_brick->node);
     }
   }
-  for (const RecoveryCandidate& cand : candidates) {
-    if (cand.used_fraction > best_used) {
+  for (size_t rank = 0;; ++rank) {
+    const RecoveryCandidate* cand = RecoveryCandidateAt(rank);
+    if (cand == nullptr || cand->used_fraction > best_used) {
       break;
     }
-    if (cand.brick->FreeBytes() < bytes || chunk.HasReplicaOn(cand.id)) {
+    const Brick* cand_brick = FindBrick(cand->id);
+    if (cand_brick->FreeBytes() < bytes || chunk.HasReplicaOn(cand->id)) {
       continue;
     }
     // Keep replicas on distinct nodes when possible.
     bool same_node = false;
     for (NodeId other_node : replica_nodes_scratch_) {
-      if (other_node == cand.brick->node) {
+      if (other_node == cand_brick->node) {
         same_node = true;
         break;
       }
     }
-    double used = cand.used_fraction + (same_node ? 0.5 : 0.0);
-    if (used < best_used || (used == best_used && cand.order < best_order)) {
+    double used = cand->used_fraction + (same_node ? 0.5 : 0.0);
+    if (used < best_used || (used == best_used && cand->order < best_order)) {
       best_used = used;
-      best_order = cand.order;
-      best = cand.id;
+      best_order = cand->order;
+      best = cand->id;
     }
   }
   return best;
@@ -1913,7 +2296,7 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
   if (sn == nullptr) {
     return;
   }
-  BuildRecoveryCandidates(recovery_candidates_);
+  BeginRecoveryPass();
   for (BrickId b : sn->bricks) {
     for (const auto& [file, chunk_index] : ChunksOnBrickRef(b)) {
       auto layout_it = layouts_.find(file);
@@ -1921,7 +2304,7 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
         continue;
       }
       const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
-      BrickId target = PickRecoveryTarget(recovery_candidates_, chunk, chunk.bytes);
+      BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
       if (target == kInvalidBrick) {
         COV_BRANCH(cov_, CovModule::kRecovery, 21);
         continue;  // under-replicated until space appears
@@ -1938,14 +2321,14 @@ void DfsCluster::ScheduleRecovery(NodeId node) {
 
 void DfsCluster::ScheduleEvacuation(BrickId brick) {
   COV_BRANCH(cov_, CovModule::kMigration, 22);
-  BuildRecoveryCandidates(recovery_candidates_);
+  BeginRecoveryPass();
   for (const auto& [file, chunk_index] : ChunksOnBrickRef(brick)) {
     auto layout_it = layouts_.find(file);
     if (layout_it == layouts_.end() || chunk_index >= layout_it->second.chunks.size()) {
       continue;
     }
     const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
-    BrickId target = PickRecoveryTarget(recovery_candidates_, chunk, chunk.bytes);
+    BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
     if (target == kInvalidBrick) {
       continue;
     }
@@ -1960,7 +2343,7 @@ void DfsCluster::ScheduleEvacuation(BrickId brick) {
 
 void DfsCluster::ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes) {
   uint64_t scheduled = 0;
-  BuildRecoveryCandidates(recovery_candidates_);
+  BeginRecoveryPass();
   for (const auto& [file, chunk_index] : ChunksOnBrickRef(brick)) {
     if (scheduled >= bytes) {
       break;
@@ -1970,7 +2353,7 @@ void DfsCluster::ScheduleOverflowEvacuation(BrickId brick, uint64_t bytes) {
       continue;
     }
     const ChunkPlacement& chunk = layout_it->second.chunks[chunk_index];
-    BrickId target = PickRecoveryTarget(recovery_candidates_, chunk, chunk.bytes);
+    BrickId target = PickRecoveryTarget(chunk, chunk.bytes);
     if (target == kInvalidBrick) {
       continue;
     }
@@ -2265,24 +2648,36 @@ void DfsCluster::FinishRebalanceIfDrained() {
   if (offline_bricks_ == 0) {
     return;
   }
-  for (auto it = bricks_.begin(); it != bricks_.end();) {
-    if (!it->second.online && it->second.used_bytes == 0 &&
-        brick_chunks_.count(it->first) == 0) {
-      StorageNode* node = FindStorageNode(it->second.node);
+  // Sweep only the tracked offline bricks: a long-lived drain (stuck
+  // evacuation on an under-provisioned fleet) would otherwise walk the whole
+  // ever-growing brick map on every op. Collection decisions are mutually
+  // independent, so sweeping in tracking order removes exactly the bricks
+  // the historical map walk removed.
+  size_t kept = 0;
+  for (size_t i = 0; i < offline_brick_list_.size(); ++i) {
+    BrickId id = offline_brick_list_[i];
+    const Brick* brick = FindBrick(id);
+    if (brick == nullptr || brick->online) {
+      continue;  // stale entry
+    }
+    if (brick->used_bytes == 0 && brick_chunks_.count(id) == 0) {
+      StorageNode* node = FindStorageNode(brick->node);
       if (node != nullptr) {
-        node->bricks.erase(std::remove(node->bricks.begin(), node->bricks.end(), it->first),
-                           node->bricks.end());
+        node->bricks.erase(
+            std::remove(node->bricks.begin(), node->bricks.end(), id),
+            node->bricks.end());
       }
       // No aggregate updates: a drained offline brick contributes zero to
       // every maintained sum (offline => not in the online/fleet sums,
       // used_bytes == 0 => nothing in the used-all sums).
-      brick_index_[it->first] = nullptr;
-      it = bricks_.erase(it);
+      brick_index_[id] = nullptr;
+      bricks_.erase(id);
       --offline_bricks_;
     } else {
-      ++it;
+      offline_brick_list_[kept++] = id;
     }
   }
+  offline_brick_list_.resize(kept);
 }
 
 // ---------------------------------------------------------------------------
@@ -2301,10 +2696,9 @@ void DfsCluster::SampleLoadInto(std::vector<LoadSample>& out) const {
     // Draining (offline) bricks are unmounted from the balancer's point of
     // view; the load index's per-node aggregates already exclude them, so
     // the monitor's fleet utilization matches what the balancer can level.
-    auto agg_it = node_agg_.find(id);
-    if (agg_it != node_agg_.end()) {
-      sample.used_bytes = agg_it->second.used_online;
-      sample.capacity_bytes = agg_it->second.cap_online;
+    if (id < node_agg_.size()) {
+      sample.used_bytes = node_agg_[id].used_online;
+      sample.capacity_bytes = node_agg_[id].cap_online;
     }
     sample.requests = node.load.requests;
     sample.read_ios = node.load.read_ios;
@@ -2551,6 +2945,25 @@ void DfsCluster::SaveState(SnapshotWriter& writer) const {
     writer.U64(window.base_net);
   }
 
+  // v5: load-group assignment table (DESIGN.md §15). Real state, not derived:
+  // GeoFS assigns nodes to the scheduling group with the fewest members at
+  // admission time, so the mapping depends on add/remove history and cannot
+  // be recomputed from the restored topology.
+  uint64_t assigned = 0;
+  for (NodeId id = 0; id < node_load_group_.size(); ++id) {
+    if (node_load_group_[id] != kInvalidLoadGroup) {
+      ++assigned;
+    }
+  }
+  writer.U64(assigned);
+  for (NodeId id = 0; id < node_load_group_.size(); ++id) {
+    if (node_load_group_[id] == kInvalidLoadGroup) {
+      continue;
+    }
+    writer.U32(id);
+    writer.U32(node_load_group_[id]);
+  }
+
   SaveFlavorState(writer);
 }
 
@@ -2599,6 +3012,7 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
   bricks_.clear();
   brick_index_.clear();
   offline_bricks_ = 0;
+  offline_brick_list_.clear();
   uint64_t brick_count = reader.Count(4 + 4 + 8 + 8 + 1 + 4);
   for (uint64_t i = 0; i < brick_count && reader.ok(); ++i) {
     Brick brick;
@@ -2608,9 +3022,13 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
     brick.used_bytes = reader.U64();
     brick.online = reader.Bool();
     brick.linkfiles = reader.U32();
-    if (!brick.online) ++offline_bricks_;
+    if (!brick.online) {
+      ++offline_bricks_;
+      offline_brick_list_.push_back(brick.id);
+    }
     Brick& stored = bricks_[brick.id];
     stored = brick;
+    UpdateBrickFraction(stored);
     IndexBrickPtr(brick.id, &stored);
   }
   layouts_.clear();
@@ -2734,6 +3152,45 @@ Status DfsCluster::RestoreState(SnapshotReader& reader) {
     window.cpu_ticks =
         QuantizeLoadDelta(load->cpu_seconds - base_cpu, kCpuLoadQuantum);
     window.net_delta = net_total - base_net;
+  }
+  if (!reader.ok()) return reader.status();
+
+  // v5: load-group assignment table. Validated strictly — every storage node
+  // must carry exactly one assignment, and group indices are bounded (a
+  // corrupt group id would silently mis-route nodes and skew the rollup).
+  node_load_group_.clear();
+  load_group_count_ = 0;
+  uint64_t group_entries = reader.Count(4 + 4);
+  for (uint64_t i = 0; i < group_entries && reader.ok(); ++i) {
+    NodeId id = reader.U32();
+    uint32_t group = reader.U32();
+    if (!reader.ok()) break;
+    if (FindStorageNode(id) == nullptr) {
+      reader.Fail(Sprintf("load group assigns unknown storage node %u", id));
+      break;
+    }
+    if (group >= (1u << 20)) {
+      reader.Fail(Sprintf("load group %u for node %u out of range", group, id));
+      break;
+    }
+    if (node_load_group_.size() <= id) {
+      node_load_group_.resize(id + 1, kInvalidLoadGroup);
+    }
+    if (node_load_group_[id] != kInvalidLoadGroup) {
+      reader.Fail(Sprintf("duplicate load group assignment for node %u", id));
+      break;
+    }
+    node_load_group_[id] = group;
+    load_group_count_ = std::max(load_group_count_, group + 1);
+  }
+  if (reader.ok()) {
+    for (const auto& [id, node] : storage_nodes_) {
+      (void)node;
+      if (LoadGroupOf(id) == kInvalidLoadGroup) {
+        reader.Fail(Sprintf("storage node %u missing load group assignment", id));
+        break;
+      }
+    }
   }
   if (!reader.ok()) return reader.status();
   crashed_nodes_ = 0;

@@ -243,6 +243,11 @@ struct ClusterConfig {
   uint64_t brick_capacity = 480 * kGiB;
   int replication = 2;
   uint64_t chunk_size = 2 * kGiB;      // stripe unit (chunks stay migratable)
+  // EFBIG-style admission cap on a single file (0 = unlimited). Production
+  // flavors set this: without it, a boundary "write the whole free space"
+  // scenario on a petabyte fleet turns one create into hundreds of thousands
+  // of chunk placements — per-op cost would scale with fleet capacity.
+  uint64_t max_file_size = 0;
   double native_threshold = 0.10;      // balance tolerance (max/mean - 1)
   bool continuous_balancing = false;   // CephFS balances in real time
   SimDuration balancer_period = Minutes(5);  // periodic flavors
@@ -254,6 +259,19 @@ struct ClusterConfig {
   int min_meta_nodes = 1;
   int max_meta_nodes = 5;
   uint64_t rng_seed = 1;
+  // ---- hierarchical load aggregates (DESIGN.md §15) ----
+  // Storage nodes are partitioned into load groups; the cluster maintains
+  // per-group sub-aggregates and rolls them up lazily, so per-op imbalance
+  // reads touch only the groups an op charged instead of the whole fleet.
+  // Flavors whose placement already has a grouping (GeoFS scheduling groups)
+  // align the partition with it via PickLoadGroup; everyone else gets
+  // contiguous id-range groups of this span. The partition never changes any
+  // reported value (integer sums are order-independent), only its cost.
+  int load_group_span = 64;
+  // ---- GeoFS geotag topology (0 everywhere else) ----
+  int geo_sites = 0;           // sites in the geotag tree
+  int geo_racks_per_site = 0;  // racks under each site
+  int geo_group_size = 0;      // scheduling-group capacity, in nodes
 };
 
 class DfsCluster : public DfsInterface {
@@ -330,6 +348,12 @@ class DfsCluster : public DfsInterface {
   // change); copy it before mutating topology mid-iteration.
   const std::vector<BrickId>& ServingBricks() const;
   const std::vector<NodeId>& ServingStorageNodeIds() const;
+
+  // The hottest serving brick (max UsedFraction, smallest brick id on ties)
+  // — the fault injector's hotspot probe. Answered from per-group maxima
+  // (O(dirty groups + group count)), exact against the flat ServingBricks()
+  // scan. kInvalidBrick when nothing serves.
+  BrickId HottestServingBrick() const;
 
   uint64_t TotalCapacityBytes() const override;
   uint64_t TotalUsedBytes() const;
@@ -434,12 +458,29 @@ class DfsCluster : public DfsInterface {
   // Topology (nodes or bricks) changed: recompute layouts / rings / weights.
   virtual void OnTopologyChangedInternal() {}
 
+  // A storage node was administratively decommissioned (remove_node op, as
+  // opposed to a crash — crashed nodes may restart and keep their identity).
+  // Fires before the topology-changed notification, with the node already
+  // offline. Flavors that key state by node id can release it here in O(1)
+  // instead of re-scanning the fleet on every topology change.
+  virtual void OnStorageNodeDecommissioned(NodeId id) { (void)id; }
+
+  // The topology is about to be rebuilt from scratch (construction or
+  // ResetToInitial): flavors drop state keyed by node ids here, before the
+  // initial nodes are re-added (GeoFS clears its geotag tree).
+  virtual void OnTopologyCleared() {}
+
   // Flavor hook after a file rename (GlusterFS spawns linkfiles here).
   virtual void OnFileRenamed(FileId file, const std::string& from, const std::string& to) {
     (void)file;
     (void)from;
     (void)to;
   }
+
+  // Flavor hook after ANY successful rename, including directory moves —
+  // those re-path every descendant file without an OnFileRenamed call, so
+  // flavors caching anything keyed by path must invalidate here.
+  virtual void OnNamespaceRenamed() {}
 
   // Flavor hook when a rebalance round drains.
   virtual void OnRebalanceRoundDone() {}
@@ -461,6 +502,24 @@ class DfsCluster : public DfsInterface {
     (void)chunk_index;
     (void)brick;
     return false;
+  }
+
+  // Load-group assignment for a storage node being added (DESIGN.md §15).
+  // The default packs monotonically assigned node ids into contiguous spans;
+  // GeoFS overrides it so the load groups coincide with its scheduling
+  // groups. Called exactly once per node, from AddStorageNodeInternal; the
+  // assignment is real state (persisted, snapshot v5), never recomputed.
+  virtual uint32_t PickLoadGroup(NodeId id) {
+    int span = config_.load_group_span > 0 ? config_.load_group_span : 64;
+    return id / static_cast<uint32_t>(span);
+  }
+
+  // Brick capacity for a storage node being added. The default is the
+  // homogeneous configured capacity; GeoFS overrides it to model a
+  // heterogeneous-capacity fleet. Deterministic in the node id.
+  virtual uint64_t BrickCapacityFor(NodeId id) const {
+    (void)id;
+    return config_.brick_capacity;
   }
 
   // ---- services available to flavors ----
@@ -490,6 +549,22 @@ class DfsCluster : public DfsInterface {
   // (or O(bricks-of-one-node)), because dead node entries accumulate in the
   // node maps and a full rebuild is O(all nodes ever created).
   void InvalidateLoadIndex();
+
+  // ---- per-group load views (DESIGN.md §15) ----
+  // Load group of a storage node (kInvalidLoadGroup before assignment).
+  static constexpr uint32_t kInvalidLoadGroup = 0xffffffffu;
+  uint32_t LoadGroupOf(NodeId id) const {
+    return id < node_load_group_.size() ? node_load_group_[id] : kInvalidLoadGroup;
+  }
+  uint32_t load_group_count() const { return load_group_count_; }
+  // Fresh (used, capacity) bytes over one load group's serving nodes.
+  // Refreshes only that group's sub-aggregate if it is dirty — O(group
+  // size), independent of the fleet size. This is the per-group index
+  // GeoFS's two-level placement picks scheduling groups with.
+  std::pair<uint64_t, uint64_t> LoadGroupUsedCap(uint32_t group) const;
+  // Serving storage nodes of one load group (sorted by id). The reference
+  // stays valid until the next membership mutation.
+  const std::vector<NodeId>& LoadGroupServingNodes(uint32_t group) const;
 
   ClusterConfig config_;
 
@@ -539,20 +614,28 @@ class DfsCluster : public DfsInterface {
   void RemoveReplicaIndex(BrickId brick, FileId file, uint32_t chunk);
 
   // Candidate snapshot for recovery/evacuation target picking: the serving
-  // bricks sorted by utilization, built once per Schedule* call so each
-  // per-chunk pick scans only the least-used prefix instead of the fleet.
+  // bricks keyed by (utilization, serving order), built once per Schedule*
+  // call. Each per-chunk pick consumes only an ascending prefix, so the
+  // snapshot is a min-heap popped lazily — O(bricks) to build plus
+  // O(log bricks) per candidate actually inspected, never a full sort.
   struct RecoveryCandidate {
     double used_fraction;
     uint32_t order;  // index in ServingBricks() — the first-wins tie-break
-    BrickId id;
-    const Brick* brick;
+    BrickId id;      // brick resolved lazily, only for inspected candidates
   };
-  void BuildRecoveryCandidates(std::vector<RecoveryCandidate>& out) const;
+  // Heap comparator: true when `a` sorts after `b`. The (fraction, order)
+  // key is a unique total order, so lazy heap pops replay exactly the fully
+  // sorted sequence.
+  static bool RecoveryCandidateAfter(const RecoveryCandidate& a,
+                                     const RecoveryCandidate& b);
+  void BeginRecoveryPass() const;
+  // The rank-th least-used candidate of the current pass (pops lazily);
+  // nullptr past the end.
+  const RecoveryCandidate* RecoveryCandidateAt(size_t rank) const;
   // Picks a serving replacement brick for a chunk replica (placement-neutral
   // recovery used by evacuation / re-replication). Selects exactly the brick
   // the serving-order scan over UsedFraction() + same-node penalty would.
-  BrickId PickRecoveryTarget(const std::vector<RecoveryCandidate>& candidates,
-                             const ChunkPlacement& chunk, uint64_t bytes) const;
+  BrickId PickRecoveryTarget(const ChunkPlacement& chunk, uint64_t bytes) const;
 
   // Returns op.path normalized, reusing op.path itself when it is already in
   // normalized form (the common case for generated operands) and a scratch
@@ -668,7 +751,10 @@ class DfsCluster : public DfsInterface {
   mutable uint64_t load_epoch_ = 0;
   mutable std::vector<BrickId> serving_bricks_;        // bricks_ map order
   mutable std::vector<NodeId> serving_storage_nodes_;  // storage_nodes_ order
-  mutable std::map<NodeId, NodeLoadAgg> node_agg_;     // every storage node
+  // Dense by NodeId (ids are monotonic and shared with meta nodes; slots
+  // that never belonged to a storage node stay default and are never read —
+  // every lookup comes from a brick's owner or a serving list).
+  mutable std::vector<NodeLoadAgg> node_agg_;
   mutable uint64_t fleet_used_ = 0;      // over serving bricks
   mutable uint64_t fleet_cap_ = 0;       // over serving bricks
   mutable uint64_t fleet_overflow_ = 0;  // sum of max(0, used-cap), serving
@@ -690,6 +776,48 @@ class DfsCluster : public DfsInterface {
   const FractionStats& EnsureFractionStats() const;
   mutable uint64_t imbalance_epoch_ = UINT64_MAX;  // load_epoch_ of the memo
   mutable FractionStats fraction_memo_;
+
+  // ---- hierarchical (per-load-group) sub-aggregates (DESIGN.md §15) ----
+  // The storage-dimension statistics above are not rescanned fleet-wide any
+  // more: each load group keeps its own sub-aggregate, a mutation marks only
+  // the charged node's group dirty, and EnsureFractionStats re-scans the
+  // dirty groups (O(group size) each) before rolling the clean group sums
+  // into the cluster memo (O(group count)). Integer sums and a plain double
+  // max make the rollup bit-identical to the flat fleet scan it replaced.
+  struct GroupFracAgg {
+    uint32_t nodes = 0;        // serving nodes with online capacity
+    uint64_t used = 0;         // Σ used_online
+    uint64_t cap = 0;          // Σ cap_online
+    uint64_t frac_sum = 0;     // Σ quantized fraction, ticks
+    Uint128 frac_sum_sq = 0;   // Σ quantized fraction², ticks²
+    double max_fraction = 0.0;
+  };
+  // Group assignment: real state, written once per node by PickLoadGroup and
+  // persisted (snapshot v5) — GeoFS's assignment is history-dependent.
+  std::vector<uint32_t> node_load_group_;  // dense by NodeId
+  uint32_t load_group_count_ = 0;          // max assigned group + 1
+  void AssignLoadGroup(NodeId id);         // records PickLoadGroup(id)
+  // Derived per-group state (rebuilt by RebuildLoadIndex, never persisted).
+  mutable std::vector<std::vector<NodeId>> group_serving_;  // sorted by id
+  mutable std::vector<GroupFracAgg> group_frac_;
+  mutable std::vector<uint8_t> group_frac_dirty_;
+  mutable std::vector<uint32_t> dirty_groups_;  // queue of dirty group ids
+  void MarkGroupDirty(NodeId node) const;
+  void EnsureGroupSlots(uint32_t group) const;
+  // Rescans one group's serving members into its sub-aggregate.
+  void RefreshGroupFrac(uint32_t group) const;
+  // Per-group hottest serving brick, with its own dirty bits so refreshing
+  // it never taxes the placement-path group refreshes. Backs
+  // HottestServingBrick(); maintained by the same MarkGroupDirty funnel.
+  struct GroupHotBrick {
+    double fraction = -1.0;
+    BrickId id = kInvalidBrick;
+  };
+  mutable std::vector<GroupHotBrick> group_hot_;
+  mutable std::vector<uint8_t> group_hot_dirty_;
+  mutable std::vector<uint32_t> hot_dirty_groups_;  // queue of dirty ids
+  // Rescans one group's online bricks into its hot-brick slot.
+  void RefreshGroupHotBrick(uint32_t group) const;
   // Serving metadata nodes, maintained at the (rare) membership changes so
   // per-op request routing / anti-entropy need not scan the ever-growing
   // meta_nodes_ map (removed nodes stay in it as tombstones).
@@ -697,13 +825,30 @@ class DfsCluster : public DfsInterface {
   // Online-flag bookkeeping so the per-op drained-brick GC can skip its
   // whole-map scan when nothing is offline (the common case).
   int offline_bricks_ = 0;
+  // The offline bricks themselves, so a long-lived drain (stuck evacuation,
+  // under-replicated fleet) sweeps only its own bricks each op instead of
+  // the whole ever-growing brick map. Entries leave when the GC collects or
+  // skips-as-stale them.
+  std::vector<BrickId> offline_brick_list_;
   // Bumped whenever the admin list views (serving meta/storage/brick lists)
   // may change membership; see DfsInterface::MembershipEpoch().
   uint64_t membership_epoch_ = 1;
   // Scratch for NormalizedOpPath (valid until the next call).
   std::string norm_scratch_;
-  // Scratch candidate buffer for the Schedule* recovery loops.
-  std::vector<RecoveryCandidate> recovery_candidates_;
+  // Recovery-pass candidate stream: `recovery_sorted_` is the ascending
+  // prefix popped so far, `recovery_heap_` a min-heap of the rest. The
+  // snapshot itself is deferred to the first candidate request, so a pass
+  // that schedules nothing (no chunks on the drained bricks) costs nothing.
+  mutable std::vector<RecoveryCandidate> recovery_sorted_;
+  mutable std::vector<RecoveryCandidate> recovery_heap_;
+  mutable bool recovery_pass_built_ = true;
+  void BuildRecoveryPassNow() const;
+  // UsedFraction() memo, dense by BrickId and written wherever a brick's
+  // bytes or capacity change (the same pure division, so bit-identical to
+  // recomputing). Lets the recovery snapshot and the per-group hot-brick
+  // refresh read a flat array instead of chasing map nodes and dividing.
+  std::vector<double> brick_fraction_;
+  void UpdateBrickFraction(const Brick& brick);
   // Scratch for PickRecoveryTarget's per-chunk replica-node set.
   mutable std::vector<NodeId> replica_nodes_scratch_;
   // Running view of the last-8-op class window (coverage feature); one slot
@@ -754,6 +899,25 @@ class DfsCluster : public DfsInterface {
   // From-scratch reconstruction out of the per-node windows + serving lists
   // (tail of RebuildLoadIndex).
   void RebuildRateAggs() const;
+
+  // Per-load-group high-water marks for the storage rate dimensions, stamped
+  // with the window epoch so AdvanceLoadWindow stays O(1) (a stale stamp
+  // reads as zero). They exist so the departure of the fleet maximum rescans
+  // one group and then maxes over the group marks — O(group size + group
+  // count) instead of a full fleet scan. Commits fold into them in O(1); the
+  // cluster-level aggregates stay the single source for SnapshotLoadStats.
+  struct GroupRateMax {
+    uint64_t epoch = 0;
+    uint64_t cpu = 0;
+    uint64_t net = 0;
+  };
+  mutable std::vector<GroupRateMax> group_rate_max_;
+  // Current-window mark slot for a storage node's group (epoch-reset lazily).
+  GroupRateMax& GroupRateMaxSlot(NodeId id) const;
+  uint64_t GroupRateMaxValue(uint32_t group, bool cpu_dim) const;
+  // Rescans one group's serving members into its high-water mark.
+  void RecomputeGroupRateMax(uint32_t group) const;
+  uint64_t MaxOverGroupRateMax(bool cpu_dim) const;
 
   std::vector<NodeRateWindow> rate_windows_;  // dense by NodeId
   uint64_t window_epoch_ = 1;

@@ -1,6 +1,9 @@
 #include "src/dfs/flavors/factory.h"
 
+#include <algorithm>
+
 #include "src/dfs/flavors/ceph_like.h"
+#include "src/dfs/flavors/geo_like.h"
 #include "src/dfs/flavors/gluster_like.h"
 #include "src/dfs/flavors/hdfs_like.h"
 #include "src/dfs/flavors/leo_like.h"
@@ -19,6 +22,8 @@ ClusterConfig DefaultConfigFor(Flavor flavor) {
       return LeoLikeCluster::DefaultConfig();
     case Flavor::kCustom:
       return ClusterConfig{};
+    case Flavor::kGeo:
+      return GeoLikeCluster::DefaultConfig();
   }
   return ClusterConfig{};
 }
@@ -33,6 +38,13 @@ std::unique_ptr<DfsCluster> MakeCluster(Flavor flavor, uint64_t seed, int storag
   if (meta_nodes > 0) {
     config.initial_meta_nodes = meta_nodes;
   }
+  // Production-scale campaigns pass storage_nodes in the hundreds or
+  // thousands; keep the membership-churn headroom proportional instead of
+  // letting a small default max_storage_nodes forbid every add op. The
+  // paper-scale defaults (8-10 nodes) are unaffected: max(16, 10+1) == 16.
+  config.max_storage_nodes =
+      std::max(config.max_storage_nodes,
+               config.initial_storage_nodes + config.initial_storage_nodes / 8);
   switch (flavor) {
     case Flavor::kHdfs:
       return std::make_unique<HdfsLikeCluster>(config);
@@ -44,6 +56,8 @@ std::unique_ptr<DfsCluster> MakeCluster(Flavor flavor, uint64_t seed, int storag
       return std::make_unique<LeoLikeCluster>(config);
     case Flavor::kCustom:
       return nullptr;
+    case Flavor::kGeo:
+      return std::make_unique<GeoLikeCluster>(config);
   }
   return nullptr;
 }

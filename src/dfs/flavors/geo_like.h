@@ -1,0 +1,73 @@
+// GeoFS: an EOS-style geo-aware cluster for production-scale campaigns
+// (DESIGN.md §15). Storage nodes carry geotags (site, rack) in a geotag
+// tree and are packed into scheduling groups that span sites; placement is
+// two-level — pick a scheduling group by free-space (power-of-two-choices
+// over the per-group load aggregates), then pick replica nodes within the
+// group spreading across distinct sites. Rebalancing runs a site-failover
+// stage (hottest site drains toward the coldest) before generic leveling.
+// Built to run at 1k-10k heterogeneous-capacity nodes: every per-op path
+// goes through the cluster's per-group indexes, never a fleet scan.
+
+#ifndef SRC_DFS_FLAVORS_GEO_LIKE_H_
+#define SRC_DFS_FLAVORS_GEO_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dfs/cluster.h"
+#include "src/dfs/placement/geo_tree.h"
+
+namespace themis {
+
+class GeoLikeCluster : public DfsCluster {
+ public:
+  explicit GeoLikeCluster(ClusterConfig config = DefaultConfig());
+
+  static ClusterConfig DefaultConfig();
+
+  const GeoTreeEngine& engine() const { return engine_; }
+  uint32_t balancer_crashes() const { return balancer_crashes_; }
+  // Utilization (used, capacity) per site over serving nodes — the view the
+  // site-failover stage levels. Index = site id.
+  std::vector<std::pair<uint64_t, uint64_t>> PerSiteUsedCap() const;
+
+ protected:
+  std::vector<BrickId> PlaceChunk(const std::string& path, uint32_t chunk_index,
+                                  uint64_t bytes) override;
+  MigrationPlan BuildRebalancePlan() override;
+  // Decommission releases the node's geotag/group slot in O(1); the full
+  // fleet reconcile runs only on balancer takeover, not per topology change.
+  void OnStorageNodeDecommissioned(NodeId id) override;
+  void OnTopologyCleared() override;
+  void OnBalancerCrashed() override;
+  void OnBalancerRestarted() override;
+  // Load groups coincide with scheduling groups: the geotag tree admits the
+  // node and the cluster's per-group aggregates follow its grouping.
+  uint32_t PickLoadGroup(NodeId id) override;
+  // Heterogeneous fleet: capacity class derived deterministically from the
+  // node id (1x / 2x / 4x the configured brick capacity).
+  uint64_t BrickCapacityFor(NodeId id) const override;
+  // Checkpointing: geotags and group membership are admission-history state
+  // (fewest-first placement), persisted alongside the cluster's v5 group
+  // table and re-validated against it on restore.
+  void SaveFlavorState(SnapshotWriter& writer) const override;
+  Status RestoreFlavorState(SnapshotReader& reader) override;
+
+ private:
+  // Reconcile the geotag tree with the full topology: decommissioned
+  // tombstones free their slots. O(fleet) — balancer takeover/restore only.
+  void ReconcileEngine();
+  // First online brick of `node` with room for `bytes`, else kInvalidBrick.
+  BrickId BrickWithRoom(NodeId node, uint64_t bytes) const;
+  // Replica pick within one scheduling group: distinct-site first pass from
+  // a hash-derived start offset, then a fill pass without the constraint.
+  void PickWithinGroup(uint32_t group, uint64_t hash, uint64_t bytes,
+                       std::vector<BrickId>& chosen) const;
+
+  GeoTreeEngine engine_;
+  uint32_t balancer_crashes_ = 0;  // env-fault crash census (persisted)
+};
+
+}  // namespace themis
+
+#endif  // SRC_DFS_FLAVORS_GEO_LIKE_H_

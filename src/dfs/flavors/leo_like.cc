@@ -25,11 +25,13 @@ LeoLikeCluster::LeoLikeCluster(ClusterConfig config)
 void LeoLikeCluster::OnTopologyChangedInternal() {
   // Ring arcs scale with device capacity; a capacity change re-plants the
   // target's virtual nodes (a LeoFS ring/weight update).
+  bool ring_changed = false;
   std::vector<BrickId> serving = ServingBricks();
   for (BrickId id : ring_.Targets()) {
     if (std::find(serving.begin(), serving.end(), id) == serving.end()) {
       ring_.RemoveTarget(id);
       ring_weights_.erase(id);
+      ring_changed = true;
     }
   }
   for (BrickId id : serving) {
@@ -45,8 +47,38 @@ void LeoLikeCluster::OnTopologyChangedInternal() {
     if (!ring_.HasTarget(id)) {
       ring_.AddTarget(id, weight);
       ring_weights_[id] = weight;
+      ring_changed = true;
     }
   }
+  if (ring_changed) {
+    primary_cache_.clear();
+  }
+}
+
+void LeoLikeCluster::OnNamespaceRenamed() {
+  // A directory move re-paths every descendant file, so every cached hash is
+  // suspect; renames are rare next to pin checks, a full drop is fine.
+  primary_cache_.clear();
+}
+
+BrickId LeoLikeCluster::PrimaryFor(FileId file, uint32_t chunk_index,
+                                   const std::string* known_path) const {
+  auto key = std::make_pair(file, chunk_index);
+  auto it = primary_cache_.find(key);
+  if (it != primary_cache_.end()) {
+    return it->second;
+  }
+  std::string resolved;
+  const std::string* path = known_path;
+  if (path == nullptr) {
+    resolved = tree().PathOf(file);
+    path = &resolved;
+  }
+  BrickId primary = path->empty()
+                        ? kInvalidBrick
+                        : ring_.Primary(ObjectHash(*path, chunk_index));
+  primary_cache_.emplace(key, primary);
+  return primary;
 }
 
 uint64_t LeoLikeCluster::ObjectHash(const std::string& path, uint32_t chunk_index) {
@@ -110,7 +142,7 @@ MigrationPlan LeoLikeCluster::BuildRebalancePlan() {
       if (chunk.replicas.empty()) {
         continue;
       }
-      BrickId expected = ring_.Primary(ObjectHash(path, i));
+      BrickId expected = PrimaryFor(file, i, &path);
       BrickId actual = chunk.replicas.front();
       if (expected == kInvalidBrick || expected == actual ||
           chunk.HasReplicaOn(expected)) {
@@ -148,11 +180,7 @@ bool LeoLikeCluster::ChunkPinnedToBrick(FileId file, uint32_t chunk_index,
   if (ring_.target_count() == 0) {
     return false;
   }
-  std::string path = tree().PathOf(file);
-  if (path.empty()) {
-    return false;
-  }
-  return ring_.Primary(ObjectHash(path, chunk_index)) == brick;
+  return PrimaryFor(file, chunk_index) == brick;
 }
 
 void LeoLikeCluster::OnBalancerCrashed() {
@@ -165,6 +193,7 @@ void LeoLikeCluster::OnBalancerRestarted() {
   // Takeover: reload the ring from the persisted plantings, dropping targets
   // that disappeared while the manager was down.
   ring_ = HashRing(64);
+  primary_cache_.clear();
   for (auto it = ring_weights_.begin(); it != ring_weights_.end();) {
     if (FindBrick(it->first) == nullptr) {
       it = ring_weights_.erase(it);
@@ -189,6 +218,7 @@ Status LeoLikeCluster::RestoreFlavorState(SnapshotReader& reader) {
   // the base restore is discarded and rebuilt from the saved plantings.
   ring_ = HashRing(64);
   ring_weights_.clear();
+  primary_cache_.clear();
   uint64_t count = reader.Count(4 + 8);
   for (uint64_t i = 0; i < count && reader.ok(); ++i) {
     BrickId id = reader.U32();

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/dfs/cluster.h"
@@ -29,6 +30,7 @@ class LeoLikeCluster : public DfsCluster {
                                   uint64_t bytes) override;
   MigrationPlan BuildRebalancePlan() override;
   void OnTopologyChangedInternal() override;
+  void OnNamespaceRenamed() override;
   // Env-fault crash model (DESIGN.md §14): the ring is persisted per node in
   // LeoFS; a restarted manager reloads it from the stored plantings instead
   // of recomputing from capacity (which would lose the hysteresis history).
@@ -43,10 +45,21 @@ class LeoLikeCluster : public DfsCluster {
 
  private:
   static uint64_t ObjectHash(const std::string& path, uint32_t chunk_index);
+  // Memoized ring primary for a stored chunk. PathOf (a tree walk plus a
+  // string build) and the per-character object hash dominate rebalance
+  // planning and the leveler's pin checks on large namespaces; the primary
+  // only changes when the ring is re-planted or a rename re-paths the file,
+  // so the cache lives until one of those events clears it. FileIds are
+  // allocated monotonically and never reused, so entries for deleted files
+  // are merely dead weight, not wrong answers. `known_path` skips the PathOf
+  // on a miss when the caller already resolved it.
+  BrickId PrimaryFor(FileId file, uint32_t chunk_index,
+                     const std::string* known_path = nullptr) const;
 
   HashRing ring_;
   std::map<BrickId, double> ring_weights_;  // weight each target was planted with
   uint32_t balancer_crashes_ = 0;           // env-fault crash census (persisted)
+  mutable std::map<std::pair<FileId, uint32_t>, BrickId> primary_cache_;
 };
 
 }  // namespace themis

@@ -14,6 +14,8 @@ std::string_view FlavorName(Flavor flavor) {
       return "LeoFS";
     case Flavor::kCustom:
       return "Custom";
+    case Flavor::kGeo:
+      return "GeoFS";
   }
   return "?";
 }
@@ -34,6 +36,10 @@ size_t FlavorBranchSpace(Flavor flavor) {
       return 15000;
     case Flavor::kCustom:
       return 32000;
+    case Flavor::kGeo:
+      // Largest space: the geotag tree + two-level placement branch far more
+      // than the flat flavors, and campaigns run it at 1k+ nodes.
+      return 96000;
   }
   return 32000;
 }

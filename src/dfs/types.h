@@ -22,14 +22,16 @@ constexpr VolumeId kInvalidVolume = 0xffffffffu;
 constexpr PathId kRootPathId = 0;
 constexpr PathId kInvalidPathId = 0xffffffffu;
 
-// The four DFS architectures the paper evaluates, plus a slot for
-// user-provided systems adapted through DfsInterface.
+// The four DFS architectures the paper evaluates, a slot for user-provided
+// systems adapted through DfsInterface, and GeoFS — an EOS-style geo-aware
+// flavor (geotag tree + scheduling groups) for production-scale clusters.
 enum class Flavor : uint8_t {
   kHdfs = 0,
   kCeph = 1,
   kGluster = 2,
   kLeo = 3,
   kCustom = 4,
+  kGeo = 5,
 };
 
 std::string_view FlavorName(Flavor flavor);

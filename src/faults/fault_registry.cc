@@ -264,6 +264,66 @@ std::vector<FaultSpec> BuildNewBugs() {
     spec.severity = 0.80;
     bugs.push_back(spec);
   }
+  {
+    // #11 GeoFS Bug#GEO-1 — site drain passes the group-mean balance check:
+    // every scheduling group spans sites, so draining one site's nodes keeps
+    // each group's mean utilization flat while rack-level skew inside the
+    // drained site grows unchecked. The balancer's per-group view declares
+    // LBS; the per-node spread says otherwise. (DESIGN.md §15.)
+    FaultSpec spec;
+    spec.id = "Bug#GEO-1";
+    spec.platform = Flavor::kGeo;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kLoadCalculation;
+    spec.description =
+        "site drain leaves rack-level skew the group-mean balance check "
+        "cannot see: groups span sites, so per-group means stay flat while "
+        "one site's racks run hot";
+    spec.trigger.window = 12;
+    spec.trigger.min_window_ops = 5;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_node_ops = true;
+    spec.trigger.required_kinds = {OpKind::kRemoveStorageNode, OpKind::kAppend};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.min_variance = 0.10;
+    spec.trigger.min_variance_streak = 3;
+    spec.trigger.min_steadiness = 0.55;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.probability = 0.50;
+    spec.effect = EffectKind::kPlanSkipsVictim;
+    spec.severity = 0.55;
+    bugs.push_back(spec);
+  }
+  {
+    // #12 GeoFS Bug#GEO-2 — geo failover after capacity churn concentrates
+    // placement: when the preferred scheduling group reports itself full,
+    // the failover walk always lands on the numerically nearest group, and
+    // repeated volume shrinks keep the same neighbor absorbing the spill.
+    FaultSpec spec;
+    spec.id = "Bug#GEO-2";
+    spec.platform = Flavor::kGeo;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kMigration;
+    spec.description =
+        "geo-failover spill after volume shrinks lands on the nearest "
+        "scheduling group every time, piling displaced chunks onto one "
+        "neighbor group's nodes";
+    spec.trigger.window = 12;
+    spec.trigger.min_window_ops = 6;
+    spec.trigger.needs_requests = true;
+    spec.trigger.needs_volume_ops = true;
+    spec.trigger.required_kinds = {OpKind::kReduceVolume, OpKind::kCreate};
+    spec.trigger.min_rebalance_rounds = 1;
+    spec.trigger.min_variance = 0.12;
+    spec.trigger.min_variance_streak = 4;
+    spec.trigger.min_steadiness = 0.60;
+    spec.trigger.needs_accumulation = true;
+    spec.trigger.min_hotspot_touches = 2;
+    spec.trigger.probability = 0.50;
+    spec.effect = EffectKind::kHotspotAccumulation;
+    spec.severity = 0.50;
+    bugs.push_back(spec);
+  }
 
   return bugs;
 }
@@ -360,6 +420,28 @@ std::vector<FaultSpec> BuildEnvFaultBugs() {
     spec.trigger.probability = 0.40;
     spec.effect = EffectKind::kNetworkSkew;
     spec.severity = 0.60;
+    bugs.push_back(spec);
+  }
+  {
+    // GeoFS: a crashed node's scheduling-group slot is refilled by the next
+    // admission; when the crashed node restarts, the group is over-capacity
+    // and the placement weights double-count it — new data keeps landing on
+    // the refilled slot's node while the restarted one never refills.
+    FaultSpec spec;
+    spec.id = "Bug#ENV-GEO1";
+    spec.platform = Flavor::kGeo;
+    spec.type = FailureType::kImbalancedStorage;
+    spec.cause = StudyRootCause::kStateCollection;
+    spec.description =
+        "crash-restart races the scheduling-group refill: the group comes "
+        "back over-capacity and placement keeps loading the refilled slot";
+    spec.trigger.window = 16;
+    spec.trigger.min_window_ops = 3;
+    spec.trigger.needs_env_faults = true;
+    spec.trigger.required_kinds = {OpKind::kEnvCrashNode};
+    spec.trigger.probability = 0.45;
+    spec.effect = EffectKind::kHotspotAccumulation;
+    spec.severity = 0.50;
     bugs.push_back(spec);
   }
 

@@ -94,15 +94,9 @@ bool FaultInjector::TouchesHottestBrick(const DfsCluster& dfs, const Operation& 
   if (!file.ok()) {
     return false;
   }
-  BrickId hottest = kInvalidBrick;
-  double hottest_fraction = -1.0;
-  for (BrickId id : dfs.ServingBricks()) {
-    const Brick* brick = dfs.FindBrick(id);
-    if (brick->UsedFraction() > hottest_fraction) {
-      hottest_fraction = brick->UsedFraction();
-      hottest = id;
-    }
-  }
+  // Maintained per-group maxima — identical to a strict-max scan over
+  // ServingBricks(), without the per-op fleet walk.
+  BrickId hottest = dfs.HottestServingBrick();
   if (hottest == kInvalidBrick) {
     return false;
   }

@@ -406,7 +406,7 @@ void SaveCampaignResult(SnapshotWriter& writer, const CampaignResult& result) {
 Status RestoreCampaignResult(SnapshotReader& reader, CampaignResult* result) {
   result->strategy_name = reader.Str();
   uint8_t flavor = reader.U8();
-  if (flavor > static_cast<uint8_t>(Flavor::kCustom)) {
+  if (flavor > static_cast<uint8_t>(Flavor::kGeo)) {
     reader.Fail(Sprintf("campaign result has unknown flavor %u", flavor));
     return reader.status();
   }

@@ -39,7 +39,7 @@
 
 namespace themis {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 4;
+inline constexpr uint32_t kSnapshotFormatVersion = 5;
 
 enum class SnapshotKind : uint8_t {
   kMidCampaign = 0,  // loop state; resuming continues the campaign

@@ -19,9 +19,12 @@ namespace {
 
 // ---- registries ----
 
-TEST(FaultRegistry, TenNewBugsWithPaperDistribution) {
+TEST(FaultRegistry, PaperBugsPlusGeoExtensions) {
+  // The paper's ten Table 2 bugs, plus the two GeoFS registry bugs
+  // (DESIGN.md §15) — additive, so the four paper platforms keep exactly
+  // their Table 2 counts.
   std::vector<FaultSpec> bugs = NewBugRegistry();
-  ASSERT_EQ(bugs.size(), 10u);
+  ASSERT_EQ(bugs.size(), 12u);
   std::map<Flavor, int> per_platform;
   for (const FaultSpec& spec : bugs) {
     ++per_platform[spec.platform];
@@ -34,6 +37,7 @@ TEST(FaultRegistry, TenNewBugsWithPaperDistribution) {
   EXPECT_EQ(per_platform[Flavor::kLeo], 3);
   EXPECT_EQ(per_platform[Flavor::kCeph], 1);
   EXPECT_EQ(per_platform[Flavor::kHdfs], 2);
+  EXPECT_EQ(per_platform[Flavor::kGeo], 2);
 }
 
 TEST(FaultRegistry, IdsAreUnique) {

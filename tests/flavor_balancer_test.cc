@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <vector>
+
 #include "src/common/bytes.h"
 #include "src/dfs/flavors/ceph_like.h"
 #include "src/dfs/flavors/factory.h"
+#include "src/dfs/flavors/geo_like.h"
 #include "src/dfs/flavors/gluster_like.h"
 #include "src/dfs/flavors/hdfs_like.h"
 #include "src/dfs/flavors/leo_like.h"
@@ -195,9 +200,90 @@ TEST(FlavorDefaults, MatchPaperThresholds) {
       << "the paper's clusters have 10 nodes";
 }
 
+TEST(GeoBalancer, ReplicasSpreadAcrossSites) {
+  GeoLikeCluster dfs;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(dfs.Execute(Create("/f" + std::to_string(i), 4 * kGiB)).status.ok());
+  }
+  // Every replicated chunk lands on bricks whose nodes sit on distinct
+  // sites: the within-group pick runs a distinct-site pass first and a
+  // fresh cluster never needs the capacity-constrained fill pass.
+  size_t replicated = 0;
+  for (const auto& [file, layout] : dfs.file_layouts()) {
+    (void)file;
+    for (const ChunkPlacement& chunk : layout.chunks) {
+      if (chunk.replicas.size() < 2) continue;
+      ++replicated;
+      std::set<uint16_t> sites;
+      for (BrickId brick : chunk.replicas) {
+        const Brick* b = dfs.FindBrick(brick);
+        ASSERT_NE(b, nullptr);
+        ASSERT_TRUE(dfs.engine().Contains(b->node));
+        sites.insert(dfs.engine().TagOf(b->node).site);
+      }
+      EXPECT_GE(sites.size(), 2u) << "chunk replicas co-located on one site";
+    }
+  }
+  EXPECT_GT(replicated, 0u);
+}
+
+TEST(GeoBalancer, SiteFailoverDrainsTheHotSite) {
+  // A compact tree so a hand-made skew dominates total capacity: 12 nodes
+  // over 3 sites, 64 GiB base bricks (heterogeneous 1x/2x/4x on top).
+  ClusterConfig config = GeoLikeCluster::DefaultConfig();
+  config.initial_storage_nodes = 12;
+  config.geo_racks_per_site = 2;
+  config.geo_group_size = 4;
+  config.brick_capacity = 64 * kGiB;
+  config.rng_seed = 7;
+  GeoLikeCluster dfs(config);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(dfs.Execute(Create("/f" + std::to_string(i), 8 * kGiB)).status.ok());
+  }
+  // Pile bytes from the other sites onto site 0's bricks.
+  std::vector<BrickId> hot, cold;
+  for (BrickId id : dfs.ListBricks()) {
+    const Brick* brick = dfs.FindBrick(id);
+    if (dfs.engine().TagOf(brick->node).site == 0) {
+      hot.push_back(id);
+    } else {
+      cold.push_back(id);
+    }
+  }
+  ASSERT_FALSE(hot.empty());
+  ASSERT_FALSE(cold.empty());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    dfs.SkewBytes(cold[i], hot[i % hot.size()], 32 * kGiB);
+  }
+
+  auto site_gap = [&]() {
+    double hottest = 0.0, coldest = 1.0;
+    for (const auto& [used, cap] : dfs.PerSiteUsedCap()) {
+      if (cap == 0) continue;
+      double frac = static_cast<double>(used) / static_cast<double>(cap);
+      hottest = std::max(hottest, frac);
+      coldest = std::min(coldest, frac);
+    }
+    return hottest - coldest;
+  };
+  double before = site_gap();
+  ASSERT_GT(before, dfs.config().native_threshold * 0.5)
+      << "skew must exceed the site-failover trigger";
+  // Each round's budget is half the remaining gap, so convergence takes a
+  // few rounds — exactly how a periodic balancer runs in production.
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_TRUE(dfs.TriggerRebalance().ok());
+    Drain(dfs);
+  }
+  EXPECT_LT(site_gap(), before) << "site failover must narrow the gap";
+  EXPECT_LE(site_gap(), dfs.config().native_threshold)
+      << "sites must settle inside the flavor threshold";
+}
+
 TEST(FlavorFactory, BuildsEveryFlavor) {
   for (Flavor flavor :
-       {Flavor::kHdfs, Flavor::kCeph, Flavor::kGluster, Flavor::kLeo}) {
+       {Flavor::kHdfs, Flavor::kCeph, Flavor::kGluster, Flavor::kLeo,
+        Flavor::kGeo}) {
     std::unique_ptr<DfsCluster> dfs = MakeCluster(flavor, 1, 6, 3);
     ASSERT_NE(dfs, nullptr);
     EXPECT_EQ(dfs->flavor(), flavor);

@@ -1,4 +1,4 @@
-// Unit + property tests for the four placement algorithms.
+// Unit + property tests for the five placement algorithms.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +8,7 @@
 #include "src/common/rng.h"
 #include "src/dfs/placement/crush_map.h"
 #include "src/dfs/placement/dht_layout.h"
+#include "src/dfs/placement/geo_tree.h"
 #include "src/dfs/placement/hash_ring.h"
 #include "src/dfs/placement/weighted_tree.h"
 
@@ -321,6 +322,100 @@ TEST(WeightedTree, ClampsOutOfRangeFractions) {
   ASSERT_EQ(sorted.size(), 2u);
   EXPECT_EQ(sorted[0], 1u);  // clamped to lightest bucket
   EXPECT_EQ(sorted[1], 2u);  // clamped to heaviest bucket
+}
+
+// ---- GeoTreeEngine ----
+
+TEST(GeoTree, FewestFirstAdmissionBalancesSitesAndRacks) {
+  GeoTreeEngine engine(3, 4, 16);
+  for (NodeId id = 0; id < 48; ++id) {
+    engine.AssignNode(id);
+  }
+  EXPECT_EQ(engine.node_count(), 48u);
+  for (uint16_t site = 0; site < 3; ++site) {
+    EXPECT_EQ(engine.SiteNodeCount(site), 16u) << "site " << site;
+  }
+  // Racks fill evenly within each site: 16 nodes over 4 racks.
+  std::map<std::pair<uint16_t, uint16_t>, int> rack_counts;
+  for (NodeId id = 0; id < 48; ++id) {
+    ASSERT_TRUE(engine.Contains(id));
+    GeoTag tag = engine.TagOf(id);
+    ++rack_counts[{tag.site, tag.rack}];
+  }
+  for (const auto& [rack, count] : rack_counts) {
+    EXPECT_EQ(count, 4) << "site " << rack.first << " rack " << rack.second;
+  }
+  // Groups span sites: every full group holds members from all three.
+  for (uint32_t group = 0; group < engine.group_count(); ++group) {
+    std::set<uint16_t> sites;
+    for (NodeId id : engine.GroupMembers(group)) {
+      sites.insert(engine.TagOf(id).site);
+    }
+    EXPECT_EQ(sites.size(), 3u) << "group " << group;
+  }
+}
+
+TEST(GeoTree, RemovalFreesTheSlotForTheNextAdmission) {
+  GeoTreeEngine engine(3, 4, 16);
+  for (NodeId id = 0; id < 9; ++id) {
+    engine.AssignNode(id);
+  }
+  GeoTag victim_tag = engine.TagOf(4);
+  engine.RemoveNode(4);
+  EXPECT_FALSE(engine.Contains(4));
+  EXPECT_EQ(engine.node_count(), 8u);
+  // The vacated site is now the fewest-populated, so the next admission
+  // lands exactly where the victim sat.
+  engine.AssignNode(100);
+  EXPECT_EQ(engine.TagOf(100).site, victim_tag.site);
+  EXPECT_EQ(engine.TagOf(100).rack, victim_tag.rack);
+}
+
+TEST(GeoTree, RestoreReproducesAssignmentAndFutureHistory) {
+  GeoTreeEngine original(3, 4, 8);
+  for (NodeId id = 0; id < 30; ++id) {
+    original.AssignNode(id);
+  }
+  original.RemoveNode(7);
+  original.RemoveNode(19);
+
+  GeoTreeEngine restored(3, 4, 8);
+  for (NodeId id = 0; id < 30; ++id) {
+    if (original.Contains(id)) {
+      restored.RestoreNode(id, original.TagOf(id), original.GroupOf(id));
+    }
+  }
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.group_count(), original.group_count());
+  for (NodeId id = 0; id < 30; ++id) {
+    ASSERT_EQ(restored.Contains(id), original.Contains(id)) << id;
+    if (!original.Contains(id)) continue;
+    EXPECT_EQ(restored.TagOf(id).site, original.TagOf(id).site) << id;
+    EXPECT_EQ(restored.TagOf(id).rack, original.TagOf(id).rack) << id;
+    EXPECT_EQ(restored.GroupOf(id), original.GroupOf(id)) << id;
+  }
+  // History-dependence survives the round trip: both engines admit the next
+  // node identically.
+  uint32_t group_a = original.AssignNode(500);
+  uint32_t group_b = restored.AssignNode(500);
+  EXPECT_EQ(group_a, group_b);
+  EXPECT_EQ(original.TagOf(500).site, restored.TagOf(500).site);
+  EXPECT_EQ(original.TagOf(500).rack, restored.TagOf(500).rack);
+}
+
+TEST(GeoTree, ClearEmptiesEverything) {
+  GeoTreeEngine engine(2, 2, 4);
+  for (NodeId id = 0; id < 10; ++id) {
+    engine.AssignNode(id);
+  }
+  engine.Clear();
+  EXPECT_EQ(engine.node_count(), 0u);
+  EXPECT_EQ(engine.group_count(), 0u);
+  EXPECT_FALSE(engine.Contains(0));
+  // Admission restarts from a blank history.
+  engine.AssignNode(3);
+  EXPECT_EQ(engine.TagOf(3).site, 0);
+  EXPECT_EQ(engine.GroupOf(3), 0u);
 }
 
 }  // namespace

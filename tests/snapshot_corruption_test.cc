@@ -18,6 +18,7 @@
 #include "src/core/generator.h"
 #include "src/core/input_model.h"
 #include "src/dfs/flavors/factory.h"
+#include "src/dfs/flavors/geo_like.h"
 #include "src/faults/env_fault.h"
 #include "src/harness/campaign.h"
 #include "src/harness/snapshot.h"
@@ -101,6 +102,16 @@ TEST(SnapshotCorruptionTest, WrongMagicAndVersionAreRejected) {
   std::string wrong_version = original;
   wrong_version[8] = 99;  // version u32 LE starts at offset 8
   WriteFileBytes(path, wrong_version);
+  loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+
+  // A pre-v5 file (no load-group table, no geotags) must be refused outright
+  // rather than parsed into misaligned fields.
+  std::string stale_version = original;
+  stale_version[8] = 4;
+  WriteFileBytes(path, stale_version);
   loaded = ReadSnapshotFile(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
@@ -418,6 +429,123 @@ TEST(SnapshotCorruptionTest, MalformedEnvFaultRecordsAreRejected) {
     writer.U64(2);  // ... but next_restart_seq claims only 2 were issued
     expect_rejected(writer, "restart sequence from the future");
   }
+}
+
+// Format v5 field-level validation (DESIGN.md §15): the load-group
+// assignment table routes every per-op charge into a per-group aggregate,
+// so a corrupt entry would silently skew the rollup forever after — it must
+// fail the restore with a message naming the node.
+TEST(SnapshotCorruptionTest, LoadGroupTableCorruptionIsRejected) {
+  GeoLikeCluster dfs;
+  SnapshotWriter writer;
+  dfs.SaveState(writer);
+
+  // Locate the table by reconstructing its first entries from the engine's
+  // own (public) view: U64 entry count, then (U32 id, U32 group) pairs in
+  // node-id order.
+  std::vector<NodeId> ids = dfs.ListStorageNodes();
+  ASSERT_GE(ids.size(), 3u);
+  SnapshotWriter needle;
+  needle.U64(ids.size());
+  for (int i = 0; i < 3; ++i) {
+    needle.U32(ids[static_cast<size_t>(i)]);
+    needle.U32(dfs.engine().GroupOf(ids[static_cast<size_t>(i)]));
+  }
+  size_t pos = writer.buffer().find(needle.buffer());
+  ASSERT_NE(pos, std::string::npos) << "group table not found in payload";
+  ASSERT_EQ(writer.buffer().find(needle.buffer(), pos + 1), std::string::npos)
+      << "group table bytes must be unique for targeted corruption";
+
+  auto patch_u32 = [](std::string& bytes, size_t at, uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      bytes[at + static_cast<size_t>(i)] =
+          static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+  };
+  auto expect_rejected = [](const std::string& payload, const char* message) {
+    GeoLikeCluster fresh;
+    SnapshotReader reader(payload);
+    Status status = fresh.RestoreState(reader);
+    ASSERT_FALSE(status.ok()) << message;
+    EXPECT_NE(status.message().find(message), std::string::npos)
+        << status.ToString();
+  };
+
+  const size_t first_id = pos + 8;      // after the U64 count
+  const size_t first_group = pos + 12;  // its group
+  const size_t second_id = pos + 16;
+
+  std::string unknown = writer.buffer();
+  patch_u32(unknown, first_id, 999999);
+  expect_rejected(unknown, "load group assigns unknown storage node");
+
+  std::string out_of_range = writer.buffer();
+  patch_u32(out_of_range, first_group, 1u << 20);
+  expect_rejected(out_of_range, "out of range");
+
+  std::string duplicate = writer.buffer();
+  patch_u32(duplicate, second_id, ids[0]);  // first node assigned twice
+  expect_rejected(duplicate, "duplicate load group assignment");
+
+  // The unmodified payload restores cleanly.
+  GeoLikeCluster fresh;
+  SnapshotReader ok_reader(writer.buffer());
+  EXPECT_TRUE(fresh.RestoreState(ok_reader).ok());
+}
+
+// The GeoFS flavor section persists each node's geotag; a tag outside the
+// configured tree or naming an unknown node must be rejected — a silently
+// adopted bad tag would mis-route every later placement decision.
+TEST(SnapshotCorruptionTest, GeoFlavorStateCorruptionIsRejected) {
+  GeoLikeCluster dfs;
+  SnapshotWriter writer;
+  dfs.SaveState(writer);
+
+  // The flavor section is the payload's tail: a U64 count then per node
+  // (U32 id, U32 site, U32 rack), reconstructed here from the engine's own
+  // view. Two full entries disambiguate it from the group table, whose
+  // entries are 8 bytes, not 12.
+  std::vector<NodeId> ids = dfs.ListStorageNodes();
+  ASSERT_GE(ids.size(), 2u);
+  SnapshotWriter needle;
+  needle.U64(ids.size());
+  for (int i = 0; i < 2; ++i) {
+    GeoTag tag = dfs.engine().TagOf(ids[static_cast<size_t>(i)]);
+    needle.U32(ids[static_cast<size_t>(i)]);
+    needle.U32(tag.site);
+    needle.U32(tag.rack);
+  }
+  size_t pos = writer.buffer().find(needle.buffer());
+  ASSERT_NE(pos, std::string::npos) << "geotag section not found in payload";
+  ASSERT_EQ(writer.buffer().find(needle.buffer(), pos + 1), std::string::npos)
+      << "geotag section bytes must be unique for targeted corruption";
+
+  auto patch_u32 = [](std::string& bytes, size_t at, uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      bytes[at + static_cast<size_t>(i)] =
+          static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+  };
+  auto expect_rejected = [](const std::string& payload, const char* message) {
+    GeoLikeCluster fresh;
+    SnapshotReader reader(payload);
+    Status status = fresh.RestoreState(reader);
+    ASSERT_FALSE(status.ok()) << message;
+    EXPECT_NE(status.message().find(message), std::string::npos)
+        << status.ToString();
+  };
+
+  std::string unknown = writer.buffer();
+  patch_u32(unknown, pos + 8, 999999);
+  expect_rejected(unknown, "geotag references unknown storage node");
+
+  std::string bad_site = writer.buffer();
+  patch_u32(bad_site, pos + 12, 99);  // site beyond the 3-site tree
+  expect_rejected(bad_site, "out of tree bounds");
+
+  GeoLikeCluster fresh;
+  SnapshotReader ok_reader(writer.buffer());
+  EXPECT_TRUE(fresh.RestoreState(ok_reader).ok());
 }
 
 TEST(SnapshotCorruptionTest, ModelRejectsOutOfRangePreviousWindowNode) {

@@ -225,7 +225,8 @@ TEST(SnapshotRoundTripTest, SnapshotFilePreservesKindAndPayload) {
 // stable, and the restored cluster's O(1) load aggregates must track the
 // original exactly through further mid-window mutations.
 TEST(SnapshotRoundTripTest, ClusterRateWindowsSurviveExactly) {
-  for (Flavor flavor : {Flavor::kGluster, Flavor::kHdfs, Flavor::kCeph, Flavor::kLeo}) {
+  for (Flavor flavor : {Flavor::kGluster, Flavor::kHdfs, Flavor::kCeph, Flavor::kLeo,
+                        Flavor::kGeo}) {
     std::unique_ptr<DfsCluster> dfs = MakeCluster(flavor, 2027);
     Rng rng(2027);
     InputModel model;
@@ -296,6 +297,36 @@ TEST(SnapshotRoundTripTest, ContinuedRunMatchesUninterruptedDigest) {
   ASSERT_TRUE(continued.ok()) << continued.status().ToString();
   EXPECT_EQ(continued->Digest(), uninterrupted->Digest());
   EXPECT_EQ(continued->testcases, uninterrupted->testcases);
+  EXPECT_EQ(continued->total_ops, uninterrupted->total_ops);
+}
+
+// Same headline property for the v5 state: a GeoFS campaign's checkpoint
+// carries the load-group assignment table and the geotag tree, both
+// history-dependent, so a resumed run only matches the uninterrupted digest
+// if they round-trip exactly.
+TEST(SnapshotRoundTripTest, GeoContinuedRunMatchesUninterruptedDigest) {
+  CampaignConfig config;
+  config.flavor = Flavor::kGeo;
+  config.seed = 8765;
+  config.budget = Hours(2);
+  Result<CampaignResult> uninterrupted = Campaign(config).Run("Themis");
+  ASSERT_TRUE(uninterrupted.ok());
+
+  const std::string dir = FreshDir("geo_continued");
+  CampaignConfig halted = config;
+  halted.checkpoint_dir = dir;
+  halted.checkpoint_every_ops = 1000;
+  halted.halt_after_checkpoints = 1;
+  Result<CampaignResult> crash = Campaign(halted).Run("Themis");
+  ASSERT_FALSE(crash.ok());
+
+  CampaignConfig resumed = config;
+  resumed.checkpoint_dir = dir;
+  resumed.checkpoint_every_ops = 1000;
+  resumed.resume = true;
+  Result<CampaignResult> continued = Campaign(resumed).Run("Themis");
+  ASSERT_TRUE(continued.ok()) << continued.status().ToString();
+  EXPECT_EQ(continued->Digest(), uninterrupted->Digest());
   EXPECT_EQ(continued->total_ops, uninterrupted->total_ops);
 }
 

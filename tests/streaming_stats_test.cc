@@ -80,13 +80,12 @@ struct StreamCase {
   bool with_faults;
   uint64_t seed;
   int steps;
+  int storage_nodes = 0;  // 0 = the flavor's default
 };
 
-class StreamingStatsTest : public ::testing::TestWithParam<StreamCase> {};
-
-TEST_P(StreamingStatsTest, StreamingMatchesScanOracle) {
-  const StreamCase& param = GetParam();
-  std::unique_ptr<DfsCluster> dfs = MakeCluster(param.flavor, param.seed);
+void RunDifferentialOracle(const StreamCase& param) {
+  std::unique_ptr<DfsCluster> dfs =
+      MakeCluster(param.flavor, param.seed, param.storage_nodes);
   std::vector<FaultSpec> faults;
   if (param.with_faults) {
     faults = NewBugsFor(param.flavor);
@@ -142,7 +141,7 @@ TEST_P(StreamingStatsTest, StreamingMatchesScanOracle) {
     if (step < 100 || step % 7 == 0) {
       check(step, "mid-stream");
     }
-    if (HasFailure()) {
+    if (::testing::Test::HasFailure()) {
       ADD_FAILURE() << "diverged at step " << step << " op " << op.ToString();
       return;
     }
@@ -155,7 +154,13 @@ TEST_P(StreamingStatsTest, StreamingMatchesScanOracle) {
   check(param.steps, "drained");
 }
 
-// 4 flavors x {healthy, faulty} x 1500 mutation steps = 12000 mixed ops,
+class StreamingStatsTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(StreamingStatsTest, StreamingMatchesScanOracle) {
+  RunDifferentialOracle(GetParam());
+}
+
+// 5 flavors x {healthy, faulty} x 1500 mutation steps of mixed ops,
 // checked at ~260 checkpoints per case plus dense per-op checks early on.
 INSTANTIATE_TEST_SUITE_P(
     AllFlavors, StreamingStatsTest,
@@ -166,13 +171,31 @@ INSTANTIATE_TEST_SUITE_P(
                       StreamCase{Flavor::kCeph, false, 71, 1500},
                       StreamCase{Flavor::kCeph, true, 72, 1500},
                       StreamCase{Flavor::kLeo, false, 81, 1500},
-                      StreamCase{Flavor::kLeo, true, 82, 1500}),
+                      StreamCase{Flavor::kLeo, true, 82, 1500},
+                      StreamCase{Flavor::kGeo, false, 91, 1500},
+                      StreamCase{Flavor::kGeo, true, 92, 1500}),
     [](const ::testing::TestParamInfo<StreamCase>& param_info) {
       std::string name(FlavorName(param_info.param.flavor));
       name += param_info.param.with_faults ? "_faulty" : "_healthy";
       name += "_s" + std::to_string(param_info.param.seed);
       return name;
     });
+
+// Production-scale differential oracle (DESIGN.md §15): at 1000 storage
+// nodes the streaming path exercises the sparse per-group aggregates (dirty
+// groups, per-group rate high-waters, lazy rollup) against the same O(N)
+// full-scan ground truth, field-exact. Any divergence between the
+// hierarchical rollup and the flat sums shows up here as an integer
+// mismatch, not a tolerance failure.
+TEST(StreamingStatsScaleTest, GeoThousandNodesMatchesScanOracle) {
+  RunDifferentialOracle(StreamCase{Flavor::kGeo, true, 101, 600, 1000});
+}
+
+// Non-geo grouping at scale: the default contiguous-span PickLoadGroup takes
+// the same sparse-aggregate paths with a very different group shape.
+TEST(StreamingStatsScaleTest, HdfsThousandNodesMatchesScanOracle) {
+  RunDifferentialOracle(StreamCase{Flavor::kHdfs, true, 102, 400, 1000});
+}
 
 }  // namespace
 }  // namespace themis
