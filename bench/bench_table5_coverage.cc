@@ -38,6 +38,21 @@ void RunExperiment() {
   }
   table.Print();
 
+  // The second feedback signal (DESIGN.md §16): balancer state-machine
+  // transition pairs covered under the same campaigns. The per-flavor
+  // gauges (model_coverage.<flavor>.transitions) land in the summary JSON.
+  PrintHeader("Balancer transition-pair coverage (same campaigns)");
+  TextTable transitions({"Method", "Fix_req", "Fix_conf", "Alternate",
+                         "Concurrent", "Themis"});
+  for (Flavor flavor : {Flavor::kHdfs, Flavor::kGluster, Flavor::kLeo, Flavor::kCeph}) {
+    std::vector<std::string> row{std::string(FlavorName(flavor))};
+    for (StrategyKind kind : strategies) {
+      row.push_back(std::to_string(results.transition_coverage[kind][flavor]));
+    }
+    transitions.AddRow(row);
+  }
+  transitions.Print();
+
   // Themis's average improvement over each baseline (the paper reports
   // 18% / 21% / 13% / 10%).
   std::printf("\nThemis's mean coverage improvement: ");

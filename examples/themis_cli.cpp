@@ -52,10 +52,14 @@ int Usage() {
                "  themis_cli fuzz <hdfs|ceph|gluster|leo|geo> [--hours H] [--seed S]\n"
                "             [--seeds N] [--jobs N]\n"
                "             [--strategy themis|themis-|fixreq|fixconf|alternate|\n"
-               "              concurrent] [--threshold T] [--historical] [--healthy]\n"
-               "             [--logs] [--telemetry-out=PATH] [--metrics-summary]\n"
+               "              concurrent|bandit] [--threshold T] [--historical]\n"
+               "             [--healthy] [--transition-weight W] [--logs]\n"
+               "             [--telemetry-out=PATH] [--metrics-summary]\n"
                "             [--checkpoint-dir=DIR] [--checkpoint-every-ops N]\n"
                "             [--resume] [--summary-json=PATH]\n"
+               "          (--transition-weight blends balancer state-machine\n"
+               "           coverage into seed energy; bandit schedules budget\n"
+               "           across the registered strategies)\n"
                "  themis_cli replay <hdfs|ceph|gluster|leo|geo> <logfile> [--repeat N] [--bugs]\n"
                "          (--bugs re-injects the Table 2 faults: reproduction against\n"
                "           the buggy system, as in the paper's replay step)\n");
@@ -94,6 +98,8 @@ bool ParseStrategy(const char* text, std::string* out) {
     *out = "Alternate";
   } else if (std::strcmp(text, "concurrent") == 0) {
     *out = "Concurrent";
+  } else if (std::strcmp(text, "bandit") == 0) {
+    *out = "Bandit";
   } else if (StrategyRegistry::Instance().Contains(text)) {
     *out = text;
   } else {
@@ -132,6 +138,10 @@ int RunFuzz(int argc, char** argv) {
       jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       matrix.base.threshold_t = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--transition-weight") == 0 && i + 1 < argc) {
+      matrix.base.transition_weight = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--transition-weight=", 20) == 0) {
+      matrix.base.transition_weight = std::atof(argv[i] + 20);
     } else if (std::strcmp(argv[i], "--strategy") == 0 && i + 1 < argc) {
       if (!ParseStrategy(argv[++i], &strategy)) {
         return Usage();

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI gate for balancer state-machine coverage (the model-coverage smoke job).
+
+Reads one or more themis_cli --summary-json files and checks that every
+campaign job reported nonzero transition-pair coverage for its flavor
+(DESIGN.md §16). Zero coverage means the flavor's rebalance path stopped
+emitting transition events — the second feedback signal is silently dead,
+even though variance-guided fuzzing still looks healthy.
+
+Absolute transition counts are deliberately not enforced: short smoke
+campaigns cover only a handful of the pair table, and the count depends on
+budget and seed. Nonzero-per-flavor is the invariant that survives any
+budget: a balancer that ran at all covers at least idle -> first phase.
+
+Usage: check_model_coverage.py <summary.json> [<summary.json> ...]
+"""
+
+import json
+import sys
+
+
+def check_file(path):
+    with open(path) as f:
+        summary = json.load(f)
+
+    jobs = summary.get("jobs", [])
+    if not jobs:
+        print(f"{path}: no campaign jobs in summary")
+        return False
+
+    ok = True
+    print(f"{path}:")
+    print(f"  {'flavor':>10}  {'strategy':>10}  {'seed':>6}  {'transitions':>12}")
+    for job in jobs:
+        flavor = job.get("flavor", "?")
+        strategy = job.get("strategy", "?")
+        seed = job.get("seed", "?")
+        if job.get("status") != "ok":
+            print(f"  {flavor:>10}  {strategy:>10}  {seed:>6}  "
+                  f"job failed: {job.get('status')}")
+            ok = False
+            continue
+        transitions = job.get("transition_coverage")
+        if transitions is None:
+            print(f"  {flavor:>10}  {strategy:>10}  {seed:>6}  "
+                  f"missing transition_coverage field")
+            ok = False
+            continue
+        print(f"  {flavor:>10}  {strategy:>10}  {seed:>6}  {transitions:>12}")
+        if transitions <= 0:
+            print(f"  ^^^ {flavor}: zero transition coverage — the balancer "
+                  f"state machine emitted no events")
+            ok = False
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} <summary.json> [<summary.json> ...]",
+              file=sys.stderr)
+        return 2
+    ok = all([check_file(path) for path in argv[1:]])
+    if ok:
+        print("model coverage OK: every flavor reported nonzero "
+              "transition-pair coverage")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

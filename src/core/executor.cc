@@ -63,6 +63,9 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
   THEMIS_SPAN(testcase_span, "executor.testcase");
   ExecOutcome outcome;
   size_t coverage_before = coverage_ != nullptr ? coverage_->TotalHits() : 0;
+  size_t transitions_before =
+      model_coverage_ != nullptr ? model_coverage_->TransitionsCovered() : 0;
+  int candidates_before = candidates_raised_;
 
   double score_before = last_score_;
   ExecuteOps(seq, &outcome);
@@ -123,6 +126,11 @@ ExecOutcome TestCaseExecutor::Run(const OpSeq& seq) {
       HandleConfirmed(report, outcome);
     }
   }
+  if (model_coverage_ != nullptr) {
+    outcome.new_transitions =
+        model_coverage_->TransitionsCovered() - transitions_before;
+  }
+  outcome.candidates = candidates_raised_ - candidates_before;
   return outcome;
 }
 

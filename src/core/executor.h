@@ -18,6 +18,7 @@
 #include "src/core/input_model.h"
 #include "src/core/opseq.h"
 #include "src/coverage/coverage.h"
+#include "src/coverage/model_coverage.h"
 #include "src/dfs/cluster.h"
 #include "src/faults/injector.h"
 #include "src/monitor/detector.h"
@@ -48,6 +49,8 @@ struct ExecOutcome {
   double variance_score = 0.0;  // LVM score after execution
   double variance_gain = 0.0;   // vs. the previous test case
   size_t new_coverage = 0;      // branches newly hit by this test case
+  size_t new_transitions = 0;   // balancer transition pairs newly covered
+  int candidates = 0;           // detector candidates raised by this case
   int ops_executed = 0;
   int ops_ok = 0;
   std::vector<FailureReport> failures;  // confirmed (post double-check)
@@ -59,6 +62,13 @@ class TestCaseExecutor {
                    ImbalanceDetector& detector, FaultInjector* ground_truth,
                    CoverageRecorder* coverage, Rng& rng,
                    EventLog* telemetry = nullptr);
+
+  // Balancer state-machine coverage (DESIGN.md §16); null disables the
+  // transition delta in ExecOutcome. The recorder is read-only here — the
+  // cluster emits the transitions.
+  void set_model_coverage(ModelCoverage* model_coverage) {
+    model_coverage_ = model_coverage;
+  }
 
   // Executes `seq`, checks for imbalance, double-checks candidates, and
   // resets the DFS after a confirmed failure.
@@ -121,6 +131,7 @@ class TestCaseExecutor {
   ImbalanceDetector& detector_;
   FaultInjector* ground_truth_;  // may be null (healthy system)
   CoverageRecorder* coverage_;   // may be null
+  ModelCoverage* model_coverage_ = nullptr;  // may be null
   Rng& rng_;
   EventLog* telemetry_;          // may be null (no event collection)
 

@@ -72,6 +72,16 @@ void ThemisFuzzer::OnOutcome(const OpSeq& seq, const ExecOutcome& outcome) {
     score += 0.05 * static_cast<double>(std::min<size_t>(outcome.new_coverage, 20));
     add_reason("coverage");
   }
+  // Second feedback signal (DESIGN.md §16): seeds that walk the balancer
+  // through new state-machine transitions get energy even when the variance
+  // plateaus. Strictly additive and gated on the knob, so weight 0.0 leaves
+  // scores, reasons and pool contents bit-identical.
+  if (config_.transition_weight > 0.0 && outcome.new_transitions > 0) {
+    interesting = true;
+    score += config_.transition_weight *
+             static_cast<double>(std::min<size_t>(outcome.new_transitions, 16));
+    add_reason("transition");
+  }
   if (interesting) {
     pool_.Add(seq, score);
     THEMIS_COUNTER_INC("fuzzer.seeds_accepted", 1);
@@ -145,6 +155,7 @@ THEMIS_REGISTER_STRATEGY("Themis", [](InputModel& model, Rng& rng,
   config.max_len = options.max_len;
   config.variance_guidance = options.variance_guidance;
   config.env_fault_share = options.env_fault_share;
+  config.transition_weight = options.transition_weight;
   config.telemetry = options.telemetry;
   return std::make_unique<ThemisFuzzer>(model, rng, config);
 });

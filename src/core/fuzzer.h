@@ -28,6 +28,10 @@ struct FuzzerConfig {
   // Per-op probability of drawing an environment-fault operator; 0.0 (the
   // default) leaves the fault-free grammar untouched.
   double env_fault_share = 0.0;
+  // Seed-pool energy per newly covered balancer transition pair (DESIGN.md
+  // §16). 0.0 (the default) keeps energy assignment bit-identical to the
+  // pure load-variance signal — golden digests stand without re-pin.
+  double transition_weight = 0.0;
   // Campaign event sink (seed accepted/rejected, mutation kinds); may be null.
   EventLog* telemetry = nullptr;
 };

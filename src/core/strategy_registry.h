@@ -38,6 +38,13 @@ struct StrategyOptions {
   // sequence untouched; campaigns with env faults enabled pass a nonzero
   // share through to the generator.
   double env_fault_share = 0.0;
+  // Seed energy per newly covered balancer state-machine transition pair
+  // (DESIGN.md §16). 0.0 keeps energy assignment bit-identical to the pure
+  // load-variance signal.
+  double transition_weight = 0.0;
+  // Arm names for the bandit scheduler ("Bandit"); empty selects the
+  // default arm set (src/core/bandit.cc). Other strategies ignore this.
+  std::vector<std::string> bandit_arms;
   // Campaign event sink (owned by the campaign); strategies that record
   // telemetry write here. Null = no event collection.
   EventLog* telemetry = nullptr;

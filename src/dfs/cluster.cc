@@ -96,6 +96,9 @@ void DfsCluster::BuildInitialTopology() {
 
 void DfsCluster::ResetToInitial() {
   BuildInitialTopology();
+  if (model_cov_ != nullptr) {
+    model_cov_->ForceIdle();  // a topology rebuild is not a balancer action
+  }
   namespace_epoch_ = 0;
   completed_rebalance_rounds_ = 0;
   rebalance_triggers_ = 0;
@@ -1134,6 +1137,7 @@ void DfsCluster::CrashNodeForEnvFault(NodeId node) {
     current_move_done_bytes_ = 0;  // the partial transfer died with the round
   }
   current_round_moves_ = 0;
+  EmitBalancerState(BalancerState::kCrashed);
   OnBalancerCrashed();
 }
 
@@ -1171,6 +1175,9 @@ void DfsCluster::RestartNode(NodeId node) {
     // reloads its persisted flavor state and re-runs the interrupted round
     // from scratch against the current layout.
     balancer_crashed_ = false;
+    // The restarted daemon comes back idle; a pending round re-enters the
+    // planning chain via the TriggerRebalance below.
+    EmitBalancerState(BalancerState::kIdle);
     OnBalancerRestarted();
     if (balancer_resume_pending_) {
       COV_BRANCH(cov_, CovModule::kRecovery, 34);
@@ -2409,6 +2416,9 @@ Status DfsCluster::TriggerRebalance() {
       telemetry_->Record(CampaignEventKind::kRebalanceRound, "empty",
                          StorageImbalance());
     }
+    // Empty plan: the round settles without a migration phase.
+    EmitBalancerState(BalancerSettleState(flavor_));
+    EmitBalancerState(BalancerState::kIdle);
     OnRebalanceRoundDone();
     if (hooks_ != nullptr) {
       hooks_->OnRebalanceDone(*this);
@@ -2423,6 +2433,7 @@ Status DfsCluster::TriggerRebalance() {
   for (ChunkMove& move : plan) {
     move_queue_.push_back(move);
   }
+  EmitBalancerState(BalancerMoveState(flavor_));
   rebalance_active_ = true;
   return Status::Ok();
 }
@@ -2631,6 +2642,8 @@ void DfsCluster::FinishRebalanceIfDrained() {
     rebalance_active_ = false;
     ++completed_rebalance_rounds_;
     COV_BRANCH(cov_, CovModule::kBalancer, 29);
+    EmitBalancerState(BalancerSettleState(flavor_));
+    EmitBalancerState(BalancerState::kIdle);
     THEMIS_COUNTER_INC("cluster.rebalance_rounds", 1);
     if (telemetry_ != nullptr) {
       telemetry_->Record(CampaignEventKind::kRebalanceRound, "drained",

@@ -27,6 +27,7 @@
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/coverage/coverage.h"
+#include "src/coverage/model_coverage.h"
 #include "src/dfs/brick.h"
 #include "src/dfs/load_sample.h"
 #include "src/dfs/migration.h"
@@ -314,6 +315,11 @@ class DfsCluster : public DfsInterface {
   EnvFaultRuntime* env_faults() const { return env_; }
   void set_coverage(CoverageRecorder* cov) { cov_ = cov; }
   CoverageRecorder* coverage() const { return cov_; }
+  // Balancer state-machine transition recorder (DESIGN.md §16); null
+  // disables emission. Recording draws no RNG: attaching it never changes
+  // cluster behavior.
+  void set_model_coverage(ModelCoverage* model_cov) { model_cov_ = model_cov; }
+  ModelCoverage* model_coverage() const { return model_cov_; }
   // Campaign event sink for rebalance-round telemetry; null disables it.
   void set_telemetry(EventLog* telemetry) { telemetry_ = telemetry; }
 
@@ -445,6 +451,16 @@ class DfsCluster : public DfsInterface {
     return Status::Ok();
   }
   // ---- flavor extension points ----
+
+  // Records a balancer state-machine transition (no-op without a recorder).
+  // Flavors emit their planning phases from BuildRebalancePlan; the generic
+  // lifecycle (move drain, settle, idle, crash, restart) is emitted by the
+  // shared rebalance/crash paths in cluster.cc.
+  void EmitBalancerState(BalancerState to) {
+    if (model_cov_ != nullptr) {
+      model_cov_->Transition(to);
+    }
+  }
 
   // Chooses replica bricks for one chunk of `path`. Must return serving
   // bricks with space, or empty to signal out-of-space.
@@ -729,6 +745,7 @@ class DfsCluster : public DfsInterface {
   FaultHooks* hooks_ = nullptr;
   EnvFaultRuntime* env_ = nullptr;
   CoverageRecorder* cov_ = nullptr;
+  ModelCoverage* model_cov_ = nullptr;
   EventLog* telemetry_ = nullptr;
 
   // Balancer crash/resume state (env faults; DESIGN.md §14). Both are false

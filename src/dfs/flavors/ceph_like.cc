@@ -84,6 +84,7 @@ MigrationPlan CephLikeCluster::BuildRebalancePlan() {
   // The upmap balancer pins PGs mapped to overfull devices onto underfull
   // ones, then backfills the data. We pin first, then emit the chunk moves
   // that the backfill would perform.
+  EmitBalancerState(BalancerState::kCephUpmapCompute);
   std::vector<BrickId> serving = ServingBricks();
   if (serving.size() < 2) {
     return {};

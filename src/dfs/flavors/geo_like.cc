@@ -211,6 +211,7 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoLikeCluster::PerSiteUsedCap() cons
 }
 
 MigrationPlan GeoLikeCluster::BuildRebalancePlan() {
+  EmitBalancerState(BalancerState::kGeoSiteDrain);
   MigrationPlan plan;
   std::map<BrickId, uint64_t> planned_inflow;
   // Stage 1: site failover. If the hottest site's utilization runs away from

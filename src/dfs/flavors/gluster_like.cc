@@ -117,6 +117,7 @@ MigrationPlan GlusterLikeCluster::BuildRebalancePlan() {
   // is already beyond the fleet utilization plus the balance tolerance —
   // without this check the DHT keeps re-hashing data onto hot bricks and a
   // healthy cluster never reaches a balanced fixpoint.
+  EmitBalancerState(BalancerState::kGlusterFixLayout);
   MigrationPlan plan;
   if (layout_.empty()) {
     return plan;

@@ -73,7 +73,11 @@ std::vector<BrickId> HdfsLikeCluster::PlaceChunk(const std::string& path,
 
 MigrationPlan HdfsLikeCluster::BuildRebalancePlan() {
   // The HDFS Balancer levels DataNode utilization to within the threshold of
-  // the cluster average.
+  // the cluster average: one iteration snapshots utilization, pairs
+  // over-utilized sources with under-utilized targets, then schedules the
+  // block moves.
+  EmitBalancerState(BalancerState::kHdfsIteration);
+  EmitBalancerState(BalancerState::kHdfsPairing);
   return PlanLevelingByUsage(config_.native_threshold * 0.5);
 }
 

@@ -119,6 +119,7 @@ std::vector<BrickId> LeoLikeCluster::PlaceChunk(const std::string& path,
 MigrationPlan LeoLikeCluster::BuildRebalancePlan() {
   // rebalance-list: move every object whose ring position no longer matches
   // where it is stored (the arcs affected by ring changes).
+  EmitBalancerState(BalancerState::kLeoRingPlan);
   MigrationPlan plan;
   if (ring_.target_count() == 0) {
     return plan;

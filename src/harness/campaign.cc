@@ -131,6 +131,10 @@ Status CampaignConfig::Validate() const {
   if (checkpoint_keep < 1) {
     return Status::InvalidArgument("checkpoint_keep must be at least 1");
   }
+  if (!(transition_weight >= 0.0) || transition_weight > 1e6) {
+    return Status::InvalidArgument(
+        "transition_weight must be finite and non-negative");
+  }
   return Status::Ok();
 }
 
@@ -173,6 +177,12 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
       config_.flavor, config_.seed, config_.storage_nodes, config_.meta_nodes);
   CoverageRecorder coverage(FlavorBranchSpace(config_.flavor), config_.seed);
   cluster->set_coverage(&coverage);
+  // Balancer state-machine transition recorder (DESIGN.md §16). Always
+  // attached: emission draws no RNG and the counters stay outside Digest(),
+  // so recording is free of behavioral side effects; only a nonzero
+  // transition_weight lets the counters feed back into seed energy.
+  ModelCoverage model_coverage(config_.flavor);
+  cluster->set_model_coverage(&model_coverage);
 
   // One event log per campaign, stamped with the campaign's virtual clock so
   // every event is deterministic; metrics are global and thread-striped.
@@ -204,9 +214,11 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
   detector.set_telemetry(telemetry);
   TestCaseExecutor executor(*cluster, model, monitor, detector, &injector, &coverage,
                             rng, telemetry);
+  executor.set_model_coverage(&model_coverage);
   StrategyOptions strategy_options;
   strategy_options.telemetry = telemetry;
   strategy_options.env_fault_share = config_.env_faults ? kEnvFaultShare : 0.0;
+  strategy_options.transition_weight = config_.transition_weight;
   Result<std::unique_ptr<Strategy>> strategy =
       StrategyRegistry::Instance().Make(strategy_name, model, rng, strategy_options);
   if (!strategy.ok()) {
@@ -246,6 +258,7 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
     rng.SaveState(writer);
     cluster->SaveState(writer);
     coverage.SaveState(writer);
+    model_coverage.SaveState(writer);
     model.SaveState(writer);
     monitor.SaveState(writer);
     detector.SaveState(writer);
@@ -283,6 +296,7 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
     if (Status s = rng.RestoreState(reader); !s.ok()) return s;
     if (Status s = cluster->RestoreState(reader); !s.ok()) return s;
     if (Status s = coverage.RestoreState(reader); !s.ok()) return s;
+    if (Status s = model_coverage.RestoreState(reader); !s.ok()) return s;
     if (Status s = model.RestoreState(reader); !s.ok()) return s;
     if (Status s = monitor.RestoreState(reader); !s.ok()) return s;
     if (Status s = detector.RestoreState(reader); !s.ok()) return s;
@@ -411,6 +425,18 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
   result.distinct_failures = tally.distinct_failures;
   result.false_positives = tally.false_positive_reports;
   result.final_coverage = coverage.TotalHits();
+  result.transition_coverage = model_coverage.TransitionsCovered();
+  // Per-flavor transition gauge: lands in BENCH_*.json / --summary-json via
+  // the registry dump. Summed across a matrix's jobs like every counter.
+  MetricsRegistry::Global()
+      .GetGauge(Sprintf("model_coverage.%s.transitions",
+                        std::string(FlavorName(config_.flavor)).c_str()))
+      .Add(static_cast<int64_t>(model_coverage.TransitionsCovered()));
+  if (model_coverage.illegal_transitions() > 0) {
+    THEMIS_LOG(kWarn, "campaign saw %llu illegal balancer transitions",
+               static_cast<unsigned long long>(
+                   model_coverage.illegal_transitions()));
+  }
   result.total_ops = executor.total_ops();
   result.candidates = executor.candidates_raised();
   result.telemetry = event_log.TakeEvents();

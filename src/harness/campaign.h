@@ -75,6 +75,12 @@ struct CampaignConfig {
   // stream in memory at once. Recording never draws from the RNG, so this
   // flag cannot change any campaign result.
   bool collect_telemetry = false;
+  // Seed energy per newly covered balancer state-machine transition pair
+  // (DESIGN.md §16). 0.0 (the default) makes the second feedback signal
+  // purely observational: transitions are still recorded (and reported),
+  // but energy assignment — and therefore every campaign digest — stays
+  // bit-identical to the pure load-variance signal.
+  double transition_weight = 0.0;
 
   // Checkpointing (DESIGN.md §11). Empty checkpoint_dir disables snapshots
   // entirely. With a directory set, a final snapshot is written when the
@@ -115,6 +121,10 @@ struct CampaignResult {
   std::map<std::string, SimTime> distinct_failures;
   int false_positives = 0;
   size_t final_coverage = 0;
+  // Distinct balancer state-machine transition pairs covered (DESIGN.md
+  // §16). Reported in summaries/benches; deliberately OUTSIDE Digest() so
+  // attaching the recorder cannot perturb pinned digests.
+  size_t transition_coverage = 0;
   // (virtual time, branches hit) sampled once per coverage_sample_period.
   std::vector<std::pair<SimTime, size_t>> coverage_timeline;
   uint64_t total_ops = 0;

@@ -122,6 +122,7 @@ CoverageResults RunCoverageExperiment(const std::vector<StrategyKind>& strategie
 
   CoverageResults results;
   std::map<StrategyKind, std::map<Flavor, size_t>> totals;
+  std::map<StrategyKind, std::map<Flavor, size_t>> transition_totals;
   for (const JobResult& job : result.jobs) {
     if (!job.status.ok()) {
       continue;
@@ -129,14 +130,17 @@ CoverageResults RunCoverageExperiment(const std::vector<StrategyKind>& strategie
     StrategyKind kind = KindFromName(job.job.strategy);
     Flavor flavor = job.job.config.flavor;
     totals[kind][flavor] += job.result.final_coverage;
+    transition_totals[kind][flavor] += job.result.transition_coverage;
     if (job.job.repetition == 0) {
       results.timelines[kind][flavor] = job.result.coverage_timeline;
     }
   }
   for (StrategyKind kind : strategies) {
     for (Flavor flavor : kAllFlavors) {
-      results.final_coverage[kind][flavor] =
-          totals[kind][flavor] / static_cast<size_t>(std::max(budget.seeds, 1));
+      size_t seeds = static_cast<size_t>(std::max(budget.seeds, 1));
+      results.final_coverage[kind][flavor] = totals[kind][flavor] / seeds;
+      results.transition_coverage[kind][flavor] =
+          transition_totals[kind][flavor] / seeds;
     }
   }
   return results;

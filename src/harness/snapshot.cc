@@ -214,6 +214,7 @@ void WriteSnapshotIdentity(SnapshotWriter& writer, std::string_view strategy,
   writer.I64(config.meta_nodes);
   writer.Bool(config.env_faults);
   writer.Bool(config.collect_telemetry);
+  writer.F64(config.transition_weight);
 }
 
 namespace {
@@ -246,6 +247,7 @@ Status CheckSnapshotIdentity(SnapshotReader& reader, std::string_view strategy,
   int64_t saved_meta_nodes = reader.I64();
   bool saved_env_faults = reader.Bool();
   bool saved_telemetry = reader.Bool();
+  double saved_transition_weight = reader.F64();
   if (Status status = reader.status(); !status.ok()) return status;
 
   if (saved_strategy != strategy) {
@@ -311,6 +313,11 @@ Status CheckSnapshotIdentity(SnapshotReader& reader, std::string_view strategy,
   if (saved_telemetry != config.collect_telemetry) {
     return IdentityMismatch("collect_telemetry", saved_telemetry ? "true" : "false",
                             config.collect_telemetry ? "true" : "false");
+  }
+  if (saved_transition_weight != config.transition_weight) {
+    return IdentityMismatch("transition_weight",
+                            Sprintf("%g", saved_transition_weight),
+                            Sprintf("%g", config.transition_weight));
   }
   return Status::Ok();
 }
@@ -383,6 +390,7 @@ void SaveCampaignResult(SnapshotWriter& writer, const CampaignResult& result) {
   }
   writer.I64(result.false_positives);
   writer.U64(result.final_coverage);
+  writer.U64(result.transition_coverage);
   writer.U64(result.coverage_timeline.size());
   for (const auto& [at, hits] : result.coverage_timeline) {
     writer.I64(at);
@@ -426,6 +434,7 @@ Status RestoreCampaignResult(SnapshotReader& reader, CampaignResult* result) {
   }
   result->false_positives = static_cast<int>(reader.I64());
   result->final_coverage = reader.U64();
+  result->transition_coverage = reader.U64();
   uint64_t timeline_count = reader.Count(16);
   result->coverage_timeline.clear();
   result->coverage_timeline.reserve(timeline_count);

@@ -182,10 +182,12 @@ std::string RenderCampaignSummaryJson(const MatrixResult& result) {
     out += Sprintf(
         ",\"status\":\"ok\",\"digest\":\"%016llx\",\"testcases\":%d,"
         "\"total_ops\":%llu,\"candidates\":%d,\"false_positives\":%d,"
-        "\"final_coverage\":%zu,\"telemetry_events\":%zu,\"distinct_failures\":{",
+        "\"final_coverage\":%zu,\"transition_coverage\":%zu,"
+        "\"telemetry_events\":%zu,\"distinct_failures\":{",
         static_cast<unsigned long long>(r.Digest()), r.testcases,
         static_cast<unsigned long long>(r.total_ops), r.candidates,
-        r.false_positives, r.final_coverage, r.telemetry.size());
+        r.false_positives, r.final_coverage, r.transition_coverage,
+        r.telemetry.size());
     bool first_failure = true;
     for (const auto& [id, at] : r.distinct_failures) {
       out += Sprintf("%s\"%s\":%lld", first_failure ? "" : ",",

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/coverage/coverage.h"
+#include "src/dfs/flavors/factory.h"
+#include "src/dfs/operation.h"
 #include "src/dfs/types.h"
+#include "src/faults/env_fault.h"
 
 namespace themis {
 namespace {
@@ -91,6 +96,71 @@ TEST(Coverage, NullRecorderMacroIsSafe) {
   CoverageRecorder* recorder = nullptr;
   COV_BRANCH(recorder, CovModule::kRequest, 1);  // must not crash
   SUCCEED();
+}
+
+// The 7 environment-fault operators (DESIGN.md §14) form the fourth op
+// class, and RecordOpCoverage must fire for every one of them — they take
+// the early env arm of Execute, which bypasses metadata routing and is easy
+// to starve of instrumentation by accident.
+TEST(Coverage, EnvFaultOpsRecordOpCoverage) {
+  for (int i = kOpKindCount; i < kTotalOpKindCount; ++i) {
+    OpKind kind = OpKindFromTotalIndex(i);
+    EXPECT_TRUE(IsEnvFaultOp(kind)) << OpKindName(kind);
+    EXPECT_EQ(ClassOf(kind), OpClass::kEnvFault) << OpKindName(kind);
+  }
+
+  std::unique_ptr<DfsCluster> cluster = MakeCluster(Flavor::kGluster, 4242);
+  CoverageRecorder recorder(FlavorBranchSpace(Flavor::kGluster), 4242);
+  cluster->set_coverage(&recorder);
+  EnvFaultInjector injector(4242);
+  cluster->set_env_faults(&injector);
+
+  NodeId victim = cluster->ListStorageNodes().front();
+  for (int i = kOpKindCount; i < kTotalOpKindCount; ++i) {
+    Operation op;
+    op.kind = OpKindFromTotalIndex(i);
+    op.node = victim;
+    op.size = 200;  // in-grammar as a rate, a slow factor and a crash delay
+    size_t before = recorder.TotalHits();
+    OpResult result = cluster->Execute(op);
+    EXPECT_TRUE(result.status.ok()) << OpKindName(op.kind) << ": "
+                                    << result.status.ToString();
+    EXPECT_GT(recorder.TotalHits(), before) << OpKindName(op.kind);
+  }
+}
+
+// The env-fault class bit (1 << 3) must reach the state-feature tuple: the
+// same client request executed inside a window of recent env faults is a
+// different exercised branch than in a fault-free window.
+TEST(Coverage, EnvFaultClassBitReachesTheStateTuple) {
+  std::unique_ptr<DfsCluster> cluster = MakeCluster(Flavor::kGluster, 99);
+  CoverageRecorder recorder(FlavorBranchSpace(Flavor::kGluster), 99);
+  cluster->set_coverage(&recorder);
+  EnvFaultInjector injector(99);
+  cluster->set_env_faults(&injector);
+
+  Operation probe;  // deterministic, state-preserving client request
+  probe.kind = OpKind::kOpen;
+  probe.path = "/no/such/file";
+
+  cluster->Execute(probe);
+  size_t baseline = recorder.VirtualHits();
+  cluster->Execute(probe);
+  ASSERT_EQ(recorder.VirtualHits(), baseline)
+      << "repeating the probe in an unchanged state must not mint coverage";
+
+  // Saturate the 8-op recency window with env faults. kEnvClearFaults is a
+  // no-op on cluster state, so the only feature that changes under the probe
+  // is the class mask gaining the kEnvFault bit.
+  for (int i = 0; i < 9; ++i) {
+    Operation clear;
+    clear.kind = OpKind::kEnvClearFaults;
+    ASSERT_TRUE(cluster->Execute(clear).status.ok());
+  }
+  size_t after_burst = recorder.VirtualHits();
+  cluster->Execute(probe);
+  EXPECT_GT(recorder.VirtualHits(), after_burst)
+      << "the env-fault class bit must distinguish the probe's state tuple";
 }
 
 }  // namespace

@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "src/common/snapshot_io.h"
+#include "src/core/bandit.h"
 #include "src/core/generator.h"
 #include "src/core/input_model.h"
+#include "src/core/strategy_registry.h"
+#include "src/coverage/model_coverage.h"
 #include "src/dfs/flavors/factory.h"
 #include "src/dfs/flavors/geo_like.h"
 #include "src/faults/env_fault.h"
@@ -107,10 +110,10 @@ TEST(SnapshotCorruptionTest, WrongMagicAndVersionAreRejected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
 
-  // A pre-v5 file (no load-group table, no geotags) must be refused outright
-  // rather than parsed into misaligned fields.
+  // A pre-v6 file (no model-coverage record, no bandit arm tables) must be
+  // refused outright rather than parsed into misaligned fields.
   std::string stale_version = original;
-  stale_version[8] = 4;
+  stale_version[8] = 5;
   WriteFileBytes(path, stale_version);
   loaded = ReadSnapshotFile(path);
   ASSERT_FALSE(loaded.ok());
@@ -229,6 +232,11 @@ TEST(SnapshotCorruptionTest, IdentityMismatchNamesTheField) {
   Case env_case{"env_faults", config};
   env_case.changed.env_faults = true;
   cases.push_back(env_case);
+  // v6: the transition blend weight changes seed-energy assignment, so a
+  // snapshot taken under one weight must not resume under another.
+  Case weight_case{"transition_weight", config};
+  weight_case.changed.transition_weight = 0.5;
+  cases.push_back(weight_case);
 
   for (const Case& c : cases) {
     SnapshotReader reader(payload);
@@ -546,6 +554,176 @@ TEST(SnapshotCorruptionTest, GeoFlavorStateCorruptionIsRejected) {
   GeoLikeCluster fresh;
   SnapshotReader ok_reader(writer.buffer());
   EXPECT_TRUE(fresh.RestoreState(ok_reader).ok());
+}
+
+// Format v6 field-level validation (DESIGN.md §16): the model-coverage
+// record and the bandit arm tables restore into indexed counters and live
+// scheduling state, so every malformed shape — a truncated arm table, a
+// transition count that cannot match the pair list, a state id from another
+// flavor's machine — must fail the restore descriptively. End to end, a
+// campaign whose newest snapshot rots this way falls back to the newest
+// valid one (ResumeFallsBackToNewestValidSnapshot covers the file layer).
+TEST(SnapshotCorruptionTest, TruncatedBanditArmTableIsRejected) {
+  Rng rng(1);
+  InputModel model;
+  auto made = StrategyRegistry::Instance().Make("Bandit", model, rng);
+  ASSERT_TRUE(made.ok());
+  BanditStrategy* bandit = static_cast<BanditStrategy*>(made->get());
+  SnapshotWriter writer;
+  bandit->SaveState(writer);
+
+  // A snapshot advertising fewer arms than the live strategy has.
+  SnapshotWriter truncated;
+  truncated.I64(0);  // active arm
+  truncated.I64(0);  // round position
+  truncated.U64(bandit->arms().size() - 1);
+  SnapshotReader count_reader(truncated.buffer());
+  Status status = bandit->RestoreState(count_reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bandit arm table truncated"),
+            std::string::npos)
+      << status.ToString();
+
+  // A renamed arm: the count matches but the table belongs to a different
+  // arm set, so adopting the statistics would misattribute every reward.
+  std::string renamed = writer.buffer();
+  const std::string& first_name = bandit->arms()[0].name;
+  size_t pos = renamed.find(first_name);
+  ASSERT_NE(pos, std::string::npos);
+  renamed[pos] = 'X';
+  SnapshotReader rename_reader(renamed);
+  status = bandit->RestoreState(rename_reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bandit arm table truncated"),
+            std::string::npos)
+      << status.ToString();
+
+  // An active-arm index beyond the table.
+  SnapshotWriter bad_active;
+  bad_active.I64(static_cast<int64_t>(bandit->arms().size()));
+  bad_active.I64(0);
+  bad_active.U64(bandit->arms().size());
+  SnapshotReader active_reader(bad_active.buffer());
+  status = bandit->RestoreState(active_reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bandit schedule state out of range"),
+            std::string::npos)
+      << status.ToString();
+
+  // The unmodified record restores cleanly.
+  SnapshotReader ok_reader(writer.buffer());
+  EXPECT_TRUE(bandit->RestoreState(ok_reader).ok());
+}
+
+TEST(SnapshotCorruptionTest, ModelCoverageTransitionCountOverflowIsRejected) {
+  ModelCoverage original(Flavor::kGluster);
+  original.Transition(BalancerState::kGlusterFixLayout);
+  original.Transition(BalancerState::kGlusterMigrateData);
+  SnapshotWriter writer;
+  original.SaveState(writer);
+
+  auto expect_rejected = [](const std::string& payload, const char* message) {
+    ModelCoverage fresh(Flavor::kGluster);
+    SnapshotReader reader(payload);
+    Status status = fresh.RestoreState(reader);
+    ASSERT_FALSE(status.ok()) << message;
+    EXPECT_NE(status.message().find(message), std::string::npos)
+        << status.ToString();
+  };
+
+  // A covered count far beyond the pair table: must fail fast, not allocate.
+  {
+    SnapshotWriter corrupt;
+    corrupt.U8(static_cast<uint8_t>(Flavor::kGluster));
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kIdle));
+    corrupt.U64(2);              // total
+    corrupt.U64(0);              // illegal
+    corrupt.U64(~uint64_t{0});   // covered: overflow
+    expect_rejected(corrupt.buffer(),
+                    "model coverage: transition count overflow");
+  }
+  // Pair counts that cannot sum to the recorded total.
+  {
+    SnapshotWriter corrupt;
+    corrupt.U8(static_cast<uint8_t>(Flavor::kGluster));
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kIdle));
+    corrupt.U64(2);  // total claims two transitions...
+    corrupt.U64(0);
+    corrupt.U64(1);  // ...but the single pair carries five
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kIdle));
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kGlusterFixLayout));
+    corrupt.U64(5);
+    expect_rejected(corrupt.buffer(),
+                    "model coverage: transition count overflow");
+  }
+  // The same pair listed twice.
+  {
+    SnapshotWriter corrupt;
+    corrupt.U8(static_cast<uint8_t>(Flavor::kGluster));
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kIdle));
+    corrupt.U64(2);
+    corrupt.U64(0);
+    corrupt.U64(2);
+    for (int i = 0; i < 2; ++i) {
+      corrupt.U8(static_cast<uint8_t>(BalancerState::kIdle));
+      corrupt.U8(static_cast<uint8_t>(BalancerState::kGlusterFixLayout));
+      corrupt.U64(1);
+    }
+    expect_rejected(corrupt.buffer(),
+                    "model coverage: duplicate transition pair");
+  }
+
+  // The unmodified record restores cleanly.
+  ModelCoverage fresh(Flavor::kGluster);
+  SnapshotReader ok_reader(writer.buffer());
+  EXPECT_TRUE(fresh.RestoreState(ok_reader).ok());
+}
+
+TEST(SnapshotCorruptionTest, ModelCoverageUnknownStateIdIsRejected) {
+  auto expect_rejected = [](const std::string& payload) {
+    ModelCoverage fresh(Flavor::kGluster);
+    SnapshotReader reader(payload);
+    Status status = fresh.RestoreState(reader);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("model coverage: unknown balancer state"),
+              std::string::npos)
+        << status.ToString();
+  };
+
+  // A current state id beyond the enum.
+  {
+    SnapshotWriter corrupt;
+    corrupt.U8(static_cast<uint8_t>(Flavor::kGluster));
+    corrupt.U8(200);  // no such BalancerState
+    corrupt.U64(0);
+    corrupt.U64(0);
+    corrupt.U64(0);
+    expect_rejected(corrupt.buffer());
+  }
+  // A current state from another flavor's machine (HDFS pairing inside a
+  // Gluster record): structurally a valid id, semantically foreign.
+  {
+    SnapshotWriter corrupt;
+    corrupt.U8(static_cast<uint8_t>(Flavor::kGluster));
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kHdfsPairing));
+    corrupt.U64(0);
+    corrupt.U64(0);
+    corrupt.U64(0);
+    expect_rejected(corrupt.buffer());
+  }
+  // A foreign state id inside a transition pair.
+  {
+    SnapshotWriter corrupt;
+    corrupt.U8(static_cast<uint8_t>(Flavor::kGluster));
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kIdle));
+    corrupt.U64(1);
+    corrupt.U64(0);
+    corrupt.U64(1);
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kIdle));
+    corrupt.U8(static_cast<uint8_t>(BalancerState::kCephApply));
+    corrupt.U64(1);
+    expect_rejected(corrupt.buffer());
+  }
 }
 
 TEST(SnapshotCorruptionTest, ModelRejectsOutOfRangePreviousWindowNode) {
