@@ -1,0 +1,153 @@
+// Fleet-mode scaling curve (DESIGN.md §17): the same 8-job campaign matrix
+// run through the multi-process fleet supervisor at 1 / 2 / 4 / 8 workers,
+// measuring end-to-end campaign throughput (executed ops per wall-second,
+// staging through merged summary). This is the PR's headline number: the
+// fleet exists to buy wall-clock, so the sweep is what a perf regression in
+// the corpus exchange, the work queue, or the supervisor poll loop shows up
+// in.
+//
+// Gauges land under fleet.w<N>.* plus fleet.cores (the machine's hardware
+// concurrency). The perf gate treats fleet.* as informational trend series,
+// EXCEPT the 4-worker speedup check in scripts/check_perf_regression.py,
+// which requires fleet.w4 >= 3x fleet.w1 — gated on fleet.cores >= 4, since
+// a single-core container cannot scale no matter what the code does (the
+// sweep still runs and records honest numbers there).
+//
+// The worker binary is resolved from THEMIS_FLEET_BIN, falling back to
+// <bench dir>/../examples/themis_cli (the in-tree build layout).
+
+#include "bench/bench_common.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fleet/supervisor.h"
+
+namespace themis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string& WorkerBinary() {
+  static std::string path;
+  return path;
+}
+
+std::string ResolveWorkerBinary(const char* argv0) {
+  if (const char* env = std::getenv("THEMIS_FLEET_BIN")) {
+    return env;
+  }
+  fs::path self(argv0);
+  fs::path candidate = self.parent_path() / ".." / "examples" / "themis_cli";
+  std::error_code ec;
+  fs::path canonical = fs::canonical(candidate, ec);
+  if (!ec) {
+    return canonical.string();
+  }
+  return candidate.string();
+}
+
+struct SweepPoint {
+  int workers = 0;
+  uint64_t total_ops = 0;
+  int jobs_done = 0;
+  size_t corpus_seeds = 0;
+  double wall_seconds = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+void RunFleetScalingExperiment() {
+  const std::string worker_bin = WorkerBinary();
+  if (::access(worker_bin.c_str(), X_OK) != 0) {
+    std::printf("fleet sweep skipped: worker binary not executable: %s\n"
+                "(set THEMIS_FLEET_BIN)\n",
+                worker_bin.c_str());
+    return;
+  }
+  PrintHeader("Fleet scaling (8-job gluster matrix, multi-process workers)");
+  unsigned cores = std::thread::hardware_concurrency();
+  MetricsRegistry::Global().GetGauge("fleet.cores").Add(
+      static_cast<int64_t>(cores));
+  std::printf("worker binary: %s  (%u hardware threads)\n", worker_bin.c_str(),
+              cores);
+  std::printf("%-8s %10s %12s %14s %10s %9s\n", "workers", "jobs", "ops",
+              "ops/sec", "wall (s)", "speedup");
+
+  const int kWorkerCounts[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  const fs::path tmp_root =
+      fs::temp_directory_path() /
+      Sprintf("themis_bench_fleet_%ld", static_cast<long>(::getpid()));
+  for (int workers : kWorkerCounts) {
+    FleetConfig config;
+    config.dir = (tmp_root / Sprintf("w%d", workers)).string();
+    config.workers = workers;
+    config.matrix.flavors = {Flavor::kGluster};
+    config.matrix.seeds = 8;
+    config.matrix.matrix_seed = 7;
+    config.matrix.base.budget = BenchBudget().campaign;
+    config.checkpoint_every_ops = 5000;
+    config.worker_command = {worker_bin, "fleet", "worker"};
+    Result<FleetOutcome> outcome = RunFleetSupervisor(config);
+    if (!outcome.ok()) {
+      std::printf("fleet sweep failed at %d workers: %s\n", workers,
+                  outcome.status().ToString().c_str());
+      continue;
+    }
+    SweepPoint point;
+    point.workers = workers;
+    point.total_ops = outcome->total_ops;
+    point.jobs_done = outcome->jobs_done;
+    point.corpus_seeds = outcome->corpus_seeds;
+    point.wall_seconds = outcome->wall_seconds;
+    point.ops_per_sec = point.wall_seconds > 0.0
+                            ? static_cast<double>(point.total_ops) /
+                                  point.wall_seconds
+                            : 0.0;
+    double speedup = !points.empty() && points.front().ops_per_sec > 0.0
+                         ? point.ops_per_sec / points.front().ops_per_sec
+                         : 1.0;
+    MetricsRegistry::Global()
+        .GetGauge(Sprintf("fleet.w%d.ops_per_sec", workers))
+        .Add(static_cast<int64_t>(point.ops_per_sec));
+    MetricsRegistry::Global()
+        .GetGauge(Sprintf("fleet.w%d.jobs_done", workers))
+        .Add(point.jobs_done);
+    MetricsRegistry::Global()
+        .GetGauge(Sprintf("fleet.w%d.corpus_seeds", workers))
+        .Add(static_cast<int64_t>(point.corpus_seeds));
+    MetricsRegistry::Global()
+        .GetGauge(Sprintf("fleet.w%d.speedup_x100", workers))
+        .Add(static_cast<int64_t>(speedup * 100.0));
+    std::printf("%-8d %10d %12llu %14.0f %10.2f %8.2fx\n", workers,
+                point.jobs_done,
+                static_cast<unsigned long long>(point.total_ops),
+                point.ops_per_sec, point.wall_seconds, speedup);
+    points.push_back(point);
+    std::error_code ec;
+    fs::remove_all(config.dir, ec);
+  }
+  std::error_code ec;
+  fs::remove_all(tmp_root, ec);
+}
+
+}  // namespace
+}  // namespace themis
+
+int main(int argc, char** argv) {
+  themis::WorkerBinary() =
+      themis::ResolveWorkerBinary(argc > 0 ? argv[0] : "bench_fleet");
+  themis::InitBenchJobs(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  themis::RunTimedExperiment([] { themis::RunFleetScalingExperiment(); });
+  return 0;
+}

@@ -244,6 +244,14 @@ void RunScaleSweepExperiment() {
         std::printf("scale campaign failed at %d nodes: %s\n", nodes,
                     result.status().ToString().c_str());
       }
+    } else {
+      // Explicit skip marker: the perf-gate script treats a scale row with
+      // ops_per_sec but neither campaign_ops_per_sec nor this marker as a
+      // malformed bench document, so a silently dropped campaign leg can't
+      // masquerade as an intentional skip.
+      MetricsRegistry::Global()
+          .GetGauge(Sprintf("scale.GeoFS.n%d.campaign_skipped", nodes))
+          .Add(1);
     }
     if (nodes < 10000) {
       std::printf("%-10d %14.0f %18.0f\n", nodes, ops_per_sec, campaign_ops_per_sec);

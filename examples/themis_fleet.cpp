@@ -1,0 +1,13 @@
+// Standalone front end for the fleet campaign service (DESIGN.md §17) —
+// the same subcommands as `themis_cli fleet ...`, without the fuzz/replay
+// surface:
+//
+//   themis_fleet run <hdfs|ceph|gluster|leo|geo> --dir=DIR [--workers N] ...
+//   themis_fleet worker --dir=DIR --worker=K ...
+//   themis_fleet status --dir=DIR
+
+#include "src/fleet/fleet_cli.h"
+
+int main(int argc, char** argv) {
+  return themis::FleetMain(argc - 1, argv + 1);
+}

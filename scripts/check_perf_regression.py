@@ -8,20 +8,108 @@ exits nonzero if any series dropped more than the allowed fraction.
 Only the raw-execution ops_per_sec series are gated: they time a 30k-op
 deterministic loop and are stable on shared runners. The campaign_* series
 measure a full campaign whose wall time is milliseconds, so they are
-reported for trend-watching but far too noisy to gate on.
+reported for trend-watching but far too noisy to gate on. The same applies
+to the `fleet.*`, `monitor_cadence.*`, and `scale.*` prefixes: matched by
+name across the two documents and printed for trend, never delta-gated.
 
-Usage: check_perf_regression.py BASELINE.json CURRENT.json [--max-drop 0.20]
+Two structural checks ARE hard failures, because they catch a broken bench
+document rather than slow code:
+
+  * a malformed or truncated BENCH_*.json (invalid JSON, missing or
+    non-dict "gauges", non-numeric gauge values) exits 2 instead of
+    silently gating on nothing;
+  * a scale.<series>.n<N> row carrying ops_per_sec but neither
+    campaign_ops_per_sec nor an explicit campaign_skipped marker exits 2 —
+    a silently dropped campaign leg must not read as an intentional skip.
+
+One conditional perf gate rides on the fleet sweep: when the CURRENT
+document carries fleet.w1/fleet.w4 and was measured on >= 4 cores
+(fleet.cores), the 4-worker fleet must reach --min-fleet-speedup x the
+single-worker throughput (default 3.0). On smaller machines the check
+prints a skip note — a 1-core container cannot scale no matter what the
+code does.
+
+Usage: check_perf_regression.py BASELINE.json CURRENT.json
+           [--max-drop 0.20] [--min-fleet-speedup 3.0]
 """
 
 import argparse
 import json
 import sys
 
+INFORMATIONAL_PREFIXES = ("fleet.", "monitor_cadence.", "scale.")
+
 
 def load_gauges(path):
-    with open(path) as f:
-        doc = json.load(f)
-    return doc.get("gauges", {})
+    """Returns the gauges dict; exits 2 on a malformed bench document."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as exc:
+        print(f"error: cannot read bench document {path}: {exc}")
+        sys.exit(2)
+    except json.JSONDecodeError as exc:
+        print(f"error: bench document {path} is not valid JSON "
+              f"(truncated write?): {exc}")
+        sys.exit(2)
+    if not isinstance(doc, dict) or "gauges" not in doc:
+        print(f'error: bench document {path} has no "gauges" section')
+        sys.exit(2)
+    gauges = doc["gauges"]
+    if not isinstance(gauges, dict):
+        print(f'error: bench document {path} "gauges" is not an object')
+        sys.exit(2)
+    bad = sorted(k for k, v in gauges.items()
+                 if isinstance(v, bool) or not isinstance(v, (int, float)))
+    if bad:
+        print(f"error: bench document {path} has non-numeric gauges: "
+              f"{bad[:5]}")
+        sys.exit(2)
+    return gauges
+
+
+def check_scale_rows(path, gauges):
+    """Every scale row must resolve its campaign leg: measured or marked."""
+    problems = []
+    for key in sorted(gauges):
+        if not key.startswith("scale.") or not key.endswith(".ops_per_sec"):
+            continue
+        if key.endswith(".campaign_ops_per_sec"):
+            continue
+        row = key[: -len(".ops_per_sec")]
+        if (f"{row}.campaign_ops_per_sec" not in gauges
+                and f"{row}.campaign_skipped" not in gauges):
+            problems.append(row)
+    if problems:
+        print(f"error: {path} has scale rows with neither "
+              f"campaign_ops_per_sec nor a campaign_skipped marker: "
+              f"{problems}")
+        sys.exit(2)
+
+
+def check_fleet_scaling(gauges, min_speedup):
+    """Returns an error string, or None if the check passed or was skipped."""
+    w1 = gauges.get("fleet.w1.ops_per_sec")
+    w4 = gauges.get("fleet.w4.ops_per_sec")
+    cores = gauges.get("fleet.cores")
+    if w1 is None or w4 is None:
+        print("fleet scaling check: skipped (no fleet.w1/w4 sweep in the "
+              "current document)")
+        return None
+    if cores is None or cores < 4:
+        print(f"fleet scaling check: skipped (fleet.cores={cores}; need >= 4 "
+              f"cores to expect multi-worker scaling)")
+        return None
+    if w1 <= 0:
+        return f"fleet.w1.ops_per_sec is {w1}; cannot compute fleet speedup"
+    speedup = float(w4) / float(w1)
+    print(f"fleet scaling check: w4/w1 = {speedup:.2f}x on {cores:.0f} cores "
+          f"(required >= {min_speedup:.1f}x)")
+    if speedup < min_speedup:
+        return (f"4-worker fleet reached only {speedup:.2f}x single-worker "
+                f"throughput (required {min_speedup:.1f}x on "
+                f"{cores:.0f} cores)")
+    return None
 
 
 def main():
@@ -30,10 +118,16 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--max-drop", type=float, default=0.20,
                         help="maximum allowed fractional drop (default 0.20)")
+    parser.add_argument("--min-fleet-speedup", type=float, default=3.0,
+                        help="required fleet.w4/w1 speedup when the current "
+                             "document has the sweep and >= 4 cores "
+                             "(default 3.0)")
     args = parser.parse_args()
 
     baseline = load_gauges(args.baseline)
     current = load_gauges(args.current)
+    check_scale_rows(args.baseline, baseline)
+    check_scale_rows(args.current, current)
 
     def gateable(key):
         return (key.startswith("throughput.") and key.endswith(".ops_per_sec")
@@ -69,6 +163,25 @@ def main():
     for key in only_current:
         print(f"{key:<40} {'(new)':>12} {float(current[key]):>12.0f} "
               f"{'skip':>8}")
+
+    # Informational prefixes: matched by name across the two documents,
+    # printed for trend-watching, never part of the delta gate.
+    info_keys = sorted(k for k in set(baseline) | set(current)
+                       if k.startswith(INFORMATIONAL_PREFIXES))
+    if info_keys:
+        print(f"\n{'informational series (not gated)':<40} {'baseline':>12} "
+              f"{'current':>12}")
+        for key in info_keys:
+            base = (f"{float(baseline[key]):.0f}" if key in baseline
+                    else "(absent)")
+            cur = (f"{float(current[key]):.0f}" if key in current
+                   else "(absent)")
+            print(f"{key:<40} {base:>12} {cur:>12}")
+
+    print()
+    fleet_error = check_fleet_scaling(current, args.min_fleet_speedup)
+    if fleet_error:
+        failures.append(fleet_error)
 
     if failures:
         print("\nperf regression gate FAILED:")

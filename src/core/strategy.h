@@ -16,6 +16,8 @@
 
 namespace themis {
 
+class SeedPool;
+
 class Strategy {
  public:
   virtual ~Strategy() = default;
@@ -37,6 +39,24 @@ class Strategy {
     (void)reader;
     return Status::Ok();
   }
+
+  // Fleet corpus exchange (DESIGN.md §17): offer a seed published by another
+  // worker, with the energy it carried. Pool-backed strategies forward to
+  // SeedPool::ImportSeed (dedup + commutative energy merge); strategies
+  // without retained state — the stateless baselines, Themis⁻ — inherit the
+  // refusing default and the exchange simply finds no taker. Returns true
+  // when the seed entered a pool.
+  virtual bool ImportSeed(const OpSeq& seq, double score,
+                          uint64_t fingerprint) {
+    (void)seq;
+    (void)score;
+    (void)fingerprint;
+    return false;
+  }
+
+  // The pool backing this strategy, or nullptr for pool-less strategies.
+  // The corpus exchange walks it to publish newly accepted seeds.
+  virtual const SeedPool* seed_pool() const { return nullptr; }
 };
 
 }  // namespace themis

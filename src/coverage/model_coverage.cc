@@ -154,6 +154,38 @@ uint64_t ModelCoverage::PairCount(BalancerState from, BalancerState to) const {
   return pair_counts_[PairIndex(from, to)];
 }
 
+std::vector<std::pair<BalancerState, BalancerState>>
+ModelCoverage::CoveredPairs() const {
+  std::vector<std::pair<BalancerState, BalancerState>> pairs;
+  pairs.reserve(covered_);
+  for (size_t i = 0; i < pair_counts_.size(); ++i) {
+    if (pair_counts_[i] == 0) {
+      continue;
+    }
+    pairs.emplace_back(static_cast<BalancerState>(i / kBalancerStateCount),
+                       static_cast<BalancerState>(i % kBalancerStateCount));
+  }
+  return pairs;
+}
+
+Status ModelCoverage::MergeFrom(const ModelCoverage& other) {
+  if (other.flavor_ != flavor_) {
+    return Status::InvalidArgument("model coverage merge: flavor mismatch");
+  }
+  for (size_t i = 0; i < pair_counts_.size(); ++i) {
+    if (other.pair_counts_[i] == 0) {
+      continue;
+    }
+    if (pair_counts_[i] == 0) {
+      ++covered_;
+    }
+    pair_counts_[i] += other.pair_counts_[i];
+  }
+  total_ += other.total_;
+  illegal_ += other.illegal_;
+  return Status::Ok();
+}
+
 void ModelCoverage::Reset() {
   current_ = BalancerState::kIdle;
   std::fill(pair_counts_.begin(), pair_counts_.end(), 0);

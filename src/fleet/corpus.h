@@ -1,0 +1,71 @@
+// The shared seed corpus: how fleet workers exchange interesting test cases
+// (DESIGN.md §17).
+//
+// The corpus is a flat directory (file-backed, or shm-backed when placed
+// under /dev/shm) of framed seed files, one per distinct sequence
+// fingerprint, named `seed-<16-hex-fingerprint>.seed`. Publication is
+// atomic (tmp + rename) and idempotent: the fingerprint in the name IS the
+// dedup key, so two workers accepting the same sequence race benignly to
+// the same file name, and an importer can skip every fingerprint it has
+// already seen from the directory listing alone — no file is ever read
+// twice.
+//
+// The seed payload carries the energy/coverage metadata the receiving
+// strategy needs — the pool score the publisher assigned and the publisher's
+// transition-pair coverage at publication time — so the bandit's reward
+// accounting and the transition-coverage fitness blend keep working across
+// the fleet.
+//
+// Hygiene: ReadSeedFile refuses anything that is not a well-formed seed of
+// this build — foreign magic, stale version, truncation, payload corruption
+// (checksum), a name that disagrees with the embedded fingerprint, a
+// fingerprint that disagrees with the recomputed sequence digest, an
+// out-of-range flavor, or an empty sequence. The importer counts each
+// rejection under `fleet.corpus.rejects` and never retries the file.
+
+#ifndef SRC_FLEET_CORPUS_H_
+#define SRC_FLEET_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/opseq.h"
+#include "src/dfs/types.h"
+
+namespace themis {
+
+inline constexpr std::string_view kCorpusSeedMagic = "THMSEED1";
+inline constexpr uint32_t kCorpusSeedFormatVersion = 1;
+
+struct CorpusSeed {
+  uint64_t fingerprint = 0;  // OpSeqFingerprint(seq)
+  Flavor flavor = Flavor::kGluster;
+  double score = 0.0;         // publisher's pool energy for the seed
+  uint64_t transitions = 0;   // publisher's transition coverage at publish
+  uint64_t origin_job = 0;    // matrix job index that accepted the seed
+  OpSeq seq;
+};
+
+std::string SeedFileName(uint64_t fingerprint);
+
+// Parses `seed-<16hex>.seed`; false for any other name (tmp files, foreign
+// droppings), which the importer simply ignores.
+bool ParseSeedFileName(std::string_view name, uint64_t* fingerprint);
+
+// Publishes `seed` into `dir` atomically. Skips the write when the file
+// already exists (another worker won the race — same fingerprint, same
+// bytes that matter). `seed.fingerprint` must match the sequence.
+Status PublishSeed(const std::string& dir, const CorpusSeed& seed);
+
+// Reads and fully validates one seed file (see hygiene notes above).
+Result<CorpusSeed> ReadSeedFile(const std::string& path);
+
+// Sorted seed file names currently in `dir` (an absent directory is an
+// empty corpus, not an error).
+std::vector<std::string> ListSeedFileNames(const std::string& dir);
+
+}  // namespace themis
+
+#endif  // SRC_FLEET_CORPUS_H_

@@ -1,0 +1,91 @@
+// The corpus-exchange loop observer: the per-worker half of fleet seed
+// sharing (DESIGN.md §17).
+//
+// Attached to a campaign via Campaign::set_loop_observer, it runs at every
+// test-case boundary and
+//   1. publishes seeds the strategy's pool accepted since the last boundary
+//     (skipping seeds that arrived by import — re-publishing them would
+//     only churn the directory), appending each published fingerprint to a
+//     per-worker publish log so the no-lost-seeds invariant is auditable;
+//   2. every `import_every` test cases, diffs the corpus directory against
+//     its fingerprint index and offers each new seed to the strategy via
+//     Strategy::ImportSeed — the pool dedups and energy-merges;
+//   3. every `heartbeat_every` test cases, appends a progress heartbeat.
+//
+// The observer draws no randomness and never touches the cluster, so a
+// single-worker single-JOB fleet campaign — where every corpus seed is one
+// the job itself published, deduped to a no-op on import — stays
+// bit-identical to the same campaign without an observer
+// (fleet_service_test proves it by digest). Multi-job fleets diverge on
+// purpose: later jobs import earlier jobs' seeds into their pools, which is
+// the whole point of the shared corpus; those runs are validated by the
+// invariant checker, not byte-equality.
+
+#ifndef SRC_FLEET_EXCHANGE_H_
+#define SRC_FLEET_EXCHANGE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/fleet/corpus.h"
+#include "src/fleet/fingerprint_index.h"
+#include "src/harness/campaign.h"
+
+namespace themis {
+
+struct CorpusExchangeOptions {
+  std::string corpus_dir;
+  Flavor flavor = Flavor::kGluster;
+  uint64_t job_index = 0;
+  int worker_id = 0;
+  long pid = 0;
+  int import_every = 64;     // test cases between corpus scans (>=1)
+  int heartbeat_every = 32;  // test cases between heartbeats; 0 disables
+  std::string heartbeat_path;  // empty disables heartbeats
+  std::string publish_log;     // empty disables the audit log
+  // First heartbeat gets heartbeat_seq_start + 1: the worker threads one
+  // running counter through its jobs so seq is strictly increasing per
+  // process incarnation — the property the invariant checker replays.
+  uint64_t heartbeat_seq_start = 0;
+};
+
+class CorpusExchange : public CampaignLoopObserver {
+ public:
+  explicit CorpusExchange(CorpusExchangeOptions options);
+
+  void OnTestcase(Strategy& strategy, const ExecOutcome& outcome,
+                  const CampaignTick& tick) override;
+
+  // Job-end heartbeat with the closing totals. Publication needs no final
+  // flush: OnTestcase runs after the last outcome, so every accepted seed
+  // is already on disk when Campaign::Run returns.
+  void EmitJobDone(const CampaignTick& final_tick);
+
+  uint64_t published() const { return published_; }
+  uint64_t imported() const { return imported_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t import_dups() const { return dups_; }
+  uint64_t heartbeat_seq() const { return heartbeat_seq_; }
+
+ private:
+  void PublishNewSeeds(Strategy& strategy, const CampaignTick& tick);
+  void ImportNewSeeds(Strategy& strategy);
+  void EmitHeartbeat(const CampaignTick& tick, const char* phase);
+
+  CorpusExchangeOptions options_;
+  FingerprintIndex index_;  // fingerprints already published/imported/rejected
+  std::set<std::string> rejected_files_;  // never re-read a bad file
+  uint64_t max_published_seed_id_ = 0;
+  uint64_t heartbeat_seq_ = 0;
+  int since_import_ = 0;
+  int since_heartbeat_ = 0;
+  uint64_t published_ = 0;
+  uint64_t imported_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t dups_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // SRC_FLEET_EXCHANGE_H_

@@ -1,0 +1,31 @@
+// In-memory index of corpus fingerprints a worker already knows about —
+// published itself, imported, or rejected as corrupt. Because the
+// fingerprint is embedded in the seed file name, the exchange can diff the
+// directory listing against this index and touch only genuinely new files:
+// an import scan is O(directory entries) stats plus O(new seeds) reads,
+// never a re-read of the whole corpus.
+
+#ifndef SRC_FLEET_FINGERPRINT_INDEX_H_
+#define SRC_FLEET_FINGERPRINT_INDEX_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace themis {
+
+class FingerprintIndex {
+ public:
+  bool Contains(uint64_t fingerprint) const {
+    return set_.count(fingerprint) != 0;
+  }
+  // Returns true when the fingerprint was new.
+  bool Insert(uint64_t fingerprint) { return set_.insert(fingerprint).second; }
+  size_t size() const { return set_.size(); }
+
+ private:
+  std::unordered_set<uint64_t> set_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_FLEET_FINGERPRINT_INDEX_H_

@@ -1,0 +1,122 @@
+#include "src/fleet/fleet_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "src/common/snapshot_io.h"
+#include "src/common/strings.h"
+
+namespace themis {
+
+namespace {
+constexpr size_t kFrameHeaderBytes = 8 + 4 + 8 + 8;
+}  // namespace
+
+Status WriteFramedFile(const std::string& path, std::string_view magic,
+                       uint32_t version, const std::string& payload) {
+  if (magic.size() != 8) {
+    return Status::InvalidArgument("framed-file magic must be 8 bytes");
+  }
+  SnapshotWriter header;
+  for (char c : magic) header.U8(static_cast<uint8_t>(c));
+  header.U32(version);
+  header.U64(payload.size());
+  header.U64(Fnv1a64(payload));
+
+  std::error_code ec;
+  std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  // Suffix the temp name with the pid: several fleet processes may publish
+  // the same seed fingerprint concurrently, and their temp files must not
+  // clobber each other before the winning rename.
+  const std::string tmp_path =
+      Sprintf("%s.%ld.tmp", path.c_str(), static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal(
+          Sprintf("cannot open temp file %s", tmp_path.c_str()));
+    }
+    out.write(header.buffer().data(),
+              static_cast<std::streamsize>(header.buffer().size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal(
+          Sprintf("short write to temp file %s", tmp_path.c_str()));
+    }
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return Status::Internal(Sprintf("cannot rename %s to %s: %s",
+                                    tmp_path.c_str(), path.c_str(),
+                                    ec.message().c_str()));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   std::string_view magic, uint32_t version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(Sprintf("%s cannot be opened", path.c_str()));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::DataLoss(Sprintf("%s truncated: %zu bytes, header needs %zu",
+                                    path.c_str(), bytes.size(),
+                                    kFrameHeaderBytes));
+  }
+  SnapshotReader header(std::string_view(bytes).substr(0, kFrameHeaderBytes));
+  char file_magic[8];
+  for (char& c : file_magic) c = static_cast<char>(header.U8());
+  if (std::string_view(file_magic, 8) != magic) {
+    return Status::DataLoss(
+        Sprintf("%s has bad magic (foreign file in fleet directory)",
+                path.c_str()));
+  }
+  uint32_t file_version = header.U32();
+  if (file_version != version) {
+    return Status::DataLoss(
+        Sprintf("%s has unsupported format version %u (this build reads %u)",
+                path.c_str(), file_version, version));
+  }
+  uint64_t payload_size = header.U64();
+  uint64_t checksum = header.U64();
+  if (bytes.size() - kFrameHeaderBytes != payload_size) {
+    return Status::DataLoss(
+        Sprintf("%s payload size mismatch: header says %llu bytes, file has %zu",
+                path.c_str(), static_cast<unsigned long long>(payload_size),
+                bytes.size() - kFrameHeaderBytes));
+  }
+  std::string payload = bytes.substr(kFrameHeaderBytes);
+  if (Fnv1a64(payload) != checksum) {
+    return Status::DataLoss(
+        Sprintf("%s payload checksum mismatch (corrupt file)", path.c_str()));
+  }
+  return payload;
+}
+
+Status AppendLine(const std::string& path, std::string_view line) {
+  std::string record(line);
+  record.push_back('\n');
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal(Sprintf("cannot open %s for append", path.c_str()));
+  }
+  ssize_t written = ::write(fd, record.data(), record.size());
+  ::close(fd);
+  if (written != static_cast<ssize_t>(record.size())) {
+    return Status::Internal(Sprintf("short append to %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace themis

@@ -1,0 +1,44 @@
+// Framed, checksummed file exchange for the fleet service (DESIGN.md §17).
+//
+// Every file fleet processes hand each other — corpus seeds, work-queue job
+// specs, done records — uses the same frame as campaign snapshots:
+//
+//   offset  size  field
+//   0       8     magic (per file kind, e.g. "THMSEED1")
+//   8       4     format version (u32 LE)
+//   12      8     payload size in bytes (u64 LE)
+//   20      8     FNV-1a 64 checksum of the payload (u64 LE)
+//   28      ...   payload (SnapshotWriter encoding)
+//
+// Writes are atomic (tmp + rename), so a reader never observes a torn file;
+// readers validate magic, version, size and checksum before parsing a byte,
+// and every corruption mode maps to a descriptive kDataLoss status — the
+// corpus-hygiene tests exercise each one, mirroring snapshot_corruption_test.
+
+#ifndef SRC_FLEET_FLEET_IO_H_
+#define SRC_FLEET_FLEET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace themis {
+
+// `magic` must be exactly 8 bytes.
+Status WriteFramedFile(const std::string& path, std::string_view magic,
+                       uint32_t version, const std::string& payload);
+
+// Returns the validated payload, or kNotFound / kDataLoss.
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   std::string_view magic, uint32_t version);
+
+// Appends one line (with trailing newline added) to `path`, creating it if
+// needed. Lines are written with a single O_APPEND write, so concurrent
+// appenders from different processes never interleave mid-line.
+Status AppendLine(const std::string& path, std::string_view line);
+
+}  // namespace themis
+
+#endif  // SRC_FLEET_FLEET_IO_H_

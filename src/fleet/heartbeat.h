@@ -1,0 +1,51 @@
+// Worker liveness + progress heartbeats (DESIGN.md §17).
+//
+// Each worker appends one JSON line to its own `hb/worker-<k>.jsonl` at a
+// test-case cadence and at phase changes. The supervisor uses the file's
+// mtime for liveness (a stale file means a hung worker, distinct from a
+// crashed one, which waitpid catches) and the last line for --fleet-status.
+// The full history stays in the file: check_fleet_invariants.py replays it
+// to assert that coverage and op counts are monotone per (job, pid) run —
+// the fleet-mode stand-in for digest determinism.
+
+#ifndef SRC_FLEET_HEARTBEAT_H_
+#define SRC_FLEET_HEARTBEAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace themis {
+
+struct Heartbeat {
+  int worker_id = 0;
+  long pid = 0;
+  uint64_t seq = 0;        // per-incarnation heartbeat counter, strictly up
+  uint64_t job_index = 0;  // matrix job currently running
+  uint64_t total_ops = 0;
+  int64_t testcases = 0;
+  uint64_t coverage = 0;
+  uint64_t transitions = 0;
+  uint64_t published = 0;  // seeds this worker published to the corpus
+  uint64_t imported = 0;   // seeds it imported from peers
+  // "run", "job_done", "idle" (queue empty), or "exit".
+  std::string phase = "run";
+};
+
+std::string HeartbeatFileName(int worker_id);
+
+std::string RenderHeartbeatJson(const Heartbeat& hb);
+
+Status AppendHeartbeat(const std::string& path, const Heartbeat& hb);
+
+// Parses the last well-formed heartbeat line of `path`. kNotFound when the
+// file is missing or holds no parsable line.
+Result<Heartbeat> ReadLastHeartbeat(const std::string& path);
+
+// Line-level parser, exposed for the invariant checker tests.
+bool ParseHeartbeatJson(std::string_view line, Heartbeat* hb);
+
+}  // namespace themis
+
+#endif  // SRC_FLEET_HEARTBEAT_H_

@@ -1,0 +1,129 @@
+#include "src/fleet/telemetry_merge.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+#include "src/common/strings.h"
+
+namespace themis {
+
+namespace {
+
+// Scans `"name": <integer>` pairs inside the object that starts right after
+// `section_key` (e.g. `"counters": {`). Stops at the section's closing
+// brace. Assumes the repo's own renderer: names contain no escaped quotes
+// worth handling beyond JsonEscape's, values are bare integers.
+template <typename Map>
+bool ScanSection(const std::string& text, std::string_view section_key,
+                 Map* out) {
+  std::string needle = Sprintf("\"%.*s\": {",
+                               static_cast<int>(section_key.size()),
+                               section_key.data());
+  size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  size_t pos = at + needle.size();
+  size_t end = text.find('}', pos);
+  if (end == std::string::npos) {
+    return false;
+  }
+  while (pos < end) {
+    size_t name_open = text.find('"', pos);
+    if (name_open == std::string::npos || name_open >= end) break;
+    size_t name_close = text.find('"', name_open + 1);
+    if (name_close == std::string::npos || name_close >= end) return false;
+    std::string name = text.substr(name_open + 1, name_close - name_open - 1);
+    size_t colon = text.find(':', name_close);
+    if (colon == std::string::npos || colon >= end) return false;
+    char* value_end = nullptr;
+    long long value = std::strtoll(text.c_str() + colon + 1, &value_end, 10);
+    if (value_end == text.c_str() + colon + 1) return false;
+    (*out)[std::move(name)] =
+        static_cast<typename Map::mapped_type>(value);
+    pos = static_cast<size_t>(value_end - text.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<FlatMetrics> ReadFlatMetricsJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(Sprintf("%s cannot be opened", path.c_str()));
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  FlatMetrics metrics;
+  if (!ScanSection(text, "counters", &metrics.counters) ||
+      !ScanSection(text, "gauges", &metrics.gauges)) {
+    return Status::DataLoss(
+        Sprintf("%s: missing or malformed counters/gauges sections",
+                path.c_str()));
+  }
+  return metrics;
+}
+
+void MergeFlatMetrics(FlatMetrics* into, const FlatMetrics& from) {
+  for (const auto& [name, value] : from.counters) {
+    into->counters[name] += value;
+  }
+  for (const auto& [name, value] : from.gauges) {
+    into->gauges[name] += value;
+  }
+}
+
+std::string RenderMergedMetricsJson(const std::string& bench_name,
+                                    double wall_seconds, int workers,
+                                    const FlatMetrics& metrics) {
+  std::string out =
+      Sprintf("{\n  \"bench\": \"%s\",\n  \"wall_seconds\": %.6f,\n"
+              "  \"workers\": %d,\n",
+              bench_name.c_str(), wall_seconds, workers);
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters) {
+    out += Sprintf("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                   static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : metrics.gauges) {
+    out += Sprintf("%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+                   static_cast<long long>(value));
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::vector<std::string> JsonlTail::Drain() {
+  std::vector<std::string> lines;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    return lines;
+  }
+  in.seekg(static_cast<std::streamoff>(offset_));
+  if (!in) {
+    return lines;
+  }
+  std::string chunk((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  offset_ += chunk.size();
+  partial_ += chunk;
+  size_t start = 0;
+  while (true) {
+    size_t newline = partial_.find('\n', start);
+    if (newline == std::string::npos) break;
+    lines.push_back(partial_.substr(start, newline - start));
+    start = newline + 1;
+  }
+  partial_.erase(0, start);
+  return lines;
+}
+
+}  // namespace themis

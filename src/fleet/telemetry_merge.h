@@ -1,0 +1,66 @@
+// Fleet telemetry aggregation (DESIGN.md §17).
+//
+// Each worker process owns its own global MetricsRegistry and writes it out
+// as a flat metrics summary (the BENCH_*.json "counters"/"gauges" shape)
+// when it exits; the supervisor parses those files with the scanner below,
+// sum-merges them, and renders one merged fleet summary. The scanner only
+// understands the repo's own renderer output (WriteMetricsSummaryJson) —
+// quoted name, colon, integer — which is exactly enough and keeps a JSON
+// dependency out of the tree.
+//
+// JsonlTail is the live-stream half: an offset-tracking reader that drains
+// newly appended complete lines from a growing JSONL file, so the
+// supervisor can funnel per-worker event streams into one merged stream
+// while the workers are still running.
+
+#ifndef SRC_FLEET_TELEMETRY_MERGE_H_
+#define SRC_FLEET_TELEMETRY_MERGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace themis {
+
+struct FlatMetrics {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+};
+
+// Parses the "counters" and "gauges" sections of a metrics summary written
+// by WriteMetricsSummaryJson. Histograms are skipped: per-worker latency
+// buckets do not sum meaningfully without their raw samples.
+Result<FlatMetrics> ReadFlatMetricsJson(const std::string& path);
+
+// value-sum merge; gauge collisions also sum (fleet gauges are totals).
+void MergeFlatMetrics(FlatMetrics* into, const FlatMetrics& from);
+
+// One merged BENCH-style document: {"bench":..., "wall_seconds":...,
+// "workers":..., "counters":{...}, "gauges":{...}}.
+std::string RenderMergedMetricsJson(const std::string& bench_name,
+                                    double wall_seconds, int workers,
+                                    const FlatMetrics& metrics);
+
+// Offset-tracking tail over one growing JSONL file. Drain() returns every
+// complete line appended since the previous call (no trailing newline);
+// a final partial line stays buffered until its newline arrives.
+class JsonlTail {
+ public:
+  explicit JsonlTail(std::string path) : path_(std::move(path)) {}
+
+  std::vector<std::string> Drain();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  uint64_t offset_ = 0;
+  std::string partial_;
+};
+
+}  // namespace themis
+
+#endif  // SRC_FLEET_TELEMETRY_MERGE_H_

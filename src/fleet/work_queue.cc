@@ -1,0 +1,385 @@
+#include "src/fleet/work_queue.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/common/strings.h"
+#include "src/fleet/fleet_io.h"
+#include "src/harness/snapshot.h"
+
+namespace themis {
+
+namespace fs = std::filesystem;
+
+FleetPaths FleetPaths::At(const std::string& root) {
+  FleetPaths paths;
+  paths.root = root;
+  paths.queue = (fs::path(root) / "queue").string();
+  paths.claimed = (fs::path(root) / "claimed").string();
+  paths.done = (fs::path(root) / "done").string();
+  paths.corpus = (fs::path(root) / "corpus").string();
+  paths.ckpt = (fs::path(root) / "ckpt").string();
+  paths.hb = (fs::path(root) / "hb").string();
+  paths.telemetry = (fs::path(root) / "telemetry").string();
+  return paths;
+}
+
+Status FleetPaths::EnsureDirs() const {
+  for (const std::string* dir :
+       {&queue, &claimed, &done, &corpus, &ckpt, &hb, &telemetry}) {
+    std::error_code ec;
+    fs::create_directories(*dir, ec);
+    if (ec) {
+      return Status::Internal(Sprintf("cannot create %s: %s", dir->c_str(),
+                                      ec.message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string QueueJobFileName(size_t job_index) {
+  return Sprintf("job-%06zu.job", job_index);
+}
+
+std::string ClaimedJobFileName(size_t job_index, int worker_id) {
+  return Sprintf("job-%06zu.w%d.job", job_index, worker_id);
+}
+
+std::string DoneRecordFileName(size_t job_index) {
+  return Sprintf("job-%06zu.res", job_index);
+}
+
+namespace {
+
+// Parses "job-<digits>" prefixes out of queue/claimed/done file names.
+bool ParseJobIndex(std::string_view name, size_t* index) {
+  constexpr std::string_view prefix = "job-";
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  size_t value = 0;
+  size_t digits = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<size_t>(c - '0');
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *index = value;
+  return true;
+}
+
+// Claim file owned by `worker_id`? Matches "job-<index>.w<k>.job".
+bool ParseClaimName(std::string_view name, size_t* index, int* worker_id) {
+  if (!ParseJobIndex(name, index)) return false;
+  size_t w = name.find(".w");
+  size_t suffix = name.rfind(".job");
+  if (w == std::string_view::npos || suffix == std::string_view::npos ||
+      suffix != name.size() - 4 || w + 2 >= suffix) {
+    return false;
+  }
+  int value = 0;
+  for (size_t i = w + 2; i < suffix; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *worker_id = value;
+  return true;
+}
+
+}  // namespace
+
+void SaveCampaignConfig(SnapshotWriter& writer, const CampaignConfig& config) {
+  writer.U8(static_cast<uint8_t>(config.flavor));
+  writer.U64(config.seed);
+  writer.I64(config.budget);
+  writer.F64(config.threshold_t);
+  writer.F64(config.weights.computation);
+  writer.F64(config.weights.network);
+  writer.F64(config.weights.storage);
+  writer.U8(static_cast<uint8_t>(config.fault_set));
+  writer.I64(config.initial_files);
+  writer.I64(config.coverage_sample_period);
+  writer.I64(config.storage_nodes);
+  writer.I64(config.meta_nodes);
+  writer.Bool(config.env_faults);
+  writer.Bool(config.collect_telemetry);
+  writer.F64(config.transition_weight);
+  writer.Str(config.checkpoint_dir);
+  writer.U64(config.checkpoint_every_ops);
+  writer.Bool(config.resume);
+  writer.I64(config.checkpoint_keep);
+  writer.U64(config.job_index);
+  writer.I64(config.halt_after_checkpoints);
+}
+
+Status RestoreCampaignConfig(SnapshotReader& reader, CampaignConfig* config) {
+  uint8_t flavor = reader.U8();
+  config->seed = reader.U64();
+  config->budget = reader.I64();
+  config->threshold_t = reader.F64();
+  config->weights.computation = reader.F64();
+  config->weights.network = reader.F64();
+  config->weights.storage = reader.F64();
+  uint8_t fault_set = reader.U8();
+  config->initial_files = static_cast<int>(reader.I64());
+  config->coverage_sample_period = reader.I64();
+  config->storage_nodes = static_cast<int>(reader.I64());
+  config->meta_nodes = static_cast<int>(reader.I64());
+  config->env_faults = reader.Bool();
+  config->collect_telemetry = reader.Bool();
+  config->transition_weight = reader.F64();
+  config->checkpoint_dir = reader.Str();
+  config->checkpoint_every_ops = reader.U64();
+  config->resume = reader.Bool();
+  config->checkpoint_keep = static_cast<int>(reader.I64());
+  config->job_index = reader.U64();
+  config->halt_after_checkpoints = static_cast<int>(reader.I64());
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  if (flavor > static_cast<uint8_t>(Flavor::kGeo)) {
+    reader.Fail(Sprintf("job spec has unknown flavor %u", flavor));
+    return reader.status();
+  }
+  config->flavor = static_cast<Flavor>(flavor);
+  if (fault_set > static_cast<uint8_t>(FaultSet::kNone)) {
+    reader.Fail(Sprintf("job spec has unknown fault set %u", fault_set));
+    return reader.status();
+  }
+  config->fault_set = static_cast<FaultSet>(fault_set);
+  return config->Validate();
+}
+
+Status WriteJobSpecFile(const std::string& path, const CampaignJob& job) {
+  SnapshotWriter payload;
+  payload.U64(job.index);
+  payload.Str(job.strategy);
+  payload.I64(job.repetition);
+  SaveCampaignConfig(payload, job.config);
+  return WriteFramedFile(path, kJobSpecMagic, kFleetFileFormatVersion,
+                         payload.buffer());
+}
+
+Result<CampaignJob> ReadJobSpecFile(const std::string& path) {
+  Result<std::string> payload =
+      ReadFramedFile(path, kJobSpecMagic, kFleetFileFormatVersion);
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  SnapshotReader reader(payload.value());
+  CampaignJob job;
+  job.index = reader.U64();
+  job.strategy = reader.Str();
+  job.repetition = static_cast<int>(reader.I64());
+  if (Status s = RestoreCampaignConfig(reader, &job.config); !s.ok()) {
+    return Status::DataLoss(
+        Sprintf("%s: %s", path.c_str(), s.ToString().c_str()));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss(
+        Sprintf("%s: trailing bytes after job spec", path.c_str()));
+  }
+  return job;
+}
+
+Status WriteDoneRecordFile(const std::string& path,
+                           const FleetDoneRecord& record) {
+  SnapshotWriter payload;
+  payload.U64(record.job.index);
+  payload.Str(record.job.strategy);
+  payload.I64(record.job.repetition);
+  SaveCampaignConfig(payload, record.job.config);
+  payload.I64(record.worker_id);
+  payload.F64(record.wall_seconds);
+  payload.F64(record.cpu_seconds);
+  payload.Bool(record.job_status.ok());
+  if (record.job_status.ok()) {
+    SaveCampaignResult(payload, record.result);
+  } else {
+    payload.Str(record.job_status.ToString());
+  }
+  return WriteFramedFile(path, kDoneRecordMagic, kFleetFileFormatVersion,
+                         payload.buffer());
+}
+
+Result<FleetDoneRecord> ReadDoneRecordFile(const std::string& path) {
+  Result<std::string> payload =
+      ReadFramedFile(path, kDoneRecordMagic, kFleetFileFormatVersion);
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  SnapshotReader reader(payload.value());
+  FleetDoneRecord record;
+  record.job.index = reader.U64();
+  record.job.strategy = reader.Str();
+  record.job.repetition = static_cast<int>(reader.I64());
+  if (Status s = RestoreCampaignConfig(reader, &record.job.config); !s.ok()) {
+    return Status::DataLoss(
+        Sprintf("%s: %s", path.c_str(), s.ToString().c_str()));
+  }
+  record.worker_id = static_cast<int>(reader.I64());
+  record.wall_seconds = reader.F64();
+  record.cpu_seconds = reader.F64();
+  bool ok = reader.Bool();
+  if (ok) {
+    if (Status s = RestoreCampaignResult(reader, &record.result); !s.ok()) {
+      return Status::DataLoss(
+          Sprintf("%s: %s", path.c_str(), s.ToString().c_str()));
+    }
+  } else {
+    record.job_status = Status::Internal(reader.Str());
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    return Status::DataLoss(
+        Sprintf("%s: malformed done record", path.c_str()));
+  }
+  return record;
+}
+
+Result<std::optional<ClaimedJob>> NextJob(const FleetPaths& paths,
+                                          int worker_id) {
+  // 1. Orphaned claims from a previous incarnation of this worker id.
+  std::vector<std::pair<size_t, std::string>> mine;
+  std::error_code ec;
+  for (fs::directory_iterator it(paths.claimed, ec);
+       !ec && it != fs::directory_iterator(); ++it) {
+    size_t index = 0;
+    int owner = -1;
+    std::string name = it->path().filename().string();
+    if (ParseClaimName(name, &index, &owner) && owner == worker_id) {
+      mine.emplace_back(index, it->path().string());
+    }
+  }
+  std::sort(mine.begin(), mine.end());
+  for (const auto& [index, claim_path] : mine) {
+    const std::string done_path =
+        (fs::path(paths.done) / DoneRecordFileName(index)).string();
+    if (fs::exists(done_path, ec)) {
+      // The dead incarnation finished the job but crashed before clearing
+      // the claim. Clear it now; re-running would double-count.
+      fs::remove(claim_path, ec);
+      continue;
+    }
+    Result<CampaignJob> job = ReadJobSpecFile(claim_path);
+    if (!job.ok()) {
+      return Status::DataLoss(Sprintf("orphaned claim %s unreadable: %s",
+                                      claim_path.c_str(),
+                                      job.status().ToString().c_str()));
+    }
+    ClaimedJob claimed;
+    claimed.job = job.take();
+    claimed.claim_path = claim_path;
+    return std::optional<ClaimedJob>(std::move(claimed));
+  }
+
+  // 2. Claim the lowest-index queue entry. rename(2) is atomic within the
+  // fleet filesystem, so exactly one contender wins each file; losers just
+  // move on to the next candidate.
+  while (true) {
+    std::vector<std::pair<size_t, std::string>> queued;
+    for (fs::directory_iterator it(paths.queue, ec);
+         !ec && it != fs::directory_iterator(); ++it) {
+      size_t index = 0;
+      std::string name = it->path().filename().string();
+      if (ParseJobIndex(name, &index) &&
+          name.size() > 4 && name.substr(name.size() - 4) == ".job") {
+        queued.emplace_back(index, it->path().string());
+      }
+    }
+    if (queued.empty()) {
+      return std::optional<ClaimedJob>(std::nullopt);
+    }
+    std::sort(queued.begin(), queued.end());
+    bool any_claimed = false;
+    for (const auto& [index, queue_path] : queued) {
+      const std::string claim_path =
+          (fs::path(paths.claimed) / ClaimedJobFileName(index, worker_id))
+              .string();
+      std::error_code rename_ec;
+      fs::rename(queue_path, claim_path, rename_ec);
+      if (rename_ec) {
+        continue;  // lost the race for this job; try the next
+      }
+      any_claimed = true;
+      Result<CampaignJob> job = ReadJobSpecFile(claim_path);
+      if (!job.ok()) {
+        return Status::DataLoss(Sprintf("claimed spec %s unreadable: %s",
+                                        claim_path.c_str(),
+                                        job.status().ToString().c_str()));
+      }
+      ClaimedJob claimed;
+      claimed.job = job.take();
+      claimed.claim_path = claim_path;
+      return std::optional<ClaimedJob>(std::move(claimed));
+    }
+    if (!any_claimed) {
+      // Every listed entry vanished under us (all claimed elsewhere);
+      // re-list — the loop terminates because the queue only shrinks.
+      continue;
+    }
+  }
+}
+
+Status MarkJobDone(const FleetPaths& paths, const ClaimedJob& claimed,
+                   const FleetDoneRecord& record) {
+  const std::string done_path =
+      (fs::path(paths.done) / DoneRecordFileName(record.job.index)).string();
+  if (Status s = WriteDoneRecordFile(done_path, record); !s.ok()) {
+    return s;
+  }
+  std::error_code ec;
+  fs::remove(claimed.claim_path, ec);
+  // A leftover claim after a successful done write is harmless: the worker
+  // id owning it re-reads the spec, sees the done record, and skips.
+  return Status::Ok();
+}
+
+Result<std::vector<FleetDoneRecord>> ReadAllDoneRecords(
+    const FleetPaths& paths) {
+  std::vector<std::pair<size_t, std::string>> files;
+  std::error_code ec;
+  for (fs::directory_iterator it(paths.done, ec);
+       !ec && it != fs::directory_iterator(); ++it) {
+    size_t index = 0;
+    std::string name = it->path().filename().string();
+    if (ParseJobIndex(name, &index) &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".res") {
+      files.emplace_back(index, it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<FleetDoneRecord> records;
+  records.reserve(files.size());
+  for (const auto& [index, path] : files) {
+    Result<FleetDoneRecord> record = ReadDoneRecordFile(path);
+    if (!record.ok()) {
+      return record.status();
+    }
+    records.push_back(record.take());
+  }
+  return records;
+}
+
+QueueCounts CountQueueEntries(const FleetPaths& paths) {
+  QueueCounts counts;
+  auto count_dir = [](const std::string& dir, std::string_view suffix) {
+    size_t n = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec);
+         !ec && it != fs::directory_iterator(); ++it) {
+      std::string name = it->path().filename().string();
+      if (name.size() > suffix.size() &&
+          name.substr(name.size() - suffix.size()) == suffix) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  counts.queued = count_dir(paths.queue, ".job");
+  counts.claimed = count_dir(paths.claimed, ".job");
+  counts.done = count_dir(paths.done, ".res");
+  return counts;
+}
+
+}  // namespace themis

@@ -1,0 +1,52 @@
+// The fleet worker loop (DESIGN.md §17): claim a job, run the campaign with
+// the corpus exchange attached, write the done record, repeat until the
+// queue drains.
+//
+// Crash recovery is built from PR 4 checkpoints: every job runs with
+// resume=true against the shared ckpt/ directory, so a restarted worker
+// that re-adopts an orphaned claim continues the interrupted campaign from
+// its newest valid snapshot instead of starting over — and because a job
+// only counts when its done record lands, test cases are never counted
+// twice across incarnations.
+//
+// RunFleetWorker is in-process callable (the fleet service tests drive
+// sequential workers through it directly); the CLI wraps it in a process
+// whose exit code the supervisor watches.
+
+#ifndef SRC_FLEET_WORKER_H_
+#define SRC_FLEET_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace themis {
+
+struct FleetWorkerOptions {
+  std::string dir;         // fleet root (FleetPaths layout)
+  std::string corpus_dir;  // defaults to <dir>/corpus; may point at /dev/shm
+  int worker_id = 0;
+  int import_every = 64;
+  int heartbeat_every = 32;
+  // Crash-test hook, applied to the first claimed job only: abort the
+  // process-to-be after this many checkpoints. The supervisor passes it to
+  // a worker's first incarnation in fleet-smoke CI runs.
+  int halt_after_checkpoints = 0;
+};
+
+struct FleetWorkerOutcome {
+  int jobs_completed = 0;
+  uint64_t seeds_published = 0;
+  uint64_t seeds_imported = 0;
+  uint64_t corpus_rejects = 0;
+  // The halt_after_checkpoints hook fired: the claim was left in claimed/
+  // and the caller must exit nonzero so the supervisor restarts the worker.
+  bool crashed = false;
+};
+
+Result<FleetWorkerOutcome> RunFleetWorker(const FleetWorkerOptions& options);
+
+}  // namespace themis
+
+#endif  // SRC_FLEET_WORKER_H_

@@ -391,6 +391,18 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
       result.coverage_timeline.emplace_back(next_coverage_sample, coverage.TotalHits());
       next_coverage_sample += config_.coverage_sample_period;
     }
+    if (loop_observer_ != nullptr) {
+      // Before the checkpoint block on purpose: anything the observer does
+      // to the strategy (seed imports) lands in this boundary's snapshot,
+      // so a resume never replays it.
+      CampaignTick tick;
+      tick.total_ops = executor.total_ops();
+      tick.testcases = result.testcases;
+      tick.coverage = coverage.TotalHits();
+      tick.transition_coverage = model_coverage.TransitionsCovered();
+      tick.now = cluster->Now();
+      loop_observer_->OnTestcase(**strategy, outcome, tick);
+    }
     if (checkpointing && config_.checkpoint_every_ops > 0 &&
         executor.total_ops() >= next_checkpoint_ops) {
       ++checkpoints_written;
@@ -426,6 +438,11 @@ Result<CampaignResult> Campaign::Run(std::string_view strategy_name) {
   result.false_positives = tally.false_positive_reports;
   result.final_coverage = coverage.TotalHits();
   result.transition_coverage = model_coverage.TransitionsCovered();
+  result.transition_pairs.clear();
+  for (const auto& [from, to] : model_coverage.CoveredPairs()) {
+    result.transition_pairs.emplace_back(static_cast<uint8_t>(from),
+                                         static_cast<uint8_t>(to));
+  }
   // Per-flavor transition gauge: lands in BENCH_*.json / --summary-json via
   // the registry dump. Summed across a matrix's jobs like every counter.
   MetricsRegistry::Global()

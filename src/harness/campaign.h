@@ -112,6 +112,29 @@ struct CampaignConfig {
   Status Validate() const;
 };
 
+// Per-test-case progress snapshot handed to a CampaignLoopObserver.
+struct CampaignTick {
+  uint64_t total_ops = 0;
+  int testcases = 0;
+  size_t coverage = 0;             // branch-coverage hits so far
+  size_t transition_coverage = 0;  // distinct balancer transition pairs
+  SimTime now{};                   // virtual clock
+};
+
+// Fleet hook (DESIGN.md §17): called once per completed test case, after the
+// strategy saw its outcome and before any checkpoint for that boundary is
+// written — so a checkpoint always captures whatever the observer did (e.g.
+// imported seeds) and a resumed run does not replay it. Observers must not
+// touch the campaign RNG or cluster; the corpus exchange only reads the
+// strategy's pool and calls Strategy::ImportSeed. A null observer (the
+// default) leaves the loop byte-for-byte on its pre-fleet path.
+class CampaignLoopObserver {
+ public:
+  virtual ~CampaignLoopObserver() = default;
+  virtual void OnTestcase(Strategy& strategy, const ExecOutcome& outcome,
+                          const CampaignTick& tick) = 0;
+};
+
 struct CampaignResult {
   std::string strategy_name;
   Flavor flavor = Flavor::kGluster;
@@ -125,6 +148,10 @@ struct CampaignResult {
   // §16). Reported in summaries/benches; deliberately OUTSIDE Digest() so
   // attaching the recorder cannot perturb pinned digests.
   size_t transition_coverage = 0;
+  // The covered pairs themselves, ascending (from, to) — the mergeable form
+  // the fleet supervisor unions across workers for fleet-wide coverage.
+  // Like transition_coverage, outside Digest().
+  std::vector<std::pair<uint8_t, uint8_t>> transition_pairs;
   // (virtual time, branches hit) sampled once per coverage_sample_period.
   std::vector<std::pair<SimTime, size_t>> coverage_timeline;
   uint64_t total_ops = 0;
@@ -158,10 +185,17 @@ class Campaign {
   // Compatibility shim for enum-based callers.
   Result<CampaignResult> Run(StrategyKind kind) { return Run(StrategyKindName(kind)); }
 
+  // Attach a per-test-case observer (fleet corpus exchange / heartbeats).
+  // Not owned; must outlive Run(). Null restores the default no-op.
+  void set_loop_observer(CampaignLoopObserver* observer) {
+    loop_observer_ = observer;
+  }
+
  private:
   std::vector<FaultSpec> FaultsForConfig() const;
 
   CampaignConfig config_;
+  CampaignLoopObserver* loop_observer_ = nullptr;
 };
 
 // Convenience: run one (strategy, flavor) campaign with defaults.

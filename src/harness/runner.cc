@@ -146,8 +146,9 @@ MatrixResult CampaignRunner::RunJobs(const std::vector<CampaignJob>& jobs) {
           slot->job.config.checkpoint_every_ops = options_.checkpoint_every_ops;
           slot->job.config.resume = options_.resume;
         }
-        Result<CampaignResult> run =
-            Campaign(slot->job.config).Run(slot->job.strategy);
+        Campaign campaign(slot->job.config);
+        campaign.set_loop_observer(options_.loop_observer);
+        Result<CampaignResult> run = campaign.Run(slot->job.strategy);
         if (run.ok()) {
           slot->result = run.take();
         } else {

@@ -391,6 +391,11 @@ void SaveCampaignResult(SnapshotWriter& writer, const CampaignResult& result) {
   writer.I64(result.false_positives);
   writer.U64(result.final_coverage);
   writer.U64(result.transition_coverage);
+  writer.U64(result.transition_pairs.size());
+  for (const auto& [from, to] : result.transition_pairs) {
+    writer.U8(from);
+    writer.U8(to);
+  }
   writer.U64(result.coverage_timeline.size());
   for (const auto& [at, hits] : result.coverage_timeline) {
     writer.I64(at);
@@ -435,6 +440,18 @@ Status RestoreCampaignResult(SnapshotReader& reader, CampaignResult* result) {
   result->false_positives = static_cast<int>(reader.I64());
   result->final_coverage = reader.U64();
   result->transition_coverage = reader.U64();
+  uint64_t pair_count = reader.Count(2);
+  if (reader.ok() && pair_count != result->transition_coverage) {
+    reader.Fail("campaign result transition pair list disagrees with count");
+    return reader.status();
+  }
+  result->transition_pairs.clear();
+  result->transition_pairs.reserve(pair_count);
+  for (uint64_t i = 0; i < pair_count && reader.ok(); ++i) {
+    uint8_t from = reader.U8();
+    uint8_t to = reader.U8();
+    result->transition_pairs.emplace_back(from, to);
+  }
   uint64_t timeline_count = reader.Count(16);
   result->coverage_timeline.clear();
   result->coverage_timeline.reserve(timeline_count);

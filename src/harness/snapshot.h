@@ -4,7 +4,7 @@
 //
 //   offset  size  field
 //   0       8     magic "THMSNP01"
-//   8       4     format version (u32 LE, currently 6 — see DESIGN.md §12;
+//   8       4     format version (u32 LE, currently 7 — see DESIGN.md §12;
 //                 v3 added the cluster's rate-window bases and the model's
 //                 dense previous-window counters (DESIGN.md §13); v4 added
 //                 the environment-fault dimension: the env_faults identity
@@ -13,7 +13,10 @@
 //                 GeoFS flavor state; v6 added the balancer state-machine
 //                 coverage record, the transition_weight identity field,
 //                 the result's transition_coverage and bandit arm tables
-//                 inside the strategy record, DESIGN.md §16)
+//                 inside the strategy record, DESIGN.md §16; v7 added the
+//                 fleet corpus-exchange state: seed fingerprints + the
+//                 seen-fingerprint dedup set in the pool record and the
+//                 result's covered transition-pair list, DESIGN.md §17)
 //   12      1     kind (0 = mid-campaign, 1 = final)
 //   13      8     payload size in bytes (u64 LE)
 //   21      8     FNV-1a 64 checksum of the payload (u64 LE)
@@ -43,7 +46,7 @@
 
 namespace themis {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 6;
+inline constexpr uint32_t kSnapshotFormatVersion = 7;
 
 enum class SnapshotKind : uint8_t {
   kMidCampaign = 0,  // loop state; resuming continues the campaign

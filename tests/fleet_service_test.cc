@@ -1,0 +1,240 @@
+// Fleet service invariants (DESIGN.md §17), exercised in-process (the
+// worker loop is a plain function; no fork needed):
+//
+//   * digest parity — a single-worker single-job fleet, where every corpus
+//     seed is the job's own publication deduped to an import no-op, renders
+//     a campaign summary byte-identical to the plain CampaignRunner on the
+//     same matrix (multi-job fleets intentionally diverge: later jobs import
+//     earlier jobs' seeds — that cross-pollination is the point of the
+//     shared corpus, and those runs are validated by invariants instead);
+//   * cross-job seed exchange — a second fleet sharing the corpus directory
+//     imports the first fleet's published seeds;
+//   * crash/restart — a worker halted mid-job by the checkpoint crash hook
+//     leaves its claim orphaned; the restarted incarnation re-adopts it,
+//     resumes from the checkpoint, and the finished fleet's summary is
+//     byte-identical to a never-crashed fleet (exactly-once accounting);
+//   * work-queue staging — re-staging over an existing fleet directory
+//     skips jobs that already have done records.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/fleet/supervisor.h"
+#include "src/fleet/work_queue.h"
+#include "src/fleet/worker.h"
+#include "src/harness/runner.h"
+#include "src/harness/telemetry_export.h"
+
+namespace themis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("fleet_service_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+CampaignMatrix TestMatrix(int seeds) {
+  CampaignMatrix matrix;
+  matrix.flavors = {Flavor::kGluster};
+  matrix.strategies = {"Themis"};
+  matrix.seeds = seeds;
+  matrix.matrix_seed = 1234;
+  matrix.base.budget = Hours(1);
+  return matrix;
+}
+
+// Done records -> the deterministic summary document, the same way the
+// supervisor's final merge builds it.
+std::string SummaryFromDoneRecords(const FleetPaths& paths) {
+  Result<std::vector<FleetDoneRecord>> records = ReadAllDoneRecords(paths);
+  EXPECT_TRUE(records.ok()) << records.status().ToString();
+  MatrixResult result;
+  for (FleetDoneRecord& record : records.value()) {
+    JobResult job;
+    job.job = record.job;
+    job.status = record.job_status;
+    job.result = std::move(record.result);
+    result.jobs.push_back(std::move(job));
+  }
+  return RenderCampaignSummaryJson(result);
+}
+
+TEST(FleetServiceTest, SingleWorkerFleetMatchesPlainRunnerByteForByte) {
+  // One job: with several jobs the later ones would import the earlier
+  // ones' corpus seeds and legitimately diverge from the plain runner.
+  CampaignMatrix matrix = TestMatrix(/*seeds=*/1);
+
+  // Reference: the plain in-process runner, telemetry collection on (the
+  // fleet worker always enables it, and telemetry events are part of the
+  // result digest).
+  CampaignMatrix reference_matrix = matrix;
+  reference_matrix.base.collect_telemetry = true;
+  MatrixResult reference = CampaignRunner().Run(reference_matrix);
+  ASSERT_EQ(reference.FailedJobs(), 0);
+  std::string reference_summary = RenderCampaignSummaryJson(reference);
+
+  // Fleet: stage + one in-process worker draining the queue.
+  std::string dir = FreshDir("parity");
+  FleetPaths paths = FleetPaths::At(dir);
+  ASSERT_TRUE(StageFleetJobs(paths, matrix, /*checkpoint_every_ops=*/2000).ok());
+  FleetWorkerOptions options;
+  options.dir = dir;
+  options.worker_id = 0;
+  options.import_every = 16;  // aggressive: stress the self-import no-op path
+  Result<FleetWorkerOutcome> outcome = RunFleetWorker(options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->jobs_completed, 1);
+  EXPECT_FALSE(outcome->crashed);
+  // The worker published its accepted seeds and imported only duplicates of
+  // its own publications — every import was deduped to a no-op.
+  EXPECT_GT(outcome->seeds_published, 0u);
+  EXPECT_EQ(outcome->corpus_rejects, 0u);
+
+  EXPECT_EQ(SummaryFromDoneRecords(paths), reference_summary);
+}
+
+TEST(FleetServiceTest, SecondFleetImportsSharedCorpusSeeds) {
+  CampaignMatrix matrix = TestMatrix(/*seeds=*/1);
+  std::string dir_a = FreshDir("share_a");
+  std::string dir_b = FreshDir("share_b");
+  std::string corpus = FreshDir("share_corpus");
+
+  FleetPaths paths_a = FleetPaths::At(dir_a);
+  ASSERT_TRUE(StageFleetJobs(paths_a, matrix, 0).ok());
+  FleetWorkerOptions options_a;
+  options_a.dir = dir_a;
+  options_a.corpus_dir = corpus;
+  options_a.worker_id = 0;
+  Result<FleetWorkerOutcome> outcome_a = RunFleetWorker(options_a);
+  ASSERT_TRUE(outcome_a.ok()) << outcome_a.status().ToString();
+  ASSERT_GT(outcome_a->seeds_published, 0u);
+
+  // A different campaign (different matrix seed -> different sequences)
+  // sharing the corpus: worker B must pick up worker A's seeds.
+  CampaignMatrix matrix_b = matrix;
+  matrix_b.matrix_seed = 99;
+  FleetPaths paths_b = FleetPaths::At(dir_b);
+  ASSERT_TRUE(StageFleetJobs(paths_b, matrix_b, 0).ok());
+  FleetWorkerOptions options_b;
+  options_b.dir = dir_b;
+  options_b.corpus_dir = corpus;
+  options_b.worker_id = 1;
+  options_b.import_every = 8;
+  Result<FleetWorkerOutcome> outcome_b = RunFleetWorker(options_b);
+  ASSERT_TRUE(outcome_b.ok()) << outcome_b.status().ToString();
+  EXPECT_GT(outcome_b->seeds_imported, 0u);
+  EXPECT_EQ(outcome_b->corpus_rejects, 0u);
+}
+
+TEST(FleetServiceTest, CrashedWorkerResumesFromCheckpointExactlyOnce) {
+  CampaignMatrix matrix = TestMatrix(/*seeds=*/2);
+
+  // Reference fleet: same matrix, no crash.
+  std::string ref_dir = FreshDir("crash_ref");
+  FleetPaths ref_paths = FleetPaths::At(ref_dir);
+  ASSERT_TRUE(StageFleetJobs(ref_paths, matrix, 500).ok());
+  FleetWorkerOptions ref_options;
+  ref_options.dir = ref_dir;
+  ref_options.worker_id = 0;
+  Result<FleetWorkerOutcome> ref_outcome = RunFleetWorker(ref_options);
+  ASSERT_TRUE(ref_outcome.ok());
+  ASSERT_EQ(ref_outcome->jobs_completed, 2);
+  std::string reference_summary = SummaryFromDoneRecords(ref_paths);
+
+  // Crashing fleet: first incarnation halts after one checkpoint of its
+  // first job, leaving the claim orphaned.
+  std::string dir = FreshDir("crash");
+  FleetPaths paths = FleetPaths::At(dir);
+  ASSERT_TRUE(StageFleetJobs(paths, matrix, 500).ok());
+  FleetWorkerOptions options;
+  options.dir = dir;
+  options.worker_id = 0;
+  options.halt_after_checkpoints = 1;
+  Result<FleetWorkerOutcome> crashed = RunFleetWorker(options);
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  EXPECT_TRUE(crashed->crashed);
+  EXPECT_EQ(crashed->jobs_completed, 0);
+  // The claim survives the crash; no done record exists yet.
+  EXPECT_EQ(CountQueueEntries(paths).claimed, 1u);
+  EXPECT_EQ(CountQueueEntries(paths).done, 0u);
+
+  // Restarted incarnation: re-adopts the orphan, resumes from the
+  // checkpoint, finishes the queue.
+  FleetWorkerOptions restart = options;
+  restart.halt_after_checkpoints = 0;
+  Result<FleetWorkerOutcome> resumed = RunFleetWorker(restart);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->crashed);
+  EXPECT_EQ(resumed->jobs_completed, 2);
+  EXPECT_EQ(CountQueueEntries(paths).claimed, 0u);
+  EXPECT_EQ(CountQueueEntries(paths).done, 2u);
+
+  // Exactly-once accounting: crash + resume changed nothing observable.
+  EXPECT_EQ(SummaryFromDoneRecords(paths), reference_summary);
+}
+
+TEST(FleetServiceTest, RestagingSkipsFinishedJobs) {
+  CampaignMatrix matrix = TestMatrix(/*seeds=*/2);
+  std::string dir = FreshDir("restage");
+  FleetPaths paths = FleetPaths::At(dir);
+  ASSERT_TRUE(StageFleetJobs(paths, matrix, 0).ok());
+  ASSERT_EQ(CountQueueEntries(paths).queued, 2u);
+
+  FleetWorkerOptions options;
+  options.dir = dir;
+  options.worker_id = 0;
+  ASSERT_TRUE(RunFleetWorker(options).ok());
+  ASSERT_EQ(CountQueueEntries(paths).done, 2u);
+
+  // Re-staging the same matrix over the finished directory stages nothing.
+  ASSERT_TRUE(StageFleetJobs(paths, matrix, 0).ok());
+  EXPECT_EQ(CountQueueEntries(paths).queued, 0u);
+}
+
+TEST(FleetServiceTest, JobSpecAndDoneRecordRoundTrip) {
+  std::string dir = FreshDir("specs");
+  CampaignJob job;
+  job.index = 7;
+  job.strategy = "Themis";
+  job.repetition = 2;
+  job.config.flavor = Flavor::kCeph;
+  job.config.seed = 4242;
+  job.config.budget = Hours(3);
+  job.config.checkpoint_dir = "/some/ckpt";
+  job.config.checkpoint_every_ops = 1000;
+  job.config.resume = true;
+  job.config.collect_telemetry = true;
+  std::string spec_path = (fs::path(dir) / QueueJobFileName(job.index)).string();
+  ASSERT_TRUE(WriteJobSpecFile(spec_path, job).ok());
+  Result<CampaignJob> loaded = ReadJobSpecFile(spec_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->index, job.index);
+  EXPECT_EQ(loaded->strategy, job.strategy);
+  EXPECT_EQ(loaded->repetition, job.repetition);
+  EXPECT_EQ(loaded->config.flavor, job.config.flavor);
+  EXPECT_EQ(loaded->config.seed, job.config.seed);
+  EXPECT_EQ(loaded->config.budget, job.config.budget);
+  EXPECT_EQ(loaded->config.checkpoint_dir, job.config.checkpoint_dir);
+  EXPECT_EQ(loaded->config.checkpoint_every_ops,
+            job.config.checkpoint_every_ops);
+  EXPECT_TRUE(loaded->config.resume);
+  EXPECT_TRUE(loaded->config.collect_telemetry);
+
+  // A corrupt spec is a loud error, not a silently skipped job.
+  {
+    std::fstream file(spec_path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(30);
+    file.put('\xff');
+  }
+  EXPECT_FALSE(ReadJobSpecFile(spec_path).ok());
+}
+
+}  // namespace
+}  // namespace themis
